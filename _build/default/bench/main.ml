@@ -1,0 +1,397 @@
+(* Benchmark harness.
+
+     dune exec bench/main.exe              regenerate every table and
+                                           figure of the paper and print
+                                           the headline numbers
+     dune exec bench/main.exe -- micro     Bechamel micro-benchmarks: one
+                                           Test.make per table/figure
+                                           (its core computational
+                                           kernel) plus substrate micros
+     dune exec bench/main.exe -- ablations design-choice ablations
+                                           (copy-on-demand, compression
+                                           direction, dynamic decisions,
+                                           explicit GEP lowering)
+
+   Full-scale table regeneration takes minutes (it sweeps 17 workloads
+   x 4 configurations), so the Bechamel entries wrap each table's
+   *kernel* at reduced scale — what the table costs per unit of work —
+   while the default mode produces the tables themselves. *)
+
+module Ir = No_ir.Ir
+module Arch = No_arch.Arch
+module Layout = No_arch.Layout
+module Link = No_netsim.Link
+module Compress = No_netsim.Compress
+module Memory = No_mem.Memory
+module Region = No_mem.Region
+module Uva = No_mem.Uva
+module Host = No_exec.Host
+module Interp = No_exec.Interp
+module Console = No_exec.Console
+module Profiler = No_profiler.Profiler
+module Filter = No_analysis.Filter
+module Equation = No_estimator.Equation
+module Static_estimate = No_estimator.Static_estimate
+module Pipeline = No_transform.Pipeline
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Registry = No_workloads.Registry
+module Chess = No_workloads.Chess
+module Table = No_report.Table
+module Battery = No_power.Battery
+module Power_model = No_power.Power_model
+module Compiler = Native_offloader.Compiler
+module Experiment = Native_offloader.Experiment
+module Evaluation = Native_offloader.Evaluation
+
+(* {1 Full regeneration (default mode)} *)
+
+let regenerate_all () =
+  let sections =
+    [
+      ("Table 1", fun () -> Table.print (Evaluation.table1 ()));
+      ("Table 2", fun () -> Table.print (Evaluation.table2 ()));
+      ("Table 3", fun () -> Table.print (Evaluation.table3 ()));
+      ("Table 4", fun () -> Table.print (Evaluation.table4 ()));
+      ("Table 5", fun () -> Table.print (Evaluation.table5 ()));
+      ("Figure 6(a)", fun () -> Table.print (Evaluation.fig6a ()));
+      ("Figure 6(b)", fun () -> Table.print (Evaluation.fig6b ()));
+      ("Figure 7", fun () -> Table.print (Evaluation.fig7 ()));
+      ("Figure 8", fun () -> Table.print (Evaluation.fig8 ()));
+    ]
+  in
+  List.iter
+    (fun (name, emit) ->
+      Fmt.pr "=== %s ===@." name;
+      emit ();
+      Fmt.pr "@.")
+    sections;
+  let h = Evaluation.headline () in
+  Fmt.pr "=== Headline ===@.";
+  Fmt.pr "geomean speedup (fast network): %.2fx (paper: 6.42x)@."
+    h.Evaluation.h_geomean_speedup_fast;
+  Fmt.pr "geomean speedup (slow network): %.2fx@."
+    h.Evaluation.h_geomean_speedup_slow;
+  Fmt.pr "geomean battery saving (fast):  %.1f%% (paper: 82.0%%)@."
+    h.Evaluation.h_battery_saving_fast_pct;
+  Fmt.pr "geomean battery saving (slow):  %.1f%% (paper: 77.2%%)@."
+    h.Evaluation.h_battery_saving_slow_pct
+
+(* {1 Bechamel micro-benchmarks} *)
+
+let structs_of m name = Ir.find_struct_exn m name
+
+(* Prebuilt state shared by the staged functions (construction cost
+   must stay out of the measured loop). *)
+let chess_module = lazy (Chess.build ())
+
+let chess_samples =
+  lazy
+    (Compiler.profile ~script:(Chess.script ~depth:3 ~turns:1)
+       ~files:[] (Lazy.force chess_module))
+
+let chess_verdicts = lazy (Filter.analyze (Lazy.force chess_module))
+
+let hmmer_entry = lazy (Option.get (Registry.by_name "456.hmmer"))
+
+let hmmer_compiled =
+  lazy
+    (let entry = Lazy.force hmmer_entry in
+     Compiler.compile ~profile_script:entry.Registry.e_profile_script
+       ~profile_files:entry.Registry.e_files
+       ~eval_scale:entry.Registry.e_eval_scale
+       (entry.Registry.e_build ()))
+
+let synthetic_battery () =
+  let b = Battery.create (Power_model.galaxy_s5 ~fast_radio:true) in
+  for i = 0 to 199 do
+    let t0 = float_of_int i *. 0.05 in
+    Battery.spend b ~from_s:t0 ~to_s:(t0 +. 0.05)
+      (if i mod 3 = 0 then Power_model.Computing else Power_model.Waiting)
+  done;
+  b
+
+let compressible_page =
+  lazy
+    (let data = Bytes.create 65536 in
+     for i = 0 to 65535 do
+       Bytes.set data i (Char.chr ((i / 97) land 0xff))
+     done;
+     data)
+
+let run_chess_ai depth =
+  let m = Lazy.force chess_module in
+  let layout = Layout.env_of_arch Arch.arm32 ~structs:(structs_of m) in
+  let host =
+    Host.create ~arch:Arch.arm32 ~role:Host.Mobile ~modul:m ~layout
+      ~console:(Console.create ~script:(Chess.script ~depth ~turns:1) ())
+      ()
+  in
+  ignore (Interp.run_main host)
+
+let run_hmmer_offload () =
+  let entry = Lazy.force hmmer_entry in
+  let compiled = Lazy.force hmmer_compiled in
+  let session =
+    Session.create
+      ~config:(Session.default_config ())
+      ~script:entry.Registry.e_profile_script ~files:entry.Registry.e_files
+      compiled.Compiler.c_output ~seeds:compiled.Compiler.c_seeds
+  in
+  ignore (Session.run session)
+
+let micro_tests () =
+  let open Bechamel in
+  let stage = Staged.stage in
+  let per_table =
+    [
+      (* Table 1's kernel: interpreting the chess AI on the mobile
+         cost model. *)
+      Test.make ~name:"table1:chess-ai-depth3" (stage (fun () -> run_chess_ai 3));
+      (* Table 2: corpus statistics. *)
+      Test.make ~name:"table2:corpus-summary"
+        (stage (fun () -> ignore (No_corpus.Android_apps.summarize ())));
+      (* Table 3: Equation-1 estimation + selection over profiled
+         samples. *)
+      Test.make ~name:"table3:estimate-select"
+        (stage (fun () ->
+             let m = Lazy.force chess_module in
+             ignore
+               (Static_estimate.run m ~r:5.76 ~bw_bps:5e6
+                  (Lazy.force chess_verdicts)
+                  (Lazy.force chess_samples))));
+      (* Table 4's kernel: the whole compiler pipeline over chess. *)
+      Test.make ~name:"table4:compile-pipeline"
+        (stage (fun () ->
+             ignore
+               (Pipeline.run ~mobile:Arch.arm32 ~server:Arch.x86_64
+                  ~targets:[ Chess.target ]
+                  (Lazy.force chess_module))));
+      (* Table 5: the comparison query. *)
+      Test.make ~name:"table5:related-query"
+        (stage (fun () ->
+             ignore (No_corpus.Related_systems.unique_full_combination ())));
+      (* Figure 6's kernel: one full offloading session (hmmer,
+         profile-sized input). *)
+      Test.make ~name:"fig6:offload-session" (stage run_hmmer_offload);
+      (* Figure 6(b)/8 kernel: battery integration and resampling. *)
+      Test.make ~name:"fig6b:battery-integration"
+        (stage (fun () -> ignore (Battery.energy_mj (synthetic_battery ()))));
+      Test.make ~name:"fig8:trace-resample"
+        (stage
+           (let b = synthetic_battery () in
+            fun () -> ignore (Battery.resample b ~period_s:0.01)));
+      (* Figure 7's kernel: Equation 1 itself (evaluated per decision). *)
+      Test.make ~name:"fig7:equation1"
+        (stage (fun () ->
+             ignore
+               (Equation.evaluate
+                  { Equation.tm_s = 26.0; r = 5.76; mem_bytes = 12 lsl 20;
+                    bw_bps = 80e6; invocations = 3 })));
+    ]
+  in
+  let substrate =
+    [
+      Test.make ~name:"compress-64KiB"
+        (stage (fun () ->
+             ignore (Compress.compress (Lazy.force compressible_page))));
+      Test.make ~name:"decompress-64KiB"
+        (stage
+           (let packed = Compress.compress (Lazy.force compressible_page) in
+            fun () -> ignore (Compress.decompress packed)));
+      Test.make ~name:"page-fault-service"
+        (stage
+           (let home = Memory.create Memory.Home in
+            Memory.write_byte home Region.heap_base 1;
+            fun () ->
+              let remote = Memory.create Memory.Remote in
+              remote.Memory.on_fault <-
+                Some
+                  (fun mem page ->
+                    Memory.install_page mem page (Memory.page_copy home page));
+              ignore (Memory.read_byte remote Region.heap_base)));
+      Test.make ~name:"uva-alloc-free"
+        (stage
+           (let u = Uva.create () in
+            fun () ->
+              let a = Uva.alloc u 256 in
+              Uva.dealloc u a));
+    ]
+  in
+  Test.make_grouped ~name:"native-offloader"
+    [ Test.make_grouped ~name:"tables" per_table;
+      Test.make_grouped ~name:"substrate" substrate ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"Bechamel micro-benchmarks (monotonic clock)"
+      [ "benchmark"; "ns/run" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> Printf.sprintf "%.0f" est
+        | Some [] | None -> "-"
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Table.add_row table [ name; ns ])
+    (List.sort compare !rows);
+  Table.print table
+
+(* {1 Ablations} *)
+
+let ablation_configs () =
+  let base = Session.default_config () in
+  [
+    ("copy-on-demand + prefetch (default)", base);
+    ("no prefetch (pure copy-on-demand)", { base with Session.prefetch = false });
+    ("copy-all (static partitioning style)", { base with Session.copy_all = true });
+    ("no write-back compression",
+     { base with Session.compress_writeback = false });
+    ("compress both directions", { base with Session.compress_upload = true });
+  ]
+
+let run_ablations () =
+  (* Memory-movement ablations on mcf: a large, partially-dirty
+     working set where the policies differ visibly. *)
+  let entry = Option.get (Registry.by_name "429.mcf") in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale
+      (entry.Registry.e_build ())
+  in
+  let table =
+    Table.create
+      ~title:"Ablation: data movement policy (429.mcf, fast network)"
+      [ "policy"; "exec (s)"; "faults"; "to server (KB)";
+        "to mobile wire (KB)" ]
+  in
+  List.iter
+    (fun (label, config) ->
+      let session =
+        Session.create ~config ~script:entry.Registry.e_eval_script
+          ~files:entry.Registry.e_files compiled.Compiler.c_output
+          ~seeds:compiled.Compiler.c_seeds
+      in
+      let r = Session.run session in
+      Table.add_row table
+        [
+          label;
+          Table.cell_f r.Session.rep_total_s;
+          Table.cell_i r.Session.rep_faults;
+          Table.cell_i (r.Session.rep_bytes_to_server / 1024);
+          Table.cell_i (r.Session.rep_wire_bytes_to_mobile / 1024);
+        ])
+    (ablation_configs ());
+  Table.print table;
+  print_newline ();
+  (* Decision-mode ablation on gzip over the slow network: the
+     dynamic estimator is what saves gzip from a slowdown. *)
+  let gzip = Option.get (Registry.by_name "164.gzip") in
+  let gzip_compiled =
+    Compiler.compile ~profile_script:gzip.Registry.e_profile_script
+      ~profile_files:gzip.Registry.e_files
+      ~eval_scale:gzip.Registry.e_eval_scale
+      (gzip.Registry.e_build ())
+  in
+  let local =
+    Local_run.run ~script:gzip.Registry.e_eval_script
+      ~files:gzip.Registry.e_files gzip_compiled.Compiler.c_original
+  in
+  let table2 =
+    Table.create
+      ~title:
+        "Ablation: offload decision mode (164.gzip; the dynamic \
+         estimator's refusals protect the degrading networks)"
+      [ "network"; "decision"; "exec (s)"; "vs local"; "offloads" ]
+  in
+  Table.add_row table2
+    [ "-"; "local baseline"; Table.cell_f local.Local_run.lr_total_s; "1.00";
+      "0" ];
+  List.iter
+    (fun (net_label, link) ->
+      List.iter
+        (fun (label, decision) ->
+          let config =
+            { (Session.default_config ~link ()) with
+              Session.decision; Session.fast_radio = false }
+          in
+          let session =
+            Session.create ~config ~script:gzip.Registry.e_eval_script
+              ~files:gzip.Registry.e_files gzip_compiled.Compiler.c_output
+              ~seeds:gzip_compiled.Compiler.c_seeds
+          in
+          let r = Session.run session in
+          Table.add_row table2
+            [
+              net_label;
+              label;
+              Table.cell_f r.Session.rep_total_s;
+              Table.cell_f
+                (r.Session.rep_total_s /. local.Local_run.lr_total_s);
+              Table.cell_i r.Session.rep_offloads;
+            ])
+        [ ("dynamic (paper)", Session.Dynamic);
+          ("always offload", Session.Always_offload);
+          ("never offload", Session.Never_offload) ])
+    [ ("802.11n", Link.slow_wifi); ("congested", Link.congested) ];
+  Table.print table2;
+  print_newline ();
+  (* Explicit GEP lowering (the literal Section 3.2 codegen) vs the
+     layout-environment realignment the pipeline uses by default. *)
+  let chess = Chess.build () in
+  let samples =
+    Compiler.profile ~script:(Chess.script ~depth:3 ~turns:1) ~files:[] chess
+  in
+  ignore samples;
+  let table3 =
+    Table.create
+      ~title:
+        "Ablation: explicit GEP lowering vs layout-environment realignment \
+         (chess, fast network)"
+      [ "realignment"; "exec (s)"; "offloads" ]
+  in
+  List.iter
+    (fun (label, lower_geps) ->
+      let out =
+        Pipeline.run ~lower_geps ~mobile:Arch.arm32 ~server:Arch.x86_64
+          ~targets:[ Chess.target ] chess
+      in
+      let session =
+        Session.create
+          ~config:(Session.default_config ())
+          ~script:(Chess.script ~depth:6 ~turns:2)
+          out
+          ~seeds:
+            [ { Session.seed_name = Chess.target; Session.seed_time_s = 1.0;
+                Session.seed_mem_bytes = 32768 } ]
+      in
+      let r = Session.run session in
+      Table.add_row table3
+        [ label; Table.cell_f r.Session.rep_total_s;
+          Table.cell_i r.Session.rep_offloads ])
+    [ ("layout environment (default)", false);
+      ("explicit byte arithmetic", true) ];
+  Table.print table3
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "micro" :: _ -> run_micro ()
+  | _ :: "ablations" :: _ -> run_ablations ()
+  | _ -> regenerate_all ()

@@ -1,0 +1,239 @@
+(* offload-cli: command-line driver for the Native Offloader
+   reproduction.
+
+     offload-cli list                    workloads and their traits
+     offload-cli run 458.sjeng           local vs offloaded comparison
+     offload-cli report table1 ... fig8  regenerate tables/figures
+     offload-cli dump 164.gzip mobile    print partitioned IR
+     offload-cli headline                geomean speedups / battery *)
+
+module Ir = No_ir.Ir
+module Pretty = No_ir.Pretty
+module Pipeline = No_transform.Pipeline
+module Registry = No_workloads.Registry
+module Table = No_report.Table
+module Compiler = Native_offloader.Compiler
+module Experiment = Native_offloader.Experiment
+module Evaluation = Native_offloader.Evaluation
+
+open Cmdliner
+
+let list_cmd =
+  let run () =
+    let table =
+      Table.create ~title:"Workloads (17 SPEC programs + chess)"
+        [ "name"; "description"; "paper target"; "paper exec (s)";
+          "paper traffic (MB)" ]
+    in
+    List.iter
+      (fun (e : Registry.entry) ->
+        Table.add_row table
+          [
+            e.Registry.e_name;
+            e.Registry.e_description;
+            e.Registry.e_paper.Registry.pr_target;
+            Table.cell_f ~digits:1 e.Registry.e_paper.Registry.pr_exec_s;
+            Table.cell_f ~digits:1 e.Registry.e_paper.Registry.pr_traffic_mb;
+          ])
+      Registry.spec;
+    Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the workloads")
+    Term.(const run $ const ())
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+
+let entry_of_name name =
+  match Registry.by_name name with
+  | Some entry -> entry
+  | None ->
+    Fmt.epr "unknown program %s; try `offload-cli list'@." name;
+    exit 1
+
+let run_cmd =
+  let run name =
+    let entry = entry_of_name name in
+    let res = Experiment.run_entry entry in
+    let table =
+      Table.create ~title:(name ^ ": local vs offloaded")
+        [ "config"; "exec (s)"; "speedup"; "energy (mJ)"; "offloads";
+          "refusals"; "faults"; "to server (KB)"; "to mobile (KB)" ]
+    in
+    let row (r : Experiment.run) =
+      Table.add_row table
+        [
+          r.Experiment.run_label;
+          Table.cell_f r.Experiment.run_exec_s;
+          Table.cell_f (Experiment.speedup res r);
+          Table.cell_f ~digits:0 r.Experiment.run_energy_mj;
+          Table.cell_i r.Experiment.run_offloads;
+          Table.cell_i r.Experiment.run_refusals;
+          Table.cell_i r.Experiment.run_faults;
+          Table.cell_i (r.Experiment.run_bytes_to_server / 1024);
+          Table.cell_i (r.Experiment.run_bytes_to_mobile / 1024);
+        ]
+    in
+    row res.Experiment.pres_local;
+    row res.Experiment.pres_slow;
+    row res.Experiment.pres_fast;
+    row res.Experiment.pres_ideal;
+    Table.print table;
+    let identical =
+      String.equal res.Experiment.pres_local.Experiment.run_console
+        res.Experiment.pres_fast.Experiment.run_console
+    in
+    Fmt.pr "console output identical to local run: %b@." identical
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload in all configurations")
+    Term.(const run $ name_arg)
+
+let report_cmd =
+  let what_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("table1", `T1); ("table2", `T2); ("table3", `T3);
+                  ("table4", `T4); ("table5", `T5); ("fig6a", `F6a);
+                  ("fig6b", `F6b); ("fig7", `F7); ("fig8", `F8);
+                  ("all", `All) ]))
+          None
+      & info [] ~docv:"WHAT")
+  in
+  let run what =
+    let emit = function
+      | `T1 -> Table.print (Evaluation.table1 ())
+      | `T2 -> Table.print (Evaluation.table2 ())
+      | `T3 -> Table.print (Evaluation.table3 ())
+      | `T4 -> Table.print (Evaluation.table4 ())
+      | `T5 -> Table.print (Evaluation.table5 ())
+      | `F6a -> Table.print (Evaluation.fig6a ())
+      | `F6b -> Table.print (Evaluation.fig6b ())
+      | `F7 -> Table.print (Evaluation.fig7 ())
+      | `F8 -> Table.print (Evaluation.fig8 ())
+      | `All -> assert false
+    in
+    match what with
+    | `All ->
+      List.iter
+        (fun w ->
+          emit w;
+          print_newline ())
+        [ `T1; `T2; `T3; `T4; `T5; `F6a; `F6b; `F7; `F8 ]
+    | w -> emit w
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const run $ what_arg)
+
+let dump_cmd =
+  let part_arg =
+    Arg.(
+      value
+      & pos 1
+          (enum
+             [ ("original", `Original); ("mobile", `Mobile);
+               ("server", `Server) ])
+          `Mobile
+      & info [] ~docv:"PART")
+  in
+  let run name part =
+    let entry = entry_of_name name in
+    let m = entry.Registry.e_build () in
+    let compiled =
+      Compiler.compile ~profile_script:entry.Registry.e_profile_script
+        ~profile_files:entry.Registry.e_files
+        ~eval_scale:entry.Registry.e_eval_scale m
+    in
+    let modul =
+      match part with
+      | `Original -> compiled.Compiler.c_original
+      | `Mobile -> compiled.Compiler.c_output.Pipeline.o_mobile
+      | `Server -> compiled.Compiler.c_output.Pipeline.o_server
+    in
+    Fmt.pr "%s@." (Pretty.modul_to_string modul)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print a workload's IR (original/mobile/server)")
+    Term.(const run $ name_arg $ part_arg)
+
+(* Compile and run a program written in the textual IR syntax: the
+   front-end-independent path of Figure 1 (any producer of IR text can
+   feed the offloader). *)
+let load_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ir")
+  in
+  let input_arg =
+    Arg.(value & pos 1 int 20_000 & info [] ~docv:"INPUT")
+  in
+  let run file input =
+    let text =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let m =
+      try No_ir.Parser.parse text
+      with No_ir.Parser.Parse_error (line, msg) ->
+        Fmt.epr "%s:%d: %s@." file line msg;
+        exit 1
+    in
+    let script value = [ No_exec.Console.In_int (Int64.of_int value) ] in
+    let compiled =
+      Compiler.compile ~profile_script:(script (max 1 (input / 10)))
+        ~eval_scale:10.0 m
+    in
+    Fmt.pr "selected targets: %a@."
+      Fmt.(list ~sep:comma string)
+      compiled.Compiler.c_selection.No_estimator.Static_estimate.targets;
+    let local =
+      No_runtime.Local_run.run ~script:(script input)
+        compiled.Compiler.c_original
+    in
+    let session =
+      No_runtime.Session.create
+        ~config:(No_runtime.Session.default_config ())
+        ~script:(script input) compiled.Compiler.c_output
+        ~seeds:compiled.Compiler.c_seeds
+    in
+    let report = No_runtime.Session.run session in
+    Fmt.pr "local:     %6.2f s   %s" local.No_runtime.Local_run.lr_total_s
+      local.No_runtime.Local_run.lr_console;
+    Fmt.pr "offloaded: %6.2f s   %s" report.No_runtime.Session.rep_total_s
+      report.No_runtime.Session.rep_console;
+    Fmt.pr "speedup %.2fx, identical output: %b@."
+      (local.No_runtime.Local_run.lr_total_s
+      /. report.No_runtime.Session.rep_total_s)
+      (String.equal local.No_runtime.Local_run.lr_console
+         report.No_runtime.Session.rep_console)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Compile and offload a program from a textual IR file")
+    Term.(const run $ file_arg $ input_arg)
+
+let headline_cmd =
+  let run () =
+    let h = Evaluation.headline () in
+    Fmt.pr "geomean speedup (fast network): %.2fx (paper: 6.42x)@."
+      h.Evaluation.h_geomean_speedup_fast;
+    Fmt.pr "geomean speedup (slow network): %.2fx@."
+      h.Evaluation.h_geomean_speedup_slow;
+    Fmt.pr "geomean battery saving (fast):  %.1f%% (paper: 82.0%%)@."
+      h.Evaluation.h_battery_saving_fast_pct;
+    Fmt.pr "geomean battery saving (slow):  %.1f%% (paper: 77.2%%)@."
+      h.Evaluation.h_battery_saving_slow_pct
+  in
+  Cmd.v
+    (Cmd.info "headline" ~doc:"Geomean speedup and battery saving")
+    Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "offload-cli" ~doc:"Native Offloader reproduction" in
+  exit (Cmd.eval (Cmd.group info
+    [ list_cmd; run_cmd; report_cmd; dump_cmd; load_cmd; headline_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_network.ml: Fmt List Native_offloader No_netsim No_report No_runtime No_workloads Option

@@ -1,0 +1,1 @@
+examples/battery_report.ml: Fmt List Native_offloader No_power No_runtime No_workloads Option String

@@ -1,0 +1,1 @@
+examples/chess_ai.ml: Fmt List Native_offloader No_analysis No_estimator No_ir No_profiler No_report No_runtime No_transform No_workloads String

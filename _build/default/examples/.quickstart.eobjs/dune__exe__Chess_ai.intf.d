@@ -1,0 +1,1 @@
+examples/chess_ai.mli:

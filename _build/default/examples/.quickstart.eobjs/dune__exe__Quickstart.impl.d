@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Native_offloader No_estimator No_ir No_runtime No_workloads String

@@ -1,0 +1,70 @@
+(* Battery behaviour of an offloaded run (the Figure 8 view).
+
+     dune exec examples/battery_report.exe
+
+   Runs 458.sjeng offloaded over the fast network and prints its power
+   timeline: the three think() invocations appear as transmit/receive
+   spikes around long low-power waits — exactly the Figure 8(a) shape
+   — followed by the per-state energy budget. *)
+
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Registry = No_workloads.Registry
+module Battery = No_power.Battery
+module Power_model = No_power.Power_model
+module Compiler = Native_offloader.Compiler
+
+let bar mw =
+  let width = int_of_float (mw /. 100.0) in
+  String.make (min width 60) '#'
+
+let () =
+  let entry = Option.get (Registry.by_name "458.sjeng") in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale
+      (entry.Registry.e_build ())
+  in
+  let session =
+    Session.create
+      ~config:(Session.default_config ())
+      ~script:entry.Registry.e_eval_script ~files:entry.Registry.e_files
+      compiled.Compiler.c_output ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  let battery = Session.battery session in
+  Fmt.pr "458.sjeng offloaded over 802.11ac: %.2f s, %.0f mJ, %d offloads@.@."
+    report.Session.rep_total_s report.Session.rep_energy_mj
+    report.Session.rep_offloads;
+
+  Fmt.pr "--- power over time (each row = 1/48 of the run) ---@.";
+  let samples =
+    Battery.resample battery ~period_s:(report.Session.rep_total_s /. 48.0)
+  in
+  List.iter
+    (fun (t, mw) -> Fmt.pr "%7.2fs %5.0f mW %s@." t mw (bar mw))
+    samples;
+
+  Fmt.pr "@.--- time and energy by state ---@.";
+  List.iter
+    (fun (state, seconds) ->
+      let mw =
+        Power_model.draw_mw (Power_model.galaxy_s5 ~fast_radio:true) state
+      in
+      Fmt.pr "  %-12s %7.2f s  %8.0f mJ@."
+        (Power_model.state_to_string state)
+        seconds (mw *. seconds))
+    (List.sort
+       (fun (_, a) (_, b) -> compare b a)
+       (Battery.time_by_state battery));
+
+  (* Compare with staying local. *)
+  let local =
+    Local_run.run ~script:entry.Registry.e_eval_script
+      ~files:entry.Registry.e_files compiled.Compiler.c_original
+  in
+  Fmt.pr "@.local execution would draw %.0f mJ -> offloading saves %.1f%%@."
+    local.Local_run.lr_energy_mj
+    (100.0
+    *. (1.0 -. (report.Session.rep_energy_mj /. local.Local_run.lr_energy_mj)))

@@ -1,0 +1,90 @@
+(* The paper's running example, end to end: the chess game of
+   Figure 3 / Table 1 / Table 3.
+
+     dune exec examples/chess_ai.exe
+
+   Shows the pieces of the compile pipeline on the example the paper
+   uses to explain them: the profile, the filter verdicts, the
+   Equation-1 estimation table, the partitioned server module, and a
+   turn-by-turn interactive game where every AI move is offloaded. *)
+
+module Ir = No_ir.Ir
+module Pretty = No_ir.Pretty
+module Filter = No_analysis.Filter
+module Profiler = No_profiler.Profiler
+module Static_estimate = No_estimator.Static_estimate
+module Pipeline = No_transform.Pipeline
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Chess = No_workloads.Chess
+module Table = No_report.Table
+module Compiler = Native_offloader.Compiler
+module Evaluation = Native_offloader.Evaluation
+
+let () =
+  Fmt.pr "=== compiling the chess application ===@.";
+  let compiled =
+    Compiler.compile
+      ~profile_script:(Chess.script ~depth:4 ~turns:2)
+      ~eval_scale:4.0 (Chess.build ())
+  in
+
+  Fmt.pr "@.--- hot function/loop profile (top 6) ---@.";
+  List.iteri
+    (fun i (s : Profiler.sample) ->
+      if i < 6 then
+        Fmt.pr "  %-12s %-5s %6.3f s, %d invocations, %d KB@."
+          s.Profiler.s_name
+          (match s.Profiler.s_kind with
+          | Profiler.Func -> "fn"
+          | Profiler.Loop -> "loop")
+          s.Profiler.s_time s.Profiler.s_invocations
+          (s.Profiler.s_mem_bytes / 1024))
+    compiled.Compiler.c_samples;
+
+  Fmt.pr "@.--- machine-specific filter ---@.";
+  List.iter
+    (fun name ->
+      let verdict =
+        match Filter.verdict_of compiled.Compiler.c_verdicts name with
+        | Some v -> (
+          match v.Filter.v_machine_specific with
+          | Some reason -> Filter.reason_to_string reason
+          | None -> "offloadable")
+        | None -> "?"
+      in
+      Fmt.pr "  %-14s %s@." name verdict)
+    [ "main"; "runGame"; "getPlayerTurn"; "getAITurn"; "evalQueen" ];
+
+  Fmt.pr "@.--- Table 3 (Equation 1 on this machine pair) ---@.";
+  Table.print (Evaluation.table3 ());
+
+  Fmt.pr "@.--- server partition ---@.";
+  let server = compiled.Compiler.c_output.Pipeline.o_server in
+  Fmt.pr "functions kept on the server: %a@."
+    Fmt.(list ~sep:comma string)
+    (List.map (fun (f : Ir.func) -> f.Ir.f_name) server.Ir.m_funcs);
+  Fmt.pr "removed as unused (Figure 3(c) line 66): %a@."
+    Fmt.(list ~sep:comma string)
+    compiled.Compiler.c_output.Pipeline.o_stats.Pipeline.st_removed_functions;
+  Fmt.pr "@.listener generated for the server (Figure 3(c) lines 27-41):@.%s@."
+    (Pretty.func_to_string
+       (Ir.find_func_exn server No_transform.Partition.listener_name));
+
+  Fmt.pr "@.=== playing 3 turns at depth 7 ===@.";
+  let script = Chess.script ~depth:7 ~turns:3 in
+  let local = Local_run.run ~script compiled.Compiler.c_original in
+  let session =
+    Session.create
+      ~config:(Session.default_config ())
+      ~script compiled.Compiler.c_output ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  Fmt.pr "local:     %.2f s, %.0f mJ@." local.Local_run.lr_total_s
+    local.Local_run.lr_energy_mj;
+  Fmt.pr "offloaded: %.2f s, %.0f mJ (%d offloads, %d fn-ptr translations)@."
+    report.Session.rep_total_s report.Session.rep_energy_mj
+    report.Session.rep_offloads report.Session.rep_fnptr_translations;
+  Fmt.pr "identical output: %b, speedup %.2fx@."
+    (String.equal local.Local_run.lr_console report.Session.rep_console)
+    (local.Local_run.lr_total_s /. report.Session.rep_total_s)

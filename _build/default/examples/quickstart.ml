@@ -1,0 +1,107 @@
+(* Quickstart: write a tiny native program against the IR builder,
+   compile it with Native Offloader, and run it locally and offloaded.
+
+     dune exec examples/quickstart.exe
+
+   The program multiplies two matrices; the hot kernel [matmul] is
+   found automatically (no annotations), everything else stays on the
+   phone. *)
+
+module B = No_ir.Builder
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module W = No_workloads.Support
+module Compiler = Native_offloader.Compiler
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+
+(* 1. The "native application": a matrix multiply whose inputs come
+   from the console and whose result checksum is printed. *)
+let build_program () =
+  let t = B.create "quickstart" in
+  B.global t "a" W.f64p Ir.Zero_init;
+  B.global t "b" W.f64p Ir.Zero_init;
+  B.global t "c" W.f64p Ir.Zero_init;
+
+  let _ =
+    B.func t "matmul" ~params:[ Ty.I64 ] ~ret:Ty.F64 (fun fb args ->
+        let n = List.nth args 0 in
+        let a = B.load fb W.f64p (Ir.Global "a") in
+        let b = B.load fb W.f64p (Ir.Global "b") in
+        let c = B.load fb W.f64p (Ir.Global "c") in
+        B.for_ fb ~name:"rows" ~from:(B.i64 0) ~below:n (fun i ->
+            B.for_ fb ~name:"cols" ~from:(B.i64 0) ~below:n (fun j ->
+                let acc = B.alloca fb Ty.F64 1 in
+                B.store fb Ty.F64 (B.f64 0.0) acc;
+                B.for_ fb ~name:"inner" ~from:(B.i64 0) ~below:n (fun k ->
+                    let aik =
+                      B.load fb Ty.F64
+                        (B.gep fb Ty.F64 a
+                           [ Ir.Index (B.iadd fb (B.imul fb i n) k) ])
+                    in
+                    let bkj =
+                      B.load fb Ty.F64
+                        (B.gep fb Ty.F64 b
+                           [ Ir.Index (B.iadd fb (B.imul fb k n) j) ])
+                    in
+                    let cur = B.load fb Ty.F64 acc in
+                    B.store fb Ty.F64 (B.fadd fb cur (B.fmul fb aik bkj)) acc);
+                B.store fb Ty.F64 (B.load fb Ty.F64 acc)
+                  (B.gep fb Ty.F64 c
+                     [ Ir.Index (B.iadd fb (B.imul fb i n) j) ])));
+        W.sum_f64 fb ~name:"trace" c ~count:(B.imul fb n n) |> fun total ->
+        B.ret fb (Some total))
+  in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let n = B.call fb "scan_i64" [] in
+        let count = B.imul fb n n in
+        let alloc () = W.malloc_f64 fb count in
+        let a = alloc () and b = alloc () and c = alloc () in
+        B.store fb W.f64p a (Ir.Global "a");
+        B.store fb W.f64p b (Ir.Global "b");
+        B.store fb W.f64p c (Ir.Global "c");
+        W.fill_f64 fb ~name:"fill_a" a ~count ~scale:1e-3;
+        W.fill_f64 fb ~name:"fill_b" b ~count ~scale:2e-3;
+        let total = B.call fb "matmul" [ n ] in
+        W.print_result_f64 t fb ~label:"checksum" total;
+        B.ret fb (Some (B.i64 0)))
+  in
+  B.finish t
+
+let () =
+  let program = build_program () in
+
+  (* 2. Compile: profile on a small input, filter, select via
+     Equation 1, unify memory, partition. *)
+  let compiled =
+    Compiler.compile
+      ~profile_script:(W.script_of_ints [ 8 ])
+      ~eval_scale:30.0 program
+  in
+  Fmt.pr "selected offloading targets: %a@."
+    Fmt.(list ~sep:comma string)
+    compiled.Compiler.c_selection.No_estimator.Static_estimate.targets;
+
+  (* 3. Run the evaluation input locally... *)
+  let script = W.script_of_ints [ 24 ] in
+  let local = Local_run.run ~script compiled.Compiler.c_original in
+  Fmt.pr "local execution:     %6.2f s   console: %s"
+    local.Local_run.lr_total_s local.Local_run.lr_console;
+
+  (* 4. ...and offloaded over 802.11ac. *)
+  let session =
+    Session.create
+      ~config:(Session.default_config ())
+      ~script compiled.Compiler.c_output ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  Fmt.pr "offloaded execution: %6.2f s   console: %s"
+    report.Session.rep_total_s report.Session.rep_console;
+  Fmt.pr "speedup: %.2fx, battery saved: %.1f%%, traffic: %d KB up / %d KB down@."
+    (local.Local_run.lr_total_s /. report.Session.rep_total_s)
+    (100.0
+    *. (1.0 -. (report.Session.rep_energy_mj /. local.Local_run.lr_energy_mj)))
+    (report.Session.rep_bytes_to_server / 1024)
+    (report.Session.rep_bytes_to_mobile / 1024);
+  assert (String.equal local.Local_run.lr_console report.Session.rep_console)

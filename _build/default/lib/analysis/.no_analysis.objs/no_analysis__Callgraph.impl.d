@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: List Map No_ir Option Set String

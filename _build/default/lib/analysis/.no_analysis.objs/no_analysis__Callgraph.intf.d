@@ -1,0 +1,1 @@
+lib/analysis/callgraph.mli: Map No_ir Set

@@ -1,0 +1,1 @@
+lib/analysis/dominators.ml: Hashtbl List Map No_ir Option Set String

@@ -1,0 +1,1 @@
+lib/analysis/filter.ml: Callgraph List Map No_ir String

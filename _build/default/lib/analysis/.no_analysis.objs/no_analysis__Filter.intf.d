@@ -1,0 +1,1 @@
+lib/analysis/filter.mli: Callgraph Map No_ir

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Dominators Filename List Map No_ir Option Set String

@@ -1,0 +1,1 @@
+lib/analysis/reachability.ml: Callgraph List No_ir

@@ -1,0 +1,1 @@
+lib/analysis/reachability.mli: Callgraph No_ir

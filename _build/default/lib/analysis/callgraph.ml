@@ -1,0 +1,119 @@
+(* Call graph over the module's IR functions.
+
+   Used by the machine-specific filter (a function calling a machine-
+   specific function is itself machine specific), by the unused-
+   function removal of the server partition (Section 3.3), and by the
+   profiler to attribute inclusive times.  Functions whose address is
+   taken ([Fn_addr] operands or function-pointer global initializers)
+   are conservatively kept reachable: an indirect call may target any
+   of them. *)
+
+module Ir = No_ir.Ir
+
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+type t = {
+  callees : String_set.t String_map.t;     (* direct calls *)
+  callers : String_set.t String_map.t;
+  address_taken : String_set.t;
+  has_indirect : String_set.t;             (* functions with indirect calls *)
+}
+
+let address_taken_of_func (f : Ir.func) =
+  Ir.fold_instrs
+    (fun acc instr ->
+      List.fold_left
+        (fun acc op ->
+          match op with
+          | Ir.Fn_addr name -> String_set.add name acc
+          | Ir.Reg _ | Ir.Int _ | Ir.Float _ | Ir.Null _ | Ir.Global _ -> acc)
+        acc
+        (Ir.operands_of_instr instr))
+    String_set.empty f
+
+let rec address_taken_of_init (init : Ir.const_init) =
+  match init with
+  | Ir.Fn_init name -> String_set.singleton name
+  | Ir.Array_init items | Ir.Struct_init items ->
+    List.fold_left
+      (fun acc item -> String_set.union acc (address_taken_of_init item))
+      String_set.empty items
+  | Ir.Zero_init | Ir.Int_init _ | Ir.Float_init _ | Ir.String_init _ ->
+    String_set.empty
+
+let build (m : Ir.modul) : t =
+  let module_fns =
+    String_set.of_list (List.map (fun (f : Ir.func) -> f.Ir.f_name) m.Ir.m_funcs)
+  in
+  let callees =
+    List.fold_left
+      (fun acc (f : Ir.func) ->
+        let direct =
+          Ir.direct_callees f |> List.filter (fun n -> String_set.mem n module_fns)
+        in
+        String_map.add f.Ir.f_name (String_set.of_list direct) acc)
+      String_map.empty m.Ir.m_funcs
+  in
+  let callers =
+    String_map.fold
+      (fun caller targets acc ->
+        String_set.fold
+          (fun callee acc ->
+            let prev =
+              Option.value ~default:String_set.empty
+                (String_map.find_opt callee acc)
+            in
+            String_map.add callee (String_set.add caller prev) acc)
+          targets acc)
+      callees String_map.empty
+  in
+  let address_taken =
+    List.fold_left
+      (fun acc (f : Ir.func) -> String_set.union acc (address_taken_of_func f))
+      (List.fold_left
+         (fun acc (g : Ir.global) ->
+           String_set.union acc (address_taken_of_init g.Ir.g_init))
+         String_set.empty
+         (* Globals moved to the UVA heap still pin the functions
+            their initializers point to. *)
+         (m.Ir.m_globals @ m.Ir.m_uva_globals))
+      m.Ir.m_funcs
+    |> String_set.inter module_fns
+  in
+  let has_indirect =
+    List.fold_left
+      (fun acc (f : Ir.func) ->
+        if Ir.has_indirect_call f then String_set.add f.Ir.f_name acc else acc)
+      String_set.empty m.Ir.m_funcs
+  in
+  { callees; callers; address_taken; has_indirect }
+
+let callees_of t name =
+  Option.value ~default:String_set.empty (String_map.find_opt name t.callees)
+
+let callers_of t name =
+  Option.value ~default:String_set.empty (String_map.find_opt name t.callers)
+
+let is_address_taken t name = String_set.mem name t.address_taken
+let has_indirect_call t name = String_set.mem name t.has_indirect
+
+(* All functions transitively callable from [roots].  Indirect calls
+   add every address-taken function. *)
+let transitive_callees t (roots : string list) : String_set.t =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | name :: rest ->
+      if String_set.mem name visited then go visited rest
+      else
+        let visited = String_set.add name visited in
+        let next = callees_of t name in
+        let next =
+          if has_indirect_call t name then
+            String_set.union next t.address_taken
+          else next
+        in
+        go visited (String_set.elements next @ rest)
+  in
+  go String_set.empty roots

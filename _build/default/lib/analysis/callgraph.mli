@@ -1,0 +1,29 @@
+(** Call graph over a module's IR functions.
+
+    Used by the machine-specific filter (specificity propagates to
+    callers), by server-side unused-function removal (§3.3) and by the
+    target selector's subsumption rule.  Address-taken functions are
+    conservatively reachable from any indirect call. *)
+
+module String_set : Set.S with type elt = string
+module String_map : Map.S with type key = string
+
+type t = {
+  callees : String_set.t String_map.t;
+  callers : String_set.t String_map.t;
+  address_taken : String_set.t;
+  has_indirect : String_set.t;
+}
+
+val build : No_ir.Ir.modul -> t
+(** Function-pointer initializers of both ordinary and UVA-reallocated
+    globals count as address-taking. *)
+
+val callees_of : t -> string -> String_set.t
+val callers_of : t -> string -> String_set.t
+val is_address_taken : t -> string -> bool
+val has_indirect_call : t -> string -> bool
+
+val transitive_callees : t -> string list -> String_set.t
+(** Everything reachable from [roots], including the roots; indirect
+    calls pull in all address-taken functions. *)

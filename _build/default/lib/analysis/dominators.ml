@@ -1,0 +1,124 @@
+(* Dominator computation on a function's control-flow graph.
+
+   Iterative dataflow formulation (Cooper–Harvey–Kennedy "engineered"
+   algorithm simplified to set intersection): good enough for the
+   block counts our workloads produce, and simple enough to trust.
+   Used by {!Loops} to find back edges and natural loops, which the
+   hot-loop profiler reports alongside functions (Table 3 profiles
+   for_i / for_j of the chess example). *)
+
+module Ir = No_ir.Ir
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+type cfg = {
+  entry : string;
+  blocks : string list;                        (* reverse post-order *)
+  succs : String_set.t String_map.t;
+  preds : String_set.t String_map.t;
+}
+
+let successors_map (f : Ir.func) =
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      String_map.add b.Ir.label
+        (String_set.of_list (Ir.successors b.Ir.term))
+        acc)
+    String_map.empty f.Ir.f_blocks
+
+let cfg_of_func (f : Ir.func) : cfg =
+  let succs = successors_map f in
+  let entry = (Ir.entry_block f).Ir.label in
+  (* Depth-first postorder from the entry; unreachable blocks are
+     excluded (they have no dominator). *)
+  let visited = Hashtbl.create 64 in
+  let postorder = ref [] in
+  let rec dfs label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.replace visited label ();
+      String_set.iter dfs
+        (Option.value ~default:String_set.empty (String_map.find_opt label succs));
+      postorder := label :: !postorder
+    end
+  in
+  dfs entry;
+  let blocks = !postorder in (* already reversed: reverse post-order *)
+  let preds =
+    List.fold_left
+      (fun acc label ->
+        let targets =
+          Option.value ~default:String_set.empty (String_map.find_opt label succs)
+        in
+        String_set.fold
+          (fun succ acc ->
+            if Hashtbl.mem visited succ then
+              let prev =
+                Option.value ~default:String_set.empty
+                  (String_map.find_opt succ acc)
+              in
+              String_map.add succ (String_set.add label prev) acc
+            else acc)
+          targets acc)
+      String_map.empty blocks
+  in
+  { entry; blocks; succs; preds }
+
+(* Dominator sets: dom(entry) = {entry}; dom(b) = {b} ∪ ⋂ dom(preds).
+   Iterate to fixpoint over reverse post-order. *)
+type t = {
+  cfg : cfg;
+  dom : String_set.t String_map.t;
+}
+
+let compute (f : Ir.func) : t =
+  let cfg = cfg_of_func f in
+  let all = String_set.of_list cfg.blocks in
+  let init =
+    List.fold_left
+      (fun acc label ->
+        String_map.add label
+          (if String.equal label cfg.entry then
+             String_set.singleton cfg.entry
+           else all)
+          acc)
+      String_map.empty cfg.blocks
+  in
+  let step dom =
+    List.fold_left
+      (fun (dom, changed) label ->
+        if String.equal label cfg.entry then (dom, changed)
+        else
+          let preds =
+            Option.value ~default:String_set.empty
+              (String_map.find_opt label cfg.preds)
+          in
+          let meet =
+            String_set.fold
+              (fun pred acc ->
+                let pdom = String_map.find pred dom in
+                match acc with
+                | None -> Some pdom
+                | Some acc -> Some (String_set.inter acc pdom))
+              preds None
+          in
+          let updated =
+            String_set.add label (Option.value ~default:String_set.empty meet)
+          in
+          if String_set.equal updated (String_map.find label dom) then
+            (dom, changed)
+          else (String_map.add label updated dom, true))
+      (dom, false) cfg.blocks
+  in
+  let rec fixpoint dom =
+    let dom, changed = step dom in
+    if changed then fixpoint dom else dom
+  in
+  { cfg; dom = fixpoint init }
+
+let dominates t ~dom:a ~sub:b =
+  match String_map.find_opt b t.dom with
+  | Some set -> String_set.mem a set
+  | None -> false
+
+let dominators_of t label =
+  Option.value ~default:String_set.empty (String_map.find_opt label t.dom)

@@ -1,0 +1,25 @@
+(* Unused-function removal support (paper Section 3.3, Figure 3(c):
+   "the compiler finds and removes unused functions at server-side
+   with a call graph").
+
+   A function survives on the server if it is reachable from any
+   offloading target, or if its address is taken (an indirect call may
+   reach it).  Everything else — notably the mobile-only interactive
+   paths like getPlayerTurn — is removed from the server partition. *)
+
+module Ir = No_ir.Ir
+module String_set = Callgraph.String_set
+
+let live_functions (m : Ir.modul) ~(roots : string list) : String_set.t =
+  let cg = Callgraph.build m in
+  Callgraph.transitive_callees cg roots
+
+let remove_unused (m : Ir.modul) ~(roots : string list) : Ir.modul * string list
+    =
+  let live = live_functions m ~roots in
+  let kept, removed =
+    List.partition (fun (f : Ir.func) -> String_set.mem f.Ir.f_name live)
+      m.Ir.m_funcs
+  in
+  ( { m with Ir.m_funcs = kept },
+    List.map (fun (f : Ir.func) -> f.Ir.f_name) removed )

@@ -1,0 +1,12 @@
+(** Unused-function removal (paper §3.3: "the compiler finds and
+    removes unused functions at server-side with a call graph" —
+    getPlayerTurn disappears in Figure 3(c)). *)
+
+module String_set = Callgraph.String_set
+
+val live_functions :
+  No_ir.Ir.modul -> roots:string list -> String_set.t
+
+val remove_unused :
+  No_ir.Ir.modul -> roots:string list -> No_ir.Ir.modul * string list
+(** Returns the trimmed module and the removed function names. *)

@@ -1,0 +1,1 @@
+lib/arch/cost.ml: Arch Builtins Int64 Ir No_ir

@@ -1,0 +1,1 @@
+lib/arch/cost.mli: Arch No_ir

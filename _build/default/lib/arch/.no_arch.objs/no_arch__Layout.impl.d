@@ -1,0 +1,1 @@
+lib/arch/layout.ml: Arch List No_ir Printf String

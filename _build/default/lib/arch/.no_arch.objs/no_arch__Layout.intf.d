@@ -1,0 +1,1 @@
+lib/arch/layout.mli: Arch No_ir

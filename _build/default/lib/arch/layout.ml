@@ -1,0 +1,113 @@
+(* Memory layout computation (paper Section 3.2, Figure 4).
+
+   Given an architecture's alignment rules and pointer width, this
+   module computes C-style sizes, alignments and field offsets.  The
+   memory layout realignment pass builds a *unified* environment — the
+   mobile device's rules, because "the mobile device is the default one
+   in the computation offloading" — and lowers GEPs on both sides
+   against it, so the same UVA address denotes the same field on both
+   machines. *)
+
+type env = {
+  ptr_bytes : int;
+  i64_align : int;
+  f64_align : int;
+  structs : string -> No_ir.Ir.struct_def;
+}
+
+let env_of_arch (arch : Arch.t) ~structs =
+  {
+    ptr_bytes = Arch.ptr_bytes arch;
+    i64_align = arch.Arch.align.Arch.i64_align;
+    f64_align = arch.Arch.align.Arch.f64_align;
+    structs;
+  }
+
+(* The unified environment shared by both partitions: mobile layout
+   rules (paper: realign the server layout to the mobile one). *)
+let unified_env ~(mobile : Arch.t) ~structs = env_of_arch mobile ~structs
+
+let align_up offset align =
+  if align <= 0 then invalid_arg "Layout.align_up";
+  (offset + align - 1) / align * align
+
+let rec align_of env (ty : No_ir.Ty.t) : int =
+  match ty with
+  | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 -> env.i64_align
+  | F32 -> 4
+  | F64 -> env.f64_align
+  | Ptr _ | Fn_ptr _ -> env.ptr_bytes
+  | Array (elem, _) -> align_of env elem
+  | Struct name ->
+    let sd = env.structs name in
+    List.fold_left
+      (fun acc (_, fty) -> max acc (align_of env fty))
+      1 sd.No_ir.Ir.s_fields
+  | Void -> invalid_arg "Layout.align_of: void"
+
+and size_of env (ty : No_ir.Ty.t) : int =
+  match ty with
+  | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 -> 8
+  | F32 -> 4
+  | F64 -> 8
+  | Ptr _ | Fn_ptr _ -> env.ptr_bytes
+  | Array (elem, n) -> n * size_of env elem
+  | Struct name ->
+    let offset_past_last, align =
+      List.fold_left
+        (fun (offset, align) (_, fty) ->
+          let falign = align_of env fty in
+          (align_up offset falign + size_of env fty, max align falign))
+        (0, 1)
+        (env.structs name).No_ir.Ir.s_fields
+    in
+    align_up offset_past_last align
+  | Void -> invalid_arg "Layout.size_of: void"
+
+(* Offset of each field: (name, offset, type, size). *)
+let struct_layout env name : (string * int * No_ir.Ty.t * int) list =
+  let sd = env.structs name in
+  let fields, _ =
+    List.fold_left
+      (fun (acc, offset) (fname, fty) ->
+        let off = align_up offset (align_of env fty) in
+        ((fname, off, fty, size_of env fty) :: acc, off + size_of env fty))
+      ([], 0) sd.No_ir.Ir.s_fields
+  in
+  List.rev fields
+
+let field_offset env sname fname =
+  match
+    List.find_opt (fun (n, _, _, _) -> String.equal n fname)
+      (struct_layout env sname)
+  with
+  | Some (_, offset, _, _) -> offset
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Layout.field_offset: no field %s in %s" fname sname)
+
+let field_ty env sname fname =
+  match
+    List.find_opt (fun (n, _, _, _) -> String.equal n fname)
+      (struct_layout env sname)
+  with
+  | Some (_, _, ty, _) -> ty
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Layout.field_ty: no field %s in %s" fname sname)
+
+(* Bytes a scalar occupies in memory under [env]; this is what loads
+   and stores move.  Pointers occupy the *unified* (mobile) width: the
+   address-size conversion pass zero-extends them after loading. *)
+let scalar_bytes env (ty : No_ir.Ty.t) : int =
+  match ty with
+  | I8 | I16 | I32 | I64 | F32 | F64 -> size_of env ty
+  | Ptr _ | Fn_ptr _ -> env.ptr_bytes
+  | Struct _ | Array _ | Void ->
+    invalid_arg "Layout.scalar_bytes: not a scalar"

@@ -1,0 +1,39 @@
+(** Memory layout computation (paper §3.2, Figure 4).
+
+    Computes C-style sizes, alignments and field offsets under an
+    architecture's rules.  Layout realignment = building the {e
+    unified} environment (the mobile device's rules, "the mobile
+    device is the default one in the computation offloading") and
+    resolving every field access through it on both devices, so the
+    same UVA address denotes the same field everywhere. *)
+
+type env = {
+  ptr_bytes : int;
+  i64_align : int;
+  f64_align : int;
+  structs : string -> No_ir.Ir.struct_def;
+}
+
+val env_of_arch : Arch.t -> structs:(string -> No_ir.Ir.struct_def) -> env
+
+val unified_env :
+  mobile:Arch.t -> structs:(string -> No_ir.Ir.struct_def) -> env
+(** The standard layout both partitions are compiled against. *)
+
+val align_up : int -> int -> int
+
+val align_of : env -> No_ir.Ty.t -> int
+val size_of : env -> No_ir.Ty.t -> int
+(** Struct sizes include field padding and tail rounding, exactly as
+    a C compiler under the given ABI would (Figure 4's Move is 12
+    bytes on IA32 and 16 on ARM). *)
+
+val struct_layout : env -> string -> (string * int * No_ir.Ty.t * int) list
+(** (field, offset, type, size) in declaration order. *)
+
+val field_offset : env -> string -> string -> int
+val field_ty : env -> string -> string -> No_ir.Ty.t
+
+val scalar_bytes : env -> No_ir.Ty.t -> int
+(** Bytes a scalar occupies in memory under [env]; pointers occupy
+    the environment's pointer width. *)

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: List No_analysis No_arch No_estimator No_exec No_ir No_netsim No_profiler No_runtime No_transform

@@ -1,0 +1,1 @@
+lib/core/evaluation.ml: Compiler Experiment Float Lazy List No_arch No_corpus No_estimator No_exec No_ir No_netsim No_power No_profiler No_report No_runtime No_transform No_workloads Printf

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Compiler Float List No_ir No_netsim No_power No_runtime No_workloads

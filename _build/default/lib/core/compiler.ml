@@ -1,0 +1,107 @@
+(* The compile-time half of Native Offloader, end to end:
+
+     profile (hot function/loop profiler on a profiling input)
+       -> machine-specific filter
+       -> static performance estimation + target selection (Eq. 1)
+       -> memory unification + partition + server optimizations
+
+   This is Figure 1's compiler box.  The paper "uses different inputs
+   for profiling and evaluation"; callers provide the profiling script
+   and an [eval_scale] hinting how much heavier the evaluation input
+   is per invocation, which seeds the runtime's dynamic estimator. *)
+
+module Ir = No_ir.Ir
+module Arch = No_arch.Arch
+module Layout = No_arch.Layout
+module Validate = No_ir.Validate
+module Host = No_exec.Host
+module Interp = No_exec.Interp
+module Console = No_exec.Console
+module Fs = No_exec.Fs
+module Profiler = No_profiler.Profiler
+module Filter = No_analysis.Filter
+module Static_estimate = No_estimator.Static_estimate
+module Pipeline = No_transform.Pipeline
+module Session = No_runtime.Session
+
+type compiled = {
+  c_original : Ir.modul;
+  c_output : Pipeline.output;
+  c_samples : Profiler.sample list;
+  c_verdicts : Filter.t;
+  c_selection : Static_estimate.result;
+  c_seeds : Session.target_seed list;
+  c_ratio : float;
+}
+
+exception No_profitable_target of string
+
+(* Run the unmodified module on a simulated mobile device under the
+   profiler. *)
+let profile ?(arch = Arch.arm32) ~script ~files (m : Ir.modul) :
+    Profiler.sample list =
+  let structs name = Ir.find_struct_exn m name in
+  let layout = Layout.env_of_arch arch ~structs in
+  let console = Console.create ~script () in
+  let fs = Fs.create () in
+  List.iter (fun (name, data) -> Fs.add_file fs name data) files;
+  let host =
+    Host.create ~arch ~role:Host.Mobile ~modul:m ~layout ~console ~fs ()
+  in
+  let profiler = Profiler.attach host in
+  ignore (Interp.run_main host);
+  Profiler.detach profiler;
+  Profiler.results profiler
+
+(* Default compile-time estimation bandwidth: the *favorable* network
+   (802.11ac effective rate).  Targets that only pay off on a fast
+   network must still be partitioned -- the runtime's dynamic
+   estimator refuses them when the actual network is slow (the
+   paper's 164.gzip behaviour).  Table 3's worked example uses the
+   paper's 80 Mbps figure explicitly. *)
+let default_selection_bw =
+  No_netsim.Link.effective_bps No_netsim.Link.fast_wifi
+
+let compile ?(mobile = Arch.arm32) ?(server = Arch.x86_64)
+    ?(selection_bw_bps = default_selection_bw) ?(eval_scale = 1.0)
+    ~profile_script
+    ?(profile_files = []) (m : Ir.modul) : compiled =
+  Validate.check_module m;
+  let samples = profile ~arch:mobile ~script:profile_script
+      ~files:profile_files m in
+  let verdicts = Filter.analyze m in
+  let ratio = Arch.performance_ratio ~mobile ~server in
+  let selection =
+    Static_estimate.run m ~r:ratio ~bw_bps:selection_bw_bps verdicts samples
+  in
+  if selection.Static_estimate.targets = [] then
+    raise (No_profitable_target m.Ir.m_name);
+  let output =
+    Pipeline.run ~mobile ~server ~targets:selection.Static_estimate.targets m
+  in
+  let seeds =
+    List.filter_map
+      (fun name ->
+        match Profiler.find_sample samples ~kind:Profiler.Func ~name with
+        | Some s ->
+          let per_invocation =
+            s.Profiler.s_time /. float_of_int (max 1 s.Profiler.s_invocations)
+          in
+          Some
+            {
+              Session.seed_name = name;
+              Session.seed_time_s = per_invocation *. eval_scale;
+              Session.seed_mem_bytes = s.Profiler.s_mem_bytes;
+            }
+        | None -> None)
+      selection.Static_estimate.targets
+  in
+  {
+    c_original = m;
+    c_output = output;
+    c_samples = samples;
+    c_verdicts = verdicts;
+    c_selection = selection;
+    c_seeds = seeds;
+    c_ratio = ratio;
+  }

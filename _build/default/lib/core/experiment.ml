@@ -1,0 +1,183 @@
+(* Evaluation driver: runs one workload in the paper's configurations
+   (local baseline, offloaded over the slow and fast networks, ideal
+   offloading) and derives the Figure 6 / Figure 7 quantities.
+
+   "All the execution times and battery consumption were averaged
+   over five runs" in the paper; our simulator is deterministic, so a
+   single run per configuration suffices. *)
+
+module Ir = No_ir.Ir
+module Link = No_netsim.Link
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Registry = No_workloads.Registry
+module Battery = No_power.Battery
+
+(* One configuration's outcome, in comparable units. *)
+type run = {
+  run_label : string;
+  run_exec_s : float;
+  run_energy_mj : float;
+  run_console : string;
+  run_offloads : int;
+  run_refusals : int;
+  run_comm_s : float;
+  run_fnptr_s : float;
+  run_remote_io_s : float;
+  run_faults : int;
+  run_bytes_to_server : int;
+  run_bytes_to_mobile : int;
+  run_fnptr_translations : int;
+  run_remote_io_ops : int;
+  run_server_span_s : float;     (* wall time inside offloads *)
+}
+
+type program_result = {
+  pres_entry : Registry.entry;
+  pres_compiled : Compiler.compiled;
+  pres_local : run;
+  pres_slow : run;
+  pres_fast : run;
+  pres_ideal : run;
+}
+
+let run_of_local label (r : Local_run.report) : run =
+  {
+    run_label = label;
+    run_exec_s = r.Local_run.lr_total_s;
+    run_energy_mj = r.Local_run.lr_energy_mj;
+    run_console = r.Local_run.lr_console;
+    run_offloads = 0;
+    run_refusals = 0;
+    run_comm_s = 0.0;
+    run_fnptr_s = 0.0;
+    run_remote_io_s = 0.0;
+    run_faults = 0;
+    run_bytes_to_server = 0;
+    run_bytes_to_mobile = 0;
+    run_fnptr_translations = 0;
+    run_remote_io_ops = 0;
+    run_server_span_s = 0.0;
+  }
+
+let run_of_session label (r : Session.report) : run =
+  {
+    run_label = label;
+    run_exec_s = r.Session.rep_total_s;
+    run_energy_mj = r.Session.rep_energy_mj;
+    run_console = r.Session.rep_console;
+    run_offloads = r.Session.rep_offloads;
+    run_refusals = r.Session.rep_refusals;
+    run_comm_s = r.Session.rep_comm_s;
+    run_fnptr_s = r.Session.rep_fnptr_s;
+    run_remote_io_s = r.Session.rep_remote_io_s;
+    run_faults = r.Session.rep_faults;
+    run_bytes_to_server = r.Session.rep_bytes_to_server;
+    run_bytes_to_mobile = r.Session.rep_bytes_to_mobile;
+    run_fnptr_translations = r.Session.rep_fnptr_translations;
+    run_remote_io_ops = r.Session.rep_remote_io_ops;
+    run_server_span_s = r.Session.rep_server_span_s;
+  }
+
+(* Run one offloaded configuration; returns the session (for power
+   traces) along with the comparable run record. *)
+let offloaded_run ?(label = "offloaded") ~(config : Session.config)
+    (compiled : Compiler.compiled) (entry : Registry.entry) :
+    run * Session.t =
+  let session =
+    Session.create ~config ~script:entry.Registry.e_eval_script
+      ~files:entry.Registry.e_files compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  (run_of_session label report, session)
+
+let slow_config () =
+  { (Session.default_config ~link:Link.slow_wifi ()) with
+    Session.fast_radio = false }
+
+let fast_config () = Session.default_config ~link:Link.fast_wifi ()
+
+let ideal_config () =
+  { (Session.default_config ~link:Link.fast_wifi ()) with
+    Session.ideal = true }
+
+let run_entry (entry : Registry.entry) : program_result =
+  let m = entry.Registry.e_build () in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale m
+  in
+  let local =
+    run_of_local "local"
+      (Local_run.run ~script:entry.Registry.e_eval_script
+         ~files:entry.Registry.e_files compiled.Compiler.c_original)
+  in
+  let slow, _ =
+    offloaded_run ~label:"slow" ~config:(slow_config ()) compiled entry
+  in
+  let fast, _ =
+    offloaded_run ~label:"fast" ~config:(fast_config ()) compiled entry
+  in
+  let ideal, _ =
+    offloaded_run ~label:"ideal" ~config:(ideal_config ()) compiled entry
+  in
+  {
+    pres_entry = entry;
+    pres_compiled = compiled;
+    pres_local = local;
+    pres_slow = slow;
+    pres_fast = fast;
+    pres_ideal = ideal;
+  }
+
+(* Figure 6 quantities. *)
+let normalized_time result (r : run) =
+  r.run_exec_s /. result.pres_local.run_exec_s
+
+let normalized_energy result (r : run) =
+  r.run_energy_mj /. result.pres_local.run_energy_mj
+
+let speedup result (r : run) =
+  result.pres_local.run_exec_s /. r.run_exec_s
+
+(* Figure 7 breakdown: computation is what remains after the runtime's
+   overhead categories. *)
+type breakdown = {
+  bd_computation_s : float;
+  bd_fnptr_s : float;
+  bd_remote_io_s : float;
+  bd_comm_s : float;
+}
+
+let breakdown_of (r : run) : breakdown =
+  let overheads = r.run_comm_s +. r.run_fnptr_s +. r.run_remote_io_s in
+  {
+    bd_computation_s = Float.max 0.0 (r.run_exec_s -. overheads);
+    bd_fnptr_s = r.run_fnptr_s;
+    bd_remote_io_s = r.run_remote_io_s;
+    bd_comm_s = r.run_comm_s;
+  }
+
+(* Geometric mean over a list of positive ratios. *)
+let geomean values =
+  match values with
+  | [] -> invalid_arg "Experiment.geomean: empty"
+  | _ ->
+    exp
+      (List.fold_left (fun acc v -> acc +. log v) 0.0 values
+      /. float_of_int (List.length values))
+
+(* Power trace for Figure 8: run one offloaded configuration and
+   resample its battery trace. *)
+let power_trace ?(config = fast_config ()) (entry : Registry.entry)
+    ~(period_s : float) : (float * float) list =
+  let m = entry.Registry.e_build () in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale m
+  in
+  let _, session = offloaded_run ~config compiled entry in
+  Battery.resample (Session.battery session) ~period_s

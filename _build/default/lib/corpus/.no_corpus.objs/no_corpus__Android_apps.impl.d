@@ -1,0 +1,1 @@
+lib/corpus/android_apps.ml: List

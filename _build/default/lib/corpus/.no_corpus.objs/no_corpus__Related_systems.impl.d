@@ -1,0 +1,1 @@
+lib/corpus/related_systems.ml: List String

@@ -1,0 +1,69 @@
+(* Table 5: comparison of computation offloading systems. *)
+
+type automation = Manual | Annotation | Automatic
+type decision = Static | Dynamic
+type complexity = Simple | Complex
+
+type system = {
+  sys_name : string;
+  sys_automation : automation;
+  sys_decision : decision;
+  sys_requires_vm : bool;
+  sys_language : string;
+  sys_complexity : complexity;
+}
+
+let systems = [
+  { sys_name = "Cuckoo"; sys_automation = Manual; sys_decision = Static;
+    sys_requires_vm = true; sys_language = "Java"; sys_complexity = Complex };
+  { sys_name = "Li et al."; sys_automation = Manual; sys_decision = Static;
+    sys_requires_vm = false; sys_language = "C"; sys_complexity = Simple };
+  { sys_name = "Roam"; sys_automation = Manual; sys_decision = Dynamic;
+    sys_requires_vm = true; sys_language = "Java"; sys_complexity = Complex };
+  { sys_name = "MAUI"; sys_automation = Annotation; sys_decision = Dynamic;
+    sys_requires_vm = true; sys_language = "C#"; sys_complexity = Complex };
+  { sys_name = "ThinkAir"; sys_automation = Annotation;
+    sys_decision = Dynamic; sys_requires_vm = true; sys_language = "Java";
+    sys_complexity = Complex };
+  { sys_name = "Wang and Li"; sys_automation = Annotation;
+    sys_decision = Dynamic; sys_requires_vm = false; sys_language = "C";
+    sys_complexity = Simple };
+  { sys_name = "DiET"; sys_automation = Automatic; sys_decision = Static;
+    sys_requires_vm = true; sys_language = "Java"; sys_complexity = Simple };
+  { sys_name = "Chen et al."; sys_automation = Automatic;
+    sys_decision = Dynamic; sys_requires_vm = true; sys_language = "Java";
+    sys_complexity = Simple };
+  { sys_name = "HELVM"; sys_automation = Automatic; sys_decision = Dynamic;
+    sys_requires_vm = true; sys_language = "Java"; sys_complexity = Simple };
+  { sys_name = "OLIE"; sys_automation = Automatic; sys_decision = Dynamic;
+    sys_requires_vm = true; sys_language = "Java"; sys_complexity = Complex };
+  { sys_name = "CloneCloud"; sys_automation = Automatic;
+    sys_decision = Dynamic; sys_requires_vm = true; sys_language = "Java";
+    sys_complexity = Complex };
+  { sys_name = "COMET"; sys_automation = Automatic; sys_decision = Dynamic;
+    sys_requires_vm = true; sys_language = "Java"; sys_complexity = Complex };
+  { sys_name = "CMcloud"; sys_automation = Automatic; sys_decision = Dynamic;
+    sys_requires_vm = true; sys_language = "Java"; sys_complexity = Complex };
+  { sys_name = "Native Offloader"; sys_automation = Automatic;
+    sys_decision = Dynamic; sys_requires_vm = false; sys_language = "C";
+    sys_complexity = Complex };
+]
+
+let automation_to_string = function
+  | Manual -> "No (Manual)"
+  | Annotation -> "No (Annotation)"
+  | Automatic -> "Yes"
+
+let decision_to_string = function Static -> "Static" | Dynamic -> "Dynamic"
+let complexity_to_string = function Simple -> "Simple" | Complex -> "Complex"
+
+(* The paper's claim: only Native Offloader combines full automation,
+   dynamic decisions, no VM, native C, and complex applications. *)
+let unique_full_combination () =
+  List.filter
+    (fun s ->
+      s.sys_automation = Automatic && s.sys_decision = Dynamic
+      && (not s.sys_requires_vm)
+      && String.equal s.sys_language "C"
+      && s.sys_complexity = Complex)
+    systems

@@ -1,0 +1,1 @@
+lib/estimator/bandwidth_predictor.ml: Float

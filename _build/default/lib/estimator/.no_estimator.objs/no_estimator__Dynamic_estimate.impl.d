@@ -1,0 +1,1 @@
+lib/estimator/dynamic_estimate.ml: Equation Hashtbl List String

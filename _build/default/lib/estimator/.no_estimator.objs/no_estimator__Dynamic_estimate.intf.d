@@ -1,0 +1,1 @@
+lib/estimator/dynamic_estimate.mli:

@@ -1,0 +1,1 @@
+lib/estimator/static_estimate.ml: Equation List No_analysis No_ir No_profiler Option Set String

@@ -1,0 +1,27 @@
+(** Bandwidth prediction from observed transfers (the NWSLite-style
+    extension of the paper's Section 6).
+
+    The communication manager reports every physical transfer; a
+    size-weighted exponentially-moving average over the observed
+    throughput feeds the dynamic estimator, so offload decisions adapt
+    when the real link diverges from the configured one. *)
+
+type t
+
+val create :
+  ?alpha:float -> ?min_sample_bytes:int -> initial_bps:float -> unit -> t
+(** [create ~initial_bps ()] starts believing [initial_bps].  [alpha]
+    (default 0.35) is the EWMA weight per 64 KiB observed;
+    [min_sample_bytes] (default 2048) discards control-message noise.
+    @raise Invalid_argument if [initial_bps <= 0]. *)
+
+val observe : t -> bytes:int -> seconds:float -> unit
+(** Report one physical transfer of [bytes] that took [seconds].
+    Samples smaller than [min_sample_bytes] are ignored; larger
+    transfers move the belief proportionally further. *)
+
+val predict_bps : t -> float
+(** Current belief, bits per second. *)
+
+val sample_count : t -> int
+(** Accepted observations so far. *)

@@ -1,0 +1,89 @@
+(* The dynamic performance estimator (paper Sections 3.1 and 4).
+
+   "The Native Offloader runtime dynamically makes offloading
+   decisions for the targets at run-time through dynamic performance
+   estimation with run-time values. [...] the dynamic performance
+   estimation reflects the current network bandwidth, memory usage,
+   and target execution time information, so the Native Offloader
+   runtime can avoid offloading under unfavorable situation such as
+   slow network connection."
+
+   The estimator keeps per-target state: the profile-seeded mobile
+   time (refined by observed local executions) and the live memory
+   footprint at the decision point.  Figure 6 marks programs whose
+   targets this estimator refuses on the slow network with '*'. *)
+
+type target_state = {
+  ts_name : string;
+  mutable ts_local_time_s : float;    (* best current estimate of Tm *)
+  mutable ts_local_runs : int;
+  mutable ts_offload_runs : int;
+  mutable ts_refusals : int;
+}
+
+type t = {
+  r : float;
+  mutable bw_bps : float;             (* current measured bandwidth *)
+  targets : (string, target_state) Hashtbl.t;
+  mutable forced : bool option;       (* ablation: Some true = always
+                                         offload, Some false = never *)
+}
+
+let create ~r ~bw_bps = {
+  r;
+  bw_bps;
+  targets = Hashtbl.create 8;
+  forced = None;
+}
+
+let seed t ~name ~profile_time_s =
+  Hashtbl.replace t.targets name
+    { ts_name = name; ts_local_time_s = profile_time_s; ts_local_runs = 0;
+      ts_offload_runs = 0; ts_refusals = 0 }
+
+let state t name =
+  match Hashtbl.find_opt t.targets name with
+  | Some s -> s
+  | None ->
+    let s =
+      { ts_name = name; ts_local_time_s = 0.0; ts_local_runs = 0;
+        ts_offload_runs = 0; ts_refusals = 0 }
+    in
+    Hashtbl.replace t.targets name s;
+    s
+
+let set_bandwidth t bw_bps = t.bw_bps <- bw_bps
+let force t decision = t.forced <- decision
+
+(* The decision, with the memory footprint observed *now*. *)
+let should_offload t ~name ~mem_bytes : bool =
+  match t.forced with
+  | Some decision -> decision
+  | None ->
+    let s = state t name in
+    let decision =
+      Equation.profitable
+        {
+          Equation.tm_s = s.ts_local_time_s;
+          r = t.r;
+          mem_bytes;
+          bw_bps = t.bw_bps;
+          invocations = 1;
+        }
+    in
+    if decision then s.ts_offload_runs <- s.ts_offload_runs + 1
+    else s.ts_refusals <- s.ts_refusals + 1;
+    decision
+
+(* Feedback from an actual local execution refines Tm (exponential
+   moving average over observed runs). *)
+let observe_local t ~name ~elapsed_s =
+  let s = state t name in
+  s.ts_local_runs <- s.ts_local_runs + 1;
+  if s.ts_local_runs = 1 && s.ts_local_time_s = 0.0 then
+    s.ts_local_time_s <- elapsed_s
+  else s.ts_local_time_s <- (0.5 *. s.ts_local_time_s) +. (0.5 *. elapsed_s)
+
+let stats t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.targets []
+  |> List.sort (fun a b -> String.compare a.ts_name b.ts_name)

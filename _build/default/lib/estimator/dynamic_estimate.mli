@@ -1,0 +1,41 @@
+(** The dynamic performance estimator (paper §3.1/§4).
+
+    "The Native Offloader runtime dynamically makes offloading
+    decisions for the targets at run-time through dynamic performance
+    estimation with run-time values [...] so the Native Offloader
+    runtime can avoid offloading under unfavorable situation such as
+    slow network connection."
+
+    Keeps per-target state (profile-seeded mobile time, refined by
+    observed local runs) and the current bandwidth belief; decides by
+    Equation 1 with the memory footprint observed at the call. *)
+
+type target_state = {
+  ts_name : string;
+  mutable ts_local_time_s : float;   (** current belief of Tm *)
+  mutable ts_local_runs : int;
+  mutable ts_offload_runs : int;
+  mutable ts_refusals : int;
+}
+
+type t
+
+val create : r:float -> bw_bps:float -> t
+
+val seed : t -> name:string -> profile_time_s:float -> unit
+(** Install the compiler's profile-derived Tm for a target. *)
+
+val set_bandwidth : t -> float -> unit
+(** Update the current-bandwidth belief (fed by the predictor). *)
+
+val force : t -> bool option -> unit
+(** Ablations: [Some true] always offloads, [Some false] never,
+    [None] restores dynamic decisions. *)
+
+val should_offload : t -> name:string -> mem_bytes:int -> bool
+(** The per-invocation decision, with the footprint observed now. *)
+
+val observe_local : t -> name:string -> elapsed_s:float -> unit
+(** Feedback from an actual local execution (EWMA into Tm). *)
+
+val stats : t -> target_state list

@@ -1,0 +1,125 @@
+(* The static performance estimator and target selector
+   (paper Section 3.1, Table 3).
+
+   Combines the hot function/loop profiler's samples with the
+   machine-specific filter's verdicts and Equation 1 to choose the
+   offloading targets the compiler will partition.  "The target
+   selector chooses offloading targets if their predicted performance
+   gains are positive."  When both a function and a function it
+   (transitively) calls are profitable, the outermost one is chosen —
+   offloading the caller subsumes the callee (the paper offloads
+   getAITurn, not its inner for_i, although both have positive
+   gains). *)
+
+module Ir = No_ir.Ir
+module Filter = No_analysis.Filter
+module Callgraph = No_analysis.Callgraph
+module Profiler = No_profiler.Profiler
+module String_set = Set.Make (String)
+
+type row = {
+  row_name : string;
+  row_kind : Profiler.kind;
+  row_time_s : float;
+  row_invocations : int;
+  row_mem_bytes : int;
+  row_filtered : string option;       (* why not a candidate, if filtered *)
+  row_breakdown : Equation.breakdown option;  (* None when filtered *)
+  row_selected : bool;
+}
+
+type result = {
+  rows : row list;                    (* full Table-3-style report *)
+  targets : string list;              (* selected offloading targets *)
+}
+
+let filter_reason (verdicts : Filter.t) name =
+  match Filter.verdict_of verdicts name with
+  | Some v -> Option.map Filter.reason_to_string v.Filter.v_machine_specific
+  | None -> Some "not a module function"
+
+(* Loops inherit their enclosing function's filter verdict: a loop
+   inside a machine-specific function cannot be offloaded. *)
+let sample_filter_reason verdicts (s : Profiler.sample) =
+  filter_reason verdicts s.Profiler.s_in_func
+
+let estimate ~(r : float) ~(bw_bps : float) (verdicts : Filter.t)
+    (samples : Profiler.sample list) : row list =
+  let rows =
+    List.map
+      (fun (s : Profiler.sample) ->
+        let filtered = sample_filter_reason verdicts s in
+        let breakdown =
+          match filtered with
+          | Some _ -> None
+          | None ->
+            Some
+              (Equation.evaluate
+                 {
+                   Equation.tm_s = s.Profiler.s_time;
+                   r;
+                   mem_bytes = s.Profiler.s_mem_bytes;
+                   bw_bps;
+                   invocations = s.Profiler.s_invocations;
+                 })
+        in
+        {
+          row_name = s.Profiler.s_name;
+          row_kind = s.Profiler.s_kind;
+          row_time_s = s.Profiler.s_time;
+          row_invocations = s.Profiler.s_invocations;
+          row_mem_bytes = s.Profiler.s_mem_bytes;
+          row_filtered = filtered;
+          row_breakdown = breakdown;
+          row_selected = false;
+        })
+      samples
+  in
+  rows
+
+(* Keep only function-kind rows with positive gain, then drop any that
+   is transitively called by another survivor. *)
+let select (m : Ir.modul) (rows : row list) : result =
+  let profitable =
+    List.filter_map
+      (fun row ->
+        match row.row_kind, row.row_breakdown with
+        | Profiler.Func, Some b when b.Equation.gain_s > 0.0 ->
+          Some row.row_name
+        | (Profiler.Func | Profiler.Loop), _ -> None)
+      rows
+  in
+  let cg = Callgraph.build m in
+  let profitable_set = String_set.of_list profitable in
+  let subsumed =
+    List.fold_left
+      (fun acc name ->
+        let callees = Callgraph.transitive_callees cg [ name ] in
+        let callees = Callgraph.String_set.remove name callees in
+        Callgraph.String_set.fold
+          (fun callee acc ->
+            if String_set.mem callee profitable_set then
+              String_set.add callee acc
+            else acc)
+          callees acc)
+      String_set.empty profitable
+  in
+  let targets =
+    List.filter (fun name -> not (String_set.mem name subsumed)) profitable
+  in
+  let rows =
+    List.map
+      (fun row ->
+        {
+          row with
+          row_selected =
+            row.row_kind = Profiler.Func && List.mem row.row_name targets;
+        })
+      rows
+  in
+  { rows; targets }
+
+(* One-call driver: profile samples -> Table 3 rows + selected targets. *)
+let run (m : Ir.modul) ~r ~bw_bps (verdicts : Filter.t)
+    (samples : Profiler.sample list) : result =
+  select m (estimate ~r ~bw_bps verdicts samples)

@@ -1,0 +1,1 @@
+lib/exec/console.ml: Buffer Int64

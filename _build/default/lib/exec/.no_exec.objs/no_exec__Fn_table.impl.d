@@ -1,0 +1,1 @@
+lib/exec/fn_table.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/exec/fn_table.mli:

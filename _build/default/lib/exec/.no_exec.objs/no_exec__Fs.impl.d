@@ -1,0 +1,1 @@
+lib/exec/fs.ml: Bytes Hashtbl List String

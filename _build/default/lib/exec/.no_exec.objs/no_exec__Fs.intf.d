@@ -1,0 +1,1 @@
+lib/exec/fs.mli: Bytes

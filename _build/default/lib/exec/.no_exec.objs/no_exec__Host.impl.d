@@ -1,0 +1,1 @@
+lib/exec/host.ml: Array Bytes Console Fn_table Fs Hashtbl List Loader No_arch No_ir No_mem Printf Value

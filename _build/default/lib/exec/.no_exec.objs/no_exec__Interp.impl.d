@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Buffer Bytes Char Console Float Fn_table Fs Hashtbl Host Int32 Int64 List No_arch No_ir No_mem Printf Value

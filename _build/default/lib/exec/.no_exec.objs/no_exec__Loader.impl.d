@@ -1,0 +1,1 @@
+lib/exec/loader.ml: Char Int64 List No_arch No_ir No_mem String

@@ -1,0 +1,1 @@
+lib/exec/value.ml: Float Fmt Int64

@@ -1,0 +1,52 @@
+(* Scripted console device.
+
+   Interactive input (scanf in the paper's chess example) comes from a
+   pre-loaded script queue; output is captured.  The function filter
+   treats interactive input as machine specific precisely because it
+   must happen on the mobile device where the user is. *)
+
+type input = In_int of int64 | In_float of float
+
+type t = {
+  mutable script : input list;
+  output : Buffer.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+exception Input_exhausted
+
+let create ?(script = []) () =
+  { script; output = Buffer.create 256; reads = 0; writes = 0 }
+
+let push_input t input = t.script <- t.script @ [ input ]
+
+let read_int t =
+  t.reads <- t.reads + 1;
+  match t.script with
+  | In_int v :: rest ->
+    t.script <- rest;
+    v
+  | In_float v :: rest ->
+    t.script <- rest;
+    Int64.of_float v
+  | [] -> raise Input_exhausted
+
+let read_float t =
+  t.reads <- t.reads + 1;
+  match t.script with
+  | In_float v :: rest ->
+    t.script <- rest;
+    v
+  | In_int v :: rest ->
+    t.script <- rest;
+    Int64.to_float v
+  | [] -> raise Input_exhausted
+
+let write_string t s =
+  t.writes <- t.writes + 1;
+  Buffer.add_string t.output s
+
+let contents t = Buffer.contents t.output
+let output_bytes t = Buffer.length t.output
+let clear_output t = Buffer.clear t.output

@@ -1,0 +1,25 @@
+(** Scripted console device.
+
+    Interactive input (the chess example's scanf) comes from a
+    pre-loaded script; output is captured for comparing local and
+    offloaded runs byte for byte.  Interactive input is what makes a
+    task machine specific — it must happen where the user is. *)
+
+type input = In_int of int64 | In_float of float
+
+type t
+
+exception Input_exhausted
+
+val create : ?script:input list -> unit -> t
+val push_input : t -> input -> unit
+
+val read_int : t -> int64
+(** Next scripted value (floats truncate).  @raise Input_exhausted. *)
+
+val read_float : t -> float
+
+val write_string : t -> string -> unit
+val contents : t -> string
+val output_bytes : t -> int
+val clear_output : t -> unit

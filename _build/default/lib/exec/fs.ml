@@ -1,0 +1,62 @@
+(* Synthetic file system device.
+
+   Workloads such as 300.twolf (cell files), 445.gobmk (play records)
+   and 464.h264ref (video frames) read input files during their hot
+   regions; under offloading these reads become *remote input*
+   operations with round-trip cost (Section 3.4, Figure 7).  Files
+   live on the mobile device. *)
+
+type file = {
+  name : string;
+  data : Bytes.t;
+}
+
+type handle = {
+  h_file : file;
+  mutable h_pos : int;
+  mutable h_open : bool;
+}
+
+type t = {
+  mutable files : file list;
+  handles : (int, handle) Hashtbl.t;
+  mutable next_fd : int;
+  mutable bytes_read : int;
+}
+
+exception No_such_file of string
+exception Bad_fd of int
+
+let create () =
+  { files = []; handles = Hashtbl.create 8; next_fd = 3; bytes_read = 0 }
+
+let add_file t name data = t.files <- { name; data } :: t.files
+
+let open_file t name =
+  match List.find_opt (fun f -> String.equal f.name name) t.files with
+  | None -> raise (No_such_file name)
+  | Some file ->
+    let fd = t.next_fd in
+    t.next_fd <- fd + 1;
+    Hashtbl.replace t.handles fd { h_file = file; h_pos = 0; h_open = true };
+    fd
+
+let handle t fd =
+  match Hashtbl.find_opt t.handles fd with
+  | Some h when h.h_open -> h
+  | Some _ | None -> raise (Bad_fd fd)
+
+let size t fd = Bytes.length (handle t fd).h_file.data
+
+let read t fd len =
+  let h = handle t fd in
+  let available = Bytes.length h.h_file.data - h.h_pos in
+  let n = min len (max available 0) in
+  let chunk = Bytes.sub h.h_file.data h.h_pos n in
+  h.h_pos <- h.h_pos + n;
+  t.bytes_read <- t.bytes_read + n;
+  chunk
+
+let close t fd = (handle t fd).h_open <- false
+
+let total_bytes_read t = t.bytes_read

@@ -1,0 +1,25 @@
+(** Synthetic file system device.
+
+    Input files live on the mobile device; when an offloaded task
+    reads one (300.twolf's cells, 445.gobmk's play records,
+    464.h264ref's frames), the reads become remote input operations
+    with round-trip costs (paper §3.4, Figure 7). *)
+
+type t
+
+exception No_such_file of string
+exception Bad_fd of int
+
+val create : unit -> t
+val add_file : t -> string -> Bytes.t -> unit
+
+val open_file : t -> string -> int
+(** Returns a file descriptor.  @raise No_such_file. *)
+
+val size : t -> int -> int
+val read : t -> int -> int -> Bytes.t
+(** [read t fd len] returns up to [len] bytes and advances the
+    position; empty at EOF. *)
+
+val close : t -> int -> unit
+val total_bytes_read : t -> int

@@ -1,0 +1,218 @@
+(* A device execution context: one machine running one IR module.
+
+   A host bundles the architecture, the device memory and stack, the
+   loaded globals, the function address table, the I/O devices, the
+   simulated clock and the hook points through which the profiler and
+   the offloading runtime observe and redirect execution. *)
+
+module Arch = No_arch.Arch
+module Cost = No_arch.Cost
+module Layout = No_arch.Layout
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Memory = No_mem.Memory
+module Uva = No_mem.Uva
+module Stack_alloc = No_mem.Stack_alloc
+
+type clock = { mutable now : float }
+
+type hooks = {
+  mutable on_enter : string -> unit;
+  mutable on_exit : string -> unit;
+  mutable on_block : string -> string -> unit;   (* function, label *)
+  mutable fn_map : (Ir.fn_map_dir -> Value.t -> Value.t) option;
+      (* function-pointer translation; None = identity (single host) *)
+  mutable extern_call : (string -> Value.t list -> Value.t option) option;
+      (* services the module's [m_externs]; returning None traps *)
+  mutable builtin_override : (string -> Value.t list -> Value.t option) option;
+      (* consulted before default builtins; lets the runtime intercept
+         remote I/O and allocation on the server *)
+}
+
+let default_hooks () = {
+  on_enter = (fun _ -> ());
+  on_exit = (fun _ -> ());
+  on_block = (fun _ _ -> ());
+  fn_map = None;
+  extern_call = None;
+  builtin_override = None;
+}
+
+(* Pre-indexed function body for the interpreter's inner loop. *)
+type compiled = {
+  c_func : Ir.func;
+  c_blocks : (string, Ir.instr array * Ir.terminator) Hashtbl.t;
+  c_entry : string;
+}
+
+type t = {
+  arch : Arch.t;
+  mem : Memory.t;
+  stack : Stack_alloc.t;
+  layout : Layout.env;           (* layout the module was lowered with *)
+  modul : Ir.modul;
+  globals : (string, int) Hashtbl.t;
+  fn_table : Fn_table.t;
+  uva : Uva.t;
+  console : Console.t;
+  fs : Fs.t;
+  clock : clock;
+  hooks : hooks;
+  code : (string, compiled) Hashtbl.t;
+  mutable instr_count : int;
+  mutable fuel : int;            (* instructions left; -1 = unlimited *)
+}
+
+let compile_func (f : Ir.func) : compiled =
+  let c_blocks = Hashtbl.create (List.length f.Ir.f_blocks) in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace c_blocks b.Ir.label
+        (Array.of_list b.Ir.instrs, b.Ir.term))
+    f.Ir.f_blocks;
+  { c_func = f; c_blocks; c_entry = (Ir.entry_block f).Ir.label }
+
+type role = Mobile | Server
+
+let stack_of_role = function
+  | Mobile -> Stack_alloc.mobile ()
+  | Server -> Stack_alloc.server ()
+
+let globals_base_of_role = function
+  | Mobile -> No_mem.Region.globals_base
+  | Server -> No_mem.Region.globals_base + 0x0200_0000
+
+(* Create a host for [modul] on [arch] in [role].
+
+   [layout] is the layout environment the module's GEPs were lowered
+   with (native for an untransformed module, unified for partitioned
+   ones).  [fn_addr_standard] resolves function names to the addresses
+   stored in memory for function-pointer initializers: for unified
+   setups this is the *mobile* table regardless of which device we
+   are.  [uva], [console], [fs] and [clock] may be shared between the
+   two hosts of an offloading session. *)
+let create ~arch ~role ~(modul : Ir.modul) ~layout
+    ?(fn_table : Fn_table.t option) ?(fn_addr_standard : (string -> int) option)
+    ?(uva : Uva.t option) ?(console : Console.t option) ?(fs : Fs.t option)
+    ?(clock : clock option) () : t =
+  let mem =
+    Memory.create (match role with Mobile -> Memory.Home | Server -> Memory.Remote)
+  in
+  let fn_table =
+    match fn_table with
+    | Some table -> table
+    | None -> (
+      let names = List.map (fun (f : Ir.func) -> f.Ir.f_name) modul.Ir.m_funcs in
+      match role with
+      | Mobile -> Fn_table.mobile names
+      | Server -> Fn_table.server names)
+  in
+  let fn_addr_standard =
+    match fn_addr_standard with
+    | Some resolve -> resolve
+    | None -> Fn_table.addr_of fn_table
+  in
+  let assignments, _next =
+    Loader.assign_addresses layout ~base:(globals_base_of_role role)
+      modul.Ir.m_globals
+  in
+  let globals = Hashtbl.create 64 in
+  List.iter (fun (name, addr) -> Hashtbl.replace globals name addr) assignments;
+  let host =
+    {
+      arch;
+      mem;
+      stack = stack_of_role role;
+      layout;
+      modul;
+      globals;
+      fn_table;
+      uva = (match uva with Some u -> u | None -> Uva.create ());
+      console = (match console with Some c -> c | None -> Console.create ());
+      fs = (match fs with Some f -> f | None -> Fs.create ());
+      clock = (match clock with Some c -> c | None -> { now = 0.0 });
+      hooks = default_hooks ();
+      code = Hashtbl.create 64;
+      instr_count = 0;
+      fuel = -1;
+    }
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.replace host.code f.Ir.f_name (compile_func f))
+    modul.Ir.m_funcs;
+  (* Materialize globals.  On a Remote host this would fault, so only
+     Home memories get initial contents; a server reads globals it
+     needs through copy-on-demand...  *except* that each device's
+     non-UVA globals are its own (separate native addresses), so we
+     install them directly as resident pages. *)
+  let write_byte addr v =
+    match role with
+    | Mobile -> Memory.write_byte mem addr v
+    | Server ->
+      (* Install the page as resident before writing. *)
+      let page = No_mem.Region.page_of_addr addr in
+      if not (Memory.has_page mem page) then
+        Memory.install_page mem page (Bytes.make No_mem.Region.page_size '\000');
+      Memory.write_byte mem addr v
+  in
+  List.iter
+    (fun (g : Ir.global) ->
+      let addr = Hashtbl.find globals g.Ir.g_name in
+      Loader.write_init ~layout ~endianness:arch.Arch.endianness ~write_byte
+        ~fn_addr:fn_addr_standard ~addr g.Ir.g_ty g.Ir.g_init)
+    modul.Ir.m_globals;
+  host
+
+let charge host cls =
+  host.clock.now <- host.clock.now +. Cost.seconds_of host.arch cls
+
+let charge_seconds host s = host.clock.now <- host.clock.now +. s
+
+let global_addr host name =
+  match Hashtbl.find_opt host.globals name with
+  | Some addr -> addr
+  | None -> invalid_arg (Printf.sprintf "Host.global_addr: %s" name)
+
+let compiled host name = Hashtbl.find_opt host.code name
+
+(* {1 Endianness-aware scalar memory access at native widths} *)
+
+let scalar_mem_bytes host (ty : Ty.t) =
+  match ty with
+  | Ty.I8 -> 1
+  | Ty.I16 -> 2
+  | Ty.I32 | Ty.F32 -> 4
+  | Ty.I64 | Ty.F64 -> 8
+  | Ty.Ptr _ | Ty.Fn_ptr _ -> Arch.ptr_bytes host.arch
+  | Ty.Struct _ | Ty.Array _ | Ty.Void ->
+    invalid_arg "Host.scalar_mem_bytes: not a scalar"
+
+let load_scalar host (ty : Ty.t) addr : Value.t =
+  let nbytes = scalar_mem_bytes host ty in
+  let read_byte a = Memory.read_byte host.mem a in
+  let bits =
+    No_mem.Scalar.load_int host.arch.Arch.endianness ~read_byte addr nbytes
+  in
+  match ty with
+  | Ty.F32 -> Value.VFloat (No_mem.Scalar.float_of_bits ~f32:true bits)
+  | Ty.F64 -> Value.VFloat (No_mem.Scalar.float_of_bits ~f32:false bits)
+  | Ty.I8 | Ty.I16 | Ty.I32 | Ty.I64 ->
+    Value.VInt (No_mem.Scalar.sign_extend bits nbytes)
+  | Ty.Ptr _ | Ty.Fn_ptr _ ->
+    (* Addresses are unsigned: no sign extension. *)
+    Value.VInt bits
+  | Ty.Struct _ | Ty.Array _ | Ty.Void -> assert false
+
+let store_scalar host (ty : Ty.t) addr (v : Value.t) : unit =
+  let nbytes = scalar_mem_bytes host ty in
+  let write_byte a b = Memory.write_byte host.mem a b in
+  let bits =
+    match ty with
+    | Ty.F32 -> No_mem.Scalar.float_to_bits ~f32:true (Value.to_float v)
+    | Ty.F64 -> No_mem.Scalar.float_to_bits ~f32:false (Value.to_float v)
+    | Ty.I8 | Ty.I16 | Ty.I32 | Ty.I64 | Ty.Ptr _ | Ty.Fn_ptr _ ->
+      Value.to_int v
+    | Ty.Struct _ | Ty.Array _ | Ty.Void -> assert false
+  in
+  No_mem.Scalar.store_int host.arch.Arch.endianness ~write_byte addr nbytes bits

@@ -1,0 +1,407 @@
+(* The IR interpreter.
+
+   Executes a module on a {!Host}, charging each instruction its cycle
+   cost under the host architecture's cost model, going through the
+   host memory (and therefore through the page table: on a server
+   host, touching a non-resident page invokes the copy-on-demand fault
+   handler), and dispatching builtins to the host's devices.  The
+   offloading runtime and the profiler attach through {!Host.hooks}. *)
+
+module Arch = No_arch.Arch
+module Cost = No_arch.Cost
+module Layout = No_arch.Layout
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Builtins = No_ir.Builtins
+module Memory = No_mem.Memory
+module Scalar = No_mem.Scalar
+module Uva = No_mem.Uva
+module Stack_alloc = No_mem.Stack_alloc
+
+exception Trap of string
+exception Out_of_fuel
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+(* Console/file operation latencies on the local device (syscall-ish
+   costs, on the simulated-CPU time scale; the network costs of
+   *remote* I/O are added by the runtime's override). *)
+let local_io_seconds = 1.0e-3
+
+let width_bits (ty : Ty.t) =
+  match ty with
+  | Ty.I8 -> 8
+  | Ty.I16 -> 16
+  | Ty.I32 -> 32
+  | Ty.I64 -> 64
+  | Ty.F32 -> 32
+  | Ty.F64 -> 64
+  | Ty.Ptr _ | Ty.Fn_ptr _ | Ty.Struct _ | Ty.Array _ | Ty.Void ->
+    trap "width_bits of %s" (Ty.to_string ty)
+
+(* Canonical integer representation: sub-word values are kept
+   sign-extended; this keeps signed arithmetic trivial and makes
+   unsigned operations mask explicitly. *)
+let canon (ty : Ty.t) v = Scalar.sign_extend v (width_bits ty / 8)
+
+let mask_to_width (ty : Ty.t) v =
+  let bits = width_bits ty in
+  if bits >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L bits) 1L)
+
+type frame = {
+  host : Host.t;
+  regs : Value.t array;
+  func : Host.compiled;
+}
+
+let read_cstring host addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let b = Memory.read_byte host.Host.mem a in
+    if b <> 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+let rec eval_operand frame (op : Ir.operand) : Value.t =
+  match op with
+  | Ir.Reg r -> frame.regs.(r)
+  | Ir.Int (v, ty) -> Value.VInt (canon ty v)
+  | Ir.Float (v, _) -> Value.VFloat v
+  | Ir.Null _ -> Value.VInt 0L
+  | Ir.Global name -> Value.VInt (Int64.of_int (Host.global_addr frame.host name))
+  | Ir.Fn_addr name ->
+    Value.VInt (Int64.of_int (Fn_table.addr_of frame.host.Host.fn_table name))
+
+and eval_binop (op : Ir.binop) a b : Value.t =
+  match op with
+  | Ir.Fadd -> Value.VFloat (Value.to_float a +. Value.to_float b)
+  | Ir.Fsub -> Value.VFloat (Value.to_float a -. Value.to_float b)
+  | Ir.Fmul -> Value.VFloat (Value.to_float a *. Value.to_float b)
+  | Ir.Fdiv -> Value.VFloat (Value.to_float a /. Value.to_float b)
+  | Ir.Add | Ir.Sub | Ir.Mul | Ir.Sdiv | Ir.Udiv | Ir.Srem | Ir.Urem
+  | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr | Ir.Ashr -> (
+    let x = Value.to_int a and y = Value.to_int b in
+    let check_nonzero () = if Int64.equal y 0L then trap "division by zero" in
+    match op with
+    | Ir.Add -> Value.VInt (Int64.add x y)
+    | Ir.Sub -> Value.VInt (Int64.sub x y)
+    | Ir.Mul -> Value.VInt (Int64.mul x y)
+    | Ir.Sdiv -> check_nonzero (); Value.VInt (Int64.div x y)
+    | Ir.Udiv -> check_nonzero (); Value.VInt (Int64.unsigned_div x y)
+    | Ir.Srem -> check_nonzero (); Value.VInt (Int64.rem x y)
+    | Ir.Urem -> check_nonzero (); Value.VInt (Int64.unsigned_rem x y)
+    | Ir.And -> Value.VInt (Int64.logand x y)
+    | Ir.Or -> Value.VInt (Int64.logor x y)
+    | Ir.Xor -> Value.VInt (Int64.logxor x y)
+    | Ir.Shl -> Value.VInt (Int64.shift_left x (Int64.to_int y land 63))
+    | Ir.Lshr ->
+      Value.VInt (Int64.shift_right_logical x (Int64.to_int y land 63))
+    | Ir.Ashr -> Value.VInt (Int64.shift_right x (Int64.to_int y land 63))
+    | Ir.Fadd | Ir.Fsub | Ir.Fmul | Ir.Fdiv -> assert false)
+
+and eval_cmp (op : Ir.cmpop) a b : Value.t =
+  let vb =
+    match op with
+    | Ir.Eq -> Value.equal a b
+    | Ir.Ne -> not (Value.equal a b)
+    | Ir.Slt -> Int64.compare (Value.to_int a) (Value.to_int b) < 0
+    | Ir.Sle -> Int64.compare (Value.to_int a) (Value.to_int b) <= 0
+    | Ir.Sgt -> Int64.compare (Value.to_int a) (Value.to_int b) > 0
+    | Ir.Sge -> Int64.compare (Value.to_int a) (Value.to_int b) >= 0
+    | Ir.Ult -> Int64.unsigned_compare (Value.to_int a) (Value.to_int b) < 0
+    | Ir.Ule -> Int64.unsigned_compare (Value.to_int a) (Value.to_int b) <= 0
+    | Ir.Ugt -> Int64.unsigned_compare (Value.to_int a) (Value.to_int b) > 0
+    | Ir.Uge -> Int64.unsigned_compare (Value.to_int a) (Value.to_int b) >= 0
+    | Ir.Feq -> Value.to_float a = Value.to_float b
+    | Ir.Fne -> Value.to_float a <> Value.to_float b
+    | Ir.Flt -> Value.to_float a < Value.to_float b
+    | Ir.Fle -> Value.to_float a <= Value.to_float b
+    | Ir.Fgt -> Value.to_float a > Value.to_float b
+    | Ir.Fge -> Value.to_float a >= Value.to_float b
+  in
+  Value.of_bool vb
+
+and eval_cast (op : Ir.castop) (src : Ty.t) v (dst : Ty.t) : Value.t =
+  match op with
+  | Ir.Zext -> Value.VInt (canon dst (mask_to_width src (Value.to_int v)))
+  | Ir.Sext -> Value.VInt (canon dst (Value.to_int v))
+  | Ir.Trunc -> Value.VInt (canon dst (Value.to_int v))
+  | Ir.Bitcast -> v
+  | Ir.Fp_to_si -> Value.VInt (canon dst (Int64.of_float (Value.to_float v)))
+  | Ir.Si_to_fp -> Value.VFloat (Int64.to_float (Value.to_int v))
+  | Ir.Fp_ext -> v
+  | Ir.Fp_trunc ->
+    Value.VFloat (Int32.float_of_bits (Int32.bits_of_float (Value.to_float v)))
+  | Ir.Ptr_to_int -> Value.VInt (canon dst (Value.to_int v))
+  | Ir.Int_to_ptr -> Value.VInt (Value.to_int v)
+
+(* Compute a GEP address under the host's layout environment.  The
+   profiler runs before lowering, so the interpreter must understand
+   symbolic GEPs; lowered modules contain none. *)
+and eval_gep frame (pointee : Ty.t) base (path : Ir.gep_index list) : int =
+  let layout = frame.host.Host.layout in
+  let rec walk addr (ty : Ty.t) path =
+    match path with
+    | [] -> addr
+    | Ir.Field fname :: rest -> (
+      match ty with
+      | Ty.Struct sname ->
+        walk
+          (addr + Layout.field_offset layout sname fname)
+          (Layout.field_ty layout sname fname)
+          rest
+      | _ -> trap "gep: field %s of non-struct %s" fname (Ty.to_string ty))
+    | Ir.Index op :: rest -> (
+      let idx = Int64.to_int (Value.to_int (eval_operand frame op)) in
+      match ty with
+      | Ty.Array (elem, _) ->
+        walk (addr + (idx * Layout.size_of layout elem)) elem rest
+      | _ -> walk (addr + (idx * Layout.size_of layout ty)) ty rest)
+  in
+  walk (Value.to_addr (eval_operand frame base)) pointee path
+
+and eval_rvalue frame (rv : Ir.rvalue) : Value.t =
+  let host = frame.host in
+  match rv with
+  | Ir.Bin (op, a, b) ->
+    eval_binop op (eval_operand frame a) (eval_operand frame b)
+  | Ir.Cmp (op, a, b) ->
+    eval_cmp op (eval_operand frame a) (eval_operand frame b)
+  | Ir.Cast (op, src, a, dst) -> eval_cast op src (eval_operand frame a) dst
+  | Ir.Select (c, a, b) ->
+    if Value.to_bool (eval_operand frame c) then eval_operand frame a
+    else eval_operand frame b
+  | Ir.Load (ty, a) ->
+    Host.load_scalar host ty (Value.to_addr (eval_operand frame a))
+  | Ir.Alloca (ty, n) ->
+    let layout = host.Host.layout in
+    let size = Layout.size_of layout ty * n in
+    let align = Layout.align_of layout ty in
+    Value.VInt (Int64.of_int (Stack_alloc.alloc host.Host.stack size align))
+  | Ir.Gep (pointee, base, path) ->
+    Value.VInt (Int64.of_int (eval_gep frame pointee base path))
+  | Ir.Call (name, args) ->
+    let argv = List.map (eval_operand frame) args in
+    call_by_name host name argv
+  | Ir.Call_ind (sg, f, args) -> (
+    let addr = Value.to_addr (eval_operand frame f) in
+    let argv = List.map (eval_operand frame) args in
+    ignore sg;
+    match Fn_table.name_of host.Host.fn_table addr with
+    | name -> call_by_name host name argv
+    | exception Fn_table.Not_a_function _ ->
+      trap "indirect call through foreign or invalid address 0x%x" addr)
+  | Ir.Bswap (ty, a) -> (
+    let nbytes = width_bits ty / 8 in
+    match ty with
+    | Ty.F32 | Ty.F64 ->
+      let v = eval_operand frame a in
+      let f32 = Ty.equal ty Ty.F32 in
+      let bits = Scalar.float_to_bits ~f32 (Value.to_float v) in
+      Value.VFloat (Scalar.float_of_bits ~f32 (Scalar.bswap bits nbytes))
+    | _ ->
+      let v = Value.to_int (eval_operand frame a) in
+      Value.VInt (canon ty (Scalar.bswap (mask_to_width ty v) nbytes)))
+  | Ir.Fn_map (dir, a) -> (
+    let v = eval_operand frame a in
+    (* A lone host maps identically (it has only its own table); the
+       offloading runtime installs the real mobile<->server
+       translation and charges its cost. *)
+    match host.Host.hooks.Host.fn_map with
+    | Some translate -> translate dir v
+    | None -> v)
+
+(* {1 Builtins} *)
+
+and charge_bulk host bytes =
+  Host.charge_seconds host (Cost.seconds_per_byte host.Host.arch *. float_of_int bytes)
+
+and default_builtin host name (argv : Value.t list) : Value.t =
+  let arg n = List.nth argv n in
+  let int_arg n = Value.to_int (arg n) in
+  let addr_arg n = Value.to_addr (arg n) in
+  let float_arg n = Value.to_float (arg n) in
+  let console = host.Host.console in
+  let io () = Host.charge_seconds host local_io_seconds in
+  match name with
+  | "malloc" | "u_malloc" ->
+    Host.charge host Arch.Cls_alloc;
+    Value.VInt (Int64.of_int (Uva.alloc host.Host.uva (Int64.to_int (int_arg 0))))
+  | "free" | "u_free" ->
+    Host.charge host Arch.Cls_alloc;
+    Uva.dealloc host.Host.uva (addr_arg 0);
+    Value.zero
+  | "print_i64" | "r_print_i64" ->
+    io ();
+    Console.write_string console (Int64.to_string (int_arg 0));
+    Value.zero
+  | "print_f64" | "r_print_f64" ->
+    io ();
+    Console.write_string console (Printf.sprintf "%.6g" (float_arg 0));
+    Value.zero
+  | "print_str" | "r_print_str" ->
+    io ();
+    Console.write_string console (read_cstring host (addr_arg 0));
+    Value.zero
+  | "print_newline" | "r_print_newline" ->
+    io ();
+    Console.write_string console "\n";
+    Value.zero
+  | "scan_i64" ->
+    io ();
+    Value.VInt (Console.read_int console)
+  | "scan_f64" ->
+    io ();
+    Value.VFloat (Console.read_float console)
+  | "f_open" | "rf_open" ->
+    io ();
+    Value.VInt (Int64.of_int (Fs.open_file host.Host.fs (read_cstring host (addr_arg 0))))
+  | "f_size" | "rf_size" ->
+    io ();
+    Value.VInt (Int64.of_int (Fs.size host.Host.fs (Int64.to_int (int_arg 0))))
+  | "f_read" | "rf_read" ->
+    io ();
+    let chunk =
+      Fs.read host.Host.fs (Int64.to_int (int_arg 0)) (Int64.to_int (int_arg 2))
+    in
+    Memory.write_block host.Host.mem (addr_arg 1) chunk;
+    charge_bulk host (Bytes.length chunk);
+    Value.VInt (Int64.of_int (Bytes.length chunk))
+  | "f_close" | "rf_close" ->
+    io ();
+    Fs.close host.Host.fs (Int64.to_int (int_arg 0));
+    Value.zero
+  | "sqrt" -> Host.charge host Arch.Cls_math; Value.VFloat (sqrt (float_arg 0))
+  | "sin" -> Host.charge host Arch.Cls_math; Value.VFloat (sin (float_arg 0))
+  | "cos" -> Host.charge host Arch.Cls_math; Value.VFloat (cos (float_arg 0))
+  | "exp" -> Host.charge host Arch.Cls_math; Value.VFloat (exp (float_arg 0))
+  | "log" -> Host.charge host Arch.Cls_math; Value.VFloat (log (float_arg 0))
+  | "fabs" ->
+    Host.charge host Arch.Cls_math;
+    Value.VFloat (Float.abs (float_arg 0))
+  | "pow" ->
+    Host.charge host Arch.Cls_math;
+    Value.VFloat (Float.pow (float_arg 0) (float_arg 1))
+  | "memcpy" ->
+    let dst = addr_arg 0 and src = addr_arg 1 in
+    let n = Int64.to_int (int_arg 2) in
+    let data = Memory.read_block host.Host.mem src n in
+    Memory.write_block host.Host.mem dst data;
+    charge_bulk host (2 * n);
+    Value.zero
+  | "memset" ->
+    let dst = addr_arg 0 in
+    let v = Int64.to_int (int_arg 1) land 0xff in
+    let n = Int64.to_int (int_arg 2) in
+    Memory.write_block host.Host.mem dst (Bytes.make n (Char.chr v));
+    charge_bulk host n;
+    Value.zero
+  | "syscall" ->
+    (* Locally executable; never offloaded (the filter sees to it). *)
+    io ();
+    Value.zero
+  | _ -> trap "call to unknown function %s" name
+
+and call_by_name (host : Host.t) name (argv : Value.t list) : Value.t =
+  Host.charge host Arch.Cls_branch;
+  match Host.compiled host name with
+  | Some compiled -> run_function host compiled argv
+  | None -> (
+    (* Session overrides see every non-IR call first. *)
+    match host.Host.hooks.Host.builtin_override with
+    | Some override when Builtins.is_builtin name -> (
+      match override name argv with
+      | Some result -> result
+      | None -> default_builtin host name argv)
+    | _ ->
+      if Builtins.is_builtin name then default_builtin host name argv
+      else (
+        match List.assoc_opt name host.Host.modul.Ir.m_externs with
+        | Some _ -> (
+          match host.Host.hooks.Host.extern_call with
+          | Some handler -> (
+            match handler name argv with
+            | Some result -> result
+            | None -> trap "extern %s rejected by runtime" name)
+          | None -> trap "extern %s with no runtime attached" name)
+        | None -> trap "call to unknown function %s" name))
+
+and run_function (host : Host.t) (compiled : Host.compiled) argv : Value.t =
+  let f = compiled.Host.c_func in
+  Host.charge host Arch.Cls_call;
+  host.Host.hooks.Host.on_enter f.Ir.f_name;
+  if List.length argv <> List.length f.Ir.f_params then
+    trap "%s: called with %d arguments, expected %d" f.Ir.f_name
+      (List.length argv) (List.length f.Ir.f_params);
+  let regs = Array.make (max f.Ir.f_nregs 1) Value.zero in
+  List.iteri (fun i v -> regs.(i) <- v) argv;
+  let frame = { host; regs; func = compiled } in
+  let mark = Stack_alloc.frame_mark host.Host.stack in
+  let result = run_blocks frame compiled.Host.c_entry in
+  Stack_alloc.release host.Host.stack mark;
+  host.Host.hooks.Host.on_exit f.Ir.f_name;
+  result
+
+and run_blocks frame label : Value.t =
+  let host = frame.host in
+  let fname = frame.func.Host.c_func.Ir.f_name in
+  (* Fuel is also consumed per block so an instruction-free loop
+     cannot spin forever under a fuel limit. *)
+  if host.Host.fuel = 0 then raise Out_of_fuel;
+  if host.Host.fuel > 0 then host.Host.fuel <- host.Host.fuel - 1;
+  host.Host.hooks.Host.on_block fname label;
+  let instrs, term =
+    match Hashtbl.find_opt frame.func.Host.c_blocks label with
+    | Some entry -> entry
+    | None -> trap "%s: jump to unknown block %s" fname label
+  in
+  Array.iter (exec_instr frame) instrs;
+  Host.charge host (Cost.class_of_terminator term);
+  host.Host.instr_count <- host.Host.instr_count + 1;
+  match term with
+  | Ir.Br next -> run_blocks frame next
+  | Ir.Cbr (c, t, e) ->
+    if Value.to_bool (eval_operand frame c) then run_blocks frame t
+    else run_blocks frame e
+  | Ir.Switch (v, cases, default) -> (
+    let scrutinee = Value.to_int (eval_operand frame v) in
+    match
+      List.find_opt (fun (value, _) -> Int64.equal value scrutinee) cases
+    with
+    | Some (_, target) -> run_blocks frame target
+    | None -> run_blocks frame default)
+  | Ir.Ret None -> Value.zero
+  | Ir.Ret (Some op) -> eval_operand frame op
+  | Ir.Unreachable -> trap "%s: reached unreachable" fname
+
+and exec_instr frame (instr : Ir.instr) : unit =
+  let host = frame.host in
+  if host.Host.fuel = 0 then raise Out_of_fuel;
+  if host.Host.fuel > 0 then host.Host.fuel <- host.Host.fuel - 1;
+  host.Host.instr_count <- host.Host.instr_count + 1;
+  Host.charge host (Cost.class_of_instr instr);
+  match instr with
+  | Ir.Assign (r, rv) -> frame.regs.(r) <- eval_rvalue frame rv
+  | Ir.Effect rv -> ignore (eval_rvalue frame rv)
+  | Ir.Store (ty, v, a) ->
+    Host.store_scalar host ty
+      (Value.to_addr (eval_operand frame a))
+      (eval_operand frame v)
+  | Ir.Asm _ ->
+    (* Inline assembly runs only on its own machine; the filter keeps
+       it off the server.  Behaviour: an opaque no-op. *)
+    ()
+
+(* {1 Entry points} *)
+
+let call host name argv =
+  match Host.compiled host name with
+  | Some compiled -> run_function host compiled argv
+  | None -> trap "no function %s in module %s" name host.Host.modul.Ir.m_name
+
+let run_main host = call host "main" []

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: List Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Builtins Ir List Printf String Ty

@@ -1,0 +1,288 @@
+(* Ergonomic construction of IR modules.
+
+   Workload programs (the "front end" of our framework, standing in for
+   clang) are written against this module.  A module builder [t]
+   accumulates structs, globals and functions; a function builder [fb]
+   maintains a current block and provides structured control flow
+   ([if_], [while_], [for_]) that expands to labeled basic blocks, so
+   the natural-loop detector later recovers loops with stable names
+   such as "for_i.cond". *)
+
+open Ir
+
+type t = {
+  mb_name : string;
+  mutable mb_structs : struct_def list;   (* reversed *)
+  mutable mb_globals : global list;       (* reversed *)
+  mutable mb_funcs : func list;           (* reversed *)
+  mutable mb_str_counter : int;
+}
+
+type fb = {
+  parent : t;
+  fn_name : string;
+  fn_params : (reg * Ty.t) list;
+  fn_ret : Ty.t;
+  mutable nreg : int;
+  mutable done_blocks : block list;       (* reversed *)
+  mutable cur_label : string;
+  mutable cur_instrs : instr list;        (* reversed *)
+  mutable in_block : bool;
+  mutable label_counter : int;
+}
+
+let create name =
+  { mb_name = name; mb_structs = []; mb_globals = []; mb_funcs = [];
+    mb_str_counter = 0 }
+
+let struct_ t name fields =
+  t.mb_structs <- { s_name = name; s_fields = fields } :: t.mb_structs;
+  Ty.Struct name
+
+let global t name ty init =
+  t.mb_globals <- { g_name = name; g_ty = ty; g_init = init } :: t.mb_globals
+
+(* Interned string constant; returns the address operand. *)
+let cstr t contents =
+  let name = Printf.sprintf "str.%d" t.mb_str_counter in
+  t.mb_str_counter <- t.mb_str_counter + 1;
+  let ty = Ty.Array (Ty.I8, String.length contents + 1) in
+  global t name ty (String_init contents);
+  Global name
+
+let finish t =
+  {
+    m_name = t.mb_name;
+    m_structs = List.rev t.mb_structs;
+    m_globals = List.rev t.mb_globals;
+    m_funcs = List.rev t.mb_funcs;
+    m_externs = [];
+    m_uva_globals = [];
+  }
+
+(* {1 Function construction} *)
+
+let fresh_reg fb =
+  let r = fb.nreg in
+  fb.nreg <- r + 1;
+  r
+
+let fresh_label fb base =
+  let n = fb.label_counter in
+  fb.label_counter <- n + 1;
+  Printf.sprintf "%s.%d" base n
+
+let seal fb term =
+  if not fb.in_block then
+    invalid_arg
+      (Printf.sprintf "Builder: terminating while no block is open in %s"
+         fb.fn_name);
+  let b =
+    { label = fb.cur_label; instrs = List.rev fb.cur_instrs; term }
+  in
+  fb.done_blocks <- b :: fb.done_blocks;
+  fb.in_block <- false;
+  fb.cur_instrs <- []
+
+let open_block fb label =
+  if fb.in_block then seal fb (Br label);
+  fb.cur_label <- label;
+  fb.cur_instrs <- [];
+  fb.in_block <- true
+
+let emit fb instr =
+  if not fb.in_block then
+    invalid_arg
+      (Printf.sprintf "Builder: emitting into a closed block in %s" fb.fn_name);
+  fb.cur_instrs <- instr :: fb.cur_instrs
+
+(* {1 Instruction helpers} *)
+
+let rval fb rv =
+  let r = fresh_reg fb in
+  emit fb (Assign (r, rv));
+  Reg r
+
+let effect fb rv = emit fb (Effect rv)
+
+let bin fb op a b = rval fb (Bin (op, a, b))
+let iadd fb a b = bin fb Add a b
+let isub fb a b = bin fb Sub a b
+let imul fb a b = bin fb Mul a b
+let idiv fb a b = bin fb Sdiv a b
+let irem fb a b = bin fb Srem a b
+let iand fb a b = bin fb And a b
+let ior fb a b = bin fb Or a b
+let ixor fb a b = bin fb Xor a b
+let ishl fb a b = bin fb Shl a b
+let ilshr fb a b = bin fb Lshr a b
+let iashr fb a b = bin fb Ashr a b
+let fadd fb a b = bin fb Fadd a b
+let fsub fb a b = bin fb Fsub a b
+let fmul fb a b = bin fb Fmul a b
+let fdiv fb a b = bin fb Fdiv a b
+
+let cmp fb op a b = rval fb (Cmp (op, a, b))
+let cast fb op ~src a ~dst = rval fb (Cast (op, src, a, dst))
+let select fb c a b = rval fb (Select (c, a, b))
+let load fb ty addr = rval fb (Load (ty, addr))
+let store fb ty v addr = emit fb (Store (ty, v, addr))
+let alloca fb ty n = rval fb (Alloca (ty, n))
+let gep fb ty base path = rval fb (Gep (ty, base, path))
+let call fb name args = rval fb (Call (name, args))
+let call_void fb name args = effect fb (Call (name, args))
+let call_ind fb sg f args = rval fb (Call_ind (sg, f, args))
+let call_ind_void fb sg f args = effect fb (Call_ind (sg, f, args))
+let asm fb text = emit fb (Asm text)
+
+(* Integer constants. *)
+let i8 v = Int (Int64.of_int v, Ty.I8)
+let i16 v = Int (Int64.of_int v, Ty.I16)
+let i32 v = Int (Int64.of_int v, Ty.I32)
+let i64 v = Int (Int64.of_int v, Ty.I64)
+let i64' v = Int (v, Ty.I64)
+let f32 v = Float (v, Ty.F32)
+let f64 v = Float (v, Ty.F64)
+
+(* {1 Structured control flow} *)
+
+let ret fb op = seal fb (Ret op)
+let ret_void fb = seal fb (Ret None)
+let br fb label = seal fb (Br label)
+let cbr fb cond t e = seal fb (Cbr (cond, t, e))
+let switch fb v cases default = seal fb (Switch (v, cases, default))
+let unreachable fb = seal fb Unreachable
+
+let if_ fb cond ~then_ ?else_ () =
+  let lt = fresh_label fb "if.then"
+  and le = fresh_label fb "if.else"
+  and lend = fresh_label fb "if.end" in
+  (match else_ with
+  | Some _ -> cbr fb cond lt le
+  | None -> cbr fb cond lt lend);
+  open_block fb lt;
+  then_ ();
+  if fb.in_block then br fb lend;
+  (match else_ with
+  | Some else_body ->
+    open_block fb le;
+    else_body ();
+    if fb.in_block then br fb lend
+  | None -> ());
+  open_block fb lend
+
+(* [while_ fb ~name cond body]: [cond] is re-emitted in the header
+   block on every iteration, so it may contain instructions. *)
+let while_ fb ~name ~cond ~body () =
+  let lh = name ^ ".cond"
+  and lb = name ^ ".body"
+  and lend = name ^ ".end" in
+  br fb lh;
+  open_block fb lh;
+  let c = cond () in
+  cbr fb c lb lend;
+  open_block fb lb;
+  body ();
+  if fb.in_block then br fb lh;
+  open_block fb lend
+
+(* Counted loop over a register induction variable: name.cond is the
+   loop header, the body receives the induction value. *)
+let for_ fb ~name ~from ~below ?(step = i64 1) body =
+  let iv = fresh_reg fb in
+  emit fb (Assign (iv, Bin (Add, from, i64 0)));
+  let lh = name ^ ".cond"
+  and lb = name ^ ".body"
+  and lend = name ^ ".end" in
+  br fb lh;
+  open_block fb lh;
+  let c = cmp fb Slt (Reg iv) below in
+  cbr fb c lb lend;
+  open_block fb lb;
+  body (Reg iv);
+  if fb.in_block then begin
+    emit fb (Assign (iv, Bin (Add, Reg iv, step)));
+    br fb lh
+  end;
+  open_block fb lend
+
+let func t name ~params ~ret:fn_ret build =
+  List.iter
+    (fun ty ->
+      if not (Ty.is_scalar ty) then
+        invalid_arg
+          (Printf.sprintf
+             "Builder.func %s: parameters must be scalar (got %s)" name
+             (Ty.to_string ty)))
+    params;
+  let fn_params = List.mapi (fun i ty -> (i, ty)) params in
+  let fb =
+    { parent = t; fn_name = name; fn_params; fn_ret;
+      nreg = List.length params; done_blocks = []; cur_label = "entry";
+      cur_instrs = []; in_block = true; label_counter = 0 }
+  in
+  build fb (List.map (fun (r, _) -> Reg r) fn_params);
+  if fb.in_block then
+    (match fn_ret with
+    | Ty.Void -> ret_void fb
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Builder.func %s: missing return" name));
+  let f =
+    {
+      f_name = name;
+      f_params = fn_params;
+      f_ret = fn_ret;
+      f_blocks = List.rev fb.done_blocks;
+      f_nregs = fb.nreg;
+    }
+  in
+  t.mb_funcs <- f :: t.mb_funcs;
+  f
+
+(* {1 Infix operators}
+
+   [let ops fb] produces a first-class module of operators bound to
+   [fb], so kernels read like arithmetic:
+   {[ let module O = (val Builder.ops fb) in O.(a +! b *! c) ]} *)
+
+module type OPS = sig
+  val ( +! ) : operand -> operand -> operand
+  val ( -! ) : operand -> operand -> operand
+  val ( *! ) : operand -> operand -> operand
+  val ( /! ) : operand -> operand -> operand
+  val ( %! ) : operand -> operand -> operand
+  val ( +. ) : operand -> operand -> operand
+  val ( -. ) : operand -> operand -> operand
+  val ( *. ) : operand -> operand -> operand
+  val ( /. ) : operand -> operand -> operand
+  val ( <! ) : operand -> operand -> operand
+  val ( <=! ) : operand -> operand -> operand
+  val ( >! ) : operand -> operand -> operand
+  val ( >=! ) : operand -> operand -> operand
+  val ( =! ) : operand -> operand -> operand
+  val ( <>! ) : operand -> operand -> operand
+  val ( <. ) : operand -> operand -> operand
+  val ( >. ) : operand -> operand -> operand
+end
+
+let ops fb : (module OPS) =
+  (module struct
+    let ( +! ) a b = iadd fb a b
+    let ( -! ) a b = isub fb a b
+    let ( *! ) a b = imul fb a b
+    let ( /! ) a b = idiv fb a b
+    let ( %! ) a b = irem fb a b
+    let ( +. ) a b = fadd fb a b
+    let ( -. ) a b = fsub fb a b
+    let ( *. ) a b = fmul fb a b
+    let ( /. ) a b = fdiv fb a b
+    let ( <! ) a b = cmp fb Slt a b
+    let ( <=! ) a b = cmp fb Sle a b
+    let ( >! ) a b = cmp fb Sgt a b
+    let ( >=! ) a b = cmp fb Sge a b
+    let ( =! ) a b = cmp fb Eq a b
+    let ( <>! ) a b = cmp fb Ne a b
+    let ( <. ) a b = cmp fb Flt a b
+    let ( >. ) a b = cmp fb Fgt a b
+  end)

@@ -1,0 +1,110 @@
+(* Well-known external functions of the IR and their classification.
+
+   The function filter of the paper (Section 3.1) decides whether a call
+   makes a task machine specific.  It distinguishes: allocation calls
+   (rewritten to UVA allocation by Section 3.2), output I/O calls
+   (replaceable with remote I/O, Section 3.4), file I/O (remotable with
+   prefetching), interactive input (never offloadable), pure math and
+   memory helpers (machine independent), system calls and unknown
+   externals (machine specific). *)
+
+type kind =
+  | Alloc            (* malloc *)
+  | Dealloc          (* free *)
+  | Uva_alloc        (* u_malloc: already unified *)
+  | Uva_dealloc      (* u_free *)
+  | Output_io        (* print_*: replaceable with r_print_* *)
+  | Input_io         (* scan_*: interactive, machine specific *)
+  | File_io          (* f_*: remotable with prefetch *)
+  | Remote_io        (* r_print_* / rf_*: already remote *)
+  | Pure             (* math functions *)
+  | Memory           (* memcpy / memset: machine independent *)
+  | Syscall          (* machine specific *)
+  | Unknown          (* unknown external: machine specific *)
+
+let i8p = Ty.Ptr Ty.I8
+
+let table : (string * kind * Ty.signature) list =
+  [
+    ("malloc", Alloc, Ty.signature [ Ty.I64 ] i8p);
+    ("free", Dealloc, Ty.signature [ i8p ] Ty.Void);
+    ("u_malloc", Uva_alloc, Ty.signature [ Ty.I64 ] i8p);
+    ("u_free", Uva_dealloc, Ty.signature [ i8p ] Ty.Void);
+    ("print_i64", Output_io, Ty.signature [ Ty.I64 ] Ty.Void);
+    ("print_f64", Output_io, Ty.signature [ Ty.F64 ] Ty.Void);
+    ("print_str", Output_io, Ty.signature [ i8p ] Ty.Void);
+    ("print_newline", Output_io, Ty.signature [] Ty.Void);
+    ("r_print_i64", Remote_io, Ty.signature [ Ty.I64 ] Ty.Void);
+    ("r_print_f64", Remote_io, Ty.signature [ Ty.F64 ] Ty.Void);
+    ("r_print_str", Remote_io, Ty.signature [ i8p ] Ty.Void);
+    ("r_print_newline", Remote_io, Ty.signature [] Ty.Void);
+    ("scan_i64", Input_io, Ty.signature [] Ty.I64);
+    ("scan_f64", Input_io, Ty.signature [] Ty.F64);
+    ("f_open", File_io, Ty.signature [ i8p ] Ty.I32);
+    ("f_size", File_io, Ty.signature [ Ty.I32 ] Ty.I64);
+    ("f_read", File_io, Ty.signature [ Ty.I32; i8p; Ty.I64 ] Ty.I64);
+    ("f_close", File_io, Ty.signature [ Ty.I32 ] Ty.Void);
+    ("rf_open", Remote_io, Ty.signature [ i8p ] Ty.I32);
+    ("rf_size", Remote_io, Ty.signature [ Ty.I32 ] Ty.I64);
+    ("rf_read", Remote_io, Ty.signature [ Ty.I32; i8p; Ty.I64 ] Ty.I64);
+    ("rf_close", Remote_io, Ty.signature [ Ty.I32 ] Ty.Void);
+    ("sqrt", Pure, Ty.signature [ Ty.F64 ] Ty.F64);
+    ("sin", Pure, Ty.signature [ Ty.F64 ] Ty.F64);
+    ("cos", Pure, Ty.signature [ Ty.F64 ] Ty.F64);
+    ("exp", Pure, Ty.signature [ Ty.F64 ] Ty.F64);
+    ("log", Pure, Ty.signature [ Ty.F64 ] Ty.F64);
+    ("fabs", Pure, Ty.signature [ Ty.F64 ] Ty.F64);
+    ("pow", Pure, Ty.signature [ Ty.F64; Ty.F64 ] Ty.F64);
+    ("memcpy", Memory, Ty.signature [ i8p; i8p; Ty.I64 ] Ty.Void);
+    ("memset", Memory, Ty.signature [ i8p; Ty.I64; Ty.I64 ] Ty.Void);
+    ("syscall", Syscall, Ty.signature [ Ty.I64; Ty.I64 ] Ty.I64);
+  ]
+
+let kind_of name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) table with
+  | Some (_, kind, _) -> kind
+  | None -> Unknown
+
+let signature_of name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) table with
+  | Some (_, _, sg) -> Some sg
+  | None -> None
+
+let is_builtin name = signature_of name <> None
+
+(* Remote counterpart of an output/file I/O builtin (Section 3.4). *)
+let remote_counterpart name =
+  match name with
+  | "print_i64" -> Some "r_print_i64"
+  | "print_f64" -> Some "r_print_f64"
+  | "print_str" -> Some "r_print_str"
+  | "print_newline" -> Some "r_print_newline"
+  | "f_open" -> Some "rf_open"
+  | "f_size" -> Some "rf_size"
+  | "f_read" -> Some "rf_read"
+  | "f_close" -> Some "rf_close"
+  | _ -> None
+
+(* Is a call to [name] machine specific in the sense of the function
+   filter?  Output and file I/O are *not* machine specific because they
+   can be rewritten to remote I/O; interactive input, syscalls and
+   unknown externals are. *)
+let is_machine_specific name =
+  match kind_of name with
+  | Input_io | Syscall | Unknown -> true
+  | Alloc | Dealloc | Uva_alloc | Uva_dealloc | Output_io | File_io
+  | Remote_io | Pure | Memory -> false
+
+let kind_to_string = function
+  | Alloc -> "alloc"
+  | Dealloc -> "dealloc"
+  | Uva_alloc -> "uva-alloc"
+  | Uva_dealloc -> "uva-dealloc"
+  | Output_io -> "output-io"
+  | Input_io -> "input-io"
+  | File_io -> "file-io"
+  | Remote_io -> "remote-io"
+  | Pure -> "pure"
+  | Memory -> "memory"
+  | Syscall -> "syscall"
+  | Unknown -> "unknown"

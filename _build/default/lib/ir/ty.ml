@@ -1,0 +1,86 @@
+(* Types of the Native Offloader IR.
+
+   The IR is typed the way LLVM IR is typed: fixed-width integers,
+   IEEE floats, pointers, named structures and fixed-size arrays.
+   Pointer width is *not* part of the type: it is an architecture
+   property, which is exactly what the address-size conversion pass of
+   the paper (Section 3.2) manipulates. *)
+
+type t =
+  | I8
+  | I16
+  | I32
+  | I64
+  | F32
+  | F64
+  | Ptr of t
+  | Fn_ptr of signature
+  | Struct of string
+  | Array of t * int
+  | Void
+
+and signature = {
+  args : t list;
+  ret : t;
+}
+
+let signature args ret = { args; ret }
+
+let is_integer = function
+  | I8 | I16 | I32 | I64 -> true
+  | F32 | F64 | Ptr _ | Fn_ptr _ | Struct _ | Array _ | Void -> false
+
+let is_float = function
+  | F32 | F64 -> true
+  | I8 | I16 | I32 | I64 | Ptr _ | Fn_ptr _ | Struct _ | Array _ | Void -> false
+
+let is_pointer = function
+  | Ptr _ | Fn_ptr _ -> true
+  | I8 | I16 | I32 | I64 | F32 | F64 | Struct _ | Array _ | Void -> false
+
+let is_scalar ty = is_integer ty || is_float ty || is_pointer ty
+
+(* Width in bits of integer and float types.  Pointers have no
+   architecture-independent width; see {!No_arch.Layout}. *)
+let scalar_bits = function
+  | I8 -> 8
+  | I16 -> 16
+  | I32 -> 32
+  | I64 -> 64
+  | F32 -> 32
+  | F64 -> 64
+  | Ptr _ | Fn_ptr _ | Struct _ | Array _ | Void ->
+    invalid_arg "Ty.scalar_bits: not a fixed-width scalar"
+
+let rec pp ppf ty =
+  match ty with
+  | I8 -> Fmt.string ppf "i8"
+  | I16 -> Fmt.string ppf "i16"
+  | I32 -> Fmt.string ppf "i32"
+  | I64 -> Fmt.string ppf "i64"
+  | F32 -> Fmt.string ppf "f32"
+  | F64 -> Fmt.string ppf "f64"
+  | Ptr ty -> Fmt.pf ppf "%a*" pp ty
+  | Fn_ptr { args; ret } ->
+    Fmt.pf ppf "%a(%a)*" pp ret Fmt.(list ~sep:(any ", ") pp) args
+  | Struct name -> Fmt.pf ppf "%%%s" name
+  | Array (ty, n) -> Fmt.pf ppf "[%d x %a]" n pp ty
+  | Void -> Fmt.string ppf "void"
+
+let to_string ty = Fmt.str "%a" pp ty
+
+let rec equal a b =
+  match a, b with
+  | I8, I8 | I16, I16 | I32, I32 | I64, I64 | F32, F32 | F64, F64 | Void, Void
+    -> true
+  | Ptr a, Ptr b -> equal a b
+  | Fn_ptr a, Fn_ptr b -> equal_signature a b
+  | Struct a, Struct b -> String.equal a b
+  | Array (a, n), Array (b, m) -> n = m && equal a b
+  | (I8 | I16 | I32 | I64 | F32 | F64 | Ptr _ | Fn_ptr _
+    | Struct _ | Array _ | Void), _ -> false
+
+and equal_signature a b =
+  equal a.ret b.ret
+  && List.length a.args = List.length b.args
+  && List.for_all2 equal a.args b.args

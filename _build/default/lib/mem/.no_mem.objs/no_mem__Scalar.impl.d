@@ -1,0 +1,1 @@
+lib/mem/scalar.ml: Int32 Int64 No_arch

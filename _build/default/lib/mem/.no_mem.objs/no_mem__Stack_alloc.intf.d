@@ -1,0 +1,1 @@
+lib/mem/stack_alloc.mli:

@@ -1,0 +1,1 @@
+lib/mem/uva.ml: Hashtbl List Region

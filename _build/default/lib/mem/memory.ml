@@ -1,0 +1,130 @@
+(* A device's view of the UVA space: physical pages plus a page table.
+
+   The mobile device is the *home* of every page: touching a page it
+   does not yet have simply materializes a zero page (the OS would hand
+   it a fresh frame).  The server is *remote*: touching a page that is
+   not resident raises a page fault, which the offloading runtime hooks
+   to implement copy-on-demand (paper Section 4, Figure 5).  Writes on
+   the server mark pages dirty so finalization can send only dirty
+   pages back. *)
+
+exception Page_fault of int            (* page number, unhandled *)
+exception Bad_access of int * string   (* address, reason *)
+
+type role = Home | Remote
+
+type t = {
+  role : role;
+  pages : (int, Bytes.t) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable on_fault : (t -> int -> unit) option;
+      (* must install the page (see [install_page]) or raise *)
+  mutable track_dirty : bool;
+  mutable on_touch : (int -> unit) option;
+      (* profiler hook: called with the page of every access *)
+  mutable fault_count : int;
+}
+
+let create role =
+  {
+    role;
+    pages = Hashtbl.create 1024;
+    dirty = Hashtbl.create 64;
+    track_dirty = false;
+    on_fault = None;
+    on_touch = None;
+    fault_count = 0;
+  }
+
+let install_page t page bytes =
+  if Bytes.length bytes <> Region.page_size then
+    invalid_arg "Memory.install_page: wrong page size";
+  Hashtbl.replace t.pages page bytes
+
+let has_page t page = Hashtbl.mem t.pages page
+
+let drop_page t page =
+  Hashtbl.remove t.pages page;
+  Hashtbl.remove t.dirty page
+
+let drop_all_pages t =
+  Hashtbl.reset t.pages;
+  Hashtbl.reset t.dirty
+
+let page_bytes t page =
+  match Hashtbl.find_opt t.pages page with
+  | Some bytes -> bytes
+  | None -> (
+    match t.role with
+    | Home ->
+      let bytes = Bytes.make Region.page_size '\000' in
+      Hashtbl.replace t.pages page bytes;
+      bytes
+    | Remote -> (
+      t.fault_count <- t.fault_count + 1;
+      match t.on_fault with
+      | Some handler -> (
+        handler t page;
+        match Hashtbl.find_opt t.pages page with
+        | Some bytes -> bytes
+        | None -> raise (Page_fault page))
+      | None -> raise (Page_fault page)))
+
+let check_mapped addr =
+  match Region.region_of_addr addr with
+  | Region.Null_guard ->
+    raise (Bad_access (addr, "null pointer dereference"))
+  | Region.Unmapped -> raise (Bad_access (addr, "unmapped address"))
+  | Region.Globals | Region.Mobile_stack | Region.Server_stack
+  | Region.Heap -> ()
+
+let note_touched t addr =
+  match t.on_touch with
+  | Some callback -> callback (Region.page_of_addr addr)
+  | None -> ()
+
+let read_byte t addr =
+  check_mapped addr;
+  note_touched t addr;
+  let page = Region.page_of_addr addr in
+  Char.code (Bytes.get (page_bytes t page) (Region.offset_in_page addr))
+
+let write_byte t addr v =
+  check_mapped addr;
+  note_touched t addr;
+  let page = Region.page_of_addr addr in
+  Bytes.set (page_bytes t page) (Region.offset_in_page addr)
+    (Char.chr (v land 0xff));
+  if t.track_dirty then Hashtbl.replace t.dirty page ()
+
+(* Bulk transfer helpers used by memcpy/memset builtins and by the
+   communication manager. *)
+let read_block t addr len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (read_byte t (addr + i)))
+  done;
+  out
+
+let write_block t addr data =
+  Bytes.iteri (fun i c -> write_byte t (addr + i) (Char.code c)) data
+
+(* Page-table style queries for the runtime. *)
+let resident_pages t =
+  Hashtbl.fold (fun page _ acc -> page :: acc) t.pages []
+  |> List.sort compare
+
+let dirty_pages t =
+  Hashtbl.fold (fun page _ acc -> page :: acc) t.dirty []
+  |> List.sort compare
+
+let clear_dirty t = Hashtbl.reset t.dirty
+
+let resident_count t = Hashtbl.length t.pages
+let resident_bytes t = Hashtbl.length t.pages * Region.page_size
+
+(* Copy of a page's current contents (for transmission). *)
+let page_copy t page = Bytes.copy (page_bytes t page)
+
+(* Profiler hook installation. *)
+let set_touch_callback t callback = t.on_touch <- callback

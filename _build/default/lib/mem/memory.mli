@@ -1,0 +1,55 @@
+(** A device's view of the UVA space: physical pages plus a page
+    table.
+
+    The mobile device is the {e home} of every page — touching a page
+    it lacks materializes zeroes, as an OS hands out fresh frames.
+    The server is {e remote}: touching a non-resident page invokes the
+    fault hook, which the offloading runtime uses to implement
+    copy-on-demand (paper §4, Figure 5).  Server writes mark pages
+    dirty so finalization sends only dirty pages back. *)
+
+(** Unhandled fault, with the page number. *)
+exception Page_fault of int
+
+(** Address and reason (null dereference, unmapped region). *)
+exception Bad_access of int * string
+
+type role = Home | Remote
+
+type t = {
+  role : role;
+  pages : (int, Bytes.t) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable on_fault : (t -> int -> unit) option;
+      (** must install the missing page or raise *)
+  mutable track_dirty : bool;
+  mutable on_touch : (int -> unit) option;
+      (** profiler hook, called with the page of every access *)
+  mutable fault_count : int;
+}
+
+val create : role -> t
+
+val install_page : t -> int -> Bytes.t -> unit
+(** Make [page] resident with the given contents (must be exactly one
+    page). *)
+
+val has_page : t -> int -> bool
+val drop_page : t -> int -> unit
+val drop_all_pages : t -> unit
+
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+val read_block : t -> int -> int -> Bytes.t
+val write_block : t -> int -> Bytes.t -> unit
+
+val resident_pages : t -> int list
+val dirty_pages : t -> int list
+val clear_dirty : t -> unit
+val resident_count : t -> int
+val resident_bytes : t -> int
+
+val page_copy : t -> int -> Bytes.t
+(** Copy of a page's current contents, for transmission. *)
+
+val set_touch_callback : t -> (int -> unit) option -> unit

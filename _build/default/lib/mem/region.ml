@@ -1,0 +1,46 @@
+(* The unified virtual address (UVA) space map.
+
+   Both devices see the same addresses (paper Section 3.2).  Every
+   region fits under 2^32 so a 32-bit mobile device can address all of
+   it; the server zero-extends.  The server stack is placed far from
+   the mobile stack — this is the "stack reallocation" of Section 3.3:
+   "the compiler changes the stack area of the server to be far from
+   the mobile stack area". *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits                   (* 4 KiB *)
+
+let page_of_addr addr = addr lsr page_bits
+let addr_of_page page = page lsl page_bits
+let offset_in_page addr = addr land (page_size - 1)
+
+let null_guard_end = 0x0001_0000                  (* null dereference trap *)
+let globals_base = 0x0001_0000
+let globals_limit = 0x0400_0000
+let mobile_stack_base = 0x0800_0000
+let mobile_stack_limit = 0x0A00_0000              (* 32 MiB of stack *)
+let server_stack_base = 0x0C00_0000
+let server_stack_limit = 0x0E00_0000
+let heap_base = 0x1000_0000
+let heap_limit = 0xF000_0000
+
+type region = Null_guard | Globals | Mobile_stack | Server_stack | Heap | Unmapped
+
+let region_of_addr addr =
+  if addr < 0 then Unmapped
+  else if addr < null_guard_end then Null_guard
+  else if addr < globals_limit then Globals
+  else if addr >= mobile_stack_base && addr < mobile_stack_limit then
+    Mobile_stack
+  else if addr >= server_stack_base && addr < server_stack_limit then
+    Server_stack
+  else if addr >= heap_base && addr < heap_limit then Heap
+  else Unmapped
+
+let region_to_string = function
+  | Null_guard -> "null-guard"
+  | Globals -> "globals"
+  | Mobile_stack -> "mobile-stack"
+  | Server_stack -> "server-stack"
+  | Heap -> "heap"
+  | Unmapped -> "unmapped"

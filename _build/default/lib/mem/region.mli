@@ -1,0 +1,28 @@
+(** The unified virtual address (UVA) space map.
+
+    Both devices see the same addresses (paper §3.2); everything fits
+    below 2^32 so the 32-bit mobile device addresses all of it and the
+    64-bit server zero-extends.  The server stack region is far from
+    the mobile stack region (§3.3's stack reallocation). *)
+
+val page_bits : int
+val page_size : int
+
+val page_of_addr : int -> int
+val addr_of_page : int -> int
+val offset_in_page : int -> int
+
+val null_guard_end : int
+val globals_base : int
+val globals_limit : int
+val mobile_stack_base : int
+val mobile_stack_limit : int
+val server_stack_base : int
+val server_stack_limit : int
+val heap_base : int
+val heap_limit : int
+
+type region = Null_guard | Globals | Mobile_stack | Server_stack | Heap | Unmapped
+
+val region_of_addr : int -> region
+val region_to_string : region -> string

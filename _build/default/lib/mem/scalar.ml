@@ -1,0 +1,73 @@
+(* Endianness-aware scalar encoding.
+
+   Values cross the IR/memory boundary here.  Integers travel as
+   int64 (sign-agnostic bit patterns, truncated to their width);
+   floats as their IEEE bit patterns.  The byte order is the *unified*
+   order (the mobile device's, per Section 3.2): when a device of the
+   other endianness runs translated code, the compiler has inserted
+   explicit [Bswap] operations, so this module always encodes in the
+   order it is told. *)
+
+module Arch = No_arch.Arch
+
+let mask_of_bytes nbytes =
+  if nbytes >= 8 then -1L
+  else Int64.sub (Int64.shift_left 1L (nbytes * 8)) 1L
+
+(* Truncate a bit pattern to [nbytes] and sign-extend back to int64.
+   Loads of sub-word integers produce sign-extended register values
+   (matching C's int semantics for the signed types our IR exposes). *)
+let sign_extend value nbytes =
+  if nbytes >= 8 then value
+  else
+    let bits = nbytes * 8 in
+    Int64.shift_right (Int64.shift_left value (64 - bits)) (64 - bits)
+
+let store_int (endianness : Arch.endianness) ~write_byte addr nbytes value =
+  match endianness with
+  | Arch.Little ->
+    for i = 0 to nbytes - 1 do
+      let b = Int64.to_int (Int64.shift_right_logical value (i * 8)) land 0xff in
+      write_byte (addr + i) b
+    done
+  | Arch.Big ->
+    for i = 0 to nbytes - 1 do
+      let b =
+        Int64.to_int (Int64.shift_right_logical value ((nbytes - 1 - i) * 8))
+        land 0xff
+      in
+      write_byte (addr + i) b
+    done
+
+let load_int (endianness : Arch.endianness) ~read_byte addr nbytes =
+  let acc = ref 0L in
+  (match endianness with
+  | Arch.Little ->
+    for i = nbytes - 1 downto 0 do
+      acc := Int64.logor (Int64.shift_left !acc 8)
+               (Int64.of_int (read_byte (addr + i)))
+    done
+  | Arch.Big ->
+    for i = 0 to nbytes - 1 do
+      acc := Int64.logor (Int64.shift_left !acc 8)
+               (Int64.of_int (read_byte (addr + i)))
+    done);
+  !acc
+
+(* Swap the byte order of an [nbytes]-wide pattern (the semantics of
+   the IR's Bswap, inserted by endianness translation). *)
+let bswap value nbytes =
+  let out = ref 0L in
+  for i = 0 to nbytes - 1 do
+    let b = Int64.logand (Int64.shift_right_logical value (i * 8)) 0xffL in
+    out := Int64.logor !out (Int64.shift_left b ((nbytes - 1 - i) * 8))
+  done;
+  !out
+
+let float_to_bits ~f32 v =
+  if f32 then Int64.of_int32 (Int32.bits_of_float v)
+  else Int64.bits_of_float v
+
+let float_of_bits ~f32 bits =
+  if f32 then Int32.float_of_bits (Int64.to_int32 bits)
+  else Int64.float_of_bits bits

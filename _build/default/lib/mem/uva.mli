@@ -1,0 +1,42 @@
+(** The unified-virtual-address heap allocator.
+
+    The heap-allocation-replacement pass (paper §3.2) rewrites every
+    malloc/free to [u_malloc]/[u_free], serviced from this allocator.
+    One allocator is shared per offloading session — both devices must
+    agree where every object lives on the UVA space.
+
+    First-fit free list with address-ordered coalescing, 16-byte
+    alignment. *)
+
+type t
+
+(** Raised with the requested size when the region is exhausted. *)
+exception Out_of_memory of int
+
+(** Raised with the offending address. *)
+exception Invalid_free of int
+
+val alignment : int
+
+val create : ?base:int -> ?limit:int -> unit -> t
+(** Defaults to the UVA heap region of {!Region}. *)
+
+val alloc : t -> int -> int
+(** [alloc t size] returns the address of a fresh block.
+    @raise Out_of_memory when the region is exhausted. *)
+
+val dealloc : t -> int -> unit
+(** Free a block by its exact address.
+    @raise Invalid_free on anything else. *)
+
+val live_bytes : t -> int
+(** Currently allocated bytes (the dynamic estimator's "current memory
+    usage"). *)
+
+val total_allocations : t -> int
+val high_water_mark : t -> int
+val size_of_allocation : t -> int -> int option
+
+val used_pages : t -> int list
+(** Every page the heap has ever handed out — the prefetch set on a
+    target's first offload. *)

@@ -1,0 +1,1 @@
+lib/netsim/channel.ml: Buffer Bytes Compress Link

@@ -1,0 +1,1 @@
+lib/netsim/channel.mli: Bytes Link

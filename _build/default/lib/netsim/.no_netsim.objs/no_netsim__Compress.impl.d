@@ -1,0 +1,1 @@
+lib/netsim/compress.ml: Array Buffer Bytes Char Printf

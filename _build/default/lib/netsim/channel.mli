@@ -1,0 +1,49 @@
+(** A batched, optionally compressed message channel over a link.
+
+    The paper's runtime "batches and compresses the communicated
+    data": batching amortizes per-message latency; compression is
+    applied server→mobile only, because compressing on the phone costs
+    more than it saves (§4).  The channel is clock-agnostic: {!flush}
+    returns the elapsed time (transfer plus codec CPU) and the caller
+    advances its own clock. *)
+
+type direction = To_server | To_mobile
+
+type stats = {
+  mutable messages : int;        (** logical messages batched *)
+  mutable flushes : int;         (** physical transfers *)
+  mutable raw_bytes : int;
+  mutable wire_bytes : int;      (** after compression *)
+  mutable transfer_time : float;
+  mutable codec_time : float;
+}
+
+type t
+
+val default_compress_s_per_byte : float
+val default_decompress_s_per_byte : float
+
+val create :
+  ?compress:bool ->
+  ?compress_s_per_byte:float ->
+  ?decompress_s_per_byte:float ->
+  Link.t ->
+  direction ->
+  t
+
+val send : t -> Bytes.t -> unit
+(** Queue a logical message; costs nothing until flushed. *)
+
+val pending_bytes : t -> int
+
+val flush : t -> float
+(** Transmit the batch; returns elapsed seconds (0 if empty).
+    Compression falls back to raw when it would expand the data. *)
+
+val send_now : t -> Bytes.t -> float
+(** [send] then [flush]. *)
+
+val stats : t -> stats
+
+val compression_ratio : t -> float
+(** wire/raw over the channel's lifetime; 1.0 = incompressible. *)

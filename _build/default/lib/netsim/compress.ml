@@ -1,0 +1,149 @@
+(* LZ77 byte compressor used by the communication manager.
+
+   The paper's runtime "compresses the communicated data before
+   sending it" and, because compression costs much more than
+   decompression, applies it only to server-to-mobile traffic
+   (Section 4).  This is a real compressor — dirty pages of the
+   simulated memory are actual byte buffers, and zero-heavy or
+   repetitive pages compress exactly as they would in the paper's
+   system.
+
+   Format: a stream of tokens.
+     0x00 <varint len> <len bytes>      literal run
+     0x01 <varint dist> <varint len>    match (dist >= 1, len >= 4)
+   Varints are LEB128. *)
+
+let min_match = 4
+let max_match = 262
+let window_size = 1 lsl 16
+let hash_bits = 15
+let max_chain = 16
+
+let hash4 data i =
+  let b k = Char.code (Bytes.unsafe_get data (i + k)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  (v * 2654435761) lsr (32 - hash_bits) land ((1 lsl hash_bits) - 1)
+
+let put_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (!v land 0x7f lor 0x80));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let get_varint data pos =
+  let v = ref 0 and shift = ref 0 and p = ref pos in
+  let continue = ref true in
+  while !continue do
+    let b = Char.code (Bytes.get data !p) in
+    incr p;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  (!v, !p)
+
+let match_length data pos cand limit =
+  let n = ref 0 in
+  while
+    !n < limit
+    && Bytes.unsafe_get data (cand + !n) = Bytes.unsafe_get data (pos + !n)
+  do
+    incr n
+  done;
+  !n
+
+let compress (data : Bytes.t) : Bytes.t =
+  let len = Bytes.length data in
+  let out = Buffer.create (len / 2 + 16) in
+  let head = Array.make (1 lsl hash_bits) (-1) in
+  let prev = Array.make (max len 1) (-1) in
+  let lit_start = ref 0 in
+  let flush_literals upto =
+    if upto > !lit_start then begin
+      Buffer.add_char out '\000';
+      put_varint out (upto - !lit_start);
+      Buffer.add_subbytes out data !lit_start (upto - !lit_start)
+    end
+  in
+  let insert i =
+    if i + min_match <= len then begin
+      let h = hash4 data i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let i = ref 0 in
+  while !i < len do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= len then begin
+      let limit = min max_match (len - !i) in
+      let cand = ref head.(hash4 data !i) in
+      let chain = ref 0 in
+      while !cand >= 0 && !chain < max_chain do
+        if !i - !cand <= window_size then begin
+          let l = match_length data !i !cand limit in
+          if l > !best_len then begin
+            best_len := l;
+            best_dist := !i - !cand
+          end
+        end;
+        cand := prev.(!cand);
+        incr chain
+      done
+    end;
+    if !best_len >= min_match then begin
+      flush_literals !i;
+      Buffer.add_char out '\001';
+      put_varint out !best_dist;
+      put_varint out !best_len;
+      for k = !i to !i + !best_len - 1 do
+        insert k
+      done;
+      i := !i + !best_len;
+      lit_start := !i
+    end
+    else begin
+      insert !i;
+      incr i
+    end
+  done;
+  flush_literals len;
+  Buffer.to_bytes out
+
+exception Corrupt of string
+
+let decompress (data : Bytes.t) : Bytes.t =
+  let len = Bytes.length data in
+  let out = Buffer.create (len * 2) in
+  let pos = ref 0 in
+  while !pos < len do
+    let tag = Bytes.get data !pos in
+    incr pos;
+    match tag with
+    | '\000' ->
+      let n, p = get_varint data !pos in
+      pos := p;
+      if !pos + n > len then raise (Corrupt "literal run past end");
+      Buffer.add_subbytes out data !pos n;
+      pos := !pos + n
+    | '\001' ->
+      let dist, p = get_varint data !pos in
+      let mlen, p = get_varint data p in
+      pos := p;
+      let base = Buffer.length out - dist in
+      if dist = 0 || base < 0 then raise (Corrupt "bad match distance");
+      (* Overlapping copies are legal (dist < len). *)
+      for k = 0 to mlen - 1 do
+        Buffer.add_char out (Buffer.nth out (base + k))
+      done
+    | c -> raise (Corrupt (Printf.sprintf "bad token %C" c))
+  done;
+  Buffer.to_bytes out
+
+(* Ratio achieved on [data]; 1.0 means incompressible. *)
+let ratio data =
+  let n = Bytes.length data in
+  if n = 0 then 1.0
+  else float_of_int (Bytes.length (compress data)) /. float_of_int n

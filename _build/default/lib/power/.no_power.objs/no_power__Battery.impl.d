@@ -1,0 +1,1 @@
+lib/power/battery.ml: Hashtbl List Option Power_model

@@ -1,0 +1,30 @@
+(** Battery accounting: integrates the power model over the simulated
+    timeline and keeps the (time, power) trace behind Figure 8. *)
+
+type segment = {
+  seg_start : float;
+  seg_end : float;
+  seg_state : Power_model.state;
+  seg_mw : float;
+}
+
+type t
+
+val create : Power_model.t -> t
+
+val spend : t -> from_s:float -> to_s:float -> Power_model.state -> unit
+(** Record that the device was in the given state over the interval.
+    Zero-length intervals are dropped.
+    @raise Invalid_argument on negative durations. *)
+
+val energy_mj : t -> float
+(** Total energy so far (mW·s = mJ). *)
+
+val segments : t -> segment list
+(** In chronological order. *)
+
+val resample : t -> period_s:float -> (float * float) list
+(** (time, mW) pairs at a fixed period, for plotting. *)
+
+val time_by_state : t -> (Power_model.state * float) list
+(** Total seconds per state, for overhead analysis. *)

@@ -1,0 +1,53 @@
+(* Mobile-device power model (our Monsoon Power Monitor substitute).
+
+   Section 5.2 names the states and levels observed on the Galaxy S5:
+   "about 300mW for idle state, 1350mW for waiting signals, 2000mW for
+   data reception, and 2000mW to 5000mW for data transmission"; the
+   slow network's radio draws less while handling remote I/O (~1700mW
+   vs ~2000mW, Figure 8(b)/(c)).  Local computation power depends on
+   CPU intensity; we use a representative active level. *)
+
+type state =
+  | Idle              (* screen-off baseline *)
+  | Computing         (* CPU executing locally *)
+  | Waiting           (* waiting for the server, radio associated *)
+  | Receiving         (* receiving data *)
+  | Transmitting      (* transmitting data *)
+  | Remote_io_service (* servicing remote I/O requests from the server *)
+
+type t = {
+  idle_mw : float;
+  computing_mw : float;
+  waiting_mw : float;
+  receiving_mw : float;
+  transmitting_mw : float;
+  remote_io_mw : float;
+}
+
+(* [remote_io_mw] depends on the radio: the 802.11ac radio draws more
+   while servicing a continuous stream of small requests. *)
+let galaxy_s5 ~fast_radio = {
+  idle_mw = 300.0;
+  computing_mw = 3200.0;
+  waiting_mw = 1350.0;
+  receiving_mw = 2000.0;
+  transmitting_mw = 3500.0;
+  remote_io_mw = (if fast_radio then 2000.0 else 1700.0);
+}
+
+let draw_mw t state =
+  match state with
+  | Idle -> t.idle_mw
+  | Computing -> t.computing_mw
+  | Waiting -> t.waiting_mw
+  | Receiving -> t.receiving_mw
+  | Transmitting -> t.transmitting_mw
+  | Remote_io_service -> t.remote_io_mw
+
+let state_to_string = function
+  | Idle -> "idle"
+  | Computing -> "computing"
+  | Waiting -> "waiting"
+  | Receiving -> "receiving"
+  | Transmitting -> "transmitting"
+  | Remote_io_service -> "remote-io"

@@ -1,0 +1,1 @@
+lib/profiler/profiler.ml: Hashtbl List No_analysis No_exec No_ir No_mem Set String

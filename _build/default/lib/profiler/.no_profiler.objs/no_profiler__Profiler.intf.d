@@ -1,0 +1,1 @@
+lib/profiler/profiler.mli: No_exec

@@ -1,0 +1,198 @@
+(* The hot function/loop profiler (paper Section 3.1).
+
+   "The hot function/loop profiler measures execution time, invocation
+   count, and memory usage of each function and loop in an application
+   with a profiling input."
+
+   The profiler attaches to a {!No_exec.Host} through its hooks:
+   function enter/exit give inclusive times and invocation counts;
+   block entries attributed to statically detected natural loops give
+   loop times, invocations and iteration counts; a memory touch
+   callback collects the unique pages each active task accesses —
+   which is exactly the M of Equation 1 (what offloading would have to
+   communicate). *)
+
+module Ir = No_ir.Ir
+module Host = No_exec.Host
+module Memory = No_mem.Memory
+module Region = No_mem.Region
+module Loops = No_analysis.Loops
+module String_set = Set.Make (String)
+
+type kind = Func | Loop
+
+type sample = {
+  s_name : string;              (* function name or loop display name *)
+  s_kind : kind;
+  s_in_func : string;           (* enclosing function (self for Func) *)
+  s_time : float;               (* inclusive seconds, summed *)
+  s_invocations : int;
+  s_iterations : int;           (* loops only *)
+  s_mem_bytes : int;            (* max unique bytes touched per invocation *)
+}
+
+(* Mutable accumulator per profiled entity. *)
+type acc = {
+  a_name : string;
+  a_kind : kind;
+  a_in_func : string;
+  mutable a_time : float;
+  mutable a_invocations : int;
+  mutable a_iterations : int;
+  mutable a_mem_bytes : int;
+}
+
+type live_loop = {
+  ll_loop : Loops.loop;
+  ll_acc : acc;
+  ll_start : float;
+  ll_pages : (int, unit) Hashtbl.t;
+}
+
+type frame = {
+  fr_func : string;
+  fr_start : float;
+  fr_outermost : bool;          (* recursion: only outermost is timed *)
+  fr_pages : (int, unit) Hashtbl.t;
+  mutable fr_loops : live_loop list;  (* innermost first *)
+}
+
+type t = {
+  host : Host.t;
+  loops : Loops.loop list;
+  accs : (string, acc) Hashtbl.t;       (* key: kind-qualified name *)
+  mutable stack : frame list;
+  saved_hooks : Host.hooks;
+}
+
+let key kind name =
+  match kind with Func -> "f:" ^ name | Loop -> "l:" ^ name
+
+let get_acc t kind name in_func =
+  let k = key kind name in
+  match Hashtbl.find_opt t.accs k with
+  | Some acc -> acc
+  | None ->
+    let acc =
+      { a_name = name; a_kind = kind; a_in_func = in_func; a_time = 0.0;
+        a_invocations = 0; a_iterations = 0; a_mem_bytes = 0 }
+    in
+    Hashtbl.replace t.accs k acc;
+    acc
+
+let now t = t.host.Host.clock.Host.now
+
+let close_loop t (ll : live_loop) =
+  ll.ll_acc.a_time <- ll.ll_acc.a_time +. (now t -. ll.ll_start);
+  ll.ll_acc.a_mem_bytes <-
+    max ll.ll_acc.a_mem_bytes (Hashtbl.length ll.ll_pages * Region.page_size)
+
+let on_enter t fname =
+  let outermost =
+    not (List.exists (fun fr -> String.equal fr.fr_func fname) t.stack)
+  in
+  let acc = get_acc t Func fname fname in
+  acc.a_invocations <- acc.a_invocations + 1;
+  t.stack <-
+    { fr_func = fname; fr_start = now t; fr_outermost = outermost;
+      fr_pages = Hashtbl.create 64; fr_loops = [] }
+    :: t.stack
+
+let on_exit t fname =
+  match t.stack with
+  | fr :: rest when String.equal fr.fr_func fname ->
+    List.iter (close_loop t) fr.fr_loops;
+    let acc = get_acc t Func fname fname in
+    if fr.fr_outermost then begin
+      acc.a_time <- acc.a_time +. (now t -. fr.fr_start);
+      acc.a_mem_bytes <-
+        max acc.a_mem_bytes (Hashtbl.length fr.fr_pages * Region.page_size)
+    end;
+    t.stack <- rest
+  | _ ->
+    (* Unbalanced exit: drop silently (a trap unwound the stack). *)
+    ()
+
+let on_block t fname label =
+  match t.stack with
+  | fr :: _ when String.equal fr.fr_func fname -> (
+    (* Close loops whose body does not contain this block. *)
+    let rec close_stale loops =
+      match loops with
+      | ll :: rest
+        when not (Loops.String_set.mem label ll.ll_loop.Loops.l_blocks) ->
+        close_loop t ll;
+        close_stale rest
+      | _ -> loops
+    in
+    fr.fr_loops <- close_stale fr.fr_loops;
+    (* Entering a loop header: either a new invocation or an iteration. *)
+    match
+      List.find_opt
+        (fun (l : Loops.loop) ->
+          String.equal l.Loops.l_func fname
+          && String.equal l.Loops.l_header label)
+        t.loops
+    with
+    | None -> ()
+    | Some loop -> (
+      match fr.fr_loops with
+      | ll :: _ when String.equal ll.ll_loop.Loops.l_header label ->
+        ll.ll_acc.a_iterations <- ll.ll_acc.a_iterations + 1
+      | _ ->
+        let acc = get_acc t Loop loop.Loops.l_name fname in
+        acc.a_invocations <- acc.a_invocations + 1;
+        acc.a_iterations <- acc.a_iterations + 1;
+        fr.fr_loops <-
+          { ll_loop = loop; ll_acc = acc; ll_start = now t;
+            ll_pages = Hashtbl.create 64 }
+          :: fr.fr_loops))
+  | _ -> ()
+
+let on_touch t page =
+  List.iter
+    (fun fr ->
+      Hashtbl.replace fr.fr_pages page ();
+      List.iter (fun ll -> Hashtbl.replace ll.ll_pages page ()) fr.fr_loops)
+    t.stack
+
+(* Attach a profiler to [host]; returns the handle to read results
+   from after the profiled run. *)
+let attach (host : Host.t) : t =
+  let loops = Loops.loops_of_module host.Host.modul in
+  let t =
+    { host; loops; accs = Hashtbl.create 64; stack = [];
+      saved_hooks = host.Host.hooks }
+  in
+  host.Host.hooks.Host.on_enter <- on_enter t;
+  host.Host.hooks.Host.on_exit <- on_exit t;
+  host.Host.hooks.Host.on_block <- on_block t;
+  Memory.set_touch_callback host.Host.mem (Some (on_touch t));
+  t
+
+let detach t =
+  t.host.Host.hooks.Host.on_enter <- (fun _ -> ());
+  t.host.Host.hooks.Host.on_exit <- (fun _ -> ());
+  t.host.Host.hooks.Host.on_block <- (fun _ _ -> ());
+  Memory.set_touch_callback t.host.Host.mem None
+
+let results t : sample list =
+  Hashtbl.fold
+    (fun _ acc samples ->
+      {
+        s_name = acc.a_name;
+        s_kind = acc.a_kind;
+        s_in_func = acc.a_in_func;
+        s_time = acc.a_time;
+        s_invocations = acc.a_invocations;
+        s_iterations = acc.a_iterations;
+        s_mem_bytes = acc.a_mem_bytes;
+      }
+      :: samples)
+    t.accs []
+  |> List.sort (fun a b -> compare b.s_time a.s_time)
+
+let find_sample samples ~kind ~name =
+  List.find_opt
+    (fun s -> s.s_kind = kind && String.equal s.s_name name)
+    samples

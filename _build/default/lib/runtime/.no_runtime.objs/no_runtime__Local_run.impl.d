@@ -1,0 +1,1 @@
+lib/runtime/local_run.ml: List No_arch No_exec No_ir No_power

@@ -1,0 +1,1 @@
+lib/runtime/session.ml: Array Bytes Hashtbl Int64 List No_arch No_estimator No_exec No_ir No_mem No_netsim No_power No_transform Option String

@@ -1,0 +1,647 @@
+(* The Native Offloader runtime (paper Section 4, Figure 5).
+
+   A session owns the two devices of a run — the mobile host executing
+   the mobile partition and the server host executing the server
+   partition — the shared UVA allocator, the simulated wireless link,
+   and the mobile battery.  It implements the offloaded-task life
+   cycle:
+
+     local execution  ->  dynamic estimation  ->  initialization
+     (task id + arguments + page table + reallocated-global slots,
+     prefetch)  ->  offloading execution (copy-on-demand page faults,
+     remote I/O service, function-pointer translation)  ->
+     finalization (compressed dirty-page write-back + return value).
+
+   Every network event advances the shared simulated clock and is
+   attributed to a mobile power state, which is what Figures 6(b) and
+   8 integrate and plot. *)
+
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Arch = No_arch.Arch
+module Layout = No_arch.Layout
+module Memory = No_mem.Memory
+module Region = No_mem.Region
+module Scalar = No_mem.Scalar
+module Uva = No_mem.Uva
+module Link = No_netsim.Link
+module Channel = No_netsim.Channel
+module Power_model = No_power.Power_model
+module Battery = No_power.Battery
+module Host = No_exec.Host
+module Interp = No_exec.Interp
+module Value = No_exec.Value
+module Console = No_exec.Console
+module Fs = No_exec.Fs
+module Fn_table = No_exec.Fn_table
+module Loader = No_exec.Loader
+module Partition = No_transform.Partition
+module Pipeline = No_transform.Pipeline
+module Dynamic_estimate = No_estimator.Dynamic_estimate
+module Bandwidth_predictor = No_estimator.Bandwidth_predictor
+
+exception Offload_error of string
+
+type decision_mode = Dynamic | Always_offload | Never_offload
+
+type config = {
+  mobile_arch : Arch.t;
+  server_arch : Arch.t;
+  link : Link.t;
+  compress_writeback : bool;     (* server->mobile compression (paper) *)
+  compress_upload : bool;        (* ablation: compress mobile->server too *)
+  copy_all : bool;               (* ablation: ship whole heap up front *)
+  prefetch : bool;
+  decision : decision_mode;
+  ideal : bool;                  (* zero communication/translation cost *)
+  fnptr_translation_s : float;   (* per-translation bookkeeping cost *)
+  fast_radio : bool;             (* selects the remote-I/O power level *)
+  initial_bw_bps : float option; (* stale bandwidth belief; None = the
+                                    configured link's effective rate *)
+}
+
+let default_config ?(link = Link.fast_wifi) () = {
+  mobile_arch = Arch.arm32;
+  server_arch = Arch.x86_64;
+  link;
+  compress_writeback = true;
+  compress_upload = false;
+  copy_all = false;
+  prefetch = true;
+  decision = Dynamic;
+  ideal = false;
+  fnptr_translation_s = 2.0e-4;   (* ~100ns real, on the CPU time scale *)
+  fast_radio = true;
+  initial_bw_bps = None;
+}
+
+type target_seed = {
+  seed_name : string;
+  seed_time_s : float;           (* expected mobile time per invocation *)
+  seed_mem_bytes : int;          (* expected shared-memory footprint *)
+}
+
+(* Figure 7's overhead categories, accumulated as they occur. *)
+type overheads = {
+  mutable comm_s : float;
+  mutable fnptr_s : float;
+  mutable remote_io_s : float;
+  mutable fnptr_count : int;
+  mutable remote_io_count : int;
+  mutable fault_count : int;
+  mutable prefetched_pages : int;
+  mutable offloads : int;
+  mutable refusals : int;
+}
+
+type t = {
+  config : config;
+  mobile : Host.t;
+  server : Host.t;
+  clock : Host.clock;
+  battery : Battery.t;
+  estimator : Dynamic_estimate.t;
+  predictor : Bandwidth_predictor.t;
+  to_server : Channel.t;
+  to_mobile : Channel.t;
+  targets : Partition.target list;
+  uva_globals : Ir.global list;
+  unified_layout : Layout.env;
+  ov : overheads;
+  mem_estimate : (string, int) Hashtbl.t;  (* per-target footprint *)
+  uva_global_addr : (string, int) Hashtbl.t; (* g -> UVA object address *)
+  mutable last_mark : float;
+  mutable in_offload : bool;
+  mutable pending_request : (int * Value.t list) option;
+  mutable pending_args : Value.t array;
+  mutable pending_ret : Value.t;
+  mutable last_resident : int list;        (* server residency, for prefetch *)
+  mutable server_exec_s : float;           (* wall time inside offloads *)
+  mutable finished : bool;
+}
+
+(* {1 Power bookkeeping} *)
+
+let mark t state =
+  let now = t.clock.Host.now in
+  Battery.spend t.battery ~from_s:t.last_mark ~to_s:now state;
+  t.last_mark <- now
+
+(* Close the running segment with the phase's background state, then
+   perform [f] (which advances the clock), then mark its segment. *)
+let with_state t state f =
+  mark t
+    (if t.in_offload then Power_model.Waiting else Power_model.Computing);
+  let result = f () in
+  mark t state;
+  result
+
+let advance t seconds = t.clock.Host.now <- t.clock.Host.now +. seconds
+
+(* {1 Construction} *)
+
+let server_globals_base = Host.globals_base_of_role Host.Server
+
+let create ?(config = default_config ()) ?(script = []) ?(files = [])
+    (output : Pipeline.output) ~(seeds : target_seed list) : t =
+  let clock = { Host.now = 0.0 } in
+  let uva = Uva.create () in
+  let console = Console.create ~script () in
+  let fs = Fs.create () in
+  List.iter (fun (name, data) -> Fs.add_file fs name data) files;
+  let structs name = Ir.find_struct_exn output.Pipeline.o_unified name in
+  let unified_layout =
+    Layout.unified_env ~mobile:config.mobile_arch ~structs
+  in
+  let mobile_fn_names =
+    List.map (fun (f : Ir.func) -> f.Ir.f_name)
+      output.Pipeline.o_mobile.Ir.m_funcs
+  in
+  let server_fn_names =
+    List.map (fun (f : Ir.func) -> f.Ir.f_name)
+      output.Pipeline.o_server.Ir.m_funcs
+  in
+  let mobile_table = Fn_table.mobile mobile_fn_names in
+  let server_table = Fn_table.server server_fn_names in
+  let mobile =
+    Host.create ~arch:config.mobile_arch ~role:Host.Mobile
+      ~modul:output.Pipeline.o_mobile ~layout:unified_layout
+      ~fn_table:mobile_table ~uva ~console ~fs ~clock ()
+  in
+  let server =
+    Host.create ~arch:config.server_arch ~role:Host.Server
+      ~modul:output.Pipeline.o_server ~layout:unified_layout
+      ~fn_table:server_table
+      ~fn_addr_standard:(Fn_table.addr_of mobile_table)
+      ~uva ~console ~fs ~clock ()
+  in
+  let r =
+    Arch.performance_ratio ~mobile:config.mobile_arch
+      ~server:config.server_arch
+  in
+  let initial_bw =
+    Option.value ~default:(Link.effective_bps config.link)
+      config.initial_bw_bps
+  in
+  let estimator = Dynamic_estimate.create ~r ~bw_bps:initial_bw in
+  (match config.decision with
+  | Dynamic -> ()
+  | Always_offload -> Dynamic_estimate.force estimator (Some true)
+  | Never_offload -> Dynamic_estimate.force estimator (Some false));
+  let mem_estimate = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      Dynamic_estimate.seed estimator ~name:seed.seed_name
+        ~profile_time_s:seed.seed_time_s;
+      Hashtbl.replace mem_estimate seed.seed_name seed.seed_mem_bytes)
+    seeds;
+  let t =
+    {
+      config;
+      mobile;
+      server;
+      clock;
+      battery = Battery.create (Power_model.galaxy_s5 ~fast_radio:config.fast_radio);
+      estimator;
+      predictor = Bandwidth_predictor.create ~initial_bps:initial_bw ();
+      to_server =
+        Channel.create ~compress:config.compress_upload config.link
+          Channel.To_server;
+      to_mobile =
+        Channel.create ~compress:config.compress_writeback config.link
+          Channel.To_mobile;
+      targets = output.Pipeline.o_targets;
+      uva_globals = output.Pipeline.o_mobile.Ir.m_uva_globals;
+      unified_layout;
+      ov =
+        { comm_s = 0.0; fnptr_s = 0.0; remote_io_s = 0.0; fnptr_count = 0;
+          remote_io_count = 0; fault_count = 0; prefetched_pages = 0;
+          offloads = 0; refusals = 0 };
+      mem_estimate;
+      uva_global_addr = Hashtbl.create 16;
+      last_mark = 0.0;
+      in_offload = false;
+      pending_request = None;
+      pending_args = [||];
+      pending_ret = Value.zero;
+      last_resident = [];
+      server_exec_s = 0.0;
+      finished = false;
+    }
+  in
+  t
+
+(* {1 Communication primitives} *)
+
+let charge_comm t seconds =
+  if not t.config.ideal then begin
+    advance t seconds;
+    t.ov.comm_s <- t.ov.comm_s +. seconds
+  end
+
+(* Every physical transfer feeds the bandwidth predictor, which in
+   turn refreshes the dynamic estimator's belief — the NWSLite-style
+   extension the paper's related work points at. *)
+let observe_transfer t ~bytes ~seconds =
+  if not t.config.ideal then begin
+    Bandwidth_predictor.observe t.predictor ~bytes ~seconds;
+    Dynamic_estimate.set_bandwidth t.estimator
+      (Bandwidth_predictor.predict_bps t.predictor)
+  end
+
+let send_to_server t (payload : Bytes.t) =
+  Channel.send t.to_server payload
+
+let flush_to_server t =
+  let bytes = Channel.pending_bytes t.to_server in
+  let seconds = Channel.flush t.to_server in
+  observe_transfer t ~bytes ~seconds;
+  charge_comm t seconds
+
+let send_to_mobile t (payload : Bytes.t) =
+  Channel.send t.to_mobile payload
+
+let flush_to_mobile t =
+  let bytes = Channel.pending_bytes t.to_mobile in
+  let seconds = Channel.flush t.to_mobile in
+  observe_transfer t ~bytes ~seconds;
+  charge_comm t seconds
+
+(* {1 Page movement} *)
+
+(* Is [page] part of the state the mobile device owns (and therefore
+   subject to copy-on-demand and write-back)? *)
+let mobile_owned_page page =
+  let addr = Region.addr_of_page page in
+  match Region.region_of_addr addr with
+  | Region.Heap | Region.Mobile_stack -> true
+  | Region.Globals -> addr < server_globals_base
+  | Region.Server_stack | Region.Null_guard | Region.Unmapped -> false
+
+(* Copy-on-demand fault service: bring one page from the mobile
+   device, paying a round trip. *)
+let service_fault t (mem : Memory.t) page =
+  if not (mobile_owned_page page) then
+    (* Server-local page (its stack, a fresh heap page the mobile
+       never materialized): materialize zeroes locally, no traffic. *)
+    Memory.install_page mem page (Bytes.make Region.page_size '\000')
+  else if not (Memory.has_page t.mobile.Host.mem page) then
+    Memory.install_page mem page (Bytes.make Region.page_size '\000')
+  else begin
+    t.ov.fault_count <- t.ov.fault_count + 1;
+    with_state t Power_model.Transmitting (fun () ->
+        let seconds =
+          Link.round_trip_time t.config.link ~req:48
+            ~resp:(Region.page_size + 48)
+        in
+        charge_comm t seconds);
+    Memory.install_page mem page (Memory.page_copy t.mobile.Host.mem page)
+  end
+
+(* Batch-ship a set of pages mobile -> server. *)
+let push_pages_to_server t (pages : int list) =
+  let pages =
+    List.filter
+      (fun page ->
+        mobile_owned_page page && Memory.has_page t.mobile.Host.mem page)
+      pages
+  in
+  if pages <> [] then begin
+    with_state t Power_model.Transmitting (fun () ->
+        List.iter
+          (fun page ->
+            let payload = Memory.page_copy t.mobile.Host.mem page in
+            Memory.install_page t.server.Host.mem page payload;
+            send_to_server t payload;
+            send_to_server t (Bytes.make 8 '\000') (* page header *))
+          pages;
+        flush_to_server t);
+    t.ov.prefetched_pages <- t.ov.prefetched_pages + List.length pages
+  end
+
+(* {1 Initialization / finalization} *)
+
+let unified_endianness t = t.config.mobile_arch.Arch.endianness
+
+(* Copy the reallocated-global slot values mobile -> server.  Slots
+   hold unified-width (32-bit) UVA addresses in unified byte order. *)
+let sync_uva_slots t =
+  List.iter
+    (fun (g : Ir.global) ->
+      let slot = No_transform.Global_realloc.slot_name g.Ir.g_name in
+      let mob_addr = Host.global_addr t.mobile slot in
+      let srv_addr = Host.global_addr t.server slot in
+      let value =
+        Scalar.load_int (unified_endianness t)
+          ~read_byte:(Memory.read_byte t.mobile.Host.mem)
+          mob_addr 4
+      in
+      Scalar.store_int (unified_endianness t)
+        ~write_byte:(Memory.write_byte t.server.Host.mem)
+        srv_addr 4 value)
+    t.uva_globals
+
+let initialization t target_id (args : Value.t list) =
+  (* Offloading information: task id, stack pointer, page table,
+     arguments, reallocated-global slot table. *)
+  let resident = Memory.resident_count t.mobile.Host.mem in
+  let header_bytes =
+    64 (* id, stack pointer, sizes *)
+    + ((resident / 8) + 1) (* page-table bitmap *)
+    + (List.length args * 8)
+    + (List.length t.uva_globals * 12)
+  in
+  with_state t Power_model.Transmitting (fun () ->
+      send_to_server t (Bytes.create header_bytes);
+      flush_to_server t);
+  sync_uva_slots t;
+  ignore target_id;
+  (* Prefetch: the pages this target needed last time, or on the first
+     offload every page the UVA heap has handed out. *)
+  if t.config.copy_all then
+    push_pages_to_server t
+      (List.filter mobile_owned_page
+         (Memory.resident_pages t.mobile.Host.mem))
+  else if t.config.prefetch then begin
+    let pages =
+      match t.last_resident with
+      | [] -> Uva.used_pages t.mobile.Host.uva
+      | pages -> pages
+    in
+    push_pages_to_server t pages
+  end;
+  Memory.clear_dirty t.server.Host.mem;
+  t.server.Host.mem.Memory.track_dirty <- true
+
+let finalization t : int =
+  (* Dirty pages + return value + updated page table, compressed
+     server->mobile (Section 4: compression is applied only in this
+     direction). *)
+  let dirty =
+    List.filter mobile_owned_page (Memory.dirty_pages t.server.Host.mem)
+  in
+  with_state t Power_model.Receiving (fun () ->
+      List.iter
+        (fun page ->
+          let payload = Memory.page_copy t.server.Host.mem page in
+          Memory.install_page t.mobile.Host.mem page payload;
+          send_to_mobile t payload;
+          send_to_mobile t (Bytes.make 8 '\000'))
+        dirty;
+      send_to_mobile t (Bytes.create 64);  (* return value + signal *)
+      flush_to_mobile t);
+  (* Terminate the offloading process: the server keeps no offloading
+     data (its own globals area survives; everything fetched or
+     allocated for the task is dropped). *)
+  let fetched =
+    List.filter mobile_owned_page (Memory.resident_pages t.server.Host.mem)
+  in
+  t.last_resident <- fetched;
+  List.iter (Memory.drop_page t.server.Host.mem) fetched;
+  t.server.Host.mem.Memory.track_dirty <- false;
+  Memory.clear_dirty t.server.Host.mem;
+  List.length dirty
+
+(* {1 Server-side externs and intercepts} *)
+
+let target_by_id t id =
+  List.find_opt (fun tg -> tg.Partition.t_id = id) t.targets
+
+let target_by_name t name =
+  List.find_opt (fun tg -> String.equal tg.Partition.t_name name) t.targets
+
+let remote_io_cost t ~(request : int) ~(response : int) ~(round_trip : bool) =
+  if not t.config.ideal then begin
+    t.ov.remote_io_count <- t.ov.remote_io_count + 1;
+    with_state t Power_model.Remote_io_service (fun () ->
+        let seconds =
+          if round_trip then
+            Link.round_trip_time t.config.link ~req:request ~resp:response
+          else Link.transfer_time t.config.link ~bytes:request
+        in
+        advance t seconds;
+        t.ov.remote_io_s <- t.ov.remote_io_s +. seconds)
+  end
+
+(* Intercept the server's remote I/O builtins: add the network cost of
+   the request; the functional work then runs against the *shared*
+   console and file system (they live on the mobile device). *)
+let server_builtin_override t name (argv : Value.t list) : Value.t option =
+  match name with
+  | "r_print_i64" | "r_print_f64" | "r_print_newline" ->
+    remote_io_cost t ~request:48 ~response:0 ~round_trip:false;
+    None
+  | "r_print_str" ->
+    let len =
+      match argv with
+      | [ addr ] ->
+        (try String.length (Interp.read_cstring t.server (Value.to_addr addr))
+         with Memory.Page_fault _ | Memory.Bad_access _ -> 16)
+      | _ -> 16
+    in
+    remote_io_cost t ~request:(48 + len) ~response:0 ~round_trip:false;
+    None
+  | "rf_open" | "rf_close" ->
+    remote_io_cost t ~request:64 ~response:32 ~round_trip:true;
+    None
+  | "rf_size" ->
+    remote_io_cost t ~request:48 ~response:32 ~round_trip:true;
+    None
+  | "rf_read" ->
+    let len =
+      match argv with
+      | [ _; _; len ] -> Int64.to_int (Value.to_int len)
+      | _ -> 0
+    in
+    remote_io_cost t ~request:48 ~response:(48 + len) ~round_trip:true;
+    None
+  | _ -> None
+
+let server_extern t name (argv : Value.t list) : Value.t option =
+  match name with
+  | "__accept_offload" -> (
+    match t.pending_request with
+    | Some (id, args) ->
+      t.pending_request <- None;
+      t.pending_args <- Array.of_list args;
+      Some (Value.VInt (Int64.of_int id))
+    | None -> Some (Value.VInt (-1L)))
+  | "__arg_i64" | "__arg_f64" -> (
+    match argv with
+    | [ k ] -> Some t.pending_args.(Int64.to_int (Value.to_int k))
+    | _ -> raise (Offload_error "bad __arg call"))
+  | "__ret_i64" | "__ret_f64" -> (
+    match argv with
+    | [ v ] ->
+      t.pending_ret <- v;
+      Some Value.zero
+    | _ -> raise (Offload_error "bad __ret call"))
+  | "__ret_void" ->
+    t.pending_ret <- Value.zero;
+    Some Value.zero
+  | _ -> None
+
+let install_server_hooks t =
+  let hooks = t.server.Host.hooks in
+  hooks.Host.builtin_override <- Some (server_builtin_override t);
+  hooks.Host.extern_call <- Some (server_extern t);
+  hooks.Host.fn_map <-
+    Some
+      (fun dir v ->
+        if not t.config.ideal then begin
+          t.ov.fnptr_count <- t.ov.fnptr_count + 1;
+          advance t t.config.fnptr_translation_s;
+          t.ov.fnptr_s <- t.ov.fnptr_s +. t.config.fnptr_translation_s
+        end;
+        let addr = Value.to_addr v in
+        match dir with
+        | Ir.Mobile_to_server ->
+          let name = Fn_table.name_of t.mobile.Host.fn_table addr in
+          Value.VInt
+            (Int64.of_int (Fn_table.addr_of t.server.Host.fn_table name))
+        | Ir.Server_to_mobile ->
+          let name = Fn_table.name_of t.server.Host.fn_table addr in
+          Value.VInt
+            (Int64.of_int (Fn_table.addr_of t.mobile.Host.fn_table name)));
+  t.server.Host.mem.Memory.on_fault <- Some (service_fault t)
+
+(* {1 The offload protocol (mobile side)} *)
+
+let offload_invoke t (target : Partition.target) (args : Value.t list) :
+    Value.t =
+  t.ov.offloads <- t.ov.offloads + 1;
+  t.in_offload <- true;
+  let t0 = t.clock.Host.now in
+  initialization t target.Partition.t_id args;
+  (* Offloading execution: run the generated listener on the server;
+     it accepts the request, unmarshals, calls the target, posts the
+     return value. *)
+  t.pending_request <- Some (target.Partition.t_id, args);
+  (match Interp.call t.server Partition.listener_name [] with
+  | _ -> ()
+  | exception Interp.Trap msg ->
+    raise (Offload_error ("server trap: " ^ msg)));
+  let dirty_count = finalization t in
+  ignore dirty_count;
+  (* Refresh the footprint estimate with what this run actually moved. *)
+  let moved_bytes =
+    (List.length t.last_resident * Region.page_size)
+  in
+  if moved_bytes > 0 then
+    Hashtbl.replace t.mem_estimate target.Partition.t_name moved_bytes;
+  t.in_offload <- false;
+  t.server_exec_s <- t.server_exec_s +. (t.clock.Host.now -. t0);
+  t.pending_ret
+
+(* {1 Mobile-side externs} *)
+
+let mobile_extern t name (argv : Value.t list) : Value.t option =
+  let strip prefix =
+    let plen = String.length prefix in
+    String.sub name plen (String.length name - plen)
+  in
+  if String.length name > 17 && String.sub name 0 17 = "__should_offload$"
+  then begin
+    let target = strip "__should_offload$" in
+    (* "The dynamic performance estimation reflects the current
+       network bandwidth, memory usage, and target execution time":
+       the footprint estimate is the live UVA heap (what copy-on-
+       demand and write-back would move), refined after each offload
+       by the bytes actually moved. *)
+    let live = Uva.live_bytes t.mobile.Host.uva in
+    let mem_bytes =
+      match Hashtbl.find_opt t.mem_estimate target with
+      | Some observed -> max observed live
+      | None -> live
+    in
+    let decision =
+      Dynamic_estimate.should_offload t.estimator ~name:target ~mem_bytes
+    in
+    if not decision then t.ov.refusals <- t.ov.refusals + 1;
+    Some (Value.of_bool decision)
+  end
+  else if String.length name > 10 && String.sub name 0 10 = "__offload$" then begin
+    let target_name = strip "__offload$" in
+    match target_by_name t target_name with
+    | Some target -> Some (offload_invoke t target argv)
+    | None -> raise (Offload_error ("unknown offload target " ^ target_name))
+  end
+  else if
+    String.length name > 18 && String.sub name 0 18 = "__uva_init_global$"
+  then begin
+    let gname = strip "__uva_init_global$" in
+    match
+      List.find_opt
+        (fun (g : Ir.global) -> String.equal g.Ir.g_name gname)
+        t.uva_globals
+    with
+    | None -> raise (Offload_error ("unknown UVA global " ^ gname))
+    | Some g ->
+      let size = Layout.size_of t.unified_layout g.Ir.g_ty in
+      let addr = Uva.alloc t.mobile.Host.uva size in
+      Loader.write_init ~layout:t.unified_layout
+        ~endianness:(unified_endianness t)
+        ~write_byte:(Memory.write_byte t.mobile.Host.mem)
+        ~fn_addr:(Fn_table.addr_of t.mobile.Host.fn_table)
+        ~addr g.Ir.g_ty g.Ir.g_init;
+      Hashtbl.replace t.uva_global_addr gname addr;
+      Some (Value.VInt (Int64.of_int addr))
+  end
+  else None
+
+let install_mobile_hooks t =
+  t.mobile.Host.hooks.Host.extern_call <- Some (mobile_extern t)
+
+(* {1 Running} *)
+
+type report = {
+  rep_result : Value.t;
+  rep_console : string;
+  rep_total_s : float;
+  rep_energy_mj : float;
+  rep_mobile_compute_s : float;
+  rep_server_span_s : float;      (* wall time spent inside offloads *)
+  rep_comm_s : float;
+  rep_fnptr_s : float;
+  rep_remote_io_s : float;
+  rep_offloads : int;
+  rep_refusals : int;
+  rep_faults : int;
+  rep_prefetched_pages : int;
+  rep_fnptr_translations : int;
+  rep_remote_io_ops : int;
+  rep_bytes_to_server : int;
+  rep_bytes_to_mobile : int;
+  rep_wire_bytes_to_mobile : int; (* after compression *)
+}
+
+let run t : report =
+  if t.finished then invalid_arg "Session.run: already finished";
+  install_mobile_hooks t;
+  install_server_hooks t;
+  let result = Interp.run_main t.mobile in
+  mark t Power_model.Computing;
+  t.finished <- true;
+  {
+    rep_result = result;
+    rep_console = Console.contents t.mobile.Host.console;
+    rep_total_s = t.clock.Host.now;
+    rep_energy_mj = Battery.energy_mj t.battery;
+    rep_mobile_compute_s = t.clock.Host.now -. t.server_exec_s;
+    rep_server_span_s = t.server_exec_s;
+    rep_comm_s = t.ov.comm_s;
+    rep_fnptr_s = t.ov.fnptr_s;
+    rep_remote_io_s = t.ov.remote_io_s;
+    rep_offloads = t.ov.offloads;
+    rep_refusals = t.ov.refusals;
+    rep_faults = t.ov.fault_count;
+    rep_prefetched_pages = t.ov.prefetched_pages;
+    rep_fnptr_translations = t.ov.fnptr_count;
+    rep_remote_io_ops = t.ov.remote_io_count;
+    rep_bytes_to_server = (Channel.stats t.to_server).Channel.raw_bytes;
+    rep_bytes_to_mobile = (Channel.stats t.to_mobile).Channel.raw_bytes;
+    rep_wire_bytes_to_mobile = (Channel.stats t.to_mobile).Channel.wire_bytes;
+  }
+
+let battery t = t.battery
+let overheads t = t.ov

@@ -1,0 +1,1 @@
+lib/transform/addr_convert.ml: List No_ir Rewrite

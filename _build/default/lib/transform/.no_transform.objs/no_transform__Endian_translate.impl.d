@@ -1,0 +1,1 @@
+lib/transform/endian_translate.ml: List No_arch No_ir Rewrite

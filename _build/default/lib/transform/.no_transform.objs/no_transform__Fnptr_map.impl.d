@@ -1,0 +1,1 @@
+lib/transform/fnptr_map.ml: List No_ir Rewrite

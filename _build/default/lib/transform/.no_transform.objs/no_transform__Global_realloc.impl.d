@@ -1,0 +1,1 @@
+lib/transform/global_realloc.ml: List No_ir Rewrite Set String

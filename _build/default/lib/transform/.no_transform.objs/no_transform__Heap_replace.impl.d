@@ -1,0 +1,1 @@
+lib/transform/heap_replace.ml: List No_ir Rewrite

@@ -1,0 +1,1 @@
+lib/transform/lower_gep.ml: Int64 List No_arch No_ir Rewrite

@@ -1,0 +1,1 @@
+lib/transform/optimize.ml: Hashtbl Int64 List No_ir Option Rewrite

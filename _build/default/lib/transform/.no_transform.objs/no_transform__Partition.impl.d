@@ -1,0 +1,1 @@
+lib/transform/partition.ml: Int64 List No_analysis No_ir Printf Rewrite

@@ -1,0 +1,1 @@
+lib/transform/partition.mli: No_ir

@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Addr_convert Endian_translate Fnptr_map Global_realloc Heap_replace List Lower_gep No_arch No_ir Partition Remote_io

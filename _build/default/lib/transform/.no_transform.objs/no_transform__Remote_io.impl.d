@@ -1,0 +1,1 @@
+lib/transform/remote_io.ml: List No_ir Rewrite

@@ -1,0 +1,88 @@
+(* Address size conversion (paper Section 3.2).
+
+   "If a mobile device and a server use different address sizes such
+   as 32 bits and 64 bits, the Native Offloader compiler inserts
+   address size conversion codes that extend 32-bit pointers to 64-bit
+   pointers for every memory access."
+
+   Memory holds pointers at the *unified* (mobile, 32-bit) width.  On
+   a 64-bit server every load/store of a pointer-typed scalar is
+   rewritten to an i32 access plus explicit conversions:
+
+     r = load T* a        ==>   r32 = load i32 (bitcast a)
+                                r64 = zext r32 to i64
+                                r   = inttoptr r64 to T*
+
+     store T* v, a        ==>   vi  = ptrtoint v to i64
+                                v32 = trunc vi to i32
+                                store i32 v32, (bitcast a)
+
+   The pass is a no-op when the widths already agree — the compiler
+   "does not apply the address size conversion if the targets use the
+   same address size". *)
+
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+
+type stats = { loads_converted : int; stores_converted : int }
+
+let is_ptr_ty (ty : Ty.t) =
+  match ty with
+  | Ty.Ptr _ | Ty.Fn_ptr _ -> true
+  | Ty.I8 | Ty.I16 | Ty.I32 | Ty.I64 | Ty.F32 | Ty.F64 | Ty.Struct _
+  | Ty.Array _ | Ty.Void -> false
+
+let run_func (f : Ir.func) : Ir.func * stats =
+  let loads = ref 0 and stores = ref 0 in
+  let expand supply (instr : Ir.instr) : Ir.instr list option =
+    match instr with
+    | Ir.Assign (r, Ir.Load (ty, a)) when is_ptr_ty ty ->
+      incr loads;
+      let a32 = Ir.fresh_reg supply in
+      let r32 = Ir.fresh_reg supply in
+      let r64 = Ir.fresh_reg supply in
+      Some
+        [
+          Ir.Assign (a32, Ir.Cast (Ir.Bitcast, Ty.Ptr ty, a, Ty.Ptr Ty.I32));
+          Ir.Assign (r32, Ir.Load (Ty.I32, Ir.Reg a32));
+          Ir.Assign (r64, Ir.Cast (Ir.Zext, Ty.I32, Ir.Reg r32, Ty.I64));
+          Ir.Assign (r, Ir.Cast (Ir.Int_to_ptr, Ty.I64, Ir.Reg r64, ty));
+        ]
+    | Ir.Store (ty, v, a) when is_ptr_ty ty ->
+      incr stores;
+      let vi = Ir.fresh_reg supply in
+      let v32 = Ir.fresh_reg supply in
+      let a32 = Ir.fresh_reg supply in
+      Some
+        [
+          Ir.Assign (vi, Ir.Cast (Ir.Ptr_to_int, ty, v, Ty.I64));
+          Ir.Assign (v32, Ir.Cast (Ir.Trunc, Ty.I64, Ir.Reg vi, Ty.I32));
+          Ir.Assign (a32, Ir.Cast (Ir.Bitcast, Ty.Ptr ty, a, Ty.Ptr Ty.I32));
+          Ir.Store (Ty.I32, Ir.Reg v32, Ir.Reg a32);
+        ]
+    | Ir.Assign (_, _) | Ir.Effect _ | Ir.Store _ | Ir.Asm _ -> None
+  in
+  let f' = Rewrite.expand_instrs ~expand f in
+  (f', { loads_converted = !loads; stores_converted = !stores })
+
+(* Apply only when the device width differs from the unified width. *)
+let run ~(device_ptr_bytes : int) ~(unified_ptr_bytes : int) (m : Ir.modul) :
+    Ir.modul * stats =
+  if device_ptr_bytes = unified_ptr_bytes then
+    (m, { loads_converted = 0; stores_converted = 0 })
+  else begin
+    let acc = ref { loads_converted = 0; stores_converted = 0 } in
+    let funcs =
+      List.map
+        (fun f ->
+          let f', s = run_func f in
+          acc :=
+            {
+              loads_converted = !acc.loads_converted + s.loads_converted;
+              stores_converted = !acc.stores_converted + s.stores_converted;
+            };
+          f')
+        m.Ir.m_funcs
+    in
+    ({ m with Ir.m_funcs = funcs }, !acc)
+  end

@@ -1,0 +1,71 @@
+(* Endianness translation (paper Section 3.2).
+
+   When the two devices disagree on byte order, a device reading
+   unified memory with its native order sees byte-swapped values.  The
+   compiler wraps every multi-byte load with a byte swap after it and
+   every store with a byte swap before it, on the device whose native
+   order differs from the unified (mobile) order.
+
+   The paper's platforms are both little endian, so this pass inserts
+   nothing there ("Native Offloader does not suffer from endianness
+   translation overheads because the mobile device and the server use
+   the same endianness"); our synthetic big-endian profile exercises
+   it. *)
+
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Arch = No_arch.Arch
+
+type stats = { swaps_inserted : int }
+
+let swappable (ty : Ty.t) =
+  match ty with
+  | Ty.I16 | Ty.I32 | Ty.I64 | Ty.F32 | Ty.F64 -> true
+  | Ty.I8 -> false                     (* single byte: no order *)
+  | Ty.Ptr _ | Ty.Fn_ptr _ ->
+    (* Pointer accesses must be converted to integer accesses by the
+       address-size pass before this one; the pipeline guarantees that
+       ordering whenever endianness differs (the unified pointer width
+       is the mobile's, so a differing-endianness server in our arch
+       zoo also has a differing width). *)
+    false
+  | Ty.Struct _ | Ty.Array _ | Ty.Void -> false
+
+let run_func (f : Ir.func) : Ir.func * int =
+  let count = ref 0 in
+  let expand supply (instr : Ir.instr) : Ir.instr list option =
+    match instr with
+    | Ir.Assign (r, (Ir.Load (ty, _) as load)) when swappable ty ->
+      incr count;
+      let raw = Ir.fresh_reg supply in
+      Some [ Ir.Assign (raw, load); Ir.Assign (r, Ir.Bswap (ty, Ir.Reg raw)) ]
+    | Ir.Store (ty, v, a) when swappable ty ->
+      incr count;
+      let swapped = Ir.fresh_reg supply in
+      Some
+        [
+          Ir.Assign (swapped, Ir.Bswap (ty, v));
+          Ir.Store (ty, Ir.Reg swapped, a);
+        ]
+    | Ir.Assign (_, _) | Ir.Effect _ | Ir.Store _ | Ir.Asm _ -> None
+  in
+  let f' = Rewrite.expand_instrs ~expand f in
+  (f', !count)
+
+(* Apply on the device whose endianness differs from the unified
+   (mobile) one. *)
+let run ~(device : Arch.endianness) ~(unified : Arch.endianness) (m : Ir.modul)
+    : Ir.modul * stats =
+  if device = unified then (m, { swaps_inserted = 0 })
+  else begin
+    let total = ref 0 in
+    let funcs =
+      List.map
+        (fun f ->
+          let f', n = run_func f in
+          total := !total + n;
+          f')
+        m.Ir.m_funcs
+    in
+    ({ m with Ir.m_funcs = funcs }, { swaps_inserted = !total })
+  end

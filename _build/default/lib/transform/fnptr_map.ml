@@ -1,0 +1,58 @@
+(* Function pointer mapping (paper Section 3.4, Figure 3(c) line 56).
+
+   Unified memory stores *mobile* code addresses for function
+   pointers (the mobile layout is the standard).  Server code must
+   therefore translate: a function pointer loaded from memory goes
+   through the mobile-to-server map before an indirect call; a
+   function pointer about to be stored (including a server-native
+   &f operand) goes through the server-to-mobile map first.
+
+   The runtime implements the maps with the per-device function
+   address tables and charges the translation time that Figure 7
+   reports as "function pointer translation". *)
+
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+
+type stats = { load_maps : int; store_maps : int }
+
+let run_func (f : Ir.func) : Ir.func * stats =
+  let loads = ref 0 and stores = ref 0 in
+  let expand supply (instr : Ir.instr) : Ir.instr list option =
+    match instr with
+    | Ir.Assign (r, (Ir.Load (Ty.Fn_ptr _, _) as load)) ->
+      incr loads;
+      let raw = Ir.fresh_reg supply in
+      Some
+        [
+          Ir.Assign (raw, load);
+          Ir.Assign (r, Ir.Fn_map (Ir.Mobile_to_server, Ir.Reg raw));
+        ]
+    | Ir.Store ((Ty.Fn_ptr _ as ty), v, a) ->
+      incr stores;
+      let mapped = Ir.fresh_reg supply in
+      Some
+        [
+          Ir.Assign (mapped, Ir.Fn_map (Ir.Server_to_mobile, v));
+          Ir.Store (ty, Ir.Reg mapped, a);
+        ]
+    | Ir.Assign (_, _) | Ir.Effect _ | Ir.Store _ | Ir.Asm _ -> None
+  in
+  let f' = Rewrite.expand_instrs ~expand f in
+  (f', { load_maps = !loads; store_maps = !stores })
+
+let run (m : Ir.modul) : Ir.modul * stats =
+  let acc = ref { load_maps = 0; store_maps = 0 } in
+  let funcs =
+    List.map
+      (fun f ->
+        let f', s = run_func f in
+        acc :=
+          {
+            load_maps = !acc.load_maps + s.load_maps;
+            store_maps = !acc.store_maps + s.store_maps;
+          };
+        f')
+      m.Ir.m_funcs
+  in
+  ({ m with Ir.m_funcs = funcs }, !acc)

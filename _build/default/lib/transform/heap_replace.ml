@@ -1,0 +1,27 @@
+(* Heap allocation replacement (paper Section 3.2, Figure 2).
+
+   "The Native Offloader compiler replaces memory allocation /
+   deallocation call sites with UVA allocation/deallocation function
+   calls [...] The compiler replaces all the allocation sites because
+   a server may access an object not on the UVA space due to imprecise
+   static alias analysis." *)
+
+module Ir = No_ir.Ir
+
+type stats = { malloc_sites : int; free_sites : int }
+
+let run (m : Ir.modul) : Ir.modul * stats =
+  let mallocs = ref 0 and frees = ref 0 in
+  let rename name =
+    match name with
+    | "malloc" ->
+      incr mallocs;
+      Some "u_malloc"
+    | "free" ->
+      incr frees;
+      Some "u_free"
+    | _ -> None
+  in
+  let funcs = List.map (Rewrite.rename_calls ~rename) m.Ir.m_funcs in
+  ({ m with Ir.m_funcs = funcs },
+   { malloc_sites = !mallocs; free_sites = !frees })

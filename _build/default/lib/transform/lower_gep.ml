@@ -1,0 +1,103 @@
+(* Memory layout realignment / GEP lowering (paper Section 3.2,
+   Figure 4).
+
+   A symbolic GEP leaves field offsets to the executing machine's
+   ABI — which is exactly how the same struct ends up with different
+   layouts on IA32 and ARM.  This pass *bakes the unified layout in*:
+   every GEP becomes explicit byte arithmetic computed from the given
+   layout environment (the mobile device's rules, the standard layout
+   of the paper).  After this pass both partitions address any field
+   of any object at the same UVA byte offset.
+
+   Lowering shape, for  r = gep T base .f [i]:
+     a0 = ptrtoint base           : i64
+     a1 = add a0, offset(T, f)
+     i64idx = sext/zext i         : i64   (if narrower)
+     off = mul i64idx, size(elem)
+     a2 = add a1, off
+     r  = inttoptr a2             : result-ty*                     *)
+
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Layout = No_arch.Layout
+module Validate = No_ir.Validate
+
+let i64c v = Ir.Int (Int64.of_int v, Ty.I64)
+
+type stats = { geps_lowered : int }
+
+let lower_func (m : Ir.modul) (layout : Layout.env) (f : Ir.func) :
+    Ir.func * int =
+  let reg_tys = Validate.reg_types m f in
+  let count = ref 0 in
+  let expand supply (instr : Ir.instr) : Ir.instr list option =
+    let lower r (pointee : Ty.t) base path =
+      incr count;
+      let instrs = ref [] in
+      let emit i = instrs := i :: !instrs in
+      let fresh () = Ir.fresh_reg supply in
+      let acc = fresh () in
+      emit
+        (Ir.Assign
+           (acc, Ir.Cast (Ir.Ptr_to_int, Ty.Ptr pointee, base, Ty.I64)));
+      let cur = ref (Ir.Reg acc) in
+      let add_offset (op : Ir.operand) =
+        let r' = fresh () in
+        emit (Ir.Assign (r', Ir.Bin (Ir.Add, !cur, op)));
+        cur := Ir.Reg r'
+      in
+      let widen (op : Ir.operand) : Ir.operand =
+        let ty = Validate.operand_ty_with m f reg_tys op in
+        if Ty.equal ty Ty.I64 then op
+        else
+          let r' = fresh () in
+          emit (Ir.Assign (r', Ir.Cast (Ir.Sext, ty, op, Ty.I64)));
+          Ir.Reg r'
+      in
+      let rec walk (ty : Ty.t) path =
+        match path with
+        | [] -> ty
+        | Ir.Field fname :: rest -> (
+          match ty with
+          | Ty.Struct sname ->
+            let offset = Layout.field_offset layout sname fname in
+            if offset <> 0 then add_offset (i64c offset);
+            walk (Layout.field_ty layout sname fname) rest
+          | _ -> invalid_arg "Lower_gep: field of non-struct")
+        | Ir.Index op :: rest ->
+          let elem =
+            match ty with Ty.Array (elem, _) -> elem | other -> other
+          in
+          let idx = widen op in
+          let scaled = fresh () in
+          emit
+            (Ir.Assign
+               (scaled,
+                Ir.Bin (Ir.Mul, idx, i64c (Layout.size_of layout elem))));
+          add_offset (Ir.Reg scaled);
+          walk elem rest
+      in
+      let result_ty = walk pointee path in
+      emit (Ir.Assign (r, Ir.Cast (Ir.Int_to_ptr, Ty.I64, !cur, Ty.Ptr result_ty)));
+      List.rev !instrs
+    in
+    match instr with
+    | Ir.Assign (r, Ir.Gep (pointee, base, path)) ->
+      Some (lower r pointee base path)
+    | Ir.Effect (Ir.Gep _) -> Some []   (* address never used: drop *)
+    | Ir.Assign (_, _) | Ir.Effect _ | Ir.Store _ | Ir.Asm _ -> None
+  in
+  let f' = Rewrite.expand_instrs ~expand f in
+  (f', !count)
+
+let run (layout : Layout.env) (m : Ir.modul) : Ir.modul * stats =
+  let total = ref 0 in
+  let funcs =
+    List.map
+      (fun f ->
+        let f', n = lower_func m layout f in
+        total := !total + n;
+        f')
+      m.Ir.m_funcs
+  in
+  ({ m with Ir.m_funcs = funcs }, { geps_lowered = !total })

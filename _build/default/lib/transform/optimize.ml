@@ -1,0 +1,206 @@
+(* Standard clean-up optimizations over the IR: constant folding and
+   dead-code elimination.
+
+   The unification passes leave foldable patterns behind (zero-offset
+   adds from GEP lowering, chains of casts), and partitioning leaves
+   unused values in dispatcher-adjacent code.  Both passes are
+   conservative: folding only touches pure integer/float arithmetic
+   with constant operands; DCE only deletes assignments to registers
+   that are never read whose right-hand side has no side effects. *)
+
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+
+type stats = {
+  folded : int;
+  deleted : int;
+}
+
+(* {1 Constant folding} *)
+
+let mask_to ty v =
+  match ty with
+  | Ty.I8 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | Ty.I16 -> Int64.shift_right (Int64.shift_left v 48) 48
+  | Ty.I32 -> Int64.shift_right (Int64.shift_left v 32) 32
+  | _ -> v
+
+let fold_bin (op : Ir.binop) a b ty : Ir.operand option =
+  let wrap v = Some (Ir.Int (mask_to ty v, ty)) in
+  match op with
+  | Ir.Add -> wrap (Int64.add a b)
+  | Ir.Sub -> wrap (Int64.sub a b)
+  | Ir.Mul -> wrap (Int64.mul a b)
+  | Ir.Sdiv -> if Int64.equal b 0L then None else wrap (Int64.div a b)
+  | Ir.Udiv -> if Int64.equal b 0L then None else wrap (Int64.unsigned_div a b)
+  | Ir.Srem -> if Int64.equal b 0L then None else wrap (Int64.rem a b)
+  | Ir.Urem -> if Int64.equal b 0L then None else wrap (Int64.unsigned_rem a b)
+  | Ir.And -> wrap (Int64.logand a b)
+  | Ir.Or -> wrap (Int64.logor a b)
+  | Ir.Xor -> wrap (Int64.logxor a b)
+  | Ir.Shl -> wrap (Int64.shift_left a (Int64.to_int b land 63))
+  | Ir.Lshr -> wrap (Int64.shift_right_logical a (Int64.to_int b land 63))
+  | Ir.Ashr -> wrap (Int64.shift_right a (Int64.to_int b land 63))
+  | Ir.Fadd | Ir.Fsub | Ir.Fmul | Ir.Fdiv -> None
+
+let fold_fbin (op : Ir.binop) a b ty : Ir.operand option =
+  let wrap v = Some (Ir.Float (v, ty)) in
+  match op with
+  | Ir.Fadd -> wrap (a +. b)
+  | Ir.Fsub -> wrap (a -. b)
+  | Ir.Fmul -> wrap (a *. b)
+  | Ir.Fdiv -> wrap (a /. b)
+  | _ -> None
+
+(* Identity simplifications: x+0, x*1, x*0, x|0, x&(-1), x^0, x<<0. *)
+let simplify_identity (op : Ir.binop) (x : Ir.operand) (c : int64) :
+    Ir.operand option =
+  match op, c with
+  | (Ir.Add | Ir.Sub | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr | Ir.Ashr), 0L ->
+    Some x
+  | Ir.Mul, 1L | Ir.Sdiv, 1L | Ir.Udiv, 1L -> Some x
+  | Ir.And, -1L -> Some x
+  | _ -> None
+
+let fold_rvalue (rv : Ir.rvalue) : [ `Operand of Ir.operand | `Keep ] =
+  match rv with
+  | Ir.Bin (op, Ir.Int (a, ty), Ir.Int (b, _)) -> (
+    match fold_bin op a b ty with
+    | Some folded -> `Operand folded
+    | None -> `Keep)
+  | Ir.Bin (op, Ir.Float (a, ty), Ir.Float (b, _)) -> (
+    match fold_fbin op a b ty with
+    | Some folded -> `Operand folded
+    | None -> `Keep)
+  | Ir.Bin ((Ir.Add | Ir.Mul | Ir.Or | Ir.Xor | Ir.And) as op, Ir.Int (c, _), x)
+  | Ir.Bin (op, x, Ir.Int (c, _)) -> (
+    match simplify_identity op x c with
+    | Some simplified -> `Operand simplified
+    | None -> `Keep)
+  | _ -> `Keep
+
+(* Fold within one function to a fixpoint: replace foldable
+   assignments by a substitution of their uses. *)
+let fold_func (f : Ir.func) : Ir.func * int =
+  let folded = ref 0 in
+  let subst : (Ir.reg, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+  let rewrite _supply (op : Ir.operand) =
+    match op with
+    | Ir.Reg r -> (
+      match Hashtbl.find_opt subst r with
+      | Some replacement -> Some ([], replacement)
+      | None -> None)
+    | _ -> None
+  in
+  let rec pass f =
+    Hashtbl.reset subst;
+    (* Registers are not SSA: a substitution r := op is sound only if
+       r is assigned exactly once, and — when op is itself a register —
+       that register is also single-assignment (so later reads of r
+       cannot observe a newer value of op). *)
+    let counts = Hashtbl.create 16 in
+    Ir.fold_instrs
+      (fun () instr ->
+        match instr with
+        | Ir.Assign (r, _) ->
+          Hashtbl.replace counts r
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+        | _ -> ())
+      () f;
+    let single r = Hashtbl.find_opt counts r = Some 1 in
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun instr ->
+            match instr with
+            | Ir.Assign (r, rv) when single r -> (
+              match fold_rvalue rv with
+              | `Operand (Ir.Reg x)
+                when (not (single x)) || Hashtbl.mem subst x ->
+                (* unsound (x reassigned) or x is being removed this
+                   round (chain resolved on the next fixpoint pass) *)
+                ()
+              | `Operand op -> Hashtbl.replace subst r op
+              | `Keep -> ())
+            | _ -> ())
+          b.Ir.instrs)
+      f.Ir.f_blocks;
+    if Hashtbl.length subst = 0 then f
+    else begin
+      folded := !folded + Hashtbl.length subst;
+      (* drop the folded assignments, substitute their uses *)
+      let f =
+        Ir.map_instrs
+          (fun instr ->
+            match instr with
+            | Ir.Assign (r, _) when Hashtbl.mem subst r -> []
+            | other -> [ other ])
+          f
+      in
+      let f = Rewrite.rewrite_operands ~rewrite f in
+      pass f
+    end
+  in
+  let f' = pass f in
+  (f', !folded)
+
+(* {1 Dead code elimination} *)
+
+let has_side_effects (rv : Ir.rvalue) =
+  match rv with
+  | Ir.Call _ | Ir.Call_ind _ | Ir.Load _ | Ir.Alloca _ -> true
+    (* loads kept: a fault-driven load is observable in this system *)
+  | Ir.Bin _ | Ir.Cmp _ | Ir.Cast _ | Ir.Select _ | Ir.Gep _ | Ir.Bswap _
+  | Ir.Fn_map _ -> false
+
+let dce_func (f : Ir.func) : Ir.func * int =
+  let deleted = ref 0 in
+  let rec pass f =
+    let used = Hashtbl.create 64 in
+    let note op =
+      match op with
+      | Ir.Reg r -> Hashtbl.replace used r ()
+      | _ -> ()
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun instr -> List.iter note (Ir.operands_of_instr instr))
+          b.Ir.instrs;
+        match b.Ir.term with
+        | Ir.Cbr (op, _, _) | Ir.Switch (op, _, _) | Ir.Ret (Some op) ->
+          note op
+        | Ir.Br _ | Ir.Ret None | Ir.Unreachable -> ())
+      f.Ir.f_blocks;
+    let changed = ref false in
+    let f' =
+      Ir.map_instrs
+        (fun instr ->
+          match instr with
+          | Ir.Assign (r, rv)
+            when (not (Hashtbl.mem used r)) && not (has_side_effects rv) ->
+            incr deleted;
+            changed := true;
+            []
+          | other -> [ other ])
+        f
+    in
+    if !changed then pass f' else f'
+  in
+  (pass f, !deleted)
+
+(* {1 Module driver} *)
+
+let run (m : Ir.modul) : Ir.modul * stats =
+  let folded = ref 0 and deleted = ref 0 in
+  let funcs =
+    List.map
+      (fun f ->
+        let f, nf = fold_func f in
+        let f, nd = dce_func f in
+        folded := !folded + nf;
+        deleted := !deleted + nd;
+        f)
+      m.Ir.m_funcs
+  in
+  ({ m with Ir.m_funcs = funcs }, { folded = !folded; deleted = !deleted })

@@ -1,0 +1,28 @@
+(* Remote I/O rewriting (paper Section 3.4, Figure 3(c) line 61).
+
+   "the Native Offloader compiler replaces well-known output function
+   call sites with remote I/O function calls.  The remote I/O function
+   sends I/O requests from the server to the mobile device [...] For
+   file streams, Native Offloader supports remote input operations
+   because it can prefetch data and amortize the communication
+   overheads."
+
+   Applied to the *server* partition only: on the mobile device the
+   original local I/O is correct. *)
+
+module Ir = No_ir.Ir
+module Builtins = No_ir.Builtins
+
+type stats = { sites_rewritten : int }
+
+let run (m : Ir.modul) : Ir.modul * stats =
+  let count = ref 0 in
+  let rename name =
+    match Builtins.remote_counterpart name with
+    | Some remote ->
+      incr count;
+      Some remote
+    | None -> None
+  in
+  let funcs = List.map (Rewrite.rename_calls ~rename) m.Ir.m_funcs in
+  ({ m with Ir.m_funcs = funcs }, { sites_rewritten = !count })

@@ -1,0 +1,122 @@
+(* Shared rewriting machinery for the transformation passes.
+
+   Passes either map instructions 1-to-N ({!No_ir.Ir.map_instrs}) or
+   rewrite *operands*, possibly materializing new instructions before
+   the instruction that uses them (how a use of a reallocated global
+   becomes a load of its UVA slot). *)
+
+module Ir = No_ir.Ir
+
+(* Rewrite every operand of every instruction (and terminator) of [f].
+   The callback may return replacement instructions to insert before
+   the use, together with the new operand. *)
+let rewrite_operands
+    ~(rewrite :
+       Ir.reg_supply -> Ir.operand -> (Ir.instr list * Ir.operand) option)
+    (f : Ir.func) : Ir.func =
+  let supply = Ir.reg_supply_of_func f in
+  let prefix = ref [] in
+  let rw op =
+    match rewrite supply op with
+    | None -> op
+    | Some (instrs, op') ->
+      prefix := !prefix @ instrs;
+      op'
+  in
+  let rw_rvalue (rv : Ir.rvalue) : Ir.rvalue =
+    match rv with
+    | Ir.Bin (op, a, b) -> Ir.Bin (op, rw a, rw b)
+    | Ir.Cmp (op, a, b) -> Ir.Cmp (op, rw a, rw b)
+    | Ir.Cast (op, src, a, ty) -> Ir.Cast (op, src, rw a, ty)
+    | Ir.Select (c, a, b) -> Ir.Select (rw c, rw a, rw b)
+    | Ir.Load (ty, a) -> Ir.Load (ty, rw a)
+    | Ir.Alloca (ty, n) -> Ir.Alloca (ty, n)
+    | Ir.Gep (ty, base, path) ->
+      let base = rw base in
+      let path =
+        List.map
+          (function
+            | Ir.Field name -> Ir.Field name
+            | Ir.Index op -> Ir.Index (rw op))
+          path
+      in
+      Ir.Gep (ty, base, path)
+    | Ir.Call (name, args) -> Ir.Call (name, List.map rw args)
+    | Ir.Call_ind (sg, fn, args) -> Ir.Call_ind (sg, rw fn, List.map rw args)
+    | Ir.Bswap (ty, a) -> Ir.Bswap (ty, rw a)
+    | Ir.Fn_map (dir, a) -> Ir.Fn_map (dir, rw a)
+  in
+  let rw_instr (instr : Ir.instr) : Ir.instr list =
+    prefix := [];
+    let rewritten =
+      match instr with
+      | Ir.Assign (r, rv) -> Ir.Assign (r, rw_rvalue rv)
+      | Ir.Effect rv -> Ir.Effect (rw_rvalue rv)
+      | Ir.Store (ty, v, a) -> Ir.Store (ty, rw v, rw a)
+      | Ir.Asm text -> Ir.Asm text
+    in
+    !prefix @ [ rewritten ]
+  in
+  let rw_term (term : Ir.terminator) : Ir.instr list * Ir.terminator =
+    prefix := [];
+    let rewritten =
+      match term with
+      | Ir.Br l -> Ir.Br l
+      | Ir.Cbr (c, t, e) -> Ir.Cbr (rw c, t, e)
+      | Ir.Switch (v, cases, d) -> Ir.Switch (rw v, cases, d)
+      | Ir.Ret None -> Ir.Ret None
+      | Ir.Ret (Some op) -> Ir.Ret (Some (rw op))
+      | Ir.Unreachable -> Ir.Unreachable
+    in
+    (!prefix, rewritten)
+  in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        let instrs = List.concat_map rw_instr b.Ir.instrs in
+        let term_prefix, term = rw_term b.Ir.term in
+        { b with Ir.instrs = instrs @ term_prefix; Ir.term = term })
+      f.Ir.f_blocks
+  in
+  { f with Ir.f_blocks = blocks; Ir.f_nregs = supply.Ir.next }
+
+(* Map instructions 1-to-N with a fresh-register supply. *)
+let expand_instrs
+    ~(expand : Ir.reg_supply -> Ir.instr -> Ir.instr list option)
+    (f : Ir.func) : Ir.func =
+  let supply = Ir.reg_supply_of_func f in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        let instrs =
+          List.concat_map
+            (fun instr ->
+              match expand supply instr with
+              | Some replacement -> replacement
+              | None -> [ instr ])
+            b.Ir.instrs
+        in
+        { b with Ir.instrs })
+      f.Ir.f_blocks
+  in
+  { f with Ir.f_blocks = blocks; Ir.f_nregs = supply.Ir.next }
+
+(* Rename direct call targets module-wide. *)
+let rename_calls ~(rename : string -> string option) (f : Ir.func) : Ir.func =
+  Ir.map_instrs
+    (fun instr ->
+      let rv_of rv =
+        match rv with
+        | Ir.Call (name, args) -> (
+          match rename name with
+          | Some name' -> Ir.Call (name', args)
+          | None -> rv)
+        | Ir.Bin _ | Ir.Cmp _ | Ir.Cast _ | Ir.Select _ | Ir.Load _
+        | Ir.Alloca _ | Ir.Gep _ | Ir.Call_ind _ | Ir.Bswap _ | Ir.Fn_map _ ->
+          rv
+      in
+      match instr with
+      | Ir.Assign (r, rv) -> [ Ir.Assign (r, rv_of rv) ]
+      | Ir.Effect rv -> [ Ir.Effect (rv_of rv) ]
+      | Ir.Store _ | Ir.Asm _ -> [ instr ])
+    f

@@ -1,0 +1,1 @@
+lib/workloads/chess.ml: Int64 List No_exec No_ir

@@ -1,0 +1,1 @@
+lib/workloads/spec_ammp.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_art.ml: List No_ir Support

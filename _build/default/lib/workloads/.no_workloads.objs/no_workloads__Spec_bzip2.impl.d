@@ -1,0 +1,1 @@
+lib/workloads/spec_bzip2.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_equake.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_gobmk.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_h264ref.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_hmmer.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_lbm.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_libquantum.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_mcf.ml: List No_ir Support

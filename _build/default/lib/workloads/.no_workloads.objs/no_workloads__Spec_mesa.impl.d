@@ -1,0 +1,1 @@
+lib/workloads/spec_mesa.ml: List No_ir Support

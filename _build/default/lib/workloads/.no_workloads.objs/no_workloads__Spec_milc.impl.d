@@ -1,0 +1,1 @@
+lib/workloads/spec_milc.ml: List No_ir Support

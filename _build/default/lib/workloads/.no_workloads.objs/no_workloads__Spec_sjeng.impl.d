@@ -1,0 +1,1 @@
+lib/workloads/spec_sjeng.ml: Int64 List No_ir Support

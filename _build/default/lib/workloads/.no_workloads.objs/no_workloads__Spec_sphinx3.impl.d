@@ -1,0 +1,1 @@
+lib/workloads/spec_sphinx3.ml: List No_ir Support

@@ -1,0 +1,1 @@
+lib/workloads/spec_twolf.ml: List No_ir Support

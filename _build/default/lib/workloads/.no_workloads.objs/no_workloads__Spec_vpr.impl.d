@@ -1,0 +1,1 @@
+lib/workloads/spec_vpr.ml: List No_ir Support

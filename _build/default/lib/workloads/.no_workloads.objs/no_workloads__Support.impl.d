@@ -1,0 +1,1 @@
+lib/workloads/support.ml: Bytes Char Int64 List No_exec No_ir

@@ -1,0 +1,216 @@
+(* The chess AI application of the paper (Table 1, Table 3, Figure 3).
+
+   Structure mirrors Figure 3(a):
+     - struct Move { from, to, score } — the Figure 4 realignment case
+       (char, char, double: IA32 packs score at offset 4, ARM at 8);
+     - struct Piece { loc, owner, type };
+     - global maxDepth, global board (heap), global evals: a table of
+       seven evaluation function pointers indexed by piece type;
+     - main: reads maxDepth and the number of turns, allocates and
+       fills the board, calls runGame;
+     - runGame: per turn, getPlayerTurn (interactive scanf — machine
+       specific), updateBoard, getAITurn (the hot, offloadable AI),
+       updateBoard;
+     - getAITurn: for_i over depth, for_j over the 64 squares,
+       dispatching through the evals function-pointer table, printing
+       the running score per depth (remote-able output I/O).
+
+   Scalars cross function boundaries; the Move result travels through
+   an out-pointer (C ABIs return small structs in registers; our IR
+   keeps aggregates in memory). *)
+
+module B = No_ir.Builder
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Console = No_exec.Console
+
+let eval_names =
+  [ "evalPawn"; "evalKnight"; "evalBishop"; "evalRook"; "evalQueen";
+    "evalKing"; "evalEmpty" ]
+
+let eval_sig = Ty.signature [ Ty.Ptr (Ty.Struct "Piece") ] Ty.F64
+
+(* Work per evaluation call: a short integer scoring loop (move
+   generation and board scanning are integer work in real engines)
+   whose iteration count differs per piece type, folded to f64 at the
+   end. *)
+let build_eval t name ~weight ~iters =
+  let piece = Ty.Struct "Piece" in
+  let _ =
+    B.func t name ~params:[ Ty.Ptr piece ] ~ret:Ty.F64 (fun fb args ->
+        let p = List.nth args 0 in
+        let loc_addr = B.gep fb piece p [ Ir.Field "loc" ] in
+        let loc = B.load fb Ty.I8 loc_addr in
+        let loc64 = B.cast fb Ir.Sext ~src:Ty.I8 loc ~dst:Ty.I64 in
+        let acc = B.alloca fb Ty.I64 1 in
+        B.store fb Ty.I64 loc64 acc;
+        B.for_ fb ~name:(name ^ "_work") ~from:(B.i64 0) ~below:(B.i64 iters)
+          (fun iv ->
+            let cur = B.load fb Ty.I64 acc in
+            let spun =
+              B.ixor fb
+                (B.ishl fb cur (B.i64 3))
+                (B.iadd fb iv loc64)
+            in
+            B.store fb Ty.I64 (B.iand fb spun (B.i64 0xFFFFFF)) acc);
+        let folded = B.load fb Ty.I64 acc in
+        let f = B.cast fb Ir.Si_to_fp ~src:Ty.I64 folded ~dst:Ty.F64 in
+        B.ret fb (Some (B.fmul fb f (B.f64 (weight *. 1e-7)))))
+  in
+  ()
+
+let build () : Ir.modul =
+  let t = B.create "chess" in
+  let move = B.struct_ t "Move" [ ("from", Ty.I8); ("to", Ty.I8); ("score", Ty.F64) ] in
+  let piece =
+    B.struct_ t "Piece" [ ("loc", Ty.I8); ("owner", Ty.I8); ("type", Ty.I8) ]
+  in
+  B.global t "maxDepth" Ty.I64 Ir.Zero_init;
+  B.global t "board" (Ty.Ptr piece) Ir.Zero_init;
+  B.global t "evals"
+    (Ty.Array (Ty.Fn_ptr eval_sig, 7))
+    (Ir.Array_init (List.map (fun n -> Ir.Fn_init n) eval_names));
+  List.iteri
+    (fun i name -> build_eval t name ~weight:(float_of_int (i + 1)) ~iters:(10 + (3 * i)))
+    eval_names;
+
+  (* updateBoard: shuffle piece fields based on the move. *)
+  let _ =
+    B.func t "updateBoard" ~params:[ Ty.Ptr move ] ~ret:Ty.Void (fun fb args ->
+        let mv = List.nth args 0 in
+        let from = B.load fb Ty.I8 (B.gep fb move mv [ Ir.Field "from" ]) in
+        let to_ = B.load fb Ty.I8 (B.gep fb move mv [ Ir.Field "to" ]) in
+        let board = B.load fb (Ty.Ptr piece) (Ir.Global "board") in
+        let from64 = B.cast fb Ir.Sext ~src:Ty.I8 from ~dst:Ty.I64 in
+        let to64 = B.cast fb Ir.Sext ~src:Ty.I8 to_ ~dst:Ty.I64 in
+        let masked_from = B.iand fb from64 (B.i64 63) in
+        let masked_to = B.iand fb to64 (B.i64 63) in
+        let src = B.gep fb piece board [ Ir.Index masked_from ] in
+        let dst = B.gep fb piece board [ Ir.Index masked_to ] in
+        let src_ty = B.load fb Ty.I8 (B.gep fb piece src [ Ir.Field "type" ]) in
+        B.store fb Ty.I8 src_ty (B.gep fb piece dst [ Ir.Field "type" ]);
+        B.store fb Ty.I8 (B.i8 6) (B.gep fb piece src [ Ir.Field "type" ]);
+        B.ret_void fb)
+  in
+
+  (* getPlayerTurn: interactive input — machine specific. *)
+  let _ =
+    B.func t "getPlayerTurn" ~params:[ Ty.Ptr move ] ~ret:Ty.Void
+      (fun fb args ->
+        let mv = List.nth args 0 in
+        let from = B.call fb "scan_i64" [] in
+        let to_ = B.call fb "scan_i64" [] in
+        let from8 = B.cast fb Ir.Trunc ~src:Ty.I64 from ~dst:Ty.I8 in
+        let to8 = B.cast fb Ir.Trunc ~src:Ty.I64 to_ ~dst:Ty.I8 in
+        B.store fb Ty.I8 from8 (B.gep fb move mv [ Ir.Field "from" ]);
+        B.store fb Ty.I8 to8 (B.gep fb move mv [ Ir.Field "to" ]);
+        B.store fb Ty.F64 (B.f64 0.0) (B.gep fb move mv [ Ir.Field "score" ]);
+        B.ret_void fb)
+  in
+
+  (* getAITurn: the offloading target. *)
+  let _ =
+    B.func t "getAITurn" ~params:[ Ty.Ptr move ] ~ret:Ty.Void (fun fb args ->
+        let mv = List.nth args 0 in
+        let score_addr = B.gep fb move mv [ Ir.Field "score" ] in
+        B.store fb Ty.F64 (B.f64 0.0) score_addr;
+        let depth = B.load fb Ty.I64 (Ir.Global "maxDepth") in
+        (* The game tree widens with depth: each extra ply multiplies
+           the positions examined by ~1.6 (this is what makes Table
+           1's times grow superlinearly in difficulty). *)
+        let reps = B.alloca fb Ty.I64 1 in
+        B.store fb Ty.I64 (B.i64 1) reps;
+        B.for_ fb ~name:"for_i" ~from:(B.i64 0) ~below:depth (fun _i ->
+            let width = B.load fb Ty.I64 reps in
+            B.for_ fb ~name:"for_w" ~from:(B.i64 0) ~below:width (fun _w ->
+                B.for_ fb ~name:"for_j" ~from:(B.i64 0) ~below:(B.i64 64)
+                  (fun j ->
+                    let board =
+                      B.load fb (Ty.Ptr piece) (Ir.Global "board")
+                    in
+                    let cell = B.gep fb piece board [ Ir.Index j ] in
+                    let pty =
+                      B.load fb Ty.I8 (B.gep fb piece cell [ Ir.Field "type" ])
+                    in
+                    let pty64 = B.cast fb Ir.Sext ~src:Ty.I8 pty ~dst:Ty.I64 in
+                    let table = Ty.Array (Ty.Fn_ptr eval_sig, 7) in
+                    let slot =
+                      B.gep fb table (Ir.Global "evals") [ Ir.Index pty64 ]
+                    in
+                    let eval = B.load fb (Ty.Fn_ptr eval_sig) slot in
+                    let contribution = B.call_ind fb eval_sig eval [ cell ] in
+                    let cur = B.load fb Ty.F64 score_addr in
+                    B.store fb Ty.F64 (B.fadd fb cur contribution) score_addr));
+            let widened =
+              B.iadd fb (B.idiv fb (B.imul fb width (B.i64 8)) (B.i64 5))
+                (B.i64 1)
+            in
+            B.store fb Ty.I64 widened reps;
+            let cur = B.load fb Ty.F64 score_addr in
+            B.call_void fb "print_f64" [ cur ];
+            B.call_void fb "print_newline" []);
+        (* Pick a deterministic pseudo-move from the score bits. *)
+        let score = B.load fb Ty.F64 score_addr in
+        let bits = B.cast fb Ir.Fp_to_si ~src:Ty.F64 score ~dst:Ty.I64 in
+        let from = B.iand fb bits (B.i64 63) in
+        let to_ = B.iand fb (B.iadd fb bits (B.i64 17)) (B.i64 63) in
+        let from8 = B.cast fb Ir.Trunc ~src:Ty.I64 from ~dst:Ty.I8 in
+        let to8 = B.cast fb Ir.Trunc ~src:Ty.I64 to_ ~dst:Ty.I8 in
+        B.store fb Ty.I8 from8 (B.gep fb move mv [ Ir.Field "from" ]);
+        B.store fb Ty.I8 to8 (B.gep fb move mv [ Ir.Field "to" ]);
+        B.ret_void fb)
+  in
+
+  (* runGame: the turn loop of Figure 3, over a turn count read by
+     main (gameover after that many turns). *)
+  let _ =
+    B.func t "runGame" ~params:[ Ty.I64 ] ~ret:Ty.Void (fun fb args ->
+        let turns = List.nth args 0 in
+        let mv = B.alloca fb (Ty.Struct "Move") 1 in
+        B.for_ fb ~name:"game" ~from:(B.i64 0) ~below:turns (fun _turn ->
+            B.call_void fb "getPlayerTurn" [ mv ];
+            B.call_void fb "updateBoard" [ mv ];
+            B.call_void fb "getAITurn" [ mv ];
+            B.call_void fb "updateBoard" [ mv ]);
+        B.ret_void fb)
+  in
+
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let depth = B.call fb "scan_i64" [] in
+        B.store fb Ty.I64 depth (Ir.Global "maxDepth");
+        let turns = B.call fb "scan_i64" [] in
+        let raw = B.call fb "malloc" [ B.i64 (3 * 64) ] in
+        let board =
+          B.cast fb Ir.Bitcast ~src:(Ty.Ptr Ty.I8) raw ~dst:(Ty.Ptr piece)
+        in
+        B.store fb (Ty.Ptr piece) board (Ir.Global "board");
+        B.for_ fb ~name:"init_board" ~from:(B.i64 0) ~below:(B.i64 64)
+          (fun i ->
+            let cell = B.gep fb piece board [ Ir.Index i ] in
+            let i8v = B.cast fb Ir.Trunc ~src:Ty.I64 i ~dst:Ty.I8 in
+            B.store fb Ty.I8 i8v (B.gep fb piece cell [ Ir.Field "loc" ]);
+            let owner = B.irem fb i (B.i64 2) in
+            let owner8 = B.cast fb Ir.Trunc ~src:Ty.I64 owner ~dst:Ty.I8 in
+            B.store fb Ty.I8 owner8 (B.gep fb piece cell [ Ir.Field "owner" ]);
+            let pty = B.irem fb i (B.i64 7) in
+            let pty8 = B.cast fb Ir.Trunc ~src:Ty.I64 pty ~dst:Ty.I8 in
+            B.store fb Ty.I8 pty8 (B.gep fb piece cell [ Ir.Field "type" ]));
+        B.call_void fb "runGame" [ turns ];
+        B.ret fb (Some (B.i64 0)))
+  in
+  B.finish t
+
+(* Console script: depth, turn count, then (from, to) per turn. *)
+let script ~depth ~turns : Console.input list =
+  Console.In_int (Int64.of_int depth)
+  :: Console.In_int (Int64.of_int turns)
+  :: List.concat
+       (List.init turns (fun i ->
+            [
+              Console.In_int (Int64.of_int (i mod 64));
+              Console.In_int (Int64.of_int ((i + 9) mod 64));
+            ]))
+
+(* The paper's expected selection on this program. *)
+let target = "getAITurn"

@@ -1,0 +1,274 @@
+(* Workload registry: the 17 SPEC programs of Table 4 plus the chess
+   application of Figure 3 / Table 1 / Table 3, each with the paper's
+   published row for side-by-side comparison in the benches and in
+   EXPERIMENTS.md. *)
+
+module Ir = No_ir.Ir
+module Console = No_exec.Console
+
+(* The paper's Table 4 row for a program. *)
+type paper_row = {
+  pr_loc_k : float;              (* lines of code, thousands *)
+  pr_exec_s : float;             (* smartphone execution time, eval input *)
+  pr_offloaded_fns : int * int;  (* offloaded / total functions *)
+  pr_referenced_gvs : int * int; (* referenced / total global variables *)
+  pr_fn_ptr_uses : int;
+  pr_target : string;            (* "Target Function" column *)
+  pr_coverage : float;           (* % of execution time covered *)
+  pr_invocations : int;
+  pr_traffic_mb : float;         (* communication per invocation, MB *)
+}
+
+type entry = {
+  e_name : string;
+  e_description : string;
+  e_build : unit -> Ir.modul;
+  e_profile_script : Console.input list;
+  e_eval_script : Console.input list;
+  e_files : (string * Bytes.t) list;
+  e_eval_scale : float;
+  e_expected_targets : string list;
+  e_paper : paper_row;
+}
+
+let row ~loc ~exec ~fns ~gvs ~ptrs ~target ~cover ~invo ~traffic = {
+  pr_loc_k = loc;
+  pr_exec_s = exec;
+  pr_offloaded_fns = fns;
+  pr_referenced_gvs = gvs;
+  pr_fn_ptr_uses = ptrs;
+  pr_target = target;
+  pr_coverage = cover;
+  pr_invocations = invo;
+  pr_traffic_mb = traffic;
+}
+
+let spec : entry list =
+  [
+    {
+      e_name = Spec_gzip.name;
+      e_description = Spec_gzip.description;
+      e_build = Spec_gzip.build;
+      e_profile_script = Spec_gzip.profile_script;
+      e_eval_script = Spec_gzip.eval_script;
+      e_files = Spec_gzip.files;
+      e_eval_scale = Spec_gzip.eval_scale;
+      e_expected_targets = [ Spec_gzip.target ];
+      e_paper =
+        row ~loc:5.5 ~exec:15.3 ~fns:(20, 89) ~gvs:(141, 241) ~ptrs:9
+          ~target:"spec_compress" ~cover:98.90 ~invo:1 ~traffic:151.5;
+    };
+    {
+      e_name = Spec_vpr.name;
+      e_description = Spec_vpr.description;
+      e_build = Spec_vpr.build;
+      e_profile_script = Spec_vpr.profile_script;
+      e_eval_script = Spec_vpr.eval_script;
+      e_files = Spec_vpr.files;
+      e_eval_scale = Spec_vpr.eval_scale;
+      e_expected_targets = [ Spec_vpr.target ];
+      e_paper =
+        row ~loc:11.3 ~exec:26.9 ~fns:(9, 272) ~gvs:(672, 760) ~ptrs:3
+          ~target:"try_place_while.cond" ~cover:99.07 ~invo:1 ~traffic:0.8;
+    };
+    {
+      e_name = Spec_mesa.name;
+      e_description = Spec_mesa.description;
+      e_build = Spec_mesa.build;
+      e_profile_script = Spec_mesa.profile_script;
+      e_eval_script = Spec_mesa.eval_script;
+      e_files = Spec_mesa.files;
+      e_eval_scale = Spec_mesa.eval_scale;
+      e_expected_targets = [ Spec_mesa.target ];
+      e_paper =
+        row ~loc:42.2 ~exec:120.2 ~fns:(11, 1105) ~gvs:(608, 627) ~ptrs:1169
+          ~target:"Render" ~cover:99.02 ~invo:1 ~traffic:20.3;
+    };
+    {
+      e_name = Spec_art.name;
+      e_description = Spec_art.description;
+      e_build = Spec_art.build;
+      e_profile_script = Spec_art.profile_script;
+      e_eval_script = Spec_art.eval_script;
+      e_files = Spec_art.files;
+      e_eval_scale = Spec_art.eval_scale;
+      e_expected_targets = [ Spec_art.target ];
+      e_paper =
+        row ~loc:5.7 ~exec:325.5 ~fns:(7, 26) ~gvs:(52, 79) ~ptrs:0
+          ~target:"scan_recognize" ~cover:85.44 ~invo:1 ~traffic:16.4;
+    };
+    {
+      e_name = Spec_equake.name;
+      e_description = Spec_equake.description;
+      e_build = Spec_equake.build;
+      e_profile_script = Spec_equake.profile_script;
+      e_eval_script = Spec_equake.eval_script;
+      e_files = Spec_equake.files;
+      e_eval_scale = Spec_equake.eval_scale;
+      e_expected_targets = [ Spec_equake.target ];
+      e_paper =
+        row ~loc:1.0 ~exec:334.0 ~fns:(5, 28) ~gvs:(83, 104) ~ptrs:0
+          ~target:"main_for.cond548" ~cover:99.44 ~invo:1 ~traffic:16.5;
+    };
+    {
+      e_name = Spec_ammp.name;
+      e_description = Spec_ammp.description;
+      e_build = Spec_ammp.build;
+      e_profile_script = Spec_ammp.profile_script;
+      e_eval_script = Spec_ammp.eval_script;
+      e_files = Spec_ammp.files;
+      e_eval_scale = Spec_ammp.eval_scale;
+      e_expected_targets = Spec_ammp.targets;
+      e_paper =
+        row ~loc:9.8 ~exec:878.0 ~fns:(17, 179) ~gvs:(324, 333) ~ptrs:66
+          ~target:"AMMPmonitor + tpac" ~cover:85.60 ~invo:3 ~traffic:17.6;
+    };
+    {
+      e_name = Spec_twolf.name;
+      e_description = Spec_twolf.description;
+      e_build = Spec_twolf.build;
+      e_profile_script = Spec_twolf.profile_script;
+      e_eval_script = Spec_twolf.eval_script;
+      e_files = Spec_twolf.files;
+      e_eval_scale = Spec_twolf.eval_scale;
+      e_expected_targets = [ Spec_twolf.target ];
+      e_paper =
+        row ~loc:17.8 ~exec:157.8 ~fns:(3, 191) ~gvs:(566, 838) ~ptrs:0
+          ~target:"utemp" ~cover:99.84 ~invo:1 ~traffic:3.3;
+    };
+    {
+      e_name = Spec_bzip2.name;
+      e_description = Spec_bzip2.description;
+      e_build = Spec_bzip2.build;
+      e_profile_script = Spec_bzip2.profile_script;
+      e_eval_script = Spec_bzip2.eval_script;
+      e_files = Spec_bzip2.files;
+      e_eval_scale = Spec_bzip2.eval_scale;
+      e_expected_targets = [ Spec_bzip2.target ];
+      e_paper =
+        row ~loc:5.7 ~exec:27.0 ~fns:(58, 100) ~gvs:(95, 120) ~ptrs:24
+          ~target:"spec_compress" ~cover:98.79 ~invo:1 ~traffic:134.3;
+    };
+    {
+      e_name = Spec_mcf.name;
+      e_description = Spec_mcf.description;
+      e_build = Spec_mcf.build;
+      e_profile_script = Spec_mcf.profile_script;
+      e_eval_script = Spec_mcf.eval_script;
+      e_files = Spec_mcf.files;
+      e_eval_scale = Spec_mcf.eval_scale;
+      e_expected_targets = [ Spec_mcf.target ];
+      e_paper =
+        row ~loc:1.6 ~exec:104.8 ~fns:(19, 24) ~gvs:(39, 43) ~ptrs:0
+          ~target:"global_opt" ~cover:99.55 ~invo:1 ~traffic:47.9;
+    };
+    {
+      e_name = Spec_milc.name;
+      e_description = Spec_milc.description;
+      e_build = Spec_milc.build;
+      e_profile_script = Spec_milc.profile_script;
+      e_eval_script = Spec_milc.eval_script;
+      e_files = Spec_milc.files;
+      e_eval_scale = Spec_milc.eval_scale;
+      e_expected_targets = [ Spec_milc.target ];
+      e_paper =
+        row ~loc:9.6 ~exec:365.8 ~fns:(61, 235) ~gvs:(445, 493) ~ptrs:6
+          ~target:"update" ~cover:96.21 ~invo:2 ~traffic:13.4;
+    };
+    {
+      e_name = Spec_gobmk.name;
+      e_description = Spec_gobmk.description;
+      e_build = Spec_gobmk.build;
+      e_profile_script = Spec_gobmk.profile_script;
+      e_eval_script = Spec_gobmk.eval_script;
+      e_files = Spec_gobmk.files;
+      e_eval_scale = Spec_gobmk.eval_scale;
+      e_expected_targets = [ Spec_gobmk.target ];
+      e_paper =
+        row ~loc:156.3 ~exec:361.8 ~fns:(6, 2679) ~gvs:(21844, 22090) ~ptrs:77
+          ~target:"gtp_main_loop" ~cover:99.96 ~invo:1 ~traffic:25.7;
+    };
+    {
+      e_name = Spec_hmmer.name;
+      e_description = Spec_hmmer.description;
+      e_build = Spec_hmmer.build;
+      e_profile_script = Spec_hmmer.profile_script;
+      e_eval_script = Spec_hmmer.eval_script;
+      e_files = Spec_hmmer.files;
+      e_eval_scale = Spec_hmmer.eval_scale;
+      e_expected_targets = [ Spec_hmmer.target ];
+      e_paper =
+        row ~loc:20.6 ~exec:31.3 ~fns:(36, 538) ~gvs:(995, 1050) ~ptrs:36
+          ~target:"main_loop_serial" ~cover:99.99 ~invo:1 ~traffic:0.3;
+    };
+    {
+      e_name = Spec_sjeng.name;
+      e_description = Spec_sjeng.description;
+      e_build = Spec_sjeng.build;
+      e_profile_script = Spec_sjeng.profile_script;
+      e_eval_script = Spec_sjeng.eval_script;
+      e_files = Spec_sjeng.files;
+      e_eval_scale = Spec_sjeng.eval_scale;
+      e_expected_targets = [ Spec_sjeng.target ];
+      e_paper =
+        row ~loc:10.5 ~exec:950.8 ~fns:(91, 144) ~gvs:(495, 624) ~ptrs:1
+          ~target:"think" ~cover:99.95 ~invo:3 ~traffic:240.2;
+    };
+    {
+      e_name = Spec_libquantum.name;
+      e_description = Spec_libquantum.description;
+      e_build = Spec_libquantum.build;
+      e_profile_script = Spec_libquantum.profile_script;
+      e_eval_script = Spec_libquantum.eval_script;
+      e_files = Spec_libquantum.files;
+      e_eval_scale = Spec_libquantum.eval_scale;
+      e_expected_targets = [ Spec_libquantum.target ];
+      e_paper =
+        row ~loc:2.6 ~exec:71.0 ~fns:(62, 116) ~gvs:(0, 44) ~ptrs:0
+          ~target:"quantum_exp_mod_n" ~cover:92.56 ~invo:1 ~traffic:6.3;
+    };
+    {
+      e_name = Spec_h264ref.name;
+      e_description = Spec_h264ref.description;
+      e_build = Spec_h264ref.build;
+      e_profile_script = Spec_h264ref.profile_script;
+      e_eval_script = Spec_h264ref.eval_script;
+      e_files = Spec_h264ref.files;
+      e_eval_scale = Spec_h264ref.eval_scale;
+      e_expected_targets = [ Spec_h264ref.target ];
+      e_paper =
+        row ~loc:59.5 ~exec:78.2 ~fns:(48, 1333) ~gvs:(2012, 2822) ~ptrs:457
+          ~target:"encode_sequence" ~cover:99.79 ~invo:1 ~traffic:17.1;
+    };
+    {
+      e_name = Spec_lbm.name;
+      e_description = Spec_lbm.description;
+      e_build = Spec_lbm.build;
+      e_profile_script = Spec_lbm.profile_script;
+      e_eval_script = Spec_lbm.eval_script;
+      e_files = Spec_lbm.files;
+      e_eval_scale = Spec_lbm.eval_scale;
+      e_expected_targets = [ Spec_lbm.target ];
+      e_paper =
+        row ~loc:0.9 ~exec:1444.9 ~fns:(1, 19) ~gvs:(16, 20) ~ptrs:0
+          ~target:"main_for.cond" ~cover:99.70 ~invo:1 ~traffic:643.6;
+    };
+    {
+      e_name = Spec_sphinx3.name;
+      e_description = Spec_sphinx3.description;
+      e_build = Spec_sphinx3.build;
+      e_profile_script = Spec_sphinx3.profile_script;
+      e_eval_script = Spec_sphinx3.eval_script;
+      e_files = Spec_sphinx3.files;
+      e_eval_scale = Spec_sphinx3.eval_scale;
+      e_expected_targets = [ Spec_sphinx3.target ];
+      e_paper =
+        row ~loc:13.1 ~exec:375.2 ~fns:(124, 370) ~gvs:(1265, 1329) ~ptrs:14
+          ~target:"main_for.cond" ~cover:98.39 ~invo:1 ~traffic:34.0;
+    };
+  ]
+
+let by_name name =
+  List.find_opt (fun e -> String.equal e.e_name name) spec
+
+let names = List.map (fun e -> e.e_name) spec

@@ -1,0 +1,121 @@
+(* 188.ammp — computational chemistry / molecular dynamics
+   (SPEC CPU2000).
+
+   Table 4 row: 9.8k LoC, 878.0 s, and — uniquely — **two** offloaded
+   targets: AMMPmonitor (coverage 13.53 %, 2 invocations) and tpac
+   (coverage 85.60 %, 1 invocation).  "The Native Offloader compiler
+   finds more than one offloading target like the 188.ammp case."
+
+   Kernels: tpac — pairwise force accumulation over a neighbour
+   window; AMMPmonitor — a full energy audit pass over all atoms,
+   called before and after the force phase. *)
+
+module B = No_ir.Builder
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module W = Support
+
+let name = "188.ammp"
+let description = "Computational chemistry"
+let targets = [ "tpac"; "AMMPmonitor" ]
+
+(* Atoms: x, y, z, f (force accumulator) — 4 doubles each. *)
+let build () =
+  let t = B.create name in
+  B.global t "atoms" W.f64p Ir.Zero_init;
+
+  let coord fb atoms i k =
+    B.gep fb Ty.F64 atoms
+      [ Ir.Index (B.iadd fb (B.imul fb i (B.i64 4)) (B.i64 k)) ]
+  in
+
+  (* tpac(natoms, window) -> force norm *)
+  let _ =
+    B.func t "tpac" ~params:[ Ty.I64; Ty.I64 ] ~ret:Ty.F64 (fun fb args ->
+        let natoms = List.nth args 0 and window = List.nth args 1 in
+        let atoms = B.load fb W.f64p (Ir.Global "atoms") in
+        B.for_ fb ~name:"tpac_atoms" ~from:(B.i64 0) ~below:natoms (fun i ->
+            let fx = B.alloca fb Ty.F64 1 in
+            B.store fb Ty.F64 (B.f64 0.0) fx;
+            B.for_ fb ~name:"tpac_pairs" ~from:(B.i64 1) ~below:window
+              (fun d ->
+                let j = B.irem fb (B.iadd fb i d) natoms in
+                let dx =
+                  B.fsub fb
+                    (B.load fb Ty.F64 (coord fb atoms i 0))
+                    (B.load fb Ty.F64 (coord fb atoms j 0))
+                in
+                let dy =
+                  B.fsub fb
+                    (B.load fb Ty.F64 (coord fb atoms i 1))
+                    (B.load fb Ty.F64 (coord fb atoms j 1))
+                in
+                let dz =
+                  B.fsub fb
+                    (B.load fb Ty.F64 (coord fb atoms i 2))
+                    (B.load fb Ty.F64 (coord fb atoms j 2))
+                in
+                let r2 =
+                  B.fadd fb (B.fmul fb dx dx)
+                    (B.fadd fb (B.fmul fb dy dy) (B.fmul fb dz dz))
+                in
+                let soft = B.fadd fb r2 (B.f64 0.5) in
+                let inv = B.fdiv fb (B.f64 1.0) soft in
+                let cur = B.load fb Ty.F64 fx in
+                B.store fb Ty.F64 (B.fadd fb cur inv) fx);
+            B.store fb Ty.F64 (B.load fb Ty.F64 fx) (coord fb atoms i 3));
+        let norm =
+          W.sum_f64 fb ~name:"force_norm" atoms
+            ~count:(B.imul fb natoms (B.i64 4))
+        in
+        B.ret fb (Some norm))
+  in
+
+  (* AMMPmonitor(natoms) -> total energy *)
+  let _ =
+    B.func t "AMMPmonitor" ~params:[ Ty.I64 ] ~ret:Ty.F64 (fun fb args ->
+        let natoms = List.nth args 0 in
+        let atoms = B.load fb W.f64p (Ir.Global "atoms") in
+        let energy = B.alloca fb Ty.F64 1 in
+        B.store fb Ty.F64 (B.f64 0.0) energy;
+        B.for_ fb ~name:"monitor_atoms" ~from:(B.i64 0) ~below:natoms
+          (fun i ->
+            let x = B.load fb Ty.F64 (coord fb atoms i 0) in
+            let y = B.load fb Ty.F64 (coord fb atoms i 1) in
+            let z = B.load fb Ty.F64 (coord fb atoms i 2) in
+            let f = B.load fb Ty.F64 (coord fb atoms i 3) in
+            let kinetic =
+              B.fadd fb (B.fmul fb x x)
+                (B.fadd fb (B.fmul fb y y) (B.fmul fb z z))
+            in
+            let r = B.call fb "sqrt" [ B.fadd fb kinetic (B.f64 1.0) ] in
+            let contribution = B.fadd fb r (B.fmul fb f (B.f64 0.01)) in
+            let cur = B.load fb Ty.F64 energy in
+            B.store fb Ty.F64 (B.fadd fb cur contribution) energy);
+        B.ret fb (Some (B.load fb Ty.F64 energy)))
+  in
+
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let natoms, window = W.scan2 fb in
+        let words = B.imul fb natoms (B.i64 4) in
+        let atoms = W.malloc_f64 fb words in
+        B.store fb W.f64p atoms (Ir.Global "atoms");
+        W.fill_f64 fb ~name:"init_atoms" atoms ~count:words ~scale:3e-3;
+        (* monitor, force phase, monitor — the paper's 2-invocation
+           AMMPmonitor plus 1-invocation tpac. *)
+        let e0 = B.call fb "AMMPmonitor" [ natoms ] in
+        W.print_result_f64 t fb ~label:"energy_before" e0;
+        let fnorm = B.call fb "tpac" [ natoms; window ] in
+        W.print_result_f64 t fb ~label:"force_norm" fnorm;
+        let e1 = B.call fb "AMMPmonitor" [ natoms ] in
+        W.print_result_f64 t fb ~label:"energy_after" e1;
+        B.ret fb (Some (B.i64 0)))
+  in
+  B.finish t
+
+(* Parameters: atoms, neighbour window. *)
+let profile_script = W.script_of_ints [ 200; 40 ]
+let eval_script = W.script_of_ints [ 900; 160 ]
+let eval_scale = 18.0
+let files = []

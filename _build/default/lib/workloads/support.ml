@@ -1,0 +1,138 @@
+(* Shared IR-emitting helpers for the SPEC-like workload programs.
+
+   Every workload is a complete program built with {!No_ir.Builder}:
+   a main that reads its parameters from the console script (so
+   profiling and evaluation inputs differ, as in the paper), fills its
+   working set, calls its hot kernel (the offloading target named as
+   in Table 4), and prints a checksum so local and offloaded runs can
+   be compared bit for bit. *)
+
+module B = No_ir.Builder
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+
+(* xorshift64*-style PRNG over an i64 state cell: deterministic,
+   identical on both devices. *)
+let add_xrand t =
+  let _ =
+    B.func t "xrand" ~params:[ Ty.Ptr Ty.I64 ] ~ret:Ty.I64 (fun fb args ->
+        let cell = List.nth args 0 in
+        let s = B.load fb Ty.I64 cell in
+        let s = B.ixor fb s (B.ishl fb s (B.i64 13)) in
+        let s = B.ixor fb s (B.ilshr fb s (B.i64 7)) in
+        let s = B.ixor fb s (B.ishl fb s (B.i64 17)) in
+        B.store fb Ty.I64 s cell;
+        let out = B.imul fb s (B.i64' 0x2545F4914F6CDD1DL) in
+        B.ret fb (Some out))
+  in
+  ()
+
+(* Word-granularity checksum function: folds one i64 in [stride]-byte
+   steps; cheap even over megabyte buffers. *)
+let add_checksum ?(stride = 64) t =
+  let _ =
+    B.func t "checksum" ~params:[ Ty.Ptr Ty.I64; Ty.I64 ] ~ret:Ty.I64
+      (fun fb args ->
+        let buf = List.nth args 0 and bytes = List.nth args 1 in
+        let acc = B.alloca fb Ty.I64 1 in
+        B.store fb Ty.I64 (B.i64 0) acc;
+        let words = B.idiv fb bytes (B.i64 stride) in
+        B.for_ fb ~name:"cksum" ~from:(B.i64 0) ~below:words (fun i ->
+            let off = B.imul fb i (B.i64 (stride / 8)) in
+            let slot = B.gep fb Ty.I64 buf [ Ir.Index off ] in
+            let w = B.load fb Ty.I64 slot in
+            let cur = B.load fb Ty.I64 acc in
+            let mixed = B.ixor fb w (B.ishl fb cur (B.i64 1)) in
+            B.store fb Ty.I64 (B.iadd fb cur mixed) acc);
+        B.ret fb (Some (B.load fb Ty.I64 acc)))
+  in
+  ()
+
+(* Allocate a heap buffer of [bytes] (an i64-typed pointer). *)
+let malloc_words fb bytes =
+  let raw = B.call fb "malloc" [ bytes ] in
+  B.cast fb Ir.Bitcast ~src:(Ty.Ptr Ty.I8) raw ~dst:(Ty.Ptr Ty.I64)
+
+(* Fill [words] i64 slots with an affine pattern (fast: one store per
+   word; value changes slowly so the data compresses). *)
+let fill_pattern fb ~name buf ~words ~seed ~step =
+  B.for_ fb ~name ~from:(B.i64 0) ~below:words (fun i ->
+      let v = B.iadd fb seed (B.imul fb i step) in
+      let slot = B.gep fb Ty.I64 buf [ Ir.Index i ] in
+      B.store fb Ty.I64 v slot)
+
+(* Fill with run-length structure: one marker word per run of
+   2^[run_shift] words, zeros between (compressible, like text going
+   into gzip; every page of the buffer is touched, but the fill costs
+   a fraction of a dense write — input setup must stay a small share
+   of execution, as in the paper's coverage column). *)
+let fill_runs fb ~name buf ~words ~run_shift ~seed =
+  let stride = B.ishl fb (B.i64 1) run_shift in
+  let buckets = B.ilshr fb words run_shift in
+  B.for_ fb ~name ~from:(B.i64 0) ~below:buckets (fun bucket ->
+      let v = B.imul fb (B.iadd fb bucket seed) (B.i64' 0x9E3779B97F4A7C15L) in
+      let i = B.imul fb bucket stride in
+      let slot = B.gep fb Ty.I64 buf [ Ir.Index i ] in
+      B.store fb Ty.I64 v slot)
+
+(* Print an i64 labelled result followed by a newline. *)
+let print_result t fb ~label value =
+  let text = B.cstr t (label ^ "=") in
+  B.call_void fb "print_str" [ text ];
+  B.call_void fb "print_i64" [ value ];
+  B.call_void fb "print_newline" []
+
+let print_result_f64 t fb ~label value =
+  let text = B.cstr t (label ^ "=") in
+  B.call_void fb "print_str" [ text ];
+  B.call_void fb "print_f64" [ value ];
+  B.call_void fb "print_newline" []
+
+(* Two scanned i64 parameters — the common workload prologue. *)
+let scan2 fb =
+  let a = B.call fb "scan_i64" [] in
+  let b = B.call fb "scan_i64" [] in
+  (a, b)
+
+let f64p = Ty.Ptr Ty.F64
+let i64p = Ty.Ptr Ty.I64
+let i8p = Ty.Ptr Ty.I8
+
+let malloc_f64 fb count =
+  let raw = B.call fb "malloc" [ B.imul fb count (B.i64 8) ] in
+  B.cast fb Ir.Bitcast ~src:i8p raw ~dst:f64p
+
+(* Fill [count] f64 slots from an affine recurrence. *)
+let fill_f64 fb ~name buf ~count ~scale =
+  B.for_ fb ~name ~from:(B.i64 0) ~below:count (fun i ->
+      let f = B.cast fb Ir.Si_to_fp ~src:Ty.I64 i ~dst:Ty.F64 in
+      let v = B.fadd fb (B.fmul fb f (B.f64 scale)) (B.f64 1.0) in
+      let slot = B.gep fb Ty.F64 buf [ Ir.Index i ] in
+      B.store fb Ty.F64 v slot)
+
+(* f64 buffer checksum folded into an i64 via bit reinterpretation of
+   the running sum (printed with print_f64 to stay simple). *)
+let sum_f64 fb ~name buf ~count =
+  let acc = B.alloca fb Ty.F64 1 in
+  B.store fb Ty.F64 (B.f64 0.0) acc;
+  B.for_ fb ~name ~from:(B.i64 0) ~below:count (fun i ->
+      let slot = B.gep fb Ty.F64 buf [ Ir.Index i ] in
+      let v = B.load fb Ty.F64 slot in
+      let cur = B.load fb Ty.F64 acc in
+      B.store fb Ty.F64 (B.fadd fb cur v) acc);
+  B.load fb Ty.F64 acc
+
+(* Console script from ints. *)
+let script_of_ints ints =
+  List.map (fun v -> No_exec.Console.In_int (Int64.of_int v)) ints
+
+(* A synthetic input file of [bytes] with mild run structure. *)
+let synthetic_file ~seed ~bytes =
+  let data = Bytes.create bytes in
+  let state = ref (0x12345 + seed) in
+  for i = 0 to bytes - 1 do
+    if i mod 17 = 0 then
+      state := (!state * 1103515245) + 12345;
+    Bytes.set data i (Char.chr ((!state lsr 16 + (i / 29)) land 0xff))
+  done;
+  data

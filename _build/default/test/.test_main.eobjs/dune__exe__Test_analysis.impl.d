@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List No_analysis No_ir Option String

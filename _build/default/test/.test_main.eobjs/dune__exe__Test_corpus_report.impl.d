@@ -1,0 +1,1 @@
+test/test_corpus_report.ml: Alcotest Int List No_corpus No_report String

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest No_analysis No_estimator No_ir No_profiler

@@ -1,0 +1,1 @@
+test/test_exec_more.ml: Alcotest Bytes List No_arch No_exec No_ir

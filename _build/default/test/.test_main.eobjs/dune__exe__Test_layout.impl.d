@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest List No_arch No_ir Printf

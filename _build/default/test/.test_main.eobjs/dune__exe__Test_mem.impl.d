@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Int64 List No_arch No_mem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bytes Char Gen List No_netsim Printf QCheck QCheck_alcotest String

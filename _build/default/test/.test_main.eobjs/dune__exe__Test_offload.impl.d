@@ -1,0 +1,1 @@
+test/test_offload.ml: Alcotest List Native_offloader No_analysis No_arch No_estimator No_ir No_netsim No_profiler No_runtime No_transform No_workloads Printf

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List No_ir No_workloads String

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest List No_power Option

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest List No_arch No_exec No_ir No_profiler Printf

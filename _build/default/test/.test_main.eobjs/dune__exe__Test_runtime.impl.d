@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest List Native_offloader No_arch No_estimator No_ir No_netsim No_power No_runtime No_transform No_workloads Option Printf

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Int64 List No_arch No_exec No_ir No_mem No_runtime No_transform No_workloads String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Native_offloader No_analysis No_estimator No_ir No_runtime No_transform No_workloads Option String

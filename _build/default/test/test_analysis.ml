@@ -1,0 +1,183 @@
+(* Analysis tests: call graph, dominators, natural loops, the
+   machine-specific filter (with call-graph propagation), and
+   unused-function removal. *)
+
+module B = No_ir.Builder
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Callgraph = No_analysis.Callgraph
+module Dominators = No_analysis.Dominators
+module Loops = No_analysis.Loops
+module Filter = No_analysis.Filter
+module Reachability = No_analysis.Reachability
+
+(* A module exercising the analyses:
+     main -> alpha -> beta -> gamma(asm)
+     main -> delta (address taken via global table)
+     epsilon (calls scan: interactive)
+     zeta (dead) *)
+let build_test_module () =
+  let t = B.create "analysis" in
+  let sg = Ty.signature [] Ty.I64 in
+  B.global t "table" (Ty.Fn_ptr sg) (Ir.Fn_init "delta");
+  let leaf name body =
+    ignore (B.func t name ~params:[] ~ret:Ty.I64 (fun fb _ -> body fb))
+  in
+  leaf "gamma" (fun fb ->
+      B.asm fb "mrs r0, cpsr";
+      B.ret fb (Some (B.i64 1)));
+  leaf "beta" (fun fb -> B.ret fb (Some (B.call fb "gamma" [])));
+  leaf "alpha" (fun fb -> B.ret fb (Some (B.call fb "beta" [])));
+  leaf "delta" (fun fb -> B.ret fb (Some (B.i64 7)));
+  leaf "epsilon" (fun fb -> B.ret fb (Some (B.call fb "scan_i64" [])));
+  leaf "zeta" (fun fb -> B.ret fb (Some (B.i64 0)));
+  leaf "eta" (fun fb ->
+      let f = B.load fb (Ty.Fn_ptr sg) (Ir.Global "table") in
+      B.ret fb (Some (B.call_ind fb sg f [])));
+  leaf "main" (fun fb ->
+      let a = B.call fb "alpha" [] in
+      let b = B.call fb "eta" [] in
+      B.ret fb (Some (B.iadd fb a b)));
+  B.finish t
+
+let test_callgraph () =
+  let m = build_test_module () in
+  let cg = Callgraph.build m in
+  let set_to_list s = Callgraph.String_set.elements s in
+  Alcotest.(check (list string)) "main callees" [ "alpha"; "eta" ]
+    (set_to_list (Callgraph.callees_of cg "main"));
+  Alcotest.(check (list string)) "beta callers" [ "alpha" ]
+    (set_to_list (Callgraph.callers_of cg "beta"));
+  Alcotest.(check bool) "delta address taken" true
+    (Callgraph.is_address_taken cg "delta");
+  Alcotest.(check bool) "eta has indirect" true
+    (Callgraph.has_indirect_call cg "eta");
+  let reachable = Callgraph.transitive_callees cg [ "main" ] in
+  Alcotest.(check bool) "gamma reachable" true
+    (Callgraph.String_set.mem "gamma" reachable);
+  Alcotest.(check bool) "delta reachable via fn ptr" true
+    (Callgraph.String_set.mem "delta" reachable);
+  Alcotest.(check bool) "zeta unreachable" false
+    (Callgraph.String_set.mem "zeta" reachable)
+
+(* Diamond CFG for dominators; nested loops for loop detection. *)
+let build_cfg_func () =
+  let t = B.create "cfg" in
+  let f =
+    B.func t "diamond" ~params:[ Ty.I64 ] ~ret:Ty.I64 (fun fb args ->
+        let x = List.nth args 0 in
+        let c = B.cmp fb Ir.Sgt x (B.i64 0) in
+        B.if_ fb c
+          ~then_:(fun () -> B.effect fb (Ir.Call ("print_newline", [])))
+          ~else_:(fun () -> ())
+          ();
+        B.for_ fb ~name:"outer" ~from:(B.i64 0) ~below:x (fun _ ->
+            B.for_ fb ~name:"inner" ~from:(B.i64 0) ~below:x (fun _ -> ()));
+        B.ret fb (Some x))
+  in
+  f
+
+let test_dominators () =
+  let f = build_cfg_func () in
+  let doms = Dominators.compute f in
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all
+       (fun (b : Ir.block) ->
+         Dominators.dominates doms ~dom:"entry" ~sub:b.Ir.label)
+       f.Ir.f_blocks);
+  Alcotest.(check bool) "then does not dominate join" false
+    (Dominators.dominates doms ~dom:"if.then.0" ~sub:"if.end.2");
+  Alcotest.(check bool) "outer header dominates inner" true
+    (Dominators.dominates doms ~dom:"outer.cond" ~sub:"inner.cond")
+
+let test_loops () =
+  let f = build_cfg_func () in
+  let loops = Loops.loops_of_func f in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let find name =
+    List.find (fun (l : Loops.loop) -> String.equal l.Loops.l_name name) loops
+  in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check int) "outer depth" 1 outer.Loops.l_depth;
+  Alcotest.(check int) "inner depth" 2 inner.Loops.l_depth;
+  Alcotest.(check bool) "inner body inside outer" true
+    (Loops.String_set.subset inner.Loops.l_blocks outer.Loops.l_blocks)
+
+let test_filter () =
+  let m = build_test_module () in
+  let verdicts = Filter.analyze m in
+  let reason name =
+    match Filter.verdict_of verdicts name with
+    | Some v -> v.Filter.v_machine_specific
+    | None -> Alcotest.failf "no verdict for %s" name
+  in
+  (match reason "gamma" with
+  | Some Filter.Has_asm -> ()
+  | other ->
+    Alcotest.failf "gamma: expected asm, got %s"
+      (match other with
+      | Some r -> Filter.reason_to_string r
+      | None -> "offloadable"));
+  (* propagation up the call graph *)
+  (match reason "beta" with
+  | Some (Filter.Calls_machine_specific "gamma") -> ()
+  | _ -> Alcotest.fail "beta should inherit gamma's verdict");
+  Alcotest.(check bool) "alpha specific" true
+    (not (Filter.is_offloadable verdicts "alpha"));
+  (match reason "epsilon" with
+  | Some (Filter.Has_interactive_input "scan_i64") -> ()
+  | _ -> Alcotest.fail "epsilon: interactive input");
+  Alcotest.(check bool) "delta offloadable" true
+    (Filter.is_offloadable verdicts "delta");
+  Alcotest.(check bool) "eta offloadable (fn ptr ok)" true
+    (Filter.is_offloadable verdicts "eta")
+
+let test_filter_io_not_specific () =
+  let t = B.create "io" in
+  let _ =
+    B.func t "printer" ~params:[] ~ret:Ty.Void (fun fb _ ->
+        B.call_void fb "print_i64" [ B.i64 1 ];
+        B.ret_void fb)
+  in
+  let _ =
+    B.func t "reader" ~params:[] ~ret:Ty.Void (fun fb _ ->
+        let buf = B.alloca fb Ty.I8 64 in
+        let fd = B.call fb "f_open" [ buf ] in
+        B.effect fb (Ir.Call ("f_read", [ fd; buf; B.i64 16 ]));
+        B.call_void fb "f_close" [ fd ];
+        B.ret_void fb)
+  in
+  let m = B.finish t in
+  let verdicts = Filter.analyze m in
+  Alcotest.(check bool) "output io offloadable" true
+    (Filter.is_offloadable verdicts "printer");
+  Alcotest.(check bool) "file io offloadable" true
+    (Filter.is_offloadable verdicts "reader");
+  let v = Option.get (Filter.verdict_of verdicts "printer") in
+  Alcotest.(check bool) "output io recorded" true
+    (not (Filter.String_set.is_empty v.Filter.v_output_io))
+
+let test_unused_removal () =
+  let m = build_test_module () in
+  let trimmed, removed = Reachability.remove_unused m ~roots:[ "alpha" ] in
+  Alcotest.(check bool) "zeta removed" true (List.mem "zeta" removed);
+  Alcotest.(check bool) "main removed" true (List.mem "main" removed);
+  Alcotest.(check bool) "beta kept" true
+    (Ir.find_func trimmed "beta" <> None);
+  (* address-taken functions survive only if an indirect call remains *)
+  Alcotest.(check bool) "delta dropped without indirect callers" true
+    (List.mem "delta" removed);
+  let trimmed2, _ = Reachability.remove_unused m ~roots:[ "eta" ] in
+  Alcotest.(check bool) "delta kept under eta" true
+    (Ir.find_func trimmed2 "delta" <> None)
+
+let tests =
+  [
+    Alcotest.test_case "callgraph" `Quick test_callgraph;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "natural loops" `Quick test_loops;
+    Alcotest.test_case "machine-specific filter" `Quick test_filter;
+    Alcotest.test_case "io is not machine specific" `Quick
+      test_filter_io_not_specific;
+    Alcotest.test_case "unused function removal" `Quick test_unused_removal;
+  ]

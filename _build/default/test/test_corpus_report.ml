@@ -1,0 +1,75 @@
+(* Corpus dataset (Tables 2 and 5) and report-rendering tests. *)
+
+module Android_apps = No_corpus.Android_apps
+module Related_systems = No_corpus.Related_systems
+module Table = No_report.Table
+
+let test_corpus_summary () =
+  let s = Android_apps.summarize () in
+  Alcotest.(check int) "20 apps" 20 s.Android_apps.total_apps;
+  (* "around one third of the 20 applications include native codes
+     more than 50% and spend more than 20% of the total execution
+     time" *)
+  Alcotest.(check int) "majority-native apps" 6
+    s.Android_apps.apps_majority_native_loc;
+  Alcotest.(check int) "heavy native time" 9
+    s.Android_apps.apps_heavy_native_time;
+  Alcotest.(check int) "apps with native code" 11
+    s.Android_apps.apps_with_native
+
+let test_corpus_ratios () =
+  let firefox =
+    List.find
+      (fun a -> String.equal a.Android_apps.app_name "Firefox")
+      Android_apps.apps
+  in
+  Alcotest.(check (float 0.1)) "firefox ratio" 52.19
+    (Android_apps.native_loc_ratio firefox)
+
+let test_related_uniqueness () =
+  (* Only Native Offloader covers the full combination (Table 5's
+     punchline). *)
+  match Related_systems.unique_full_combination () with
+  | [ only ] ->
+    Alcotest.(check string) "native offloader" "Native Offloader"
+      only.Related_systems.sys_name
+  | other -> Alcotest.failf "expected 1 system, got %d" (List.length other)
+
+let test_table_rendering () =
+  let t = Table.create ~title:"T" [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "longer-name"; "12345" ];
+  let text = Table.render t in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check int) "7 lines" 7 (List.length lines);
+  (* all body lines have equal width *)
+  let widths =
+    List.filter_map
+      (fun line ->
+        if String.length line > 0 && line.[0] = '|' then
+          Some (String.length line)
+        else None)
+      lines
+  in
+  (match widths with
+  | w :: rest ->
+    Alcotest.(check bool) "aligned" true (List.for_all (Int.equal w) rest)
+  | [] -> Alcotest.fail "no rows");
+  (match Table.add_row t [ "only-one" ] with
+  | () -> Alcotest.fail "expected arity error"
+  | exception Invalid_argument _ -> ())
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "digits" "3.1416" (Table.cell_f ~digits:4 3.14159);
+  Alcotest.(check string) "pct" "85.4%" (Table.cell_pct 85.44)
+
+let tests =
+  [
+    Alcotest.test_case "corpus summary" `Quick test_corpus_summary;
+    Alcotest.test_case "corpus ratios" `Quick test_corpus_ratios;
+    Alcotest.test_case "related systems uniqueness" `Quick
+      test_related_uniqueness;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "table cells" `Quick test_cells;
+  ]

@@ -1,0 +1,127 @@
+(* Layout engine tests, including the Figure 4 scenario: the Move
+   struct {i8, i8, f64} lays out differently under the i386 ABI
+   (f64 aligned to 4) and the ARM ABI (aligned to 8), and the unified
+   environment equals the mobile one. *)
+
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Arch = No_arch.Arch
+module Layout = No_arch.Layout
+
+let move_def =
+  {
+    Ir.s_name = "Move";
+    Ir.s_fields = [ ("from", Ty.I8); ("to", Ty.I8); ("score", Ty.F64) ];
+  }
+
+let nested_def =
+  {
+    Ir.s_name = "Nested";
+    Ir.s_fields =
+      [ ("tag", Ty.I8); ("inner", Ty.Struct "Move"); ("tail", Ty.I32) ];
+  }
+
+let structs name =
+  match name with
+  | "Move" -> move_def
+  | "Nested" -> nested_def
+  | other -> invalid_arg other
+
+let env arch = Layout.env_of_arch arch ~structs
+
+let test_scalar_sizes () =
+  let e = env Arch.arm32 in
+  Alcotest.(check int) "i8" 1 (Layout.size_of e Ty.I8);
+  Alcotest.(check int) "i16" 2 (Layout.size_of e Ty.I16);
+  Alcotest.(check int) "i32" 4 (Layout.size_of e Ty.I32);
+  Alcotest.(check int) "i64" 8 (Layout.size_of e Ty.I64);
+  Alcotest.(check int) "f32" 4 (Layout.size_of e Ty.F32);
+  Alcotest.(check int) "f64" 8 (Layout.size_of e Ty.F64);
+  Alcotest.(check int) "ptr arm32" 4 (Layout.size_of e (Ty.Ptr Ty.I8));
+  let e64 = env Arch.x86_64 in
+  Alcotest.(check int) "ptr x86_64" 8 (Layout.size_of e64 (Ty.Ptr Ty.I8))
+
+(* The exact Figure 4 divergence. *)
+let test_figure4_move () =
+  let arm = env Arch.arm32 and ia32 = env Arch.x86_32 in
+  Alcotest.(check int) "ARM: score at 8" 8
+    (Layout.field_offset arm "Move" "score");
+  Alcotest.(check int) "ARM: size 16" 16 (Layout.size_of arm (Ty.Struct "Move"));
+  Alcotest.(check int) "IA32: score at 4" 4
+    (Layout.field_offset ia32 "Move" "score");
+  Alcotest.(check int) "IA32: size 12" 12
+    (Layout.size_of ia32 (Ty.Struct "Move"));
+  (* Unified = mobile: the paper chooses the mobile layout as the
+     standard. *)
+  let unified = Layout.unified_env ~mobile:Arch.arm32 ~structs in
+  Alcotest.(check int) "unified score at 8" 8
+    (Layout.field_offset unified "Move" "score")
+
+let test_nested_struct () =
+  let e = env Arch.arm32 in
+  Alcotest.(check int) "tag at 0" 0 (Layout.field_offset e "Nested" "tag");
+  (* inner Move aligns to 8 (its max field alignment) *)
+  Alcotest.(check int) "inner at 8" 8 (Layout.field_offset e "Nested" "inner");
+  Alcotest.(check int) "tail at 24" 24 (Layout.field_offset e "Nested" "tail");
+  (* size rounds up to alignment 8 *)
+  Alcotest.(check int) "size 32" 32 (Layout.size_of e (Ty.Struct "Nested"))
+
+let test_arrays () =
+  let e = env Arch.arm32 in
+  Alcotest.(check int) "array size" 48
+    (Layout.size_of e (Ty.Array (Ty.Struct "Move", 3)));
+  Alcotest.(check int) "array align = elem align" 8
+    (Layout.align_of e (Ty.Array (Ty.Struct "Move", 3)))
+
+let test_align_up () =
+  Alcotest.(check int) "7->8" 8 (Layout.align_up 7 8);
+  Alcotest.(check int) "8->8" 8 (Layout.align_up 8 8);
+  Alcotest.(check int) "0->0" 0 (Layout.align_up 0 16);
+  Alcotest.(check int) "9->16" 16 (Layout.align_up 9 8)
+
+(* Property: offsets are monotonically increasing, within bounds, and
+   each field fits before the next starts. *)
+let test_layout_invariants () =
+  List.iter
+    (fun arch ->
+      let e = env arch in
+      List.iter
+        (fun sname ->
+          let fields = Layout.struct_layout e sname in
+          let size = Layout.size_of e (Ty.Struct sname) in
+          let rec check = function
+            | (n1, o1, _, s1) :: ((_, o2, _, _) :: _ as rest) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s.%s no overlap" sname n1)
+                true
+                (o1 + s1 <= o2);
+              check rest
+            | [ (n, o, _, s) ] ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s.%s fits" sname n)
+                true (o + s <= size)
+            | [] -> ()
+          in
+          check fields)
+        [ "Move"; "Nested" ])
+    [ Arch.arm32; Arch.x86_64; Arch.x86_32; Arch.arm32_be ]
+
+let test_performance_ratio () =
+  let r = Arch.performance_ratio ~mobile:Arch.arm32 ~server:Arch.x86_64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in [4, 9]" r)
+    true
+    (r > 4.0 && r < 9.0);
+  let same = Arch.performance_ratio ~mobile:Arch.arm32 ~server:Arch.arm32 in
+  Alcotest.(check (float 1e-9)) "self ratio 1" 1.0 same
+
+let tests =
+  [
+    Alcotest.test_case "scalar sizes" `Quick test_scalar_sizes;
+    Alcotest.test_case "figure 4: Move realignment" `Quick test_figure4_move;
+    Alcotest.test_case "nested struct" `Quick test_nested_struct;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "align_up" `Quick test_align_up;
+    Alcotest.test_case "layout invariants" `Quick test_layout_invariants;
+    Alcotest.test_case "performance ratio" `Quick test_performance_ratio;
+  ]

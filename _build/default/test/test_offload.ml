@@ -1,0 +1,190 @@
+(* End-to-end offloading tests on the paper's chess example: compile
+   (profile -> filter -> Eq.1 selection -> unification -> partition ->
+   server optimizations), then run local vs offloaded sessions and
+   check identical observable behaviour, speedup, and the paper's
+   selection/filter outcomes. *)
+
+module Ir = No_ir.Ir
+module Arch = No_arch.Arch
+module Filter = No_analysis.Filter
+module Profiler = No_profiler.Profiler
+module Static_estimate = No_estimator.Static_estimate
+module Link = No_netsim.Link
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Chess = No_workloads.Chess
+module Compiler = Native_offloader.Compiler
+module Pipeline = No_transform.Pipeline
+
+let compile_chess () =
+  Compiler.compile
+    ~profile_script:(Chess.script ~depth:3 ~turns:2)
+    ~eval_scale:2.0 (Chess.build ())
+
+let eval_script = Chess.script ~depth:6 ~turns:3
+
+let test_selection () =
+  let compiled = compile_chess () in
+  Alcotest.(check (list string))
+    "selected target" [ "getAITurn" ]
+    compiled.Compiler.c_selection.Static_estimate.targets;
+  (* getPlayerTurn and its callers are machine specific. *)
+  let specific name =
+    not (Filter.is_offloadable compiled.Compiler.c_verdicts name)
+  in
+  Alcotest.(check bool) "getPlayerTurn filtered" true (specific "getPlayerTurn");
+  Alcotest.(check bool) "runGame filtered" true (specific "runGame");
+  Alcotest.(check bool) "main filtered" true (specific "main");
+  Alcotest.(check bool) "getAITurn offloadable" false (specific "getAITurn");
+  Alcotest.(check bool) "evalPawn offloadable" false (specific "evalPawn")
+
+let test_loop_profile () =
+  let compiled = compile_chess () in
+  let samples = compiled.Compiler.c_samples in
+  let loop name =
+    match Profiler.find_sample samples ~kind:Profiler.Loop ~name with
+    | Some s -> s
+    | None -> Alcotest.failf "loop %s not profiled" name
+  in
+  let for_i = loop "for_i" and for_j = loop "for_j" in
+  (* for_i entered once per getAITurn call (2 turns); for_j once per
+     examined position: widths 1+2+4 per turn at depth 3. *)
+  Alcotest.(check int) "for_i invocations" 2 for_i.Profiler.s_invocations;
+  Alcotest.(check int) "for_j invocations" 14 for_j.Profiler.s_invocations;
+  Alcotest.(check bool) "for_i time >= for_j time" true
+    (for_i.Profiler.s_time >= for_j.Profiler.s_time);
+  Alcotest.(check bool) "for_i time positive" true (for_i.Profiler.s_time > 0.0)
+
+let test_server_partition_shape () =
+  let compiled = compile_chess () in
+  let server = compiled.Compiler.c_output.Pipeline.o_server in
+  (* Unused-function removal: the interactive path is gone. *)
+  Alcotest.(check bool) "getPlayerTurn removed" true
+    (Ir.find_func server "getPlayerTurn" = None);
+  Alcotest.(check bool) "runGame removed" true
+    (Ir.find_func server "runGame" = None);
+  Alcotest.(check bool) "main removed" true (Ir.find_func server "main" = None);
+  Alcotest.(check bool) "listener present" true
+    (Ir.find_func server "__listen_client" <> None);
+  Alcotest.(check bool) "serve stub present" true
+    (Ir.find_func server "__serve$getAITurn" <> None);
+  Alcotest.(check bool) "target present" true
+    (Ir.find_func server "getAITurn" <> None);
+  Alcotest.(check bool) "eval fns kept (address taken)" true
+    (Ir.find_func server "evalQueen" <> None);
+  let stats = compiled.Compiler.c_output.Pipeline.o_stats in
+  Alcotest.(check bool) "remote io rewritten" true
+    (stats.Pipeline.st_remote_io_sites >= 2);
+  Alcotest.(check bool) "fn ptr loads mapped" true
+    (stats.Pipeline.st_fnptr_load_maps >= 1);
+  Alcotest.(check bool) "pointer loads converted (32->64)" true
+    (stats.Pipeline.st_addr_loads >= 1);
+  Alcotest.(check int) "no endianness swaps (both LE)" 0
+    stats.Pipeline.st_endian_swaps;
+  Alcotest.(check bool) "globals reallocated" true
+    (stats.Pipeline.st_reallocated_globals >= 3)
+
+let run_offloaded ?(config = Session.default_config ()) compiled =
+  let session =
+    Session.create ~config ~script:eval_script compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  Session.run session
+
+let test_offload_correctness () =
+  let compiled = compile_chess () in
+  let local = Local_run.run ~script:eval_script compiled.Compiler.c_original in
+  let report = run_offloaded compiled in
+  Alcotest.(check string)
+    "console output identical" local.Local_run.lr_console
+    report.Session.rep_console;
+  Alcotest.(check bool) "offloads happened" true
+    (report.Session.rep_offloads = 3);
+  Alcotest.(check bool) "fn ptr translations happened" true
+    (report.Session.rep_fnptr_translations > 100);
+  Alcotest.(check bool) "remote io happened" true
+    (report.Session.rep_remote_io_ops >= 18);
+  Alcotest.(check bool) "page faults or prefetch moved data" true
+    (report.Session.rep_faults + report.Session.rep_prefetched_pages > 0)
+
+let test_offload_speedup () =
+  let compiled = compile_chess () in
+  let local = Local_run.run ~script:eval_script compiled.Compiler.c_original in
+  let report = run_offloaded compiled in
+  let speedup = local.Local_run.lr_total_s /. report.Session.rep_total_s in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2f > 1.5" speedup)
+    true (speedup > 1.5);
+  Alcotest.(check bool) "battery saved" true
+    (report.Session.rep_energy_mj < local.Local_run.lr_energy_mj)
+
+let test_never_offload_matches_local () =
+  let compiled = compile_chess () in
+  let local = Local_run.run ~script:eval_script compiled.Compiler.c_original in
+  let config =
+    { (Session.default_config ()) with Session.decision = Session.Never_offload }
+  in
+  let report = run_offloaded ~config compiled in
+  Alcotest.(check string) "console identical" local.Local_run.lr_console
+    report.Session.rep_console;
+  Alcotest.(check int) "no offloads" 0 report.Session.rep_offloads;
+  (* The partitioned binary running locally costs about the same as
+     the original (dispatch overhead is tiny). *)
+  let overhead =
+    report.Session.rep_total_s /. local.Local_run.lr_total_s
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "local overhead %.3f < 1.2" overhead)
+    true (overhead < 1.2)
+
+let test_congested_network_refuses () =
+  let compiled = compile_chess () in
+  let config =
+    { (Session.default_config ~link:Link.congested ()) with
+      Session.prefetch = true }
+  in
+  let report = run_offloaded ~config compiled in
+  (* The dynamic estimator must notice the terrible network.  Chess
+     moves little data, so allow either outcome but require that a
+     refusal happens for a genuinely huge footprint: force one. *)
+  ignore report;
+  let compiled2 = compile_chess () in
+  let session =
+    Session.create ~config ~script:eval_script compiled2.Compiler.c_output
+      ~seeds:
+        (List.map
+           (fun s -> { s with Session.seed_mem_bytes = 512 * 1024 * 1024 })
+           compiled2.Compiler.c_seeds)
+  in
+  let report2 = Session.run session in
+  Alcotest.(check int) "all refused" 0 report2.Session.rep_offloads;
+  Alcotest.(check bool) "refusals recorded" true
+    (report2.Session.rep_refusals > 0)
+
+let test_ideal_faster_than_real () =
+  let compiled = compile_chess () in
+  let real = run_offloaded compiled in
+  let config = { (Session.default_config ()) with Session.ideal = true } in
+  let ideal = run_offloaded ~config compiled in
+  Alcotest.(check bool) "ideal <= real" true
+    (ideal.Session.rep_total_s <= real.Session.rep_total_s);
+  Alcotest.(check bool) "real has comm overhead" true
+    (real.Session.rep_comm_s > 0.0);
+  Alcotest.(check bool) "ideal has zero comm" true
+    (ideal.Session.rep_comm_s = 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "target selection" `Quick test_selection;
+    Alcotest.test_case "loop profiling" `Quick test_loop_profile;
+    Alcotest.test_case "server partition shape" `Quick
+      test_server_partition_shape;
+    Alcotest.test_case "offload correctness" `Quick test_offload_correctness;
+    Alcotest.test_case "offload speedup" `Quick test_offload_speedup;
+    Alcotest.test_case "never-offload matches local" `Quick
+      test_never_offload_matches_local;
+    Alcotest.test_case "congested network refuses" `Quick
+      test_congested_network_refuses;
+    Alcotest.test_case "ideal faster than real" `Quick
+      test_ideal_faster_than_real;
+  ]

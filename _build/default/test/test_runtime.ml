@@ -1,0 +1,310 @@
+(* Runtime/session tests: dirty-page write-back, copy-on-demand vs
+   prefetch vs copy-all, write-back compression, cross-architecture
+   configurations (big-endian mobile; 32-bit server with the Figure 4
+   layout), and the stack separation guarantee. *)
+
+module B = No_ir.Builder
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Arch = No_arch.Arch
+module Link = No_netsim.Link
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Compiler = Native_offloader.Compiler
+module W = No_workloads.Support
+
+(* A small offloadable program: the hot kernel makes several passes
+   over a heap buffer (reads + writes: the pages come to the server by
+   copy-on-demand and return as dirty pages), accumulating a value the
+   mobile side then prints together with a buffer checksum. *)
+let build_scaler () =
+  let t = B.create "scaler" in
+  W.add_checksum t;
+  B.global t "buf" W.i64p Ir.Zero_init;
+  let _ =
+    B.func t "hot" ~params:[ W.i64p; Ty.I64; Ty.I64 ] ~ret:Ty.I64
+      (fun fb args ->
+        let buf = List.nth args 0
+        and words = List.nth args 1
+        and passes = List.nth args 2 in
+        let acc = B.alloca fb Ty.I64 1 in
+        B.store fb Ty.I64 (B.i64 0) acc;
+        B.for_ fb ~name:"hot_pass" ~from:(B.i64 0) ~below:passes (fun _p ->
+            B.for_ fb ~name:"hot_words" ~from:(B.i64 0) ~below:words (fun i ->
+                let slot = B.gep fb Ty.I64 buf [ Ir.Index i ] in
+                let v = B.load fb Ty.I64 slot in
+                let v' = B.iadd fb (B.imul fb v (B.i64 3)) (B.i64 1) in
+                B.store fb Ty.I64 (B.iand fb v' (B.i64 0xFFFFFFF)) slot;
+                let a = B.load fb Ty.I64 acc in
+                B.store fb Ty.I64 (B.ixor fb a v') acc));
+        B.ret fb (Some (B.load fb Ty.I64 acc)))
+  in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let words, passes = W.scan2 fb in
+        let buf = W.malloc_words fb (B.imul fb words (B.i64 8)) in
+        B.store fb W.i64p buf (Ir.Global "buf");
+        W.fill_pattern fb ~name:"fill" buf ~words ~seed:(B.i64 3)
+          ~step:(B.i64 17);
+        let r = B.call fb "hot" [ buf; words; passes ] in
+        W.print_result t fb ~label:"acc" r;
+        let bytes = B.imul fb words (B.i64 8) in
+        let ck = B.call fb "checksum" [ buf; bytes ] in
+        W.print_result t fb ~label:"checksum" ck;
+        B.ret fb (Some (B.i64 0)))
+  in
+  B.finish t
+
+let profile_script = W.script_of_ints [ 400; 4 ]
+let eval_script = W.script_of_ints [ 4000; 6 ]
+
+let compile_scaler ?mobile ?server () =
+  Compiler.compile ?mobile ?server ~profile_script ~eval_scale:12.0
+    (build_scaler ())
+
+let run_with config compiled =
+  let session =
+    Session.create ~config ~script:eval_script compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  Session.run session
+
+let local_console compiled =
+  (Local_run.run ~script:eval_script compiled.Compiler.c_original)
+    .Local_run.lr_console
+
+(* Dirty pages written on the server land back in mobile memory: the
+   mobile-side checksum sees the server's writes. *)
+let test_writeback_correctness () =
+  let compiled = compile_scaler () in
+  let report = run_with (Session.default_config ()) compiled in
+  Alcotest.(check string) "console identical" (local_console compiled)
+    report.Session.rep_console;
+  Alcotest.(check int) "one offload" 1 report.Session.rep_offloads;
+  Alcotest.(check bool) "dirty pages returned" true
+    (report.Session.rep_bytes_to_mobile > 4096)
+
+let test_copy_on_demand_vs_prefetch () =
+  let compiled = compile_scaler () in
+  let no_prefetch =
+    { (Session.default_config ()) with Session.prefetch = false }
+  in
+  let r1 = run_with no_prefetch compiled in
+  Alcotest.(check string) "faulting run correct" (local_console compiled)
+    r1.Session.rep_console;
+  Alcotest.(check bool) "faults happened" true (r1.Session.rep_faults >= 8);
+  let compiled2 = compile_scaler () in
+  let r2 = run_with (Session.default_config ()) compiled2 in
+  Alcotest.(check bool) "prefetch avoids faults" true
+    (r2.Session.rep_faults < r1.Session.rep_faults);
+  Alcotest.(check bool) "prefetch is faster" true
+    (r2.Session.rep_total_s < r1.Session.rep_total_s)
+
+let test_copy_all_ablation () =
+  let compiled = compile_scaler () in
+  let copy_all =
+    { (Session.default_config ()) with Session.copy_all = true }
+  in
+  let r = run_with copy_all compiled in
+  Alcotest.(check string) "copy-all correct" (local_console compiled)
+    r.Session.rep_console;
+  Alcotest.(check bool) "ships at least the working set" true
+    (r.Session.rep_bytes_to_server >= 4000 * 8)
+
+let test_writeback_compression () =
+  let with_compression compress =
+    let compiled = compile_scaler () in
+    let config =
+      { (Session.default_config ()) with Session.compress_writeback = compress }
+    in
+    run_with config compiled
+  in
+  let on = with_compression true and off = with_compression false in
+  Alcotest.(check string) "same console" on.Session.rep_console
+    off.Session.rep_console;
+  Alcotest.(check bool) "compression shrinks wire bytes" true
+    (on.Session.rep_wire_bytes_to_mobile < off.Session.rep_wire_bytes_to_mobile);
+  Alcotest.(check int) "raw bytes equal" off.Session.rep_bytes_to_mobile
+    on.Session.rep_bytes_to_mobile
+
+(* Synthetic big-endian mobile: the endianness translation pass must
+   be exercised and the results must still match. *)
+let test_cross_endian_offload () =
+  let compiled = compile_scaler ~mobile:Arch.arm32_be () in
+  let stats =
+    compiled.Compiler.c_output.No_transform.Pipeline.o_stats
+  in
+  Alcotest.(check bool) "swaps inserted" true
+    (stats.No_transform.Pipeline.st_endian_swaps > 0);
+  let config =
+    { (Session.default_config ()) with Session.mobile_arch = Arch.arm32_be }
+  in
+  let report = run_with config compiled in
+  let local =
+    Local_run.run ~arch:Arch.arm32_be ~script:eval_script
+      compiled.Compiler.c_original
+  in
+  Alcotest.(check string) "cross-endian console identical"
+    local.Local_run.lr_console report.Session.rep_console;
+  Alcotest.(check int) "offloaded" 1 report.Session.rep_offloads
+
+(* 32-bit little-endian server with the IA32 struct rules: same
+   pointer width (no address conversion), no endian swaps — but the
+   unified layout is what keeps struct offsets agreeing (Figure 4). *)
+let test_x86_32_server () =
+  let compiled = compile_scaler ~server:Arch.x86_32 () in
+  let stats = compiled.Compiler.c_output.No_transform.Pipeline.o_stats in
+  Alcotest.(check int) "no addr conversion" 0
+    stats.No_transform.Pipeline.st_addr_loads;
+  Alcotest.(check int) "no endian swaps" 0
+    stats.No_transform.Pipeline.st_endian_swaps;
+  let config =
+    { (Session.default_config ()) with Session.server_arch = Arch.x86_32 }
+  in
+  let report = run_with config compiled in
+  Alcotest.(check string) "x86_32 server correct" (local_console compiled)
+    report.Session.rep_console
+
+(* The chess Move struct crossing to an x86_32 server is the exact
+   Figure 4 case: without realignment the server would read garbage
+   score values.  With the unified layout, output matches. *)
+let test_figure4_chess_on_x86_32 () =
+  let chess = No_workloads.Chess.build () in
+  let compiled =
+    Compiler.compile ~server:Arch.x86_32
+      ~profile_script:(No_workloads.Chess.script ~depth:3 ~turns:2)
+      ~eval_scale:2.0 chess
+  in
+  let script = No_workloads.Chess.script ~depth:5 ~turns:2 in
+  let local = Local_run.run ~script compiled.Compiler.c_original in
+  let config =
+    { (Session.default_config ()) with Session.server_arch = Arch.x86_32 }
+  in
+  let session =
+    Session.create ~config ~script compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  Alcotest.(check string) "figure 4 case correct" local.Local_run.lr_console
+    report.Session.rep_console;
+  Alcotest.(check bool) "offloads happened" true
+    (report.Session.rep_offloads > 0)
+
+(* Stack separation: the server allocates its frames in the server
+   stack region, so mobile stack pages are never dirtied by callee
+   frames (only by explicit writes through shared pointers). *)
+let test_stack_separation () =
+  let compiled = compile_scaler () in
+  let config =
+    { (Session.default_config ()) with Session.prefetch = false }
+  in
+  let session =
+    Session.create ~config ~script:eval_script compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  (* hot's frame (acc alloca) lives on the server stack: no mobile
+     stack page needs to travel *)
+  Alcotest.(check string) "still correct" (local_console compiled)
+    report.Session.rep_console
+
+let test_power_trace_has_phases () =
+  let compiled = compile_scaler () in
+  let session =
+    Session.create ~config:(Session.default_config ()) ~script:eval_script
+      compiled.Compiler.c_output ~seeds:compiled.Compiler.c_seeds
+  in
+  ignore (Session.run session);
+  let by_state = No_power.Battery.time_by_state (Session.battery session) in
+  let time state =
+    Option.value ~default:0.0 (List.assoc_opt state by_state)
+  in
+  Alcotest.(check bool) "computing time" true
+    (time No_power.Power_model.Computing > 0.0);
+  Alcotest.(check bool) "waiting time" true
+    (time No_power.Power_model.Waiting > 0.0);
+  Alcotest.(check bool) "transmit time" true
+    (time No_power.Power_model.Transmitting > 0.0);
+  Alcotest.(check bool) "receive time" true
+    (time No_power.Power_model.Receiving > 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "write-back correctness" `Quick
+      test_writeback_correctness;
+    Alcotest.test_case "copy-on-demand vs prefetch" `Quick
+      test_copy_on_demand_vs_prefetch;
+    Alcotest.test_case "copy-all ablation" `Quick test_copy_all_ablation;
+    Alcotest.test_case "write-back compression" `Quick
+      test_writeback_compression;
+    Alcotest.test_case "cross-endian offload" `Quick test_cross_endian_offload;
+    Alcotest.test_case "x86_32 server" `Quick test_x86_32_server;
+    Alcotest.test_case "figure 4 chess on x86_32" `Quick
+      test_figure4_chess_on_x86_32;
+    Alcotest.test_case "stack separation" `Quick test_stack_separation;
+    Alcotest.test_case "power trace phases" `Quick test_power_trace_has_phases;
+  ]
+
+(* {1 Bandwidth prediction (the NWSLite-style extension)} *)
+
+module Bandwidth_predictor = No_estimator.Bandwidth_predictor
+
+let test_predictor_unit () =
+  let p = Bandwidth_predictor.create ~initial_bps:10e6 () in
+  Alcotest.(check (float 1.0)) "initial" 10e6 (Bandwidth_predictor.predict_bps p);
+  (* tiny control messages are ignored *)
+  Bandwidth_predictor.observe p ~bytes:64 ~seconds:1.0;
+  Alcotest.(check int) "ignored" 0 (Bandwidth_predictor.sample_count p);
+  (* consistent slow samples drag the estimate down *)
+  for _ = 1 to 20 do
+    Bandwidth_predictor.observe p ~bytes:125_000 ~seconds:10.0
+    (* = 100 kbps *)
+  done;
+  let predicted = Bandwidth_predictor.predict_bps p in
+  Alcotest.(check bool)
+    (Printf.sprintf "converged to ~100kbps (got %.0f)" predicted)
+    true
+    (predicted < 150_000.0 && predicted > 50_000.0)
+
+(* A session created on a congested link but seeded with a stale fast
+   belief: the first think() offloads on the stale belief, the
+   transfer observations correct it, and the remaining invocations are
+   refused — mid-run adaptation with no reconfiguration. *)
+let test_session_adapts_to_real_bandwidth () =
+  let entry = Option.get (No_workloads.Registry.by_name "458.sjeng") in
+  let compiled =
+    Compiler.compile ~profile_script:entry.No_workloads.Registry.e_profile_script
+      ~profile_files:entry.No_workloads.Registry.e_files
+      ~eval_scale:entry.No_workloads.Registry.e_eval_scale
+      (entry.No_workloads.Registry.e_build ())
+  in
+  let config =
+    { (Session.default_config ~link:Link.congested ()) with
+      Session.initial_bw_bps = Some (Link.effective_bps Link.fast_wifi) }
+  in
+  let session =
+    Session.create ~config ~script:entry.No_workloads.Registry.e_eval_script
+      ~files:entry.No_workloads.Registry.e_files compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  Alcotest.(check int) "first invocation fooled by stale belief" 1
+    report.Session.rep_offloads;
+  Alcotest.(check int) "later invocations refused" 2
+    report.Session.rep_refusals;
+  (* and the output is still correct *)
+  let local =
+    Local_run.run ~script:entry.No_workloads.Registry.e_eval_script
+      ~files:entry.No_workloads.Registry.e_files compiled.Compiler.c_original
+  in
+  Alcotest.(check string) "console identical" local.Local_run.lr_console
+    report.Session.rep_console
+
+let bandwidth_tests =
+  [
+    Alcotest.test_case "bandwidth predictor" `Quick test_predictor_unit;
+    Alcotest.test_case "session adapts to real bandwidth" `Quick
+      test_session_adapts_to_real_bandwidth;
+  ]
+
+let tests = tests @ bandwidth_tests

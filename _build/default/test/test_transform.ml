@@ -1,0 +1,421 @@
+(* Transformation pass tests: each Section 3.2-3.4 pass in isolation,
+   plus pipeline-level invariants. *)
+
+module B = No_ir.Builder
+module Ir = No_ir.Ir
+module Ty = No_ir.Ty
+module Validate = No_ir.Validate
+module Arch = No_arch.Arch
+module Layout = No_arch.Layout
+module Host = No_exec.Host
+module Interp = No_exec.Interp
+module Value = No_exec.Value
+module Heap_replace = No_transform.Heap_replace
+module Global_realloc = No_transform.Global_realloc
+module Lower_gep = No_transform.Lower_gep
+module Addr_convert = No_transform.Addr_convert
+module Endian_translate = No_transform.Endian_translate
+module Fnptr_map = No_transform.Fnptr_map
+module Remote_io = No_transform.Remote_io
+module Partition = No_transform.Partition
+module Pipeline = No_transform.Pipeline
+
+let count_calls_to name (m : Ir.modul) =
+  List.fold_left
+    (fun acc f ->
+      Ir.fold_instrs
+        (fun acc instr ->
+          match instr with
+          | Ir.Assign (_, Ir.Call (n, _)) | Ir.Effect (Ir.Call (n, _))
+            when String.equal n name ->
+            acc + 1
+          | Ir.Assign _ | Ir.Effect _ | Ir.Store _ | Ir.Asm _ -> acc)
+        acc f)
+    0 m.Ir.m_funcs
+
+let test_heap_replace () =
+  let t = B.create "heap" in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let p = B.call fb "malloc" [ B.i64 64 ] in
+        let q = B.call fb "malloc" [ B.i64 32 ] in
+        B.call_void fb "free" [ p ];
+        B.call_void fb "free" [ q ];
+        B.ret fb (Some (B.i64 0)))
+  in
+  let m = B.finish t in
+  let m', stats = Heap_replace.run m in
+  Alcotest.(check int) "malloc sites" 2 stats.Heap_replace.malloc_sites;
+  Alcotest.(check int) "free sites" 2 stats.Heap_replace.free_sites;
+  Alcotest.(check int) "no malloc left" 0 (count_calls_to "malloc" m');
+  Alcotest.(check int) "u_malloc present" 2 (count_calls_to "u_malloc" m');
+  Validate.check_module m'
+
+let structs_of m name = Ir.find_struct_exn m name
+
+let run_main ?(arch = Arch.arm32) ?layout ?(script = []) m =
+  let layout =
+    match layout with
+    | Some l -> l
+    | None -> Layout.env_of_arch arch ~structs:(structs_of m)
+  in
+  let host =
+    Host.create ~arch ~role:Host.Mobile ~modul:m ~layout
+      ~console:(No_exec.Console.create ~script ()) ()
+  in
+  (host, Interp.run_main host)
+
+let build_global_module () =
+  let t = B.create "globals" in
+  B.global t "counter" Ty.I64 (Ir.Int_init (40L, Ty.I64));
+  B.global t "unused_global" Ty.I64 Ir.Zero_init;
+  let _ =
+    B.func t "bump" ~params:[] ~ret:Ty.Void (fun fb _ ->
+        let v = B.load fb Ty.I64 (Ir.Global "counter") in
+        B.store fb Ty.I64 (B.iadd fb v (B.i64 1)) (Ir.Global "counter");
+        B.ret_void fb)
+  in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        B.call_void fb "bump" [];
+        B.call_void fb "bump" [];
+        B.ret fb (Some (B.load fb Ty.I64 (Ir.Global "counter"))))
+  in
+  B.finish t
+
+let test_global_realloc () =
+  let m = build_global_module () in
+  let m', stats = Global_realloc.run m in
+  Validate.check_module m';
+  Alcotest.(check (list string)) "counter reallocated" [ "counter" ]
+    stats.Global_realloc.reallocated;
+  Alcotest.(check (list string)) "unused untouched" [ "unused_global" ]
+    stats.Global_realloc.untouched;
+  (* slot global exists, original gone *)
+  Alcotest.(check bool) "slot present" true
+    (Ir.find_global m' "counter__re" <> None);
+  Alcotest.(check bool) "original gone" true
+    (Ir.find_global m' "counter" = None);
+  Alcotest.(check int) "init extern call in main" 1
+    (count_calls_to "__uva_init_global$counter" m');
+  (* behaviour preserved when an extern handler services the init *)
+  let layout = Layout.env_of_arch Arch.arm32 ~structs:(structs_of m') in
+  let host =
+    Host.create ~arch:Arch.arm32 ~role:Host.Mobile ~modul:m' ~layout ()
+  in
+  host.Host.hooks.Host.extern_call <-
+    Some
+      (fun name _args ->
+        match name with
+        | "__uva_init_global$counter" ->
+          let addr = No_mem.Uva.alloc host.Host.uva 8 in
+          Host.store_scalar host Ty.I64 addr (Value.VInt 40L);
+          Some (Value.VInt (Int64.of_int addr))
+        | _ -> None);
+  Alcotest.(check int64) "reallocated behaviour" 42L
+    (Value.to_int (Interp.run_main host))
+
+(* Explicit GEP lowering computes the same addresses as symbolic GEP
+   interpretation under the same layout. *)
+let build_struct_module () =
+  let t = B.create "structs" in
+  let pair = B.struct_ t "Pair" [ ("a", Ty.I8); ("b", Ty.F64) ] in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let arr = B.alloca fb pair 4 in
+        B.for_ fb ~name:"fill" ~from:(B.i64 0) ~below:(B.i64 4) (fun i ->
+            let cell = B.gep fb pair arr [ Ir.Index i ] in
+            let i8v = B.cast fb Ir.Trunc ~src:Ty.I64 i ~dst:Ty.I8 in
+            B.store fb Ty.I8 i8v (B.gep fb pair cell [ Ir.Field "a" ]);
+            let fv = B.cast fb Ir.Si_to_fp ~src:Ty.I64 i ~dst:Ty.F64 in
+            B.store fb Ty.F64 fv (B.gep fb pair cell [ Ir.Field "b" ]));
+        let acc = B.alloca fb Ty.F64 1 in
+        B.store fb Ty.F64 (B.f64 0.0) acc;
+        B.for_ fb ~name:"sum" ~from:(B.i64 0) ~below:(B.i64 4) (fun i ->
+            let cell = B.gep fb pair arr [ Ir.Index i ] in
+            let b = B.load fb Ty.F64 (B.gep fb pair cell [ Ir.Field "b" ]) in
+            let a = B.load fb Ty.I8 (B.gep fb pair cell [ Ir.Field "a" ]) in
+            let a64 = B.cast fb Ir.Sext ~src:Ty.I8 a ~dst:Ty.I64 in
+            let af = B.cast fb Ir.Si_to_fp ~src:Ty.I64 a64 ~dst:Ty.F64 in
+            let cur = B.load fb Ty.F64 acc in
+            B.store fb Ty.F64 (B.fadd fb cur (B.fadd fb b af)) acc);
+        let total = B.load fb Ty.F64 acc in
+        B.ret fb (Some (B.cast fb Ir.Fp_to_si ~src:Ty.F64 total ~dst:Ty.I64)))
+  in
+  B.finish t
+
+let test_lower_gep_preserves_semantics () =
+  let m = build_struct_module () in
+  let _, symbolic = run_main m in
+  let layout = Layout.env_of_arch Arch.arm32 ~structs:(structs_of m) in
+  let m', stats = Lower_gep.run layout m in
+  Validate.check_module m';
+  Alcotest.(check bool) "geps lowered" true (stats.Lower_gep.geps_lowered > 4);
+  (* no symbolic GEP remains *)
+  let remaining =
+    List.fold_left
+      (fun acc f ->
+        Ir.fold_instrs
+          (fun acc instr ->
+            match instr with
+            | Ir.Assign (_, Ir.Gep _) | Ir.Effect (Ir.Gep _) -> acc + 1
+            | Ir.Assign _ | Ir.Effect _ | Ir.Store _ | Ir.Asm _ -> acc)
+          acc f)
+      0 m'.Ir.m_funcs
+  in
+  Alcotest.(check int) "no geps left" 0 remaining;
+  let _, lowered = run_main ~layout m' in
+  Alcotest.(check bool) "same result" true (Value.equal symbolic lowered)
+
+let test_addr_convert () =
+  let t = B.create "addr" in
+  B.global t "slot" (Ty.Ptr Ty.I64) Ir.Zero_init;
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let raw = B.call fb "malloc" [ B.i64 16 ] in
+        let p = B.cast fb Ir.Bitcast ~src:(Ty.Ptr Ty.I8) raw ~dst:(Ty.Ptr Ty.I64) in
+        B.store fb (Ty.Ptr Ty.I64) p (Ir.Global "slot");
+        let p' = B.load fb (Ty.Ptr Ty.I64) (Ir.Global "slot") in
+        B.store fb Ty.I64 (B.i64 99) p';
+        B.ret fb (Some (B.load fb Ty.I64 p')))
+  in
+  let m = B.finish t in
+  (* same widths: no-op *)
+  let same, s0 = Addr_convert.run ~device_ptr_bytes:4 ~unified_ptr_bytes:4 m in
+  Alcotest.(check int) "no-op when equal" 0 s0.Addr_convert.loads_converted;
+  Alcotest.(check bool) "module untouched" true (same == m);
+  (* 64-bit device, 32-bit unified: pointer accesses become i32 *)
+  let m', stats = Addr_convert.run ~device_ptr_bytes:8 ~unified_ptr_bytes:4 m in
+  Validate.check_module m';
+  Alcotest.(check int) "one load converted" 1 stats.Addr_convert.loads_converted;
+  Alcotest.(check int) "one store converted" 1
+    stats.Addr_convert.stores_converted;
+  (* no pointer-typed memory access remains *)
+  let ptr_accesses =
+    List.fold_left
+      (fun acc f ->
+        Ir.fold_instrs
+          (fun acc instr ->
+            match instr with
+            | Ir.Assign (_, Ir.Load ((Ty.Ptr _ | Ty.Fn_ptr _), _))
+            | Ir.Store ((Ty.Ptr _ | Ty.Fn_ptr _), _, _) -> acc + 1
+            | Ir.Assign _ | Ir.Effect _ | Ir.Store _ | Ir.Asm _ -> acc)
+          acc f)
+      0 m'.Ir.m_funcs
+  in
+  Alcotest.(check int) "no pointer-width accesses" 0 ptr_accesses
+
+let test_endian_translate () =
+  let t = B.create "endian" in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let p = B.alloca fb Ty.I32 1 in
+        B.store fb Ty.I32 (B.i32 7) p;
+        let v = B.load fb Ty.I32 p in
+        let q = B.alloca fb Ty.I8 1 in
+        B.store fb Ty.I8 (B.i8 1) q;
+        B.ret fb (Some (B.cast fb Ir.Sext ~src:Ty.I32 v ~dst:Ty.I64)))
+  in
+  let m = B.finish t in
+  let same, s0 =
+    Endian_translate.run ~device:Arch.Little ~unified:Arch.Little m
+  in
+  Alcotest.(check int) "no swaps same endian" 0 s0.Endian_translate.swaps_inserted;
+  ignore same;
+  let m', stats =
+    Endian_translate.run ~device:Arch.Big ~unified:Arch.Little m
+  in
+  Validate.check_module m';
+  (* i32 store + i32 load swapped; i8 accesses untouched *)
+  Alcotest.(check int) "two swaps" 2 stats.Endian_translate.swaps_inserted
+
+let test_fnptr_map_pass () =
+  let t = B.create "fnptr" in
+  let sg = Ty.signature [] Ty.I64 in
+  B.global t "slot" (Ty.Fn_ptr sg) (Ir.Fn_init "target");
+  let _ =
+    B.func t "target" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        B.ret fb (Some (B.i64 5)))
+  in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        B.store fb (Ty.Fn_ptr sg) (Ir.Fn_addr "target") (Ir.Global "slot");
+        let f = B.load fb (Ty.Fn_ptr sg) (Ir.Global "slot") in
+        B.ret fb (Some (B.call_ind fb sg f [])))
+  in
+  let m = B.finish t in
+  let m', stats = Fnptr_map.run m in
+  Validate.check_module m';
+  Alcotest.(check int) "load map" 1 stats.Fnptr_map.load_maps;
+  Alcotest.(check int) "store map" 1 stats.Fnptr_map.store_maps;
+  (* with identity mapping the program still works *)
+  let _, result = run_main m' in
+  Alcotest.(check int64) "behaviour preserved" 5L (Value.to_int result)
+
+let test_remote_io_pass () =
+  let t = B.create "rio" in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        B.call_void fb "print_i64" [ B.i64 1 ];
+        B.call_void fb "print_newline" [];
+        let buf = B.alloca fb Ty.I8 8 in
+        let fd = B.call fb "f_open" [ buf ] in
+        B.call_void fb "f_close" [ fd ];
+        B.ret fb (Some (B.i64 0)))
+  in
+  let m = B.finish t in
+  let m', stats = Remote_io.run m in
+  Alcotest.(check int) "four sites" 4 stats.Remote_io.sites_rewritten;
+  Alcotest.(check int) "r_print_i64" 1 (count_calls_to "r_print_i64" m');
+  Alcotest.(check int) "rf_open" 1 (count_calls_to "rf_open" m');
+  Alcotest.(check int) "no local print left" 0 (count_calls_to "print_i64" m')
+
+let test_partition_listener_shape () =
+  let t = B.create "part" in
+  let _ =
+    B.func t "hot_a" ~params:[ Ty.I64 ] ~ret:Ty.I64 (fun fb args ->
+        B.ret fb (Some (B.imul fb (List.nth args 0) (B.i64 2))))
+  in
+  let _ =
+    B.func t "hot_b" ~params:[ Ty.F64 ] ~ret:Ty.F64 (fun fb args ->
+        B.ret fb (Some (B.fmul fb (List.nth args 0) (B.f64 2.0))))
+  in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let a = B.call fb "hot_a" [ B.i64 21 ] in
+        B.effect fb (Ir.Call ("hot_b", [ B.f64 1.0 ]));
+        B.ret fb (Some a))
+  in
+  let m = B.finish t in
+  let parts = Partition.run m ~targets:[ "hot_a"; "hot_b" ] in
+  Validate.check_module parts.Partition.p_mobile;
+  Validate.check_module parts.Partition.p_server;
+  Alcotest.(check int) "ids assigned" 2 (List.length parts.Partition.p_targets);
+  (* mobile: calls redirected to dispatchers *)
+  Alcotest.(check int) "main calls dispatcher" 1
+    (count_calls_to "__dispatch$hot_a" parts.Partition.p_mobile);
+  Alcotest.(check int) "original call gone from main" 1
+    (count_calls_to "hot_a" parts.Partition.p_mobile);
+  (* the remaining direct call is inside the dispatcher's local arm *)
+  (* server: listener + serves + targets, no main *)
+  Alcotest.(check bool) "listener" true
+    (Ir.find_func parts.Partition.p_server Partition.listener_name <> None);
+  Alcotest.(check bool) "serve a" true
+    (Ir.find_func parts.Partition.p_server "__serve$hot_a" <> None);
+  Alcotest.(check bool) "main removed" true
+    (Ir.find_func parts.Partition.p_server "main" = None);
+  Alcotest.(check bool) "removed list mentions main" true
+    (List.mem "main" parts.Partition.p_removed)
+
+let test_pipeline_end_to_end_validates () =
+  let m = build_struct_module () in
+  let out =
+    Pipeline.run ~mobile:Arch.arm32 ~server:Arch.x86_64 ~targets:[ "main" ] m
+  in
+  (* main as target is degenerate but exercises every pass *)
+  Validate.check_module out.Pipeline.o_mobile;
+  Validate.check_module out.Pipeline.o_server;
+  Alcotest.(check bool) "stats populated" true
+    (out.Pipeline.o_stats.Pipeline.st_total_functions >= 1)
+
+let tests =
+  [
+    Alcotest.test_case "heap replacement" `Quick test_heap_replace;
+    Alcotest.test_case "global reallocation" `Quick test_global_realloc;
+    Alcotest.test_case "gep lowering preserves semantics" `Quick
+      test_lower_gep_preserves_semantics;
+    Alcotest.test_case "address size conversion" `Quick test_addr_convert;
+    Alcotest.test_case "endianness translation" `Quick test_endian_translate;
+    Alcotest.test_case "fn pointer mapping" `Quick test_fnptr_map_pass;
+    Alcotest.test_case "remote io rewrite" `Quick test_remote_io_pass;
+    Alcotest.test_case "partition shape" `Quick test_partition_listener_shape;
+    Alcotest.test_case "pipeline validates" `Quick
+      test_pipeline_end_to_end_validates;
+  ]
+
+(* {1 Optimizer} *)
+
+module Optimize = No_transform.Optimize
+
+let test_constant_folding () =
+  let t = B.create "fold" in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let a = B.iadd fb (B.i64 40) (B.i64 2) in       (* folds to 42 *)
+        let b = B.imul fb a (B.i64 1) in                (* identity *)
+        let c = B.iadd fb b (B.i64 0) in                (* identity *)
+        let dead = B.imul fb (B.i64 9) (B.i64 9) in     (* dead *)
+        ignore dead;
+        B.ret fb (Some c))
+  in
+  let m = B.finish t in
+  let m', stats = Optimize.run m in
+  Validate.check_module m';
+  Alcotest.(check bool) "folded some" true (stats.Optimize.folded >= 3);
+  let f = Ir.find_func_exn m' "main" in
+  let instr_count = Ir.fold_instrs (fun n _ -> n + 1) 0 f in
+  Alcotest.(check int) "everything folded away" 0 instr_count;
+  (* behaviour unchanged *)
+  let _, v = run_main m' in
+  Alcotest.(check int64) "result" 42L (Value.to_int v)
+
+let test_dce_keeps_effects () =
+  let t = B.create "dce" in
+  let _ =
+    B.func t "main" ~params:[] ~ret:Ty.I64 (fun fb _ ->
+        let p = B.call fb "malloc" [ B.i64 8 ] in      (* unused but a call *)
+        ignore p;
+        let unused_pure = B.ixor fb (B.i64 1) (B.i64 2) in
+        ignore unused_pure;
+        B.ret fb (Some (B.i64 5)))
+  in
+  let m = B.finish t in
+  let m', stats = Optimize.run m in
+  Validate.check_module m';
+  Alcotest.(check bool) "deleted or folded the pure value" true
+    (stats.Optimize.deleted + stats.Optimize.folded >= 1);
+  let f = Ir.find_func_exn m' "main" in
+  let calls = Ir.fold_instrs (fun n i ->
+      match i with
+      | Ir.Assign (_, Ir.Call _) | Ir.Effect (Ir.Call _) -> n + 1
+      | _ -> n) 0 f in
+  Alcotest.(check int) "call preserved" 1 calls;
+  let _, v = run_main m' in
+  Alcotest.(check int64) "result" 5L (Value.to_int v)
+
+(* Property: optimizing any workload module preserves its console
+   behaviour on the profiling input. *)
+let test_optimize_preserves_workloads () =
+  List.iter
+    (fun (e : No_workloads.Registry.entry) ->
+      let m = e.No_workloads.Registry.e_build () in
+      let m', _ = Optimize.run m in
+      Validate.check_module m';
+      let before =
+        No_runtime.Local_run.run ~script:e.No_workloads.Registry.e_profile_script
+          ~files:e.No_workloads.Registry.e_files m
+      in
+      let after =
+        No_runtime.Local_run.run ~script:e.No_workloads.Registry.e_profile_script
+          ~files:e.No_workloads.Registry.e_files m'
+      in
+      Alcotest.(check string)
+        (e.No_workloads.Registry.e_name ^ " unchanged")
+        before.No_runtime.Local_run.lr_console
+        after.No_runtime.Local_run.lr_console;
+      Alcotest.(check bool)
+        (e.No_workloads.Registry.e_name ^ " not slower")
+        true
+        (after.No_runtime.Local_run.lr_total_s
+         <= before.No_runtime.Local_run.lr_total_s *. 1.001))
+    No_workloads.Registry.spec
+
+let optimizer_tests =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_effects;
+    Alcotest.test_case "optimize preserves workloads" `Quick
+      test_optimize_preserves_workloads;
+  ]
+
+let tests = tests @ optimizer_tests
