@@ -11,6 +11,10 @@
                                            (copy-on-demand, compression
                                            direction, dynamic decisions,
                                            explicit GEP lowering)
+     dune exec bench/main.exe -- trace     event-derived run summaries: the
+                                           aggregating trace sink's metrics
+                                           and event counts for a sample of
+                                           workloads
 
    Full-scale table regeneration takes minutes (it sweeps 17 workloads
    x 4 configurations), so the Bechamel entries wrap each table's
@@ -40,6 +44,8 @@ module Chess = No_workloads.Chess
 module Table = No_report.Table
 module Battery = No_power.Battery
 module Power_model = No_power.Power_model
+module Trace = No_trace.Trace
+module Metrics_report = No_report.Metrics_report
 module Compiler = Native_offloader.Compiler
 module Experiment = Native_offloader.Experiment
 module Evaluation = Native_offloader.Evaluation
@@ -253,6 +259,72 @@ let run_micro () =
     (List.sort compare !rows);
   Table.print table
 
+(* {1 Event-derived run summaries}
+
+   The runtime event spine in action: run a few workloads at
+   profile-script scale with a ring + metrics sink attached and report
+   what the stream says — per-event-kind counts and the aggregated
+   metrics table. *)
+
+let run_traced_summary name =
+  let entry = Option.get (Registry.by_name name) in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale
+      (entry.Registry.e_build ())
+  in
+  let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
+  let metrics = Trace.Metrics.create () in
+  let config =
+    { (Session.default_config ()) with
+      Session.trace =
+        Trace.fan_out [ Trace.Ring.sink ring; Trace.Metrics.sink metrics ] }
+  in
+  let session =
+    Session.create ~config ~script:entry.Registry.e_profile_script
+      ~files:entry.Registry.e_files compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  ignore (Session.run session);
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ev) ->
+      let key =
+        match ev with
+        | Trace.Flush { direction; _ } ->
+          "flush:" ^ Trace.direction_to_string direction
+        | Trace.Page_fault _ -> "page-fault"
+        | Trace.Prefetch _ -> "prefetch"
+        | Trace.Fnptr_translate _ -> "fnptr-translate"
+        | Trace.Remote_io _ -> "remote-io"
+        | Trace.Offload_begin _ -> "offload-begin"
+        | Trace.Offload_end _ -> "offload-end"
+        | Trace.Refusal _ -> "refusal"
+        | Trace.Power_state _ -> "power-state"
+        | Trace.Estimate _ -> "estimate"
+        | Trace.Module_load _ -> "module-load"
+      in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    (Trace.Ring.events ring);
+  let count_table =
+    Table.create ~title:(name ^ ": event stream (" ^
+                         string_of_int (Trace.Ring.length ring) ^ " events)")
+      [ "event"; "count" ]
+  in
+  List.iter
+    (fun (k, n) -> Table.add_row count_table [ k; string_of_int n ])
+    (List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []));
+  Table.print count_table;
+  print_newline ();
+  Table.print
+    (Metrics_report.table ~title:(name ^ ": event-derived metrics") metrics);
+  print_newline ()
+
+let run_trace_summaries () =
+  List.iter run_traced_summary [ "164.gzip"; "456.hmmer"; "458.sjeng" ]
+
 (* {1 Ablations} *)
 
 let ablation_configs () =
@@ -394,4 +466,5 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "ablations" :: _ -> run_ablations ()
+  | _ :: "trace" :: _ -> run_trace_summaries ()
   | _ -> regenerate_all ()

@@ -3,6 +3,11 @@
 
      offload-cli list                    workloads and their traits
      offload-cli run 458.sjeng           local vs offloaded comparison
+     offload-cli run 458.sjeng --trace out.json --metrics
+                                         also capture the fast run's event
+                                         stream: Chrome-trace JSON (for
+                                         chrome://tracing / Perfetto) and
+                                         the event-derived metrics table
      offload-cli report table1 ... fig8  regenerate tables/figures
      offload-cli dump 164.gzip mobile    print partitioned IR
      offload-cli headline                geomean speedups / battery *)
@@ -12,6 +17,9 @@ module Pretty = No_ir.Pretty
 module Pipeline = No_transform.Pipeline
 module Registry = No_workloads.Registry
 module Table = No_report.Table
+module Metrics_report = No_report.Metrics_report
+module Session = No_runtime.Session
+module Trace = No_trace.Trace
 module Compiler = Native_offloader.Compiler
 module Experiment = Native_offloader.Experiment
 module Evaluation = Native_offloader.Evaluation
@@ -51,8 +59,61 @@ let entry_of_name name =
     Fmt.epr "unknown program %s; try `offload-cli list'@." name;
     exit 1
 
+(* Re-run the fast-network configuration with capture sinks attached
+   (the simulator is deterministic, so this reproduces the sweep's
+   fast run exactly) and export/print what was asked for. *)
+let traced_run entry (compiled : Compiler.compiled) ~trace_file ~metrics =
+  let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
+  let m = Trace.Metrics.create () in
+  let config =
+    { (Experiment.fast_config ()) with
+      Session.trace = Trace.fan_out [ Trace.Ring.sink ring; Trace.Metrics.sink m ] }
+  in
+  let _run, _session = Experiment.offloaded_run ~label:"traced" ~config compiled entry in
+  (match trace_file with
+  | None -> ()
+  | Some file ->
+    let json =
+      Trace.Chrome.export ~process:("offload:" ^ entry.Registry.e_name)
+        (Trace.Ring.events ring)
+    in
+    (match open_out_bin file with
+    | exception Sys_error msg ->
+      Fmt.epr "cannot write trace: %s@." msg;
+      exit 1
+    | oc ->
+      output_string oc json;
+      close_out oc);
+    Fmt.pr "wrote %s (%d events%s) — load it in chrome://tracing or Perfetto@."
+      file (Trace.Ring.length ring)
+      (if Trace.Ring.dropped ring > 0 then
+         Printf.sprintf ", %d dropped" (Trace.Ring.dropped ring)
+       else ""));
+  if metrics then
+    Table.print
+      (Metrics_report.table
+         ~title:(entry.Registry.e_name ^ ": fast-network run metrics \
+                 (event-stream derived)")
+         m)
+
 let run_cmd =
-  let run name =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome-trace JSON of the fast-network run to $(docv) \
+             (loadable in chrome://tracing or Perfetto).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the event-derived metrics table of the fast-network run.")
+  in
+  let run name trace_file metrics =
     let entry = entry_of_name name in
     let res = Experiment.run_entry entry in
     let table =
@@ -83,10 +144,12 @@ let run_cmd =
       String.equal res.Experiment.pres_local.Experiment.run_console
         res.Experiment.pres_fast.Experiment.run_console
     in
-    Fmt.pr "console output identical to local run: %b@." identical
+    Fmt.pr "console output identical to local run: %b@." identical;
+    if trace_file <> None || metrics then
+      traced_run entry res.Experiment.pres_compiled ~trace_file ~metrics
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload in all configurations")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ trace_arg $ metrics_arg)
 
 let report_cmd =
   let what_arg =

@@ -309,14 +309,19 @@ let fig6b () =
        = not offloaded)"
     ()
 
-(* {1 Figure 7 — overhead breakdown} *)
+(* {1 Figure 7 — overhead breakdown}
+
+   Derived from the aggregating trace sink attached to every offloaded
+   run (the Flush / Page_fault / Fnptr_translate / Remote_io /
+   Power_state events), not from the session's mutable counters; the
+   trace regression tests pin the two representations together. *)
 
 let fig7 () : Table.t =
   let table =
     Table.create
       ~title:
         "Figure 7: breakdown of offloaded execution time (seconds; s = \
-         slow, f = fast network)"
+         slow, f = fast network; event-stream derived)"
       [ "program"; "net"; "computation"; "fn-ptr transl."; "remote I/O";
         "communication"; "total" ]
   in
@@ -324,7 +329,7 @@ let fig7 () : Table.t =
     (fun (res : Experiment.program_result) ->
       List.iter
         (fun (tag, run) ->
-          let bd = Experiment.breakdown_of run in
+          let bd = Experiment.breakdown_of_trace run in
           Table.add_row table
             [
               res.Experiment.pres_entry.Registry.e_name;
@@ -339,7 +344,13 @@ let fig7 () : Table.t =
     (Lazy.force all_results);
   table
 
-(* {1 Figure 8 — power over time} *)
+(* {1 Figure 8 — power over time}
+
+   The timeline is rebuilt from the Power_state events captured by the
+   run's aggregating sink — a derived view over the trace spine rather
+   than a read of the battery's internal segment list.  (The battery
+   still keeps its segments; the trace tests check both views are
+   identical.) *)
 
 let fig8_trace ~program ~(config : Session.config) ~points () :
     (float * float) list =
@@ -352,16 +363,19 @@ let fig8_trace ~program ~(config : Session.config) ~points () :
         ~profile_files:entry.Registry.e_files
         ~eval_scale:entry.Registry.e_eval_scale m
     in
-    let _, session = Experiment.offloaded_run ~config compiled entry in
-    let battery = Session.battery session in
-    let segments = No_power.Battery.segments battery in
-    let horizon =
-      List.fold_left
-        (fun acc s -> Float.max acc s.No_power.Battery.seg_end)
-        0.0 segments
-    in
-    let period = Float.max (horizon /. float_of_int points) 1e-9 in
-    No_power.Battery.resample battery ~period_s:period
+    let run, _session = Experiment.offloaded_run ~config compiled entry in
+    (match run.Experiment.run_metrics with
+    | None -> []
+    | Some metrics ->
+      let horizon =
+        List.fold_left
+          (fun acc (ts, _, dur, _) -> Float.max acc (ts +. dur))
+          0.0
+          (No_trace.Trace.Metrics.power_segments metrics)
+      in
+      let period = Float.max (horizon /. float_of_int points) 1e-9 in
+      No_trace.Trace.Metrics.resample_power metrics ~period_s:period
+        ~idle_mw:(Experiment.idle_mw_of_config config))
 
 let fig8 ?(points = 60) () : Table.t =
   let table =

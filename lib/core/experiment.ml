@@ -12,6 +12,7 @@ module Session = No_runtime.Session
 module Local_run = No_runtime.Local_run
 module Registry = No_workloads.Registry
 module Battery = No_power.Battery
+module Trace = No_trace.Trace
 
 (* One configuration's outcome, in comparable units. *)
 type run = {
@@ -30,6 +31,8 @@ type run = {
   run_fnptr_translations : int;
   run_remote_io_ops : int;
   run_server_span_s : float;     (* wall time inside offloads *)
+  run_metrics : Trace.Metrics.t option;
+      (* event-derived aggregates; None for local (un-traced) runs *)
 }
 
 type program_result = {
@@ -58,9 +61,10 @@ let run_of_local label (r : Local_run.report) : run =
     run_fnptr_translations = 0;
     run_remote_io_ops = 0;
     run_server_span_s = 0.0;
+    run_metrics = None;
   }
 
-let run_of_session label (r : Session.report) : run =
+let run_of_session ?metrics label (r : Session.report) : run =
   {
     run_label = label;
     run_exec_s = r.Session.rep_total_s;
@@ -77,20 +81,30 @@ let run_of_session label (r : Session.report) : run =
     run_fnptr_translations = r.Session.rep_fnptr_translations;
     run_remote_io_ops = r.Session.rep_remote_io_ops;
     run_server_span_s = r.Session.rep_server_span_s;
+    run_metrics = metrics;
   }
 
 (* Run one offloaded configuration; returns the session (for power
-   traces) along with the comparable run record. *)
+   traces) along with the comparable run record.  Every offloaded run
+   carries an aggregating metrics sink (fanned out with whatever sink
+   the caller configured), so figures can be derived from the event
+   stream. *)
 let offloaded_run ?(label = "offloaded") ~(config : Session.config)
     (compiled : Compiler.compiled) (entry : Registry.entry) :
     run * Session.t =
+  let metrics = Trace.Metrics.create () in
+  let config =
+    { config with
+      Session.trace =
+        Trace.fan_out [ Trace.Metrics.sink metrics; config.Session.trace ] }
+  in
   let session =
     Session.create ~config ~script:entry.Registry.e_eval_script
       ~files:entry.Registry.e_files compiled.Compiler.c_output
       ~seeds:compiled.Compiler.c_seeds
   in
   let report = Session.run session in
-  (run_of_session label report, session)
+  (run_of_session ~metrics label report, session)
 
 let slow_config () =
   { (Session.default_config ~link:Link.slow_wifi ()) with
@@ -160,6 +174,28 @@ let breakdown_of (r : run) : breakdown =
     bd_comm_s = r.run_comm_s;
   }
 
+(* The same breakdown derived purely from the run's event stream: the
+   total is the sum of the power segments (they partition the
+   timeline) and the overheads are the aggregated Flush / Page_fault /
+   Fnptr_translate / Remote_io costs.  Must agree with [breakdown_of]
+   (the trace regression tests enforce it); local runs have no stream
+   and fall back to the counters. *)
+let breakdown_of_trace (r : run) : breakdown =
+  match r.run_metrics with
+  | None -> breakdown_of r
+  | Some m ->
+    let comm = Trace.Metrics.comm_s m in
+    let fnptr = m.Trace.Metrics.fnptr_s in
+    let remote_io = m.Trace.Metrics.remote_io_s in
+    let total = Trace.Metrics.total_s m in
+    {
+      bd_computation_s =
+        Float.max 0.0 (total -. (comm +. fnptr +. remote_io));
+      bd_fnptr_s = fnptr;
+      bd_remote_io_s = remote_io;
+      bd_comm_s = comm;
+    }
+
 (* Geometric mean over a list of positive ratios. *)
 let geomean values =
   match values with
@@ -169,8 +205,16 @@ let geomean values =
       (List.fold_left (fun acc v -> acc +. log v) 0.0 values
       /. float_of_int (List.length values))
 
+(* The idle power level the session's battery model falls back to —
+   needed to resample a power timeline from the event stream exactly
+   as [Battery.resample] does. *)
+let idle_mw_of_config (config : Session.config) : float =
+  No_power.Power_model.draw_mw
+    (No_power.Power_model.galaxy_s5 ~fast_radio:config.Session.fast_radio)
+    No_power.Power_model.Idle
+
 (* Power trace for Figure 8: run one offloaded configuration and
-   resample its battery trace. *)
+   resample the power timeline from its event stream. *)
 let power_trace ?(config = fast_config ()) (entry : Registry.entry)
     ~(period_s : float) : (float * float) list =
   let m = entry.Registry.e_build () in
@@ -179,5 +223,9 @@ let power_trace ?(config = fast_config ()) (entry : Registry.entry)
       ~profile_files:entry.Registry.e_files
       ~eval_scale:entry.Registry.e_eval_scale m
   in
-  let _, session = offloaded_run ~config compiled entry in
-  Battery.resample (Session.battery session) ~period_s
+  let run, _session = offloaded_run ~config compiled entry in
+  match run.run_metrics with
+  | Some metrics ->
+    Trace.Metrics.resample_power metrics ~period_s
+      ~idle_mw:(idle_mw_of_config config)
+  | None -> []

@@ -55,6 +55,21 @@ let state t name =
 let set_bandwidth t bw_bps = t.bw_bps <- bw_bps
 let force t decision = t.forced <- decision
 
+(* Equation 1's Tg with the current beliefs — what a decision at this
+   instant is based on (forced modes ignore it but it is still the
+   estimator's live prediction, e.g. for tracing). *)
+let predicted_gain_s t ~name ~mem_bytes : float =
+  let s = state t name in
+  (Equation.evaluate
+     {
+       Equation.tm_s = s.ts_local_time_s;
+       r = t.r;
+       mem_bytes;
+       bw_bps = t.bw_bps;
+       invocations = 1;
+     })
+    .Equation.gain_s
+
 (* The decision, with the memory footprint observed *now*. *)
 let should_offload t ~name ~mem_bytes : bool =
   match t.forced with

@@ -35,6 +35,10 @@ val force : t -> bool option -> unit
 val should_offload : t -> name:string -> mem_bytes:int -> bool
 (** The per-invocation decision, with the footprint observed now. *)
 
+val predicted_gain_s : t -> name:string -> mem_bytes:int -> float
+(** Equation 1's Tg under the current bandwidth/time beliefs — the
+    quantity a dynamic decision at this instant is based on. *)
+
 val observe_local : t -> name:string -> elapsed_s:float -> unit
 (** Feedback from an actual local execution (EWMA into Tm). *)
 

@@ -58,6 +58,8 @@ type t = {
   fs : Fs.t;
   clock : clock;
   hooks : hooks;
+  sink : No_trace.Trace.sink;    (* runtime event spine; shared with the
+                                    session that owns this host *)
   code : (string, compiled) Hashtbl.t;
   mutable instr_count : int;
   mutable fuel : int;            (* instructions left; -1 = unlimited *)
@@ -71,6 +73,11 @@ let compile_func (f : Ir.func) : compiled =
         (Array.of_list b.Ir.instrs, b.Ir.term))
     f.Ir.f_blocks;
   { c_func = f; c_blocks; c_entry = (Ir.entry_block f).Ir.label }
+
+(* Emit a runtime event stamped with this host's simulated clock. *)
+let emit host ev =
+  if not (No_trace.Trace.is_null host.sink) then
+    host.sink.No_trace.Trace.emit ~ts:host.clock.now ev
 
 type role = Mobile | Server
 
@@ -94,7 +101,7 @@ let globals_base_of_role = function
 let create ~arch ~role ~(modul : Ir.modul) ~layout
     ?(fn_table : Fn_table.t option) ?(fn_addr_standard : (string -> int) option)
     ?(uva : Uva.t option) ?(console : Console.t option) ?(fs : Fs.t option)
-    ?(clock : clock option) () : t =
+    ?(clock : clock option) ?(sink = No_trace.Trace.null) () : t =
   let mem =
     Memory.create (match role with Mobile -> Memory.Home | Server -> Memory.Remote)
   in
@@ -132,6 +139,7 @@ let create ~arch ~role ~(modul : Ir.modul) ~layout
       fs = (match fs with Some f -> f | None -> Fs.create ());
       clock = (match clock with Some c -> c | None -> { now = 0.0 });
       hooks = default_hooks ();
+      sink;
       code = Hashtbl.create 64;
       instr_count = 0;
       fuel = -1;
@@ -162,6 +170,13 @@ let create ~arch ~role ~(modul : Ir.modul) ~layout
       Loader.write_init ~layout ~endianness:arch.Arch.endianness ~write_byte
         ~fn_addr:fn_addr_standard ~addr g.Ir.g_ty g.Ir.g_init)
     modul.Ir.m_globals;
+  emit host
+    (No_trace.Trace.Module_load
+       {
+         role = (match role with Mobile -> "mobile" | Server -> "server");
+         functions = List.length modul.Ir.m_funcs;
+         globals = List.length modul.Ir.m_globals;
+       });
   host
 
 let charge host cls =

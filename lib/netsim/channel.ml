@@ -38,6 +38,8 @@ type t = {
   decompress_s_per_byte : float;  (* receiver-side CPU cost *)
   mutable pending : Buffer.t;
   stats : stats;
+  sink : No_trace.Trace.sink;     (* receives one Flush per transfer *)
+  clock : unit -> float;          (* timestamps for emitted events *)
 }
 
 (* Compression throughput in the hundreds of MB/s (real hardware);
@@ -49,7 +51,8 @@ let default_decompress_s_per_byte = 150.0 /. 1000e6
 
 let create ?(compress = false)
     ?(compress_s_per_byte = default_compress_s_per_byte)
-    ?(decompress_s_per_byte = default_decompress_s_per_byte) link direction =
+    ?(decompress_s_per_byte = default_decompress_s_per_byte)
+    ?(sink = No_trace.Trace.null) ?(clock = fun () -> 0.0) link direction =
   {
     link;
     direction;
@@ -58,6 +61,8 @@ let create ?(compress = false)
     decompress_s_per_byte;
     pending = Buffer.create 4096;
     stats = empty_stats ();
+    sink;
+    clock;
   }
 
 (* Queue a logical message; costs nothing until flushed. *)
@@ -67,7 +72,8 @@ let send t (payload : Bytes.t) =
 
 let pending_bytes t = Buffer.length t.pending
 
-(* Transmit the batch; returns elapsed time. *)
+(* Transmit the batch; returns elapsed time.  Flushing an empty
+   pending buffer is a strict no-op: no stats, no event, zero time. *)
 let flush t : float =
   let raw = Buffer.length t.pending in
   if raw = 0 then 0.0
@@ -87,12 +93,29 @@ let flush t : float =
       end
       else (raw, 0.0)
     in
+    (* Compression never expands what we put on the wire (the fallback
+       above sends raw); keep the invariant explicit. *)
+    let wire = min wire raw in
+    assert (wire <= raw);
     let transfer = Link.transfer_time t.link ~bytes:wire in
     t.stats.flushes <- t.stats.flushes + 1;
     t.stats.raw_bytes <- t.stats.raw_bytes + raw;
     t.stats.wire_bytes <- t.stats.wire_bytes + wire;
     t.stats.transfer_time <- t.stats.transfer_time +. transfer;
     t.stats.codec_time <- t.stats.codec_time +. codec_time;
+    if not (No_trace.Trace.is_null t.sink) then
+      t.sink.No_trace.Trace.emit ~ts:(t.clock ())
+        (No_trace.Trace.Flush
+           {
+             direction =
+               (match t.direction with
+               | To_server -> No_trace.Trace.To_server
+               | To_mobile -> No_trace.Trace.To_mobile);
+             raw_bytes = raw;
+             wire_bytes = wire;
+             transfer_s = transfer;
+             codec_s = codec_time;
+           });
     transfer +. codec_time
   end
 

@@ -27,9 +27,14 @@ val create :
   ?compress:bool ->
   ?compress_s_per_byte:float ->
   ?decompress_s_per_byte:float ->
+  ?sink:No_trace.Trace.sink ->
+  ?clock:(unit -> float) ->
   Link.t ->
   direction ->
   t
+(** [sink] receives one {!No_trace.Trace.Flush} event per non-empty
+    physical transfer, stamped with [clock ()] (the channel itself is
+    clock-agnostic; the default stamps 0). *)
 
 val send : t -> Bytes.t -> unit
 (** Queue a logical message; costs nothing until flushed. *)
@@ -37,8 +42,10 @@ val send : t -> Bytes.t -> unit
 val pending_bytes : t -> int
 
 val flush : t -> float
-(** Transmit the batch; returns elapsed seconds (0 if empty).
-    Compression falls back to raw when it would expand the data. *)
+(** Transmit the batch; returns elapsed seconds.  Flushing an empty
+    pending buffer is a strict no-op: zero time, no stats update, no
+    event.  Compression falls back to raw when it would expand the
+    data, so [wire_bytes <= raw_bytes] always holds. *)
 
 val send_now : t -> Bytes.t -> float
 (** [send] then [flush]. *)

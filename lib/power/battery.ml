@@ -12,11 +12,14 @@ type t = {
   model : Power_model.t;
   mutable segments : segment list;   (* reversed *)
   mutable energy_mj : float;         (* millijoules = mW * s *)
+  sink : No_trace.Trace.sink;        (* one Power_state per segment *)
 }
 
-let create model = { model; segments = []; energy_mj = 0.0 }
+let create ?(sink = No_trace.Trace.null) model =
+  { model; segments = []; energy_mj = 0.0; sink }
 
-(* Record that the device was in [state] from [t0] to [t1]. *)
+(* Record that the device was in [state] from [t0] to [t1].
+   Zero-length segments are dropped and emit no event. *)
 let spend t ~from_s ~to_s state =
   if to_s < from_s then invalid_arg "Battery.spend: negative duration";
   if to_s > from_s then begin
@@ -24,7 +27,15 @@ let spend t ~from_s ~to_s state =
     t.segments <-
       { seg_start = from_s; seg_end = to_s; seg_state = state; seg_mw = mw }
       :: t.segments;
-    t.energy_mj <- t.energy_mj +. (mw *. (to_s -. from_s))
+    t.energy_mj <- t.energy_mj +. (mw *. (to_s -. from_s));
+    if not (No_trace.Trace.is_null t.sink) then
+      t.sink.No_trace.Trace.emit ~ts:from_s
+        (No_trace.Trace.Power_state
+           {
+             state = Power_model.state_to_string state;
+             mw;
+             duration_s = to_s -. from_s;
+           })
   end
 
 let energy_mj t = t.energy_mj

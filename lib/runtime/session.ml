@@ -39,6 +39,7 @@ module Partition = No_transform.Partition
 module Pipeline = No_transform.Pipeline
 module Dynamic_estimate = No_estimator.Dynamic_estimate
 module Bandwidth_predictor = No_estimator.Bandwidth_predictor
+module Trace = No_trace.Trace
 
 exception Offload_error of string
 
@@ -58,6 +59,8 @@ type config = {
   fast_radio : bool;             (* selects the remote-I/O power level *)
   initial_bw_bps : float option; (* stale bandwidth belief; None = the
                                     configured link's effective rate *)
+  trace : Trace.sink;            (* runtime event spine; every layer of
+                                    the session emits through this *)
 }
 
 let default_config ?(link = Link.fast_wifi) () = {
@@ -73,6 +76,7 @@ let default_config ?(link = Link.fast_wifi) () = {
   fnptr_translation_s = 2.0e-4;   (* ~100ns real, on the CPU time scale *)
   fast_radio = true;
   initial_bw_bps = None;
+  trace = Trace.null;
 }
 
 type target_seed = {
@@ -138,6 +142,18 @@ let with_state t state f =
 
 let advance t seconds = t.clock.Host.now <- t.clock.Host.now +. seconds
 
+(* {1 Event emission}
+
+   Events mirror exactly what the session charges: span events are
+   stamped with the span's start.  The mutable [overheads] counters
+   are kept alongside; the aggregating trace sink must reproduce them
+   bit-for-bit (enforced by the trace regression tests). *)
+
+let emit_at t ~ts ev =
+  if not (Trace.is_null t.config.trace) then t.config.trace.Trace.emit ~ts ev
+
+let emit t ev = emit_at t ~ts:t.clock.Host.now ev
+
 (* {1 Construction} *)
 
 let server_globals_base = Host.globals_base_of_role Host.Server
@@ -166,14 +182,14 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
   let mobile =
     Host.create ~arch:config.mobile_arch ~role:Host.Mobile
       ~modul:output.Pipeline.o_mobile ~layout:unified_layout
-      ~fn_table:mobile_table ~uva ~console ~fs ~clock ()
+      ~fn_table:mobile_table ~uva ~console ~fs ~clock ~sink:config.trace ()
   in
   let server =
     Host.create ~arch:config.server_arch ~role:Host.Server
       ~modul:output.Pipeline.o_server ~layout:unified_layout
       ~fn_table:server_table
       ~fn_addr_standard:(Fn_table.addr_of mobile_table)
-      ~uva ~console ~fs ~clock ()
+      ~uva ~console ~fs ~clock ~sink:config.trace ()
   in
   let r =
     Arch.performance_ratio ~mobile:config.mobile_arch
@@ -195,21 +211,34 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
         ~profile_time_s:seed.seed_time_s;
       Hashtbl.replace mem_estimate seed.seed_name seed.seed_mem_bytes)
     seeds;
+  (* In an ideal run bytes still move logically but no time is
+     charged; wrap the channels' sink so the emitted Flush events
+     reflect the charged (zero) cost. *)
+  let channel_sink =
+    if Trace.is_null config.trace then Trace.null
+    else if config.ideal then
+      { Trace.emit =
+          (fun ~ts ev -> config.trace.Trace.emit ~ts (Trace.zero_cost ev)) }
+    else config.trace
+  in
+  let channel_clock () = clock.Host.now in
   let t =
     {
       config;
       mobile;
       server;
       clock;
-      battery = Battery.create (Power_model.galaxy_s5 ~fast_radio:config.fast_radio);
+      battery =
+        Battery.create ~sink:config.trace
+          (Power_model.galaxy_s5 ~fast_radio:config.fast_radio);
       estimator;
       predictor = Bandwidth_predictor.create ~initial_bps:initial_bw ();
       to_server =
-        Channel.create ~compress:config.compress_upload config.link
-          Channel.To_server;
+        Channel.create ~compress:config.compress_upload ~sink:channel_sink
+          ~clock:channel_clock config.link Channel.To_server;
       to_mobile =
-        Channel.create ~compress:config.compress_writeback config.link
-          Channel.To_mobile;
+        Channel.create ~compress:config.compress_writeback ~sink:channel_sink
+          ~clock:channel_clock config.link Channel.To_mobile;
       targets = output.Pipeline.o_targets;
       uva_globals = output.Pipeline.o_mobile.Ir.m_uva_globals;
       unified_layout;
@@ -289,12 +318,15 @@ let service_fault t (mem : Memory.t) page =
     Memory.install_page mem page (Bytes.make Region.page_size '\000')
   else begin
     t.ov.fault_count <- t.ov.fault_count + 1;
-    with_state t Power_model.Transmitting (fun () ->
-        let seconds =
-          Link.round_trip_time t.config.link ~req:48
-            ~resp:(Region.page_size + 48)
-        in
-        charge_comm t seconds);
+    let ts = t.clock.Host.now in
+    let seconds =
+      Link.round_trip_time t.config.link ~req:48
+        ~resp:(Region.page_size + 48)
+    in
+    with_state t Power_model.Transmitting (fun () -> charge_comm t seconds);
+    emit_at t ~ts
+      (Trace.Page_fault
+         { page; service_s = (if t.config.ideal then 0.0 else seconds) });
     Memory.install_page mem page (Memory.page_copy t.mobile.Host.mem page)
   end
 
@@ -307,6 +339,7 @@ let push_pages_to_server t (pages : int list) =
       pages
   in
   if pages <> [] then begin
+    let ts = t.clock.Host.now in
     with_state t Power_model.Transmitting (fun () ->
         List.iter
           (fun page ->
@@ -316,7 +349,13 @@ let push_pages_to_server t (pages : int list) =
             send_to_server t (Bytes.make 8 '\000') (* page header *))
           pages;
         flush_to_server t);
-    t.ov.prefetched_pages <- t.ov.prefetched_pages + List.length pages
+    t.ov.prefetched_pages <- t.ov.prefetched_pages + List.length pages;
+    emit_at t ~ts
+      (Trace.Prefetch
+         {
+           pages = List.length pages;
+           bytes = List.length pages * Region.page_size;
+         })
   end
 
 (* {1 Initialization / finalization} *)
@@ -410,17 +449,23 @@ let target_by_id t id =
 let target_by_name t name =
   List.find_opt (fun tg -> String.equal tg.Partition.t_name name) t.targets
 
-let remote_io_cost t ~(request : int) ~(response : int) ~(round_trip : bool) =
+let remote_io_cost t ~(io_name : string) ~(request : int) ~(response : int)
+    ~(round_trip : bool) =
   if not t.config.ideal then begin
     t.ov.remote_io_count <- t.ov.remote_io_count + 1;
+    let ts = t.clock.Host.now in
+    let seconds =
+      if round_trip then
+        Link.round_trip_time t.config.link ~req:request ~resp:response
+      else Link.transfer_time t.config.link ~bytes:request
+    in
     with_state t Power_model.Remote_io_service (fun () ->
-        let seconds =
-          if round_trip then
-            Link.round_trip_time t.config.link ~req:request ~resp:response
-          else Link.transfer_time t.config.link ~bytes:request
-        in
         advance t seconds;
-        t.ov.remote_io_s <- t.ov.remote_io_s +. seconds)
+        t.ov.remote_io_s <- t.ov.remote_io_s +. seconds);
+    emit_at t ~ts
+      (Trace.Remote_io
+         { io_name; request_bytes = request; response_bytes = response;
+           cost_s = seconds })
   end
 
 (* Intercept the server's remote I/O builtins: add the network cost of
@@ -429,7 +474,7 @@ let remote_io_cost t ~(request : int) ~(response : int) ~(round_trip : bool) =
 let server_builtin_override t name (argv : Value.t list) : Value.t option =
   match name with
   | "r_print_i64" | "r_print_f64" | "r_print_newline" ->
-    remote_io_cost t ~request:48 ~response:0 ~round_trip:false;
+    remote_io_cost t ~io_name:name ~request:48 ~response:0 ~round_trip:false;
     None
   | "r_print_str" ->
     let len =
@@ -439,13 +484,14 @@ let server_builtin_override t name (argv : Value.t list) : Value.t option =
          with Memory.Page_fault _ | Memory.Bad_access _ -> 16)
       | _ -> 16
     in
-    remote_io_cost t ~request:(48 + len) ~response:0 ~round_trip:false;
+    remote_io_cost t ~io_name:name ~request:(48 + len) ~response:0
+      ~round_trip:false;
     None
   | "rf_open" | "rf_close" ->
-    remote_io_cost t ~request:64 ~response:32 ~round_trip:true;
+    remote_io_cost t ~io_name:name ~request:64 ~response:32 ~round_trip:true;
     None
   | "rf_size" ->
-    remote_io_cost t ~request:48 ~response:32 ~round_trip:true;
+    remote_io_cost t ~io_name:name ~request:48 ~response:32 ~round_trip:true;
     None
   | "rf_read" ->
     let len =
@@ -453,7 +499,8 @@ let server_builtin_override t name (argv : Value.t list) : Value.t option =
       | [ _; _; len ] -> Int64.to_int (Value.to_int len)
       | _ -> 0
     in
-    remote_io_cost t ~request:48 ~response:(48 + len) ~round_trip:true;
+    remote_io_cost t ~io_name:name ~request:48 ~response:(48 + len)
+      ~round_trip:true;
     None
   | _ -> None
 
@@ -490,8 +537,11 @@ let install_server_hooks t =
       (fun dir v ->
         if not t.config.ideal then begin
           t.ov.fnptr_count <- t.ov.fnptr_count + 1;
+          let ts = t.clock.Host.now in
           advance t t.config.fnptr_translation_s;
-          t.ov.fnptr_s <- t.ov.fnptr_s +. t.config.fnptr_translation_s
+          t.ov.fnptr_s <- t.ov.fnptr_s +. t.config.fnptr_translation_s;
+          emit_at t ~ts
+            (Trace.Fnptr_translate { cost_s = t.config.fnptr_translation_s })
         end;
         let addr = Value.to_addr v in
         match dir with
@@ -512,6 +562,7 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
   t.ov.offloads <- t.ov.offloads + 1;
   t.in_offload <- true;
   let t0 = t.clock.Host.now in
+  emit_at t ~ts:t0 (Trace.Offload_begin { target = target.Partition.t_name });
   initialization t target.Partition.t_id args;
   (* Offloading execution: run the generated listener on the server;
      it accepts the request, unmarshals, calls the target, posts the
@@ -522,7 +573,6 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
   | exception Interp.Trap msg ->
     raise (Offload_error ("server trap: " ^ msg)));
   let dirty_count = finalization t in
-  ignore dirty_count;
   (* Refresh the footprint estimate with what this run actually moved. *)
   let moved_bytes =
     (List.length t.last_resident * Region.page_size)
@@ -530,7 +580,11 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
   if moved_bytes > 0 then
     Hashtbl.replace t.mem_estimate target.Partition.t_name moved_bytes;
   t.in_offload <- false;
-  t.server_exec_s <- t.server_exec_s +. (t.clock.Host.now -. t0);
+  let span_s = t.clock.Host.now -. t0 in
+  t.server_exec_s <- t.server_exec_s +. span_s;
+  emit t
+    (Trace.Offload_end
+       { target = target.Partition.t_name; dirty_pages = dirty_count; span_s });
   t.pending_ret
 
 (* {1 Mobile-side externs} *)
@@ -557,7 +611,20 @@ let mobile_extern t name (argv : Value.t list) : Value.t option =
     let decision =
       Dynamic_estimate.should_offload t.estimator ~name:target ~mem_bytes
     in
-    if not decision then t.ov.refusals <- t.ov.refusals + 1;
+    if not (Trace.is_null t.config.trace) then
+      emit t
+        (Trace.Estimate
+           {
+             target;
+             predicted_gain_s =
+               Dynamic_estimate.predicted_gain_s t.estimator ~name:target
+                 ~mem_bytes;
+             decision;
+           });
+    if not decision then begin
+      t.ov.refusals <- t.ov.refusals + 1;
+      emit t (Trace.Refusal { target })
+    end;
     Some (Value.of_bool decision)
   end
   else if String.length name > 10 && String.sub name 0 10 = "__offload$" then begin

@@ -1,0 +1,449 @@
+(* The runtime event spine: a typed vocabulary for everything the
+   offloading runtime does that costs time, bytes or energy, plus a
+   pluggable sink interface.
+
+   The evaluation (Figures 6-8, Table 4) is entirely built from
+   runtime accounting.  Instead of scattering mutable counters across
+   netsim / power / runtime, every layer emits structured events
+   through a sink threaded via the session configuration; aggregate
+   views (the Figure-7 overhead breakdown, the Figure-8 power
+   timeline, per-run metrics tables) are then derived from the stream.
+
+   This library sits below every emitting layer, so it depends on
+   nothing but the standard library: directions and power states are
+   mirrored here as self-contained types/strings rather than imported
+   from netsim/power (which would invert the dependency). *)
+
+type direction = To_server | To_mobile
+
+let direction_to_string = function
+  | To_server -> "to-server"
+  | To_mobile -> "to-mobile"
+
+type event =
+  | Flush of {
+      direction : direction;
+      raw_bytes : int;            (* batched payload before compression *)
+      wire_bytes : int;           (* what actually crossed the link *)
+      transfer_s : float;         (* link time charged *)
+      codec_s : float;            (* compression + decompression CPU *)
+    }
+  | Page_fault of { page : int; service_s : float }
+  | Prefetch of { pages : int; bytes : int }
+  | Fnptr_translate of { cost_s : float }
+  | Remote_io of {
+      io_name : string;           (* the intercepted builtin, e.g. rf_read *)
+      request_bytes : int;
+      response_bytes : int;
+      cost_s : float;
+    }
+  | Offload_begin of { target : string }
+  | Offload_end of { target : string; dirty_pages : int; span_s : float }
+  | Refusal of { target : string }
+  | Power_state of { state : string; mw : float; duration_s : float }
+  | Estimate of {
+      target : string;
+      predicted_gain_s : float;   (* Equation 1's Tg at this call *)
+      decision : bool;
+    }
+  | Module_load of { role : string; functions : int; globals : int }
+
+(* Events that carry a time-span are stamped with the *start* of the
+   span; the clock value is simulated seconds. *)
+type sink = { emit : ts:float -> event -> unit }
+
+let null = { emit = (fun ~ts:_ _ -> ()) }
+
+(* Physical equality against the unique [null] closure lets hot
+   emitters skip event construction entirely. *)
+let is_null sink = sink == null
+
+let fan_out = function
+  | [] -> null
+  | [ sink ] -> sink
+  | sinks -> { emit = (fun ~ts ev -> List.iter (fun s -> s.emit ~ts ev) sinks) }
+
+(* An ideal (zero-communication-cost) run still moves bytes logically;
+   only the charged times vanish.  Sessions wrap their channel sink
+   with this so the stream always reflects what was *charged*. *)
+let zero_cost = function
+  | Flush f -> Flush { f with transfer_s = 0.0; codec_s = 0.0 }
+  | ev -> ev
+
+let event_name = function
+  | Flush { direction; _ } -> "flush:" ^ direction_to_string direction
+  | Page_fault _ -> "page-fault"
+  | Prefetch _ -> "prefetch"
+  | Fnptr_translate _ -> "fnptr-translate"
+  | Remote_io { io_name; _ } -> "remote-io:" ^ io_name
+  | Offload_begin { target } | Offload_end { target; _ } -> "offload:" ^ target
+  | Refusal { target } -> "refusal:" ^ target
+  | Power_state { state; _ } -> "power:" ^ state
+  | Estimate { target; _ } -> "estimate:" ^ target
+  | Module_load { role; _ } -> "module-load:" ^ role
+
+(* {1 Aggregating metrics sink}
+
+   Accumulates exactly the quantities the session's pre-refactor
+   [overheads] record and the channel [stats] tracked, so derived
+   reports can be checked against the mutable-counter originals. *)
+
+module Metrics = struct
+  type t = {
+    mutable flushes_to_server : int;
+    mutable flushes_to_mobile : int;
+    mutable raw_to_server : int;
+    mutable raw_to_mobile : int;
+    mutable wire_to_server : int;
+    mutable wire_to_mobile : int;
+    mutable transfer_s : float;
+    mutable codec_s : float;
+    mutable fault_count : int;
+    mutable fault_s : float;
+    mutable prefetched_pages : int;
+    mutable prefetched_bytes : int;
+    mutable fnptr_count : int;
+    mutable fnptr_s : float;
+    mutable remote_io_count : int;
+    mutable remote_io_s : float;
+    mutable offloads : int;
+    mutable offload_span_s : float;
+    mutable refusals : int;
+    mutable estimates : int;
+    mutable energy_mj : float;
+    power_s : (string, float) Hashtbl.t;
+    (* (start, mw, duration, state), reversed — the Figure-8 raw
+       material. *)
+    mutable power_rev : (float * float * float * string) list;
+  }
+
+  let create () =
+    {
+      flushes_to_server = 0;
+      flushes_to_mobile = 0;
+      raw_to_server = 0;
+      raw_to_mobile = 0;
+      wire_to_server = 0;
+      wire_to_mobile = 0;
+      transfer_s = 0.0;
+      codec_s = 0.0;
+      fault_count = 0;
+      fault_s = 0.0;
+      prefetched_pages = 0;
+      prefetched_bytes = 0;
+      fnptr_count = 0;
+      fnptr_s = 0.0;
+      remote_io_count = 0;
+      remote_io_s = 0.0;
+      offloads = 0;
+      offload_span_s = 0.0;
+      refusals = 0;
+      estimates = 0;
+      energy_mj = 0.0;
+      power_s = Hashtbl.create 8;
+      power_rev = [];
+    }
+
+  let observe t ~ts ev =
+    match ev with
+    | Flush { direction; raw_bytes; wire_bytes; transfer_s; codec_s } ->
+      (match direction with
+      | To_server ->
+        t.flushes_to_server <- t.flushes_to_server + 1;
+        t.raw_to_server <- t.raw_to_server + raw_bytes;
+        t.wire_to_server <- t.wire_to_server + wire_bytes
+      | To_mobile ->
+        t.flushes_to_mobile <- t.flushes_to_mobile + 1;
+        t.raw_to_mobile <- t.raw_to_mobile + raw_bytes;
+        t.wire_to_mobile <- t.wire_to_mobile + wire_bytes);
+      t.transfer_s <- t.transfer_s +. transfer_s;
+      t.codec_s <- t.codec_s +. codec_s
+    | Page_fault { service_s; _ } ->
+      t.fault_count <- t.fault_count + 1;
+      t.fault_s <- t.fault_s +. service_s
+    | Prefetch { pages; bytes } ->
+      t.prefetched_pages <- t.prefetched_pages + pages;
+      t.prefetched_bytes <- t.prefetched_bytes + bytes
+    | Fnptr_translate { cost_s } ->
+      t.fnptr_count <- t.fnptr_count + 1;
+      t.fnptr_s <- t.fnptr_s +. cost_s
+    | Remote_io { cost_s; _ } ->
+      t.remote_io_count <- t.remote_io_count + 1;
+      t.remote_io_s <- t.remote_io_s +. cost_s
+    | Offload_begin _ -> t.offloads <- t.offloads + 1
+    | Offload_end { span_s; _ } ->
+      t.offload_span_s <- t.offload_span_s +. span_s
+    | Refusal _ -> t.refusals <- t.refusals + 1
+    | Power_state { state; mw; duration_s } ->
+      t.energy_mj <- t.energy_mj +. (mw *. duration_s);
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt t.power_s state) in
+      Hashtbl.replace t.power_s state (prev +. duration_s);
+      t.power_rev <- (ts, mw, duration_s, state) :: t.power_rev
+    | Estimate _ -> t.estimates <- t.estimates + 1
+    | Module_load _ -> ()
+
+  let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
+
+  (* The session charges communication time for every physical flush
+     (transfer + codec) and every copy-on-demand round trip. *)
+  let comm_s t = t.transfer_s +. t.codec_s +. t.fault_s
+
+  (* Power segments partition the whole run, so their total duration
+     is the run's wall clock. *)
+  let total_s t =
+    List.fold_left (fun acc (_, _, d, _) -> acc +. d) 0.0 t.power_rev
+
+  let time_in_state t state =
+    Option.value ~default:0.0 (Hashtbl.find_opt t.power_s state)
+
+  let power_segments t = List.rev t.power_rev
+
+  (* Mirror of [Battery.resample]: (time, mW) at a fixed period from 0
+     to the last segment's end, falling back to [idle_mw] where no
+     segment covers the sample point. *)
+  let resample_power t ~period_s ~idle_mw =
+    let segs = power_segments t in
+    match t.power_rev with
+    | [] -> []
+    | (last_ts, _, last_dur, _) :: _ ->
+      let horizon = last_ts +. last_dur in
+      let n = int_of_float (ceil (horizon /. period_s)) in
+      List.init (n + 1) (fun i ->
+          let time = float_of_int i *. period_s in
+          let mw =
+            match
+              List.find_opt
+                (fun (ts, _, dur, _) -> ts <= time && time < ts +. dur)
+                segs
+            with
+            | Some (_, mw, _, _) -> mw
+            | None -> idle_mw
+          in
+          (time, mw))
+
+  (* Label/value pairs for rendering a per-run metrics table. *)
+  let to_rows t : (string * string) list =
+    [
+      ("offloads", string_of_int t.offloads);
+      ("refusals", string_of_int t.refusals);
+      ("estimates", string_of_int t.estimates);
+      ("offload span (s)", Printf.sprintf "%.4f" t.offload_span_s);
+      ("communication (s)", Printf.sprintf "%.4f" (comm_s t));
+      ("  transfer (s)", Printf.sprintf "%.4f" t.transfer_s);
+      ("  codec (s)", Printf.sprintf "%.4f" t.codec_s);
+      ("  fault service (s)", Printf.sprintf "%.4f" t.fault_s);
+      ("fn-ptr translations", string_of_int t.fnptr_count);
+      ("fn-ptr time (s)", Printf.sprintf "%.4f" t.fnptr_s);
+      ("remote I/O ops", string_of_int t.remote_io_count);
+      ("remote I/O time (s)", Printf.sprintf "%.4f" t.remote_io_s);
+      ("page faults", string_of_int t.fault_count);
+      ("prefetched pages", string_of_int t.prefetched_pages);
+      ("flushes to server", string_of_int t.flushes_to_server);
+      ("flushes to mobile", string_of_int t.flushes_to_mobile);
+      ("raw bytes to server", string_of_int t.raw_to_server);
+      ("raw bytes to mobile", string_of_int t.raw_to_mobile);
+      ("wire bytes to server", string_of_int t.wire_to_server);
+      ("wire bytes to mobile", string_of_int t.wire_to_mobile);
+      ("energy (mJ)", Printf.sprintf "%.2f" t.energy_mj);
+      ("total time (s)", Printf.sprintf "%.4f" (total_s t));
+    ]
+end
+
+(* {1 Ring-buffer sink}
+
+   Bounded capture of the raw stream, oldest events evicted first —
+   the input for the Chrome-trace exporter and for tests. *)
+
+module Ring = struct
+  type t = {
+    capacity : int;
+    buf : (float * event) option array;
+    mutable next : int;               (* next write slot *)
+    mutable stored : int;
+    mutable dropped : int;
+  }
+
+  let create ?(capacity = 65536) () =
+    if capacity <= 0 then invalid_arg "Trace.Ring.create: capacity";
+    { capacity; buf = Array.make capacity None; next = 0; stored = 0;
+      dropped = 0 }
+
+  let record t ~ts ev =
+    if t.stored = t.capacity then t.dropped <- t.dropped + 1
+    else t.stored <- t.stored + 1;
+    t.buf.(t.next) <- Some (ts, ev);
+    t.next <- (t.next + 1) mod t.capacity
+
+  let sink t = { emit = (fun ~ts ev -> record t ~ts ev) }
+
+  let length t = t.stored
+  let dropped t = t.dropped
+
+  (* Oldest first. *)
+  let events t : (float * event) list =
+    let start = (t.next - t.stored + t.capacity) mod t.capacity in
+    List.init t.stored (fun i ->
+        match t.buf.((start + i) mod t.capacity) with
+        | Some entry -> entry
+        | None -> assert false)
+end
+
+(* {1 Chrome-trace JSON exporter}
+
+   Produces the Trace Event Format consumed by chrome://tracing and
+   Perfetto: offload life cycles as B/E duration pairs, transfers and
+   service costs as X complete events, decisions as instants, and the
+   power draw as a counter track.  Timestamps are microseconds. *)
+
+module Chrome = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let us s = s *. 1e6
+
+  (* Thread layout: 1 = the offload session, 2 = network + service
+     costs, 3 = the power counter track. *)
+  let session_tid = 1
+  let net_tid = 2
+  let power_tid = 3
+
+  let record ~name ~ph ~ts ?dur ?tid ?args () =
+    let b = Buffer.create 128 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1"
+         (escape name) ph ts);
+    (match tid with
+    | Some tid -> Buffer.add_string b (Printf.sprintf ",\"tid\":%d" tid)
+    | None -> ());
+    (match dur with
+    | Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" d)
+    | None -> ());
+    if ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
+    (match args with
+    | Some kvs ->
+      Buffer.add_string b ",\"args\":{";
+      Buffer.add_string b
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) v)
+              kvs));
+      Buffer.add_char b '}'
+    | None -> ());
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+  let of_event (ts, ev) : string =
+    let name = event_name ev in
+    let ts = us ts in
+    match ev with
+    | Flush { raw_bytes; wire_bytes; transfer_s; codec_s; _ } ->
+      record ~name ~ph:"X" ~ts ~dur:(us (transfer_s +. codec_s)) ~tid:net_tid
+        ~args:
+          [
+            ("raw_bytes", string_of_int raw_bytes);
+            ("wire_bytes", string_of_int wire_bytes);
+            ("transfer_us", Printf.sprintf "%.3f" (us transfer_s));
+            ("codec_us", Printf.sprintf "%.3f" (us codec_s));
+          ]
+        ()
+    | Page_fault { page; service_s } ->
+      record ~name ~ph:"X" ~ts ~dur:(us service_s) ~tid:net_tid
+        ~args:[ ("page", string_of_int page) ]
+        ()
+    | Prefetch { pages; bytes } ->
+      record ~name ~ph:"i" ~ts ~tid:net_tid
+        ~args:
+          [ ("pages", string_of_int pages); ("bytes", string_of_int bytes) ]
+        ()
+    | Fnptr_translate { cost_s } ->
+      record ~name ~ph:"X" ~ts ~dur:(us cost_s) ~tid:net_tid ()
+    | Remote_io { request_bytes; response_bytes; cost_s; _ } ->
+      record ~name ~ph:"X" ~ts ~dur:(us cost_s) ~tid:net_tid
+        ~args:
+          [
+            ("request_bytes", string_of_int request_bytes);
+            ("response_bytes", string_of_int response_bytes);
+          ]
+        ()
+    | Offload_begin _ -> record ~name ~ph:"B" ~ts ~tid:session_tid ()
+    | Offload_end { dirty_pages; span_s; _ } ->
+      record ~name ~ph:"E" ~ts ~tid:session_tid
+        ~args:
+          [
+            ("dirty_pages", string_of_int dirty_pages);
+            ("span_us", Printf.sprintf "%.3f" (us span_s));
+          ]
+        ()
+    | Refusal _ -> record ~name ~ph:"i" ~ts ~tid:session_tid ()
+    | Power_state { mw; state; _ } ->
+      record ~name:"power" ~ph:"C" ~ts ~tid:power_tid
+        ~args:
+          [ ("mW", Printf.sprintf "%.1f" mw);
+            ("state", Printf.sprintf "\"%s\"" (escape state)) ]
+        ()
+    | Estimate { predicted_gain_s; decision; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:
+          [
+            ("predicted_gain_s", Printf.sprintf "%.6f" predicted_gain_s);
+            ("decision", if decision then "true" else "false");
+          ]
+        ()
+    | Module_load { functions; globals; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:
+          [
+            ("functions", string_of_int functions);
+            ("globals", string_of_int globals);
+          ]
+        ()
+
+  let thread_meta tid label =
+    Printf.sprintf
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,\
+       \"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+      tid (escape label)
+
+  let export ?(process = "native-offloader") (events : (float * event) list) :
+      string =
+    (* The sink receives power segments stamped at segment *start*,
+       i.e. behind the live clock; a stable sort restores global
+       timestamp order while preserving emission order (and hence B/E
+       nesting) among equal stamps. *)
+    let events =
+      List.stable_sort (fun (a, _) (b, _) -> compare a b) events
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,\
+          \"args\":{\"name\":\"%s\"}}"
+         (escape process));
+    List.iter
+      (fun (tid, label) ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (thread_meta tid label))
+      [ (session_tid, "offload session"); (net_tid, "network");
+        (power_tid, "power") ];
+    List.iter
+      (fun entry ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (of_event entry))
+      events;
+    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+    Buffer.contents buf
+end

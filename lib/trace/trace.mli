@@ -1,0 +1,136 @@
+(** The runtime event spine: typed events for everything the
+    offloading runtime does that costs time, bytes or energy, plus a
+    pluggable sink interface.
+
+    Layers emit through a {!sink} threaded via the session
+    configuration; aggregate views (the Figure-7 overhead breakdown,
+    the Figure-8 power timeline, per-run metrics) are derived from the
+    stream.  Sits below every emitting layer, so it depends on nothing
+    but the standard library. *)
+
+type direction = To_server | To_mobile
+
+val direction_to_string : direction -> string
+
+type event =
+  | Flush of {
+      direction : direction;
+      raw_bytes : int;        (** batched payload before compression *)
+      wire_bytes : int;       (** what actually crossed the link *)
+      transfer_s : float;     (** link time charged *)
+      codec_s : float;        (** compression + decompression CPU *)
+    }
+  | Page_fault of { page : int; service_s : float }
+  | Prefetch of { pages : int; bytes : int }
+  | Fnptr_translate of { cost_s : float }
+  | Remote_io of {
+      io_name : string;
+      request_bytes : int;
+      response_bytes : int;
+      cost_s : float;
+    }
+  | Offload_begin of { target : string }
+  | Offload_end of { target : string; dirty_pages : int; span_s : float }
+  | Refusal of { target : string }
+  | Power_state of { state : string; mw : float; duration_s : float }
+  | Estimate of {
+      target : string;
+      predicted_gain_s : float;
+      decision : bool;
+    }
+  | Module_load of { role : string; functions : int; globals : int }
+
+type sink = { emit : ts:float -> event -> unit }
+(** [ts] is simulated seconds; events that span time are stamped with
+    the {e start} of their span. *)
+
+val null : sink
+(** Discards everything. *)
+
+val is_null : sink -> bool
+(** Physical check against {!null}, letting hot emitters skip event
+    construction. *)
+
+val fan_out : sink list -> sink
+(** Emit to every sink in order. *)
+
+val zero_cost : event -> event
+(** Zero the charged-time fields of a {!Flush} (ideal-mode wrapper);
+    other events pass through. *)
+
+val event_name : event -> string
+(** Short display name, e.g. ["flush:to-server"]. *)
+
+(** Aggregates exactly what the session's pre-refactor overhead
+    counters and the channel stats tracked, so derived reports can be
+    verified against the mutable-counter originals. *)
+module Metrics : sig
+  type t = {
+    mutable flushes_to_server : int;
+    mutable flushes_to_mobile : int;
+    mutable raw_to_server : int;
+    mutable raw_to_mobile : int;
+    mutable wire_to_server : int;
+    mutable wire_to_mobile : int;
+    mutable transfer_s : float;
+    mutable codec_s : float;
+    mutable fault_count : int;
+    mutable fault_s : float;
+    mutable prefetched_pages : int;
+    mutable prefetched_bytes : int;
+    mutable fnptr_count : int;
+    mutable fnptr_s : float;
+    mutable remote_io_count : int;
+    mutable remote_io_s : float;
+    mutable offloads : int;
+    mutable offload_span_s : float;
+    mutable refusals : int;
+    mutable estimates : int;
+    mutable energy_mj : float;
+    power_s : (string, float) Hashtbl.t;
+    mutable power_rev : (float * float * float * string) list;
+  }
+
+  val create : unit -> t
+  val sink : t -> sink
+
+  val comm_s : t -> float
+  (** Total charged communication time: transfers + codec CPU +
+      copy-on-demand fault service. *)
+
+  val total_s : t -> float
+  (** Wall clock of the run (power segments partition the timeline). *)
+
+  val time_in_state : t -> string -> float
+
+  val power_segments : t -> (float * float * float * string) list
+  (** (start, mW, duration, state), chronological. *)
+
+  val resample_power :
+    t -> period_s:float -> idle_mw:float -> (float * float) list
+  (** Mirror of [Battery.resample] derived from the event stream. *)
+
+  val to_rows : t -> (string * string) list
+  (** Label/value pairs for a per-run metrics table. *)
+end
+
+(** Bounded capture of the raw stream (oldest evicted first). *)
+module Ring : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val sink : t -> sink
+  val length : t -> int
+  val dropped : t -> int
+
+  val events : t -> (float * event) list
+  (** Oldest first. *)
+end
+
+(** Chrome Trace Event Format exporter (chrome://tracing, Perfetto). *)
+module Chrome : sig
+  val export : ?process:string -> (float * event) list -> string
+  (** JSON with offloads as B/E pairs, transfers and service costs as
+      X complete events, decisions as instants, power as a counter
+      track.  Events are stably sorted by timestamp. *)
+end

@@ -6,6 +6,7 @@ let () =
       ("layout", Test_layout.tests);
       ("mem", Test_mem.tests);
       ("netsim", Test_netsim.tests);
+      ("trace", Test_trace.tests);
       ("analysis", Test_analysis.tests);
       ("estimator", Test_estimator.tests);
       ("profiler", Test_profiler.tests);

@@ -85,6 +85,58 @@ let test_channel_compression () =
   Alcotest.(check bool) "codec time charged" true (stats.Channel.codec_time > 0.0);
   Alcotest.(check bool) "ratio < 0.1" true (Channel.compression_ratio ch < 0.1)
 
+let test_empty_flush_noop () =
+  (* Flushing an empty buffer is a strict no-op: no time, no stats,
+     no trace event. *)
+  let ring = No_trace.Trace.Ring.create ~capacity:16 () in
+  let ch =
+    Channel.create ~sink:(No_trace.Trace.Ring.sink ring) Link.fast_wifi
+      Channel.To_server
+  in
+  Alcotest.(check (float 0.0)) "no time" 0.0 (Channel.flush ch);
+  let stats = Channel.stats ch in
+  Alcotest.(check int) "no physical flush" 0 stats.Channel.flushes;
+  Alcotest.(check int) "no raw bytes" 0 stats.Channel.raw_bytes;
+  Alcotest.(check int) "no event" 0 (No_trace.Trace.Ring.length ring);
+  (* ... and a real flush afterwards behaves normally. *)
+  Channel.send ch (Bytes.create 64);
+  ignore (Channel.flush ch);
+  Alcotest.(check int) "one flush after send" 1 (Channel.stats ch).Channel.flushes;
+  Alcotest.(check int) "one event after send" 1 (No_trace.Trace.Ring.length ring)
+
+let test_wire_never_exceeds_raw_event () =
+  (* Compression can only shrink what goes on the wire; both the
+     stats and the emitted Flush event must agree. *)
+  let ring = No_trace.Trace.Ring.create ~capacity:16 () in
+  let payloads =
+    [ Bytes.make 8192 'x';  (* highly compressible *)
+      Bytes.init 4096 (fun i -> Char.chr ((i * 131 + (i * i mod 253)) land 0xff));
+      Bytes.create 1 ]      (* tiny: headers could expand it *)
+  in
+  List.iter
+    (fun payload ->
+      let ch =
+        Channel.create ~compress:true ~sink:(No_trace.Trace.Ring.sink ring)
+          Link.slow_wifi Channel.To_mobile
+      in
+      Channel.send ch payload;
+      ignore (Channel.flush ch);
+      let stats = Channel.stats ch in
+      Alcotest.(check bool) "stats: wire <= raw" true
+        (stats.Channel.wire_bytes <= stats.Channel.raw_bytes))
+    payloads;
+  let events = No_trace.Trace.Ring.events ring in
+  Alcotest.(check int) "one event per flush" (List.length payloads)
+    (List.length events);
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | No_trace.Trace.Flush { raw_bytes; wire_bytes; _ } ->
+        Alcotest.(check bool) "event: wire <= raw" true
+          (wire_bytes <= raw_bytes)
+      | _ -> Alcotest.fail "expected Flush event")
+    events
+
 let test_channel_compression_fallback () =
   (* Incompressible payload: the channel sends raw rather than
      expanding. *)
@@ -111,4 +163,7 @@ let tests =
     Alcotest.test_case "channel compression" `Quick test_channel_compression;
     Alcotest.test_case "compression fallback" `Quick
       test_channel_compression_fallback;
+    Alcotest.test_case "empty flush is a no-op" `Quick test_empty_flush_noop;
+    Alcotest.test_case "wire bytes never exceed raw" `Quick
+      test_wire_never_exceeds_raw_event;
   ]

@@ -1,0 +1,253 @@
+(* Runtime event spine tests: sink plumbing (fan-out, ring buffer,
+   zero-cost wrapper), aggregation parity — the metrics sink must
+   reproduce the session's mutable overhead counters bit-for-bit on
+   real workloads — power-trace resampling, and the Chrome-trace
+   exporter's well-formedness. *)
+
+module Trace = No_trace.Trace
+module Session = No_runtime.Session
+module Link = No_netsim.Link
+module Battery = No_power.Battery
+module Power_model = No_power.Power_model
+module Chess = No_workloads.Chess
+module Registry = No_workloads.Registry
+module Compiler = Native_offloader.Compiler
+module Experiment = Native_offloader.Experiment
+
+(* {1 Sink plumbing} *)
+
+let recording () =
+  let log = ref [] in
+  let sink = { Trace.emit = (fun ~ts ev -> log := (ts, ev) :: !log) } in
+  (sink, fun () -> List.rev !log)
+
+let some_flush =
+  Trace.Flush
+    { direction = Trace.To_server; raw_bytes = 100; wire_bytes = 40;
+      transfer_s = 0.5; codec_s = 0.1 }
+
+let test_fan_out () =
+  let a, got_a = recording () in
+  let b, got_b = recording () in
+  let s = Trace.fan_out [ a; b ] in
+  s.Trace.emit ~ts:1.0 some_flush;
+  s.Trace.emit ~ts:2.0 (Trace.Refusal { target = "t" });
+  Alcotest.(check int) "a saw both" 2 (List.length (got_a ()));
+  Alcotest.(check int) "b saw both" 2 (List.length (got_b ()));
+  Alcotest.(check bool) "same order" true (got_a () = got_b ());
+  Alcotest.(check bool) "empty fan-out is null" true
+    (Trace.is_null (Trace.fan_out []));
+  Alcotest.(check bool) "singleton fan-out is the sink itself" true
+    (Trace.fan_out [ a ] == a);
+  Alcotest.(check bool) "null is null" true (Trace.is_null Trace.null);
+  Alcotest.(check bool) "real sink is not null" false (Trace.is_null a)
+
+let test_zero_cost () =
+  (match Trace.zero_cost some_flush with
+  | Trace.Flush { raw_bytes; wire_bytes; transfer_s; codec_s; _ } ->
+    Alcotest.(check int) "raw kept" 100 raw_bytes;
+    Alcotest.(check int) "wire kept" 40 wire_bytes;
+    Alcotest.(check (float 0.0)) "transfer zeroed" 0.0 transfer_s;
+    Alcotest.(check (float 0.0)) "codec zeroed" 0.0 codec_s
+  | _ -> Alcotest.fail "zero_cost changed the constructor");
+  let refusal = Trace.Refusal { target = "t" } in
+  Alcotest.(check bool) "non-flush passes through" true
+    (Trace.zero_cost refusal == refusal)
+
+let test_ring_eviction () =
+  let ring = Trace.Ring.create ~capacity:4 () in
+  let sink = Trace.Ring.sink ring in
+  for i = 1 to 6 do
+    sink.Trace.emit ~ts:(float_of_int i) (Trace.Refusal { target = "t" })
+  done;
+  Alcotest.(check int) "capped length" 4 (Trace.Ring.length ring);
+  Alcotest.(check int) "dropped count" 2 (Trace.Ring.dropped ring);
+  Alcotest.(check (list (float 0.0))) "oldest evicted first"
+    [ 3.0; 4.0; 5.0; 6.0 ]
+    (List.map fst (Trace.Ring.events ring))
+
+(* {1 Aggregation parity}
+
+   Fixed workloads, default and ideal configurations: every statistic
+   the session reports from its mutable counters must be reproduced by
+   the metrics sink folded over the event stream. *)
+
+let close label a b =
+  (* Identical accumulation up to float summation-order noise. *)
+  let tol = 1e-6 *. (1.0 +. abs_float a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%g vs %g)" label a b)
+    true
+    (abs_float (a -. b) <= tol)
+
+let check_parity name (config : Session.config) ~script ~files compiled =
+  let m = Trace.Metrics.create () in
+  let config = { config with Session.trace = Trace.Metrics.sink m } in
+  let session =
+    Session.create ~config ~script ~files compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  let r = Session.run session in
+  let i = Alcotest.(check int) in
+  i (name ^ ": offloads") r.Session.rep_offloads m.Trace.Metrics.offloads;
+  i (name ^ ": refusals") r.Session.rep_refusals m.Trace.Metrics.refusals;
+  i (name ^ ": faults") r.Session.rep_faults m.Trace.Metrics.fault_count;
+  i (name ^ ": prefetched pages") r.Session.rep_prefetched_pages
+    m.Trace.Metrics.prefetched_pages;
+  i (name ^ ": fnptr translations") r.Session.rep_fnptr_translations
+    m.Trace.Metrics.fnptr_count;
+  i (name ^ ": remote I/O ops") r.Session.rep_remote_io_ops
+    m.Trace.Metrics.remote_io_count;
+  i (name ^ ": bytes to server") r.Session.rep_bytes_to_server
+    m.Trace.Metrics.raw_to_server;
+  i (name ^ ": bytes to mobile") r.Session.rep_bytes_to_mobile
+    m.Trace.Metrics.raw_to_mobile;
+  i (name ^ ": wire bytes to mobile") r.Session.rep_wire_bytes_to_mobile
+    m.Trace.Metrics.wire_to_mobile;
+  close (name ^ ": comm_s") r.Session.rep_comm_s (Trace.Metrics.comm_s m);
+  close (name ^ ": fnptr_s") r.Session.rep_fnptr_s m.Trace.Metrics.fnptr_s;
+  close (name ^ ": remote_io_s") r.Session.rep_remote_io_s
+    m.Trace.Metrics.remote_io_s;
+  close (name ^ ": server span") r.Session.rep_server_span_s
+    m.Trace.Metrics.offload_span_s;
+  close (name ^ ": total_s") r.Session.rep_total_s (Trace.Metrics.total_s m);
+  close (name ^ ": energy_mj") r.Session.rep_energy_mj
+    m.Trace.Metrics.energy_mj
+
+let test_parity_chess () =
+  let compiled =
+    Compiler.compile
+      ~profile_script:(Chess.script ~depth:3 ~turns:2)
+      ~eval_scale:2.0 (Chess.build ())
+  in
+  let script = Chess.script ~depth:4 ~turns:2 in
+  check_parity "chess/fast" (Experiment.fast_config ()) ~script ~files:[]
+    compiled;
+  check_parity "chess/slow" (Experiment.slow_config ()) ~script ~files:[]
+    compiled;
+  check_parity "chess/ideal" (Experiment.ideal_config ()) ~script ~files:[]
+    compiled
+
+let spec_parity name =
+  let entry = Option.get (Registry.by_name name) in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale
+      (entry.Registry.e_build ())
+  in
+  (* Profile-script scale keeps the suite fast; the stream shape is
+     identical to the full evaluation run. *)
+  check_parity name
+    (Experiment.fast_config ())
+    ~script:entry.Registry.e_profile_script ~files:entry.Registry.e_files
+    compiled
+
+let test_parity_hmmer () = spec_parity "456.hmmer"
+let test_parity_gzip () = spec_parity "164.gzip"
+
+(* {1 Power resampling} *)
+
+let test_resample_matches_battery () =
+  let model = Power_model.galaxy_s5 ~fast_radio:true in
+  let m = Trace.Metrics.create () in
+  let battery = Battery.create ~sink:(Trace.Metrics.sink m) model in
+  Battery.spend battery ~from_s:0.0 ~to_s:0.4 Power_model.Computing;
+  Battery.spend battery ~from_s:0.4 ~to_s:1.3 Power_model.Transmitting;
+  Battery.spend battery ~from_s:1.3 ~to_s:1.3 Power_model.Idle;  (* dropped *)
+  Battery.spend battery ~from_s:1.3 ~to_s:2.05 Power_model.Waiting;
+  Battery.spend battery ~from_s:2.05 ~to_s:2.5 Power_model.Receiving;
+  let idle_mw = Power_model.draw_mw model Power_model.Idle in
+  let expect = Battery.resample battery ~period_s:0.25 in
+  let got = Trace.Metrics.resample_power m ~period_s:0.25 ~idle_mw in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "resample matches Battery.resample" expect got;
+  close "energy parity" (Battery.energy_mj battery) m.Trace.Metrics.energy_mj;
+  Alcotest.(check int) "zero-length segment emitted no event" 4
+    (List.length (Trace.Metrics.power_segments m))
+
+(* {1 Chrome-trace export} *)
+
+(* No JSON library in the test deps; scan the string. *)
+let count_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let ts_values json =
+  (* Every record carries "ts":<float>; collect them in order. *)
+  let key = "\"ts\":" in
+  let rec go i acc =
+    match String.index_from_opt json i 't' with
+    | None -> List.rev acc
+    | Some j ->
+      if j >= 1 && j + 4 <= String.length json
+         && String.sub json (j - 1) 5 = key then begin
+        let k = ref (j + 4) in
+        let stop = String.length json in
+        while
+          !k < stop
+          && (match json.[!k] with
+             | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+             | _ -> false)
+        do incr k done;
+        let v = float_of_string (String.sub json (j + 4) (!k - j - 4)) in
+        go !k (v :: acc)
+      end
+      else go (j + 1) acc
+  in
+  go 0 []
+
+let test_chrome_export () =
+  let compiled =
+    Compiler.compile
+      ~profile_script:(Chess.script ~depth:3 ~turns:2)
+      ~eval_scale:2.0 (Chess.build ())
+  in
+  let ring = Trace.Ring.create ~capacity:(1 lsl 16) () in
+  let config =
+    { (Experiment.fast_config ()) with
+      Session.trace = Trace.Ring.sink ring }
+  in
+  let session =
+    Session.create ~config
+      ~script:(Chess.script ~depth:4 ~turns:2)
+      compiled.Compiler.c_output ~seeds:compiled.Compiler.c_seeds
+  in
+  ignore (Session.run session);
+  Alcotest.(check int) "no events dropped" 0 (Trace.Ring.dropped ring);
+  let json = Trace.Chrome.export (Trace.Ring.events ring) in
+  Alcotest.(check bool) "traceEvents array" true
+    (count_substring json "\"traceEvents\":[" = 1);
+  let begins = count_substring json "\"ph\":\"B\"" in
+  let ends = count_substring json "\"ph\":\"E\"" in
+  Alcotest.(check bool) "at least one offload span" true (begins > 0);
+  Alcotest.(check int) "balanced B/E" begins ends;
+  Alcotest.(check bool) "has complete events" true
+    (count_substring json "\"ph\":\"X\"" > 0);
+  Alcotest.(check bool) "has power counters" true
+    (count_substring json "\"ph\":\"C\"" > 0);
+  let ts = ts_values json in
+  Alcotest.(check bool) "timestamps present" true (List.length ts > 4);
+  Alcotest.(check bool) "timestamps monotonic" true
+    (List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+       (List.tl ts));
+  Alcotest.(check bool) "timestamps non-negative" true
+    (List.for_all (fun t -> t >= 0.0) ts)
+
+let tests =
+  [
+    Alcotest.test_case "fan-out" `Quick test_fan_out;
+    Alcotest.test_case "zero-cost wrapper" `Quick test_zero_cost;
+    Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "parity: chess" `Quick test_parity_chess;
+    Alcotest.test_case "parity: 456.hmmer" `Quick test_parity_hmmer;
+    Alcotest.test_case "parity: 164.gzip" `Quick test_parity_gzip;
+    Alcotest.test_case "power resample" `Quick test_resample_matches_battery;
+    Alcotest.test_case "chrome export" `Quick test_chrome_export;
+  ]
