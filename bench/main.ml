@@ -15,6 +15,10 @@
                                            aggregating trace sink's metrics
                                            and event counts for a sample of
                                            workloads
+     dune exec bench/main.exe -- faults    fault-injection sweep: survival
+                                           rate and recovery overhead under
+                                           link outage, server crash and
+                                           message loss, per workload
 
    Full-scale table regeneration takes minutes (it sweeps 17 workloads
    x 4 configurations), so the Bechamel entries wrap each table's
@@ -45,6 +49,7 @@ module Table = No_report.Table
 module Battery = No_power.Battery
 module Power_model = No_power.Power_model
 module Trace = No_trace.Trace
+module Fault_plan = No_fault.Plan
 module Metrics_report = No_report.Metrics_report
 module Compiler = Native_offloader.Compiler
 module Experiment = Native_offloader.Experiment
@@ -304,6 +309,11 @@ let run_traced_summary name =
         | Trace.Power_state _ -> "power-state"
         | Trace.Estimate _ -> "estimate"
         | Trace.Module_load _ -> "module-load"
+        | Trace.Fault_injected { kind; _ } -> "fault:" ^ kind
+        | Trace.Rpc_timeout _ -> "rpc-timeout"
+        | Trace.Retry _ -> "retry"
+        | Trace.Fallback_local _ -> "fallback-local"
+        | Trace.Rollback _ -> "rollback"
       in
       Hashtbl.replace counts key
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
@@ -324,6 +334,95 @@ let run_traced_summary name =
 
 let run_trace_summaries () =
   List.iter run_traced_summary [ "164.gzip"; "456.hmmer"; "458.sjeng" ]
+
+(* {1 Fault-injection sweep}
+
+   Survival under deterministic injected faults, across the whole
+   workload registry at profile-script scale.  Each workload first
+   runs clean to measure its fault-free offloaded duration T, then
+   re-runs under plans whose timing derives from T — a link outage
+   covering [0.25T, 0.45T], a server crash at 0.4T, and a 3% message
+   drop rate — so the faults land mid-offload regardless of how long
+   the workload runs.  "Survived" means the console transcript matches
+   the pure-local run byte for byte: every fault was absorbed by
+   retries or by rollback + local replay. *)
+
+let fault_plan_exn s =
+  match Fault_plan.parse s with
+  | Ok p -> p
+  | Error msg -> failwith ("fault_sweep: bad plan " ^ s ^ ": " ^ msg)
+
+let run_fault_sweep () =
+  let table =
+    Table.create
+      ~title:
+        "Fault sweep: survival and recovery cost under injected faults \
+         (profile-script scale)"
+      [ "workload"; "plan"; "survived"; "fallbacks"; "timeouts"; "retries";
+        "recovery (s)"; "vs clean" ]
+  in
+  let survived = ref 0 and injected_runs = ref 0 in
+  let recovery_total = ref 0.0 in
+  List.iter
+    (fun entry ->
+      let compiled =
+        Compiler.compile ~profile_script:entry.Registry.e_profile_script
+          ~profile_files:entry.Registry.e_files
+          ~eval_scale:entry.Registry.e_eval_scale
+          (entry.Registry.e_build ())
+      in
+      let local =
+        Local_run.run ~script:entry.Registry.e_profile_script
+          ~files:entry.Registry.e_files compiled.Compiler.c_original
+      in
+      let offloaded plan =
+        let config =
+          { (Session.default_config ()) with Session.faults = plan }
+        in
+        let session =
+          Session.create ~config ~script:entry.Registry.e_profile_script
+            ~files:entry.Registry.e_files compiled.Compiler.c_output
+            ~seeds:compiled.Compiler.c_seeds
+        in
+        Session.run session
+      in
+      let clean = offloaded None in
+      let t = clean.Session.rep_total_s in
+      let plans =
+        [
+          ( "outage mid-offload",
+            fault_plan_exn
+              (Printf.sprintf "outage=%.4f:%.4f" (0.25 *. t) (0.45 *. t)) );
+          ( "server crash",
+            fault_plan_exn (Printf.sprintf "crash=%.4f" (0.4 *. t)) );
+          ("3% drop", fault_plan_exn "drop=0.03,seed=7");
+        ]
+      in
+      List.iter
+        (fun (label, plan) ->
+          let r = offloaded (Some plan) in
+          let ok = String.equal r.Session.rep_console local.Local_run.lr_console in
+          incr injected_runs;
+          if ok then incr survived;
+          recovery_total := !recovery_total +. r.Session.rep_recovery_s;
+          Table.add_row table
+            [
+              entry.Registry.e_name;
+              label;
+              (if ok then "yes" else "NO");
+              Table.cell_i r.Session.rep_fallbacks;
+              Table.cell_i r.Session.rep_rpc_timeouts;
+              Table.cell_i r.Session.rep_retries;
+              Table.cell_f r.Session.rep_recovery_s;
+              Table.cell_f (r.Session.rep_total_s /. t);
+            ])
+        plans)
+    Registry.spec;
+  Table.print table;
+  Printf.printf
+    "\nsurvival: %d/%d runs reproduced the local console transcript\n\
+     total recovery time across the sweep: %.2f s\n"
+    !survived !injected_runs !recovery_total
 
 (* {1 Ablations} *)
 
@@ -467,4 +566,5 @@ let () =
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "ablations" :: _ -> run_ablations ()
   | _ :: "trace" :: _ -> run_trace_summaries ()
+  | _ :: "faults" :: _ -> run_fault_sweep ()
   | _ -> regenerate_all ()

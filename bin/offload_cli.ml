@@ -20,6 +20,8 @@ module Table = No_report.Table
 module Metrics_report = No_report.Metrics_report
 module Session = No_runtime.Session
 module Trace = No_trace.Trace
+module Link = No_netsim.Link
+module Fault_plan = No_fault.Plan
 module Compiler = Native_offloader.Compiler
 module Experiment = Native_offloader.Experiment
 module Evaluation = Native_offloader.Evaluation
@@ -59,14 +61,32 @@ let entry_of_name name =
     Fmt.epr "unknown program %s; try `offload-cli list'@." name;
     exit 1
 
-(* Re-run the fast-network configuration with capture sinks attached
-   (the simulator is deterministic, so this reproduces the sweep's
-   fast run exactly) and export/print what was asked for. *)
-let traced_run entry (compiled : Compiler.compiled) ~trace_file ~metrics =
+let link_of_name name =
+  match Link.by_name name with
+  | Some link -> link
+  | None ->
+    Fmt.epr "unknown link %S; available links: %s@." name
+      (String.concat ", "
+         (List.map (fun (l : Link.t) -> l.Link.name) Link.all));
+    exit 1
+
+let fault_plan_of_string text =
+  match Fault_plan.parse text with
+  | Ok plan -> plan
+  | Error msg ->
+    Fmt.epr "bad fault plan %S: %s@.expected: %s@." text msg
+      Fault_plan.grammar;
+    exit 1
+
+(* Re-run a configuration with capture sinks attached (the simulator
+   is deterministic, so this reproduces the corresponding sweep run
+   exactly) and export/print what was asked for. *)
+let traced_run entry (compiled : Compiler.compiled) ~config ~label ~trace_file
+    ~metrics =
   let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
   let m = Trace.Metrics.create () in
   let config =
-    { (Experiment.fast_config ()) with
+    { config with
       Session.trace = Trace.fan_out [ Trace.Ring.sink ring; Trace.Metrics.sink m ] }
   in
   let _run, _session = Experiment.offloaded_run ~label:"traced" ~config compiled entry in
@@ -92,7 +112,7 @@ let traced_run entry (compiled : Compiler.compiled) ~trace_file ~metrics =
   if metrics then
     Table.print
       (Metrics_report.table
-         ~title:(entry.Registry.e_name ^ ": fast-network run metrics \
+         ~title:(entry.Registry.e_name ^ ": " ^ label ^ " run metrics \
                  (event-stream derived)")
          m)
 
@@ -113,8 +133,59 @@ let run_cmd =
           ~doc:
             "Print the event-derived metrics table of the fast-network run.")
   in
-  let run name trace_file metrics =
+  let link_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "link" ] ~docv:"NAME"
+          ~doc:
+            "Link profile for the fault-injected run (default 802.11ac); \
+             unknown names list the available links.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Deterministic fault plan for an extra fault-injected run, e.g. \
+             $(b,outage=0.5:2.0,drop=0.05,crash=3.5,seed=7). On server loss \
+             the runtime rolls back and replays locally; the run must still \
+             match the local console output.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Override the fault plan's RNG seed (reproducible runs).")
+  in
+  let run name trace_file metrics link faults seed =
     let entry = entry_of_name name in
+    (* Validate the fault-run options before the (slow) sweep. *)
+    let faulty_config =
+      if faults = None && link = None && seed = None then None
+      else begin
+        let plan =
+          match faults with
+          | Some text -> fault_plan_of_string text
+          | None -> Fault_plan.empty
+        in
+        let plan =
+          match seed with
+          | Some s -> Fault_plan.with_seed plan s
+          | None -> plan
+        in
+        let link =
+          match link with
+          | Some name -> link_of_name name
+          | None -> Link.fast_wifi
+        in
+        Some
+          { (Session.default_config ~link ()) with
+            Session.faults = Some plan }
+      end
+    in
     let res = Experiment.run_entry entry in
     let table =
       Table.create ~title:(name ^ ": local vs offloaded")
@@ -145,11 +216,44 @@ let run_cmd =
         res.Experiment.pres_fast.Experiment.run_console
     in
     Fmt.pr "console output identical to local run: %b@." identical;
-    if trace_file <> None || metrics then
-      traced_run entry res.Experiment.pres_compiled ~trace_file ~metrics
+    (* Optional fault-injected run: same workload, chosen link, under a
+       deterministic fault plan. *)
+    (match faulty_config with
+    | None -> ()
+    | Some config ->
+      let frun, fsession =
+        Experiment.offloaded_run ~label:"fault-injected" ~config
+          res.Experiment.pres_compiled entry
+      in
+      let ov = Session.overheads fsession in
+      let survived =
+        String.equal res.Experiment.pres_local.Experiment.run_console
+          frun.Experiment.run_console
+      in
+      Fmt.pr "@.fault-injected run (link %s, plan %a):@."
+        config.Session.link.Link.name Fault_plan.pp
+        (Option.get config.Session.faults);
+      Fmt.pr "  exec %.2f s (local %.2f s)  offloads %d  fallbacks %d  \
+              timeouts %d  retries %d  recovery %.2f s@."
+        frun.Experiment.run_exec_s
+        res.Experiment.pres_local.Experiment.run_exec_s
+        frun.Experiment.run_offloads ov.Session.fallbacks
+        ov.Session.rpc_timeouts ov.Session.retries ov.Session.recovery_s;
+      Fmt.pr "  survived (console identical to local): %b@." survived);
+    if trace_file <> None || metrics then begin
+      let config, label =
+        match faulty_config with
+        | Some config -> (config, "fault-injected")
+        | None -> (Experiment.fast_config (), "fast-network")
+      in
+      traced_run entry res.Experiment.pres_compiled ~config ~label ~trace_file
+        ~metrics
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload in all configurations")
-    Term.(const run $ name_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ name_arg $ trace_arg $ metrics_arg $ link_arg $ faults_arg
+      $ seed_arg)
 
 let report_cmd =
   let what_arg =

@@ -50,3 +50,32 @@ let write_string t s =
 let contents t = Buffer.contents t.output
 let output_bytes t = Buffer.length t.output
 let clear_output t = Buffer.clear t.output
+
+(* Transaction marks, for recovery: output written after a mark is
+   provisional until the caller commits (does nothing — output was
+   appended in place) or rolls back (truncates it away and restores
+   the input script, so a replayed task re-reads the same inputs and
+   the observable history shows each effect exactly once). *)
+
+type mark = {
+  m_output_len : int;
+  m_script : input list;
+  m_reads : int;
+  m_writes : int;
+}
+
+let mark t =
+  {
+    m_output_len = Buffer.length t.output;
+    m_script = t.script;
+    m_reads = t.reads;
+    m_writes = t.writes;
+  }
+
+let rollback_to t m =
+  let dropped = Buffer.length t.output - m.m_output_len in
+  Buffer.truncate t.output m.m_output_len;
+  t.script <- m.m_script;
+  t.reads <- m.m_reads;
+  t.writes <- m.m_writes;
+  max dropped 0

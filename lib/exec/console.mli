@@ -23,3 +23,16 @@ val write_string : t -> string -> unit
 val contents : t -> string
 val output_bytes : t -> int
 val clear_output : t -> unit
+
+type mark
+(** A transaction point: everything written or read after the mark is
+    provisional until committed (no-op) or rolled back. *)
+
+val mark : t -> mark
+
+val rollback_to : t -> mark -> int
+(** Discard output written since the mark, restore the unconsumed
+    input script and counters; returns the number of output bytes
+    discarded.  Used by offload recovery so a locally replayed task
+    re-reads the same inputs and each side effect is observed exactly
+    once. *)

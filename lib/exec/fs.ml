@@ -60,3 +60,45 @@ let read t fd len =
 let close t fd = (handle t fd).h_open <- false
 
 let total_bytes_read t = t.bytes_read
+
+(* Snapshots, for recovery: capture every handle's position and open
+   flag plus the descriptor counter, so a rolled-back task re-reads
+   its files from where they stood at offload start.  File *contents*
+   are immutable, so only cursor state needs saving. *)
+
+type snapshot = {
+  s_handles : (int * int * bool) list;  (* fd, pos, open *)
+  s_next_fd : int;
+  s_bytes_read : int;
+}
+
+let snapshot t =
+  {
+    s_handles =
+      Hashtbl.fold
+        (fun fd h acc -> (fd, h.h_pos, h.h_open) :: acc)
+        t.handles [];
+    s_next_fd = t.next_fd;
+    s_bytes_read = t.bytes_read;
+  }
+
+let restore t s =
+  (* Drop descriptors opened after the snapshot... *)
+  let keep = List.map (fun (fd, _, _) -> fd) s.s_handles in
+  let stale =
+    Hashtbl.fold
+      (fun fd _ acc -> if List.mem fd keep then acc else fd :: acc)
+      t.handles []
+  in
+  List.iter (Hashtbl.remove t.handles) stale;
+  (* ...and rewind the survivors. *)
+  List.iter
+    (fun (fd, pos, opened) ->
+      match Hashtbl.find_opt t.handles fd with
+      | Some h ->
+        h.h_pos <- pos;
+        h.h_open <- opened
+      | None -> ())
+    s.s_handles;
+  t.next_fd <- s.s_next_fd;
+  t.bytes_read <- s.s_bytes_read

@@ -23,3 +23,14 @@ val read : t -> int -> int -> Bytes.t
 
 val close : t -> int -> unit
 val total_bytes_read : t -> int
+
+type snapshot
+(** Cursor state: per-handle position/open flag, descriptor counter,
+    bytes-read counter.  File contents are immutable. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Rewind every handle to the snapshot and drop descriptors opened
+    since — offload recovery, so a replayed task re-reads its files
+    from where they stood at offload start. *)

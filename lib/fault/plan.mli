@@ -1,0 +1,40 @@
+(** Deterministic fault plans: a pure, seeded description of every
+    fault a simulated run will suffer.  The runtime consults the plan
+    through {!Injector}; the plan itself never mutates, so the same
+    plan + seed reproduces the same faulty run bit for bit. *)
+
+type outage = { out_from_s : float; out_until_s : float }
+(** The link is completely dark in [\[out_from_s, out_until_s)]. *)
+
+type collapse = { col_at_s : float; col_factor : float }
+(** From [col_at_s] on, usable bandwidth is scaled by [col_factor]
+    (e.g. [0.02] = the radio drops to 2% of nominal). *)
+
+type t = {
+  seed : int64;  (** seeds the plan's private RNG — no global state *)
+  outages : outage list;  (** link blackout windows *)
+  drop_p : float;  (** per-message loss probability *)
+  corrupt_p : float;  (** per-message corruption probability *)
+  crash_at_s : float option;  (** one-shot server death at time t *)
+  collapse : collapse option;  (** bandwidth collapse *)
+}
+
+val empty : t
+(** No faults, seed 1.  Wrapping a session with [empty] is a strict
+    no-op: byte-for-byte identical metrics and trace. *)
+
+val is_empty : t -> bool
+val with_seed : t -> int64 -> t
+
+val parse : string -> (t, string) result
+(** Parse the command-line syntax, e.g.
+    ["seed=42,outage=0.5:2.0,drop=0.05,crash=3.5,collapse=1.0:0.02"].
+    The empty string parses to {!empty}. *)
+
+val grammar : string
+(** One-line description of the accepted syntax, for error messages. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse}. *)
+
+val pp : Format.formatter -> t -> unit

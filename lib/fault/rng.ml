@@ -1,0 +1,33 @@
+(* Deterministic pseudo-random numbers for fault injection.
+
+   Every stochastic choice in a fault plan (message drop, corruption)
+   draws from one of these generators, seeded from the plan — never
+   from the global [Random] state — so a run is reproducible from its
+   [--seed] alone.  SplitMix64: tiny state, good distribution, and the
+   same sequence on every platform. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next t : int64 =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, 1): the top 53 bits scaled by 2^-53. *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int bound))

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers for fault injection
+    (SplitMix64).
+
+    All stochasticity in a fault plan flows through one of these,
+    seeded from the plan — no global [Random] state — so every test
+    and bench run is reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** Same seed, same sequence, on every platform. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)

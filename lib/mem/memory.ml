@@ -126,5 +126,35 @@ let resident_bytes t = Hashtbl.length t.pages * Region.page_size
 (* Copy of a page's current contents (for transmission). *)
 let page_copy t page = Bytes.copy (page_bytes t page)
 
+(* Deep snapshot of resident pages and dirty/tracking state, for
+   offload recovery.  Pages are copied both ways: the snapshot must
+   not alias frames the failed offload may still scribble on, and
+   restore must not hand the live table bytes the next offload
+   attempt could mutate. *)
+
+type snapshot = {
+  s_pages : (int * Bytes.t) list;
+  s_dirty : int list;
+  s_track_dirty : bool;
+}
+
+let snapshot t =
+  {
+    s_pages =
+      Hashtbl.fold (fun page bytes acc -> (page, Bytes.copy bytes) :: acc)
+        t.pages [];
+    s_dirty = Hashtbl.fold (fun page () acc -> page :: acc) t.dirty [];
+    s_track_dirty = t.track_dirty;
+  }
+
+let restore t s =
+  Hashtbl.reset t.pages;
+  Hashtbl.reset t.dirty;
+  List.iter
+    (fun (page, bytes) -> Hashtbl.replace t.pages page (Bytes.copy bytes))
+    s.s_pages;
+  List.iter (fun page -> Hashtbl.replace t.dirty page ()) s.s_dirty;
+  t.track_dirty <- s.s_track_dirty
+
 (* Profiler hook installation. *)
 let set_touch_callback t callback = t.on_touch <- callback

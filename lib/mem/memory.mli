@@ -53,3 +53,13 @@ val page_copy : t -> int -> Bytes.t
 (** Copy of a page's current contents, for transmission. *)
 
 val set_touch_callback : t -> (int -> unit) option -> unit
+
+type snapshot
+(** Deep copy of resident pages plus dirty/tracking state. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Replace the device's pages with the snapshot's (deep copies both
+    ways) — offload recovery rolls the mobile view back to the
+    offload-start state before replaying locally. *)

@@ -111,6 +111,35 @@ let high_water_mark t = t.brk - t.base
 
 let size_of_allocation t addr = Hashtbl.find_opt t.sizes addr
 
+(* Snapshots, for offload recovery: allocator metadata is shared
+   between the devices, so a rolled-back offload must also forget any
+   u_malloc/u_free the server performed before it died. *)
+
+type snapshot = {
+  s_brk : int;
+  s_free_list : range list;
+  s_sizes : (int * int) list;
+  s_live_bytes : int;
+  s_total_allocs : int;
+}
+
+let snapshot t =
+  {
+    s_brk = t.brk;
+    s_free_list = t.free_list;
+    s_sizes = Hashtbl.fold (fun addr size acc -> (addr, size) :: acc) t.sizes [];
+    s_live_bytes = t.live_bytes;
+    s_total_allocs = t.total_allocs;
+  }
+
+let restore t s =
+  t.brk <- s.s_brk;
+  t.free_list <- s.s_free_list;
+  Hashtbl.reset t.sizes;
+  List.iter (fun (addr, size) -> Hashtbl.replace t.sizes addr size) s.s_sizes;
+  t.live_bytes <- s.s_live_bytes;
+  t.total_allocs <- s.s_total_allocs
+
 (* Every page the heap has ever handed out, for prefetch decisions. *)
 let used_pages t =
   let first = Region.page_of_addr t.base in

@@ -40,3 +40,13 @@ val size_of_allocation : t -> int -> int option
 val used_pages : t -> int list
 (** Every page the heap has ever handed out — the prefetch set on a
     target's first offload. *)
+
+type snapshot
+(** Full allocator metadata (brk, free list, live sizes). *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Roll the allocator back to the snapshot — offload recovery must
+    forget any allocations the server performed before it was lost,
+    since allocator metadata is shared between the devices. *)

@@ -40,6 +40,7 @@ type t = {
   stats : stats;
   sink : No_trace.Trace.sink;     (* receives one Flush per transfer *)
   clock : unit -> float;          (* timestamps for emitted events *)
+  bw_factor : unit -> float;      (* usable-bandwidth scale at flush time *)
 }
 
 (* Compression throughput in the hundreds of MB/s (real hardware);
@@ -52,7 +53,8 @@ let default_decompress_s_per_byte = 150.0 /. 1000e6
 let create ?(compress = false)
     ?(compress_s_per_byte = default_compress_s_per_byte)
     ?(decompress_s_per_byte = default_decompress_s_per_byte)
-    ?(sink = No_trace.Trace.null) ?(clock = fun () -> 0.0) link direction =
+    ?(sink = No_trace.Trace.null) ?(clock = fun () -> 0.0)
+    ?(bw_factor = fun () -> 1.0) link direction =
   {
     link;
     direction;
@@ -63,6 +65,7 @@ let create ?(compress = false)
     stats = empty_stats ();
     sink;
     clock;
+    bw_factor;
   }
 
 (* Queue a logical message; costs nothing until flushed. *)
@@ -97,7 +100,9 @@ let flush t : float =
        above sends raw); keep the invariant explicit. *)
     let wire = min wire raw in
     assert (wire <= raw);
-    let transfer = Link.transfer_time t.link ~bytes:wire in
+    let transfer =
+      Link.transfer_time_scaled t.link ~bytes:wire ~bw_factor:(t.bw_factor ())
+    in
     t.stats.flushes <- t.stats.flushes + 1;
     t.stats.raw_bytes <- t.stats.raw_bytes + raw;
     t.stats.wire_bytes <- t.stats.wire_bytes + wire;

@@ -29,12 +29,16 @@ val create :
   ?decompress_s_per_byte:float ->
   ?sink:No_trace.Trace.sink ->
   ?clock:(unit -> float) ->
+  ?bw_factor:(unit -> float) ->
   Link.t ->
   direction ->
   t
 (** [sink] receives one {!No_trace.Trace.Flush} event per non-empty
     physical transfer, stamped with [clock ()] (the channel itself is
-    clock-agnostic; the default stamps 0). *)
+    clock-agnostic; the default stamps 0).  [bw_factor], sampled at
+    flush time, scales the usable bandwidth — fault injection's
+    bandwidth collapse; the default (1.0) charges the link's normal
+    rate, bit-for-bit. *)
 
 val send : t -> Bytes.t -> unit
 (** Queue a logical message; costs nothing until flushed. *)

@@ -63,14 +63,25 @@ let all = [ slow_wifi; fast_wifi; congested ]
 
 let by_name name = List.find_opt (fun l -> String.equal l.name name) all
 
-(* Time for one message of [bytes] payload. *)
-let transfer_time t ~bytes =
-  effective_latency_s t +. (float_of_int bytes *. 8.0 /. effective_bps t)
+(* Time for one message of [bytes] payload, with the usable bandwidth
+   scaled by [bw_factor] (fault injection models a collapsed radio by
+   passing a factor < 1; factor 1.0 is exact — multiplying by 1.0 is
+   the identity in IEEE arithmetic, so the unfaulted path stays
+   bit-for-bit unchanged). *)
+let transfer_time_scaled t ~bytes ~bw_factor =
+  effective_latency_s t
+  +. (float_of_int bytes *. 8.0 /. (effective_bps t *. bw_factor))
+
+let transfer_time t ~bytes = transfer_time_scaled t ~bytes ~bw_factor:1.0
 
 (* Time for a round trip carrying [req] bytes out and [resp] bytes
    back (remote I/O requests, Section 3.4). *)
+let round_trip_time_scaled t ~req ~resp ~bw_factor =
+  transfer_time_scaled t ~bytes:req ~bw_factor
+  +. transfer_time_scaled t ~bytes:resp ~bw_factor
+
 let round_trip_time t ~req ~resp =
-  transfer_time t ~bytes:req +. transfer_time t ~bytes:resp
+  round_trip_time_scaled t ~req ~resp ~bw_factor:1.0
 
 let pp ppf t =
   Fmt.pf ppf "%s (%.0f Mbps nominal, %.1f ms latency)" t.name

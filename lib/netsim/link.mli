@@ -39,7 +39,14 @@ val effective_latency_s : t -> float
 val transfer_time : t -> bytes:int -> float
 (** Time for one message carrying [bytes]. *)
 
+val transfer_time_scaled : t -> bytes:int -> bw_factor:float -> float
+(** Like {!transfer_time} with usable bandwidth scaled by [bw_factor]
+    (fault injection's bandwidth collapse).  [bw_factor = 1.0] is
+    bit-for-bit identical to {!transfer_time}. *)
+
 val round_trip_time : t -> req:int -> resp:int -> float
 (** Request/response exchange (remote I/O, page faults). *)
+
+val round_trip_time_scaled : t -> req:int -> resp:int -> bw_factor:float -> float
 
 val pp : Format.formatter -> t -> unit

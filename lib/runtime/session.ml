@@ -24,6 +24,7 @@ module Memory = No_mem.Memory
 module Region = No_mem.Region
 module Scalar = No_mem.Scalar
 module Uva = No_mem.Uva
+module Stack_alloc = No_mem.Stack_alloc
 module Link = No_netsim.Link
 module Channel = No_netsim.Channel
 module Power_model = No_power.Power_model
@@ -40,8 +41,15 @@ module Pipeline = No_transform.Pipeline
 module Dynamic_estimate = No_estimator.Dynamic_estimate
 module Bandwidth_predictor = No_estimator.Bandwidth_predictor
 module Trace = No_trace.Trace
+module Fault_plan = No_fault.Plan
+module Injector = No_fault.Injector
 
 exception Offload_error of string
+
+(* Raised from inside a blocking exchange when the server is
+   unreachable for good (crash, or a deadline/retry budget exhausted);
+   caught by [offload_invoke], which rolls back and replays locally. *)
+exception Server_lost of string
 
 type decision_mode = Dynamic | Always_offload | Never_offload
 
@@ -61,6 +69,9 @@ type config = {
                                     configured link's effective rate *)
   trace : Trace.sink;            (* runtime event spine; every layer of
                                     the session emits through this *)
+  faults : Fault_plan.t option;  (* deterministic fault schedule; None
+                                    (and the empty plan) = no faults *)
+  retry : Injector.policy;       (* per-RPC deadline + backoff bounds *)
 }
 
 let default_config ?(link = Link.fast_wifi) () = {
@@ -77,6 +88,8 @@ let default_config ?(link = Link.fast_wifi) () = {
   fast_radio = true;
   initial_bw_bps = None;
   trace = Trace.null;
+  faults = None;
+  retry = Injector.default_policy;
 }
 
 type target_seed = {
@@ -96,6 +109,10 @@ type overheads = {
   mutable prefetched_pages : int;
   mutable offloads : int;
   mutable refusals : int;
+  mutable rpc_timeouts : int;
+  mutable retries : int;
+  mutable fallbacks : int;
+  mutable recovery_s : float;    (* wall time lost to failed attempts *)
 }
 
 type t = {
@@ -122,6 +139,9 @@ type t = {
   mutable last_resident : int list;        (* server residency, for prefetch *)
   mutable server_exec_s : float;           (* wall time inside offloads *)
   mutable finished : bool;
+  injector : Injector.t option;            (* fault oracle; None = clean run *)
+  mutable server_dead : bool;              (* crash observed; refuse future
+                                              offloads, run locally *)
 }
 
 (* {1 Power bookkeeping} *)
@@ -222,6 +242,20 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
     else config.trace
   in
   let channel_clock () = clock.Host.now in
+  (* The fault oracle, shared by the channels (bandwidth collapse) and
+     the session's blocking exchanges (everything else).  The empty
+     plan is indistinguishable from no plan: the bandwidth factor is
+     then constantly 1.0 (the IEEE multiplicative identity) and no
+     verdict ever differs from Deliver. *)
+  let injector =
+    Option.map (fun plan -> Injector.create ~policy:config.retry plan)
+      config.faults
+  in
+  let channel_bw_factor () =
+    match injector with
+    | None -> 1.0
+    | Some inj -> Injector.bw_factor inj ~now:clock.Host.now
+  in
   let t =
     {
       config;
@@ -235,17 +269,20 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
       predictor = Bandwidth_predictor.create ~initial_bps:initial_bw ();
       to_server =
         Channel.create ~compress:config.compress_upload ~sink:channel_sink
-          ~clock:channel_clock config.link Channel.To_server;
+          ~clock:channel_clock ~bw_factor:channel_bw_factor config.link
+          Channel.To_server;
       to_mobile =
         Channel.create ~compress:config.compress_writeback ~sink:channel_sink
-          ~clock:channel_clock config.link Channel.To_mobile;
+          ~clock:channel_clock ~bw_factor:channel_bw_factor config.link
+          Channel.To_mobile;
       targets = output.Pipeline.o_targets;
       uva_globals = output.Pipeline.o_mobile.Ir.m_uva_globals;
       unified_layout;
       ov =
         { comm_s = 0.0; fnptr_s = 0.0; remote_io_s = 0.0; fnptr_count = 0;
           remote_io_count = 0; fault_count = 0; prefetched_pages = 0;
-          offloads = 0; refusals = 0 };
+          offloads = 0; refusals = 0; rpc_timeouts = 0; retries = 0;
+          fallbacks = 0; recovery_s = 0.0 };
       mem_estimate;
       uva_global_addr = Hashtbl.create 16;
       last_mark = 0.0;
@@ -256,6 +293,8 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
       last_resident = [];
       server_exec_s = 0.0;
       finished = false;
+      injector;
+      server_dead = false;
     }
   in
   t
@@ -296,6 +335,89 @@ let flush_to_mobile t =
   observe_transfer t ~bytes ~seconds;
   charge_comm t seconds
 
+(* Usable-bandwidth scale at the current instant (fault injection's
+   bandwidth collapse); 1.0 on a clean run. *)
+let bw_factor t =
+  match t.injector with
+  | None -> 1.0
+  | Some inj -> Injector.bw_factor inj ~now:t.clock.Host.now
+
+(* {1 Fault-aware exchanges}
+
+   Every blocking exchange of the offload protocol (init header,
+   prefetch, copy-on-demand page fault, remote I/O, finalization
+   write-back) goes through [exchange]: on a clean run it degenerates
+   to [with_state state deliver], bit for bit.  Under a fault plan,
+   each attempt is judged by the injector; failed attempts charge the
+   RPC deadline (waiting state — the clock and battery keep running)
+   and back off exponentially.  A server crash, or an exhausted retry
+   budget, raises [Server_lost]; [offload_invoke] catches it, rolls
+   the mobile state back and replays the task locally.
+
+   Delivery-time cost is only charged for the attempt that succeeds:
+   the model is a reliable transport whose *payload* crosses the link
+   once, with loss showing up as deadline + backoff stalls. *)
+
+let exchange t ~op ~state (deliver : unit -> 'a) : 'a =
+  match t.injector with
+  | None -> with_state t state deliver
+  | Some inj ->
+    let policy = Injector.policy inj in
+    let wait seconds =
+      with_state t Power_model.Waiting (fun () -> advance t seconds)
+    in
+    let give_up reason =
+      raise (Server_lost (Printf.sprintf "%s: %s" op reason))
+    in
+    let backoff_then attempt =
+      (* Attempt [attempt] failed; sleep and come back, or give up. *)
+      if attempt >= policy.Injector.max_attempts then
+        give_up
+          (Printf.sprintf "no reply after %d attempts" policy.Injector.max_attempts)
+      else begin
+        let backoff = Injector.backoff_s policy ~attempt in
+        let ts = t.clock.Host.now in
+        wait backoff;
+        emit_at t ~ts (Trace.Retry { op; attempt; backoff_s = backoff });
+        t.ov.retries <- t.ov.retries + 1
+      end
+    in
+    let rec go attempt =
+      let now = t.clock.Host.now in
+      let verdict = Injector.judge inj ~now in
+      match verdict with
+      | Injector.Deliver -> with_state t state deliver
+      | Injector.Server_down ->
+        emit t (Trace.Fault_injected { kind = "server-crash"; op });
+        t.server_dead <- true;
+        give_up "server crashed"
+      | Injector.Outage _ | Injector.Drop ->
+        (* The message vanishes into dead air; we only learn by
+           waiting out the deadline. *)
+        emit t
+          (Trace.Fault_injected { kind = Injector.verdict_kind verdict; op });
+        let ts = t.clock.Host.now in
+        wait policy.Injector.deadline_s;
+        emit_at t ~ts
+          (Trace.Rpc_timeout { op; attempt; waited_s = policy.Injector.deadline_s });
+        t.ov.rpc_timeouts <- t.ov.rpc_timeouts + 1;
+        backoff_then attempt;
+        go (attempt + 1)
+      | Injector.Corrupt ->
+        (* The payload crossed but arrived mangled; the receiver's
+           checksum rejects it and NACKs — one small control round
+           trip, then an immediate resend. *)
+        emit t (Trace.Fault_injected { kind = "corruption"; op });
+        let nack_s =
+          Link.round_trip_time_scaled t.config.link ~req:48 ~resp:48
+            ~bw_factor:(bw_factor t)
+        in
+        wait nack_s;
+        backoff_then attempt;
+        go (attempt + 1)
+    in
+    go 1
+
 (* {1 Page movement} *)
 
 (* Is [page] part of the state the mobile device owns (and therefore
@@ -317,16 +439,17 @@ let service_fault t (mem : Memory.t) page =
   else if not (Memory.has_page t.mobile.Host.mem page) then
     Memory.install_page mem page (Bytes.make Region.page_size '\000')
   else begin
-    t.ov.fault_count <- t.ov.fault_count + 1;
-    let ts = t.clock.Host.now in
-    let seconds =
-      Link.round_trip_time t.config.link ~req:48
-        ~resp:(Region.page_size + 48)
-    in
-    with_state t Power_model.Transmitting (fun () -> charge_comm t seconds);
-    emit_at t ~ts
-      (Trace.Page_fault
-         { page; service_s = (if t.config.ideal then 0.0 else seconds) });
+    exchange t ~op:"page-fault" ~state:Power_model.Transmitting (fun () ->
+        t.ov.fault_count <- t.ov.fault_count + 1;
+        let ts = t.clock.Host.now in
+        let seconds =
+          Link.round_trip_time_scaled t.config.link ~req:48
+            ~resp:(Region.page_size + 48) ~bw_factor:(bw_factor t)
+        in
+        charge_comm t seconds;
+        emit_at t ~ts
+          (Trace.Page_fault
+             { page; service_s = (if t.config.ideal then 0.0 else seconds) }));
     Memory.install_page mem page (Memory.page_copy t.mobile.Host.mem page)
   end
 
@@ -338,9 +461,9 @@ let push_pages_to_server t (pages : int list) =
         mobile_owned_page page && Memory.has_page t.mobile.Host.mem page)
       pages
   in
-  if pages <> [] then begin
-    let ts = t.clock.Host.now in
-    with_state t Power_model.Transmitting (fun () ->
+  if pages <> [] then
+    exchange t ~op:"prefetch" ~state:Power_model.Transmitting (fun () ->
+        let ts = t.clock.Host.now in
         List.iter
           (fun page ->
             let payload = Memory.page_copy t.mobile.Host.mem page in
@@ -348,15 +471,14 @@ let push_pages_to_server t (pages : int list) =
             send_to_server t payload;
             send_to_server t (Bytes.make 8 '\000') (* page header *))
           pages;
-        flush_to_server t);
-    t.ov.prefetched_pages <- t.ov.prefetched_pages + List.length pages;
-    emit_at t ~ts
-      (Trace.Prefetch
-         {
-           pages = List.length pages;
-           bytes = List.length pages * Region.page_size;
-         })
-  end
+        flush_to_server t;
+        t.ov.prefetched_pages <- t.ov.prefetched_pages + List.length pages;
+        emit_at t ~ts
+          (Trace.Prefetch
+             {
+               pages = List.length pages;
+               bytes = List.length pages * Region.page_size;
+             }))
 
 (* {1 Initialization / finalization} *)
 
@@ -390,8 +512,8 @@ let initialization t target_id (args : Value.t list) =
     + (List.length args * 8)
     + (List.length t.uva_globals * 12)
   in
-  with_state t Power_model.Transmitting (fun () ->
-      send_to_server t (Bytes.create header_bytes);
+  exchange t ~op:"init" ~state:Power_model.Transmitting (fun () ->
+      send_to_server t (Bytes.make header_bytes '\000');
       flush_to_server t);
   sync_uva_slots t;
   ignore target_id;
@@ -419,7 +541,7 @@ let finalization t : int =
   let dirty =
     List.filter mobile_owned_page (Memory.dirty_pages t.server.Host.mem)
   in
-  with_state t Power_model.Receiving (fun () ->
+  exchange t ~op:"finalize" ~state:Power_model.Receiving (fun () ->
       List.iter
         (fun page ->
           let payload = Memory.page_copy t.server.Host.mem page in
@@ -427,7 +549,10 @@ let finalization t : int =
           send_to_mobile t payload;
           send_to_mobile t (Bytes.make 8 '\000'))
         dirty;
-      send_to_mobile t (Bytes.create 64);  (* return value + signal *)
+      (* Deterministic placeholder: [Bytes.create] would ship
+         uninitialized memory, making compressed wire sizes vary from
+         run to run. *)
+      send_to_mobile t (Bytes.make 64 '\000');  (* return value + signal *)
       flush_to_mobile t);
   (* Terminate the offloading process: the server keeps no offloading
      data (its own globals area survives; everything fetched or
@@ -451,22 +576,24 @@ let target_by_name t name =
 
 let remote_io_cost t ~(io_name : string) ~(request : int) ~(response : int)
     ~(round_trip : bool) =
-  if not t.config.ideal then begin
-    t.ov.remote_io_count <- t.ov.remote_io_count + 1;
-    let ts = t.clock.Host.now in
-    let seconds =
-      if round_trip then
-        Link.round_trip_time t.config.link ~req:request ~resp:response
-      else Link.transfer_time t.config.link ~bytes:request
-    in
-    with_state t Power_model.Remote_io_service (fun () ->
+  if not t.config.ideal then
+    exchange t ~op:io_name ~state:Power_model.Remote_io_service (fun () ->
+        t.ov.remote_io_count <- t.ov.remote_io_count + 1;
+        let ts = t.clock.Host.now in
+        let seconds =
+          if round_trip then
+            Link.round_trip_time_scaled t.config.link ~req:request
+              ~resp:response ~bw_factor:(bw_factor t)
+          else
+            Link.transfer_time_scaled t.config.link ~bytes:request
+              ~bw_factor:(bw_factor t)
+        in
         advance t seconds;
-        t.ov.remote_io_s <- t.ov.remote_io_s +. seconds);
-    emit_at t ~ts
-      (Trace.Remote_io
-         { io_name; request_bytes = request; response_bytes = response;
-           cost_s = seconds })
-  end
+        t.ov.remote_io_s <- t.ov.remote_io_s +. seconds;
+        emit_at t ~ts
+          (Trace.Remote_io
+             { io_name; request_bytes = request; response_bytes = response;
+               cost_s = seconds }))
 
 (* Intercept the server's remote I/O builtins: add the network cost of
    the request; the functional work then runs against the *shared*
@@ -555,37 +682,130 @@ let install_server_hooks t =
             (Int64.of_int (Fn_table.addr_of t.mobile.Host.fn_table name)));
   t.server.Host.mem.Memory.on_fault <- Some (service_fault t)
 
+(* {1 Snapshot and rollback}
+
+   Everything an offloaded task can observably touch is snapshotted at
+   offload start: the mobile page set (globals, heap, mobile stack),
+   the shared UVA allocator metadata, the console transaction mark and
+   the file-system cursors.  If the server is lost mid-task, rollback
+   restores all of it — plus the server-side debris (leaked stack
+   frames, half-fetched pages) — so the local replay starts from
+   exactly the state the offload attempt started from and every side
+   effect is observed exactly once. *)
+
+type offload_snapshot = {
+  sn_mem : Memory.snapshot;
+  sn_uva : Uva.snapshot;
+  sn_console : Console.mark;
+  sn_fs : Fs.snapshot;
+  sn_server_stack : Stack_alloc.mark;
+  sn_pages : int;                  (* mobile resident pages, for the event *)
+}
+
+let take_snapshot t =
+  {
+    sn_mem = Memory.snapshot t.mobile.Host.mem;
+    sn_uva = Uva.snapshot t.mobile.Host.uva;
+    sn_console = Console.mark t.mobile.Host.console;
+    sn_fs = Fs.snapshot t.mobile.Host.fs;
+    sn_server_stack = Stack_alloc.frame_mark t.server.Host.stack;
+    sn_pages = Memory.resident_count t.mobile.Host.mem;
+  }
+
+let rollback t (target : Partition.target) snap =
+  (* Mobile state back to offload start. *)
+  Memory.restore t.mobile.Host.mem snap.sn_mem;
+  Uva.restore t.mobile.Host.uva snap.sn_uva;
+  let bytes_discarded =
+    Console.rollback_to t.mobile.Host.console snap.sn_console
+  in
+  Fs.restore t.mobile.Host.fs snap.sn_fs;
+  (* Server-side debris: the interpreter leaks stack frames when an
+     exception unwinds it, and copy-on-demand may have left fetched
+     pages behind.  Release both — the server keeps no offloading
+     data. *)
+  Stack_alloc.release t.server.Host.stack snap.sn_server_stack;
+  let fetched =
+    List.filter mobile_owned_page (Memory.resident_pages t.server.Host.mem)
+  in
+  List.iter (Memory.drop_page t.server.Host.mem) fetched;
+  t.server.Host.mem.Memory.track_dirty <- false;
+  Memory.clear_dirty t.server.Host.mem;
+  t.pending_request <- None;
+  t.pending_args <- [||];
+  emit t
+    (Trace.Rollback
+       { target = target.Partition.t_name; pages_restored = snap.sn_pages;
+         bytes_discarded })
+
 (* {1 The offload protocol (mobile side)} *)
 
 let offload_invoke t (target : Partition.target) (args : Value.t list) :
     Value.t =
+  if t.server_dead then
+    (* The crash was already observed: the dispatcher may still force
+       its way here (Always_offload); run the retained local body. *)
+    Interp.call t.mobile target.Partition.t_name args
+  else begin
+  let snap =
+    match t.injector with None -> None | Some _ -> Some (take_snapshot t)
+  in
   t.ov.offloads <- t.ov.offloads + 1;
   t.in_offload <- true;
   let t0 = t.clock.Host.now in
   emit_at t ~ts:t0 (Trace.Offload_begin { target = target.Partition.t_name });
-  initialization t target.Partition.t_id args;
-  (* Offloading execution: run the generated listener on the server;
-     it accepts the request, unmarshals, calls the target, posts the
-     return value. *)
-  t.pending_request <- Some (target.Partition.t_id, args);
-  (match Interp.call t.server Partition.listener_name [] with
-  | _ -> ()
-  | exception Interp.Trap msg ->
-    raise (Offload_error ("server trap: " ^ msg)));
-  let dirty_count = finalization t in
-  (* Refresh the footprint estimate with what this run actually moved. *)
-  let moved_bytes =
-    (List.length t.last_resident * Region.page_size)
+  let attempt () =
+    initialization t target.Partition.t_id args;
+    (* Offloading execution: run the generated listener on the server;
+       it accepts the request, unmarshals, calls the target, posts the
+       return value. *)
+    t.pending_request <- Some (target.Partition.t_id, args);
+    (match Interp.call t.server Partition.listener_name [] with
+    | _ -> ()
+    | exception Interp.Trap msg ->
+      raise (Offload_error ("server trap: " ^ msg)));
+    let dirty_count = finalization t in
+    (* Refresh the footprint estimate with what this run actually
+       moved. *)
+    let moved_bytes =
+      (List.length t.last_resident * Region.page_size)
+    in
+    if moved_bytes > 0 then
+      Hashtbl.replace t.mem_estimate target.Partition.t_name moved_bytes;
+    dirty_count
   in
-  if moved_bytes > 0 then
-    Hashtbl.replace t.mem_estimate target.Partition.t_name moved_bytes;
-  t.in_offload <- false;
-  let span_s = t.clock.Host.now -. t0 in
-  t.server_exec_s <- t.server_exec_s +. span_s;
-  emit t
-    (Trace.Offload_end
-       { target = target.Partition.t_name; dirty_pages = dirty_count; span_s });
-  t.pending_ret
+  match attempt () with
+  | dirty_count ->
+    t.in_offload <- false;
+    let span_s = t.clock.Host.now -. t0 in
+    t.server_exec_s <- t.server_exec_s +. span_s;
+    emit t
+      (Trace.Offload_end
+         { target = target.Partition.t_name; dirty_pages = dirty_count;
+           span_s });
+    t.pending_ret
+  | exception Server_lost reason ->
+    (* Close the span the failure interrupted (the mobile device was
+       waiting on the server), then fall back. *)
+    mark t Power_model.Waiting;
+    t.in_offload <- false;
+    rollback t target (Option.get snap);
+    let recovery_s = t.clock.Host.now -. t0 in
+    t.ov.fallbacks <- t.ov.fallbacks + 1;
+    t.ov.recovery_s <- t.ov.recovery_s +. recovery_s;
+    emit t
+      (Trace.Fallback_local
+         { target = target.Partition.t_name; reason; recovery_s });
+    let span_s = t.clock.Host.now -. t0 in
+    t.server_exec_s <- t.server_exec_s +. span_s;
+    emit t
+      (Trace.Offload_end
+         { target = target.Partition.t_name; dirty_pages = 0; span_s });
+    (* Transparent local re-execution: the mobile partition retains
+       every target body for the refuse path; replay it with the same
+       arguments against the rolled-back state. *)
+    Interp.call t.mobile target.Partition.t_name args
+  end
 
 (* {1 Mobile-side externs} *)
 
@@ -597,6 +817,13 @@ let mobile_extern t name (argv : Value.t list) : Value.t option =
   if String.length name > 17 && String.sub name 0 17 = "__should_offload$"
   then begin
     let target = strip "__should_offload$" in
+    if t.server_dead then begin
+      (* The server is gone; don't even consult the estimator. *)
+      t.ov.refusals <- t.ov.refusals + 1;
+      emit t (Trace.Refusal { target });
+      Some (Value.of_bool false)
+    end
+    else begin
     (* "The dynamic performance estimation reflects the current
        network bandwidth, memory usage, and target execution time":
        the footprint estimate is the live UVA heap (what copy-on-
@@ -626,6 +853,7 @@ let mobile_extern t name (argv : Value.t list) : Value.t option =
       emit t (Trace.Refusal { target })
     end;
     Some (Value.of_bool decision)
+    end
   end
   else if String.length name > 10 && String.sub name 0 10 = "__offload$" then begin
     let target_name = strip "__offload$" in
@@ -680,6 +908,10 @@ type report = {
   rep_bytes_to_server : int;
   rep_bytes_to_mobile : int;
   rep_wire_bytes_to_mobile : int; (* after compression *)
+  rep_rpc_timeouts : int;
+  rep_retries : int;
+  rep_fallbacks : int;            (* offloads recovered by local replay *)
+  rep_recovery_s : float;         (* wall time lost to failed attempts *)
 }
 
 let run t : report =
@@ -708,6 +940,10 @@ let run t : report =
     rep_bytes_to_server = (Channel.stats t.to_server).Channel.raw_bytes;
     rep_bytes_to_mobile = (Channel.stats t.to_mobile).Channel.raw_bytes;
     rep_wire_bytes_to_mobile = (Channel.stats t.to_mobile).Channel.wire_bytes;
+    rep_rpc_timeouts = t.ov.rpc_timeouts;
+    rep_retries = t.ov.retries;
+    rep_fallbacks = t.ov.fallbacks;
+    rep_recovery_s = t.ov.recovery_s;
   }
 
 let battery t = t.battery

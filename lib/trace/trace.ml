@@ -47,6 +47,11 @@ type event =
       decision : bool;
     }
   | Module_load of { role : string; functions : int; globals : int }
+  | Fault_injected of { kind : string; op : string }
+  | Rpc_timeout of { op : string; attempt : int; waited_s : float }
+  | Retry of { op : string; attempt : int; backoff_s : float }
+  | Fallback_local of { target : string; reason : string; recovery_s : float }
+  | Rollback of { target : string; pages_restored : int; bytes_discarded : int }
 
 (* Events that carry a time-span are stamped with the *start* of the
    span; the clock value is simulated seconds. *)
@@ -81,6 +86,11 @@ let event_name = function
   | Power_state { state; _ } -> "power:" ^ state
   | Estimate { target; _ } -> "estimate:" ^ target
   | Module_load { role; _ } -> "module-load:" ^ role
+  | Fault_injected { kind; _ } -> "fault:" ^ kind
+  | Rpc_timeout _ -> "rpc-timeout"
+  | Retry _ -> "retry"
+  | Fallback_local { target; _ } -> "fallback:" ^ target
+  | Rollback { target; _ } -> "rollback:" ^ target
 
 (* {1 Aggregating metrics sink}
 
@@ -110,6 +120,13 @@ module Metrics = struct
     mutable offload_span_s : float;
     mutable refusals : int;
     mutable estimates : int;
+    mutable faults_injected : int;
+    mutable rpc_timeouts : int;
+    mutable retries : int;
+    mutable retry_wait_s : float;
+    mutable fallbacks : int;
+    mutable rollbacks : int;
+    mutable recovery_s : float;
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     (* (start, mw, duration, state), reversed — the Figure-8 raw
@@ -139,6 +156,13 @@ module Metrics = struct
       offload_span_s = 0.0;
       refusals = 0;
       estimates = 0;
+      faults_injected = 0;
+      rpc_timeouts = 0;
+      retries = 0;
+      retry_wait_s = 0.0;
+      fallbacks = 0;
+      rollbacks = 0;
+      recovery_s = 0.0;
       energy_mj = 0.0;
       power_s = Hashtbl.create 8;
       power_rev = [];
@@ -181,6 +205,17 @@ module Metrics = struct
       t.power_rev <- (ts, mw, duration_s, state) :: t.power_rev
     | Estimate _ -> t.estimates <- t.estimates + 1
     | Module_load _ -> ()
+    | Fault_injected _ -> t.faults_injected <- t.faults_injected + 1
+    | Rpc_timeout { waited_s; _ } ->
+      t.rpc_timeouts <- t.rpc_timeouts + 1;
+      t.retry_wait_s <- t.retry_wait_s +. waited_s
+    | Retry { backoff_s; _ } ->
+      t.retries <- t.retries + 1;
+      t.retry_wait_s <- t.retry_wait_s +. backoff_s
+    | Fallback_local { recovery_s; _ } ->
+      t.fallbacks <- t.fallbacks + 1;
+      t.recovery_s <- t.recovery_s +. recovery_s
+    | Rollback _ -> t.rollbacks <- t.rollbacks + 1
 
   let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
 
@@ -244,6 +279,13 @@ module Metrics = struct
       ("raw bytes to mobile", string_of_int t.raw_to_mobile);
       ("wire bytes to server", string_of_int t.wire_to_server);
       ("wire bytes to mobile", string_of_int t.wire_to_mobile);
+      ("faults injected", string_of_int t.faults_injected);
+      ("rpc timeouts", string_of_int t.rpc_timeouts);
+      ("retries", string_of_int t.retries);
+      ("retry wait (s)", Printf.sprintf "%.4f" t.retry_wait_s);
+      ("local fallbacks", string_of_int t.fallbacks);
+      ("rollbacks", string_of_int t.rollbacks);
+      ("recovery time (s)", Printf.sprintf "%.4f" t.recovery_s);
       ("energy (mJ)", Printf.sprintf "%.2f" t.energy_mj);
       ("total time (s)", Printf.sprintf "%.4f" (total_s t));
     ]
@@ -408,6 +450,42 @@ module Chrome = struct
           [
             ("functions", string_of_int functions);
             ("globals", string_of_int globals);
+          ]
+        ()
+    | Fault_injected { op; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:net_tid
+        ~args:[ ("op", Printf.sprintf "\"%s\"" (escape op)) ]
+        ()
+    | Rpc_timeout { op; attempt; waited_s } ->
+      record ~name ~ph:"X" ~ts ~dur:(us waited_s) ~tid:net_tid
+        ~args:
+          [
+            ("op", Printf.sprintf "\"%s\"" (escape op));
+            ("attempt", string_of_int attempt);
+          ]
+        ()
+    | Retry { op; attempt; backoff_s } ->
+      record ~name ~ph:"X" ~ts ~dur:(us backoff_s) ~tid:net_tid
+        ~args:
+          [
+            ("op", Printf.sprintf "\"%s\"" (escape op));
+            ("attempt", string_of_int attempt);
+          ]
+        ()
+    | Fallback_local { reason; recovery_s; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:
+          [
+            ("reason", Printf.sprintf "\"%s\"" (escape reason));
+            ("recovery_us", Printf.sprintf "%.3f" (us recovery_s));
+          ]
+        ()
+    | Rollback { pages_restored; bytes_discarded; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:
+          [
+            ("pages_restored", string_of_int pages_restored);
+            ("bytes_discarded", string_of_int bytes_discarded);
           ]
         ()
 

@@ -39,6 +39,19 @@ type event =
       decision : bool;
     }
   | Module_load of { role : string; functions : int; globals : int }
+  | Fault_injected of { kind : string; op : string }
+      (** an injected fault hit exchange [op]; [kind] is one of
+          "link-outage", "drop", "corruption", "server-crash" *)
+  | Rpc_timeout of { op : string; attempt : int; waited_s : float }
+      (** a blocking exchange waited out its deadline *)
+  | Retry of { op : string; attempt : int; backoff_s : float }
+      (** backed off and re-attempted an exchange *)
+  | Fallback_local of { target : string; reason : string; recovery_s : float }
+      (** gave up on the server; the task replays on the mobile host.
+          [recovery_s] is the wall time lost to the failed attempt *)
+  | Rollback of { target : string; pages_restored : int; bytes_discarded : int }
+      (** mobile state restored to the offload-start snapshot;
+          [bytes_discarded] is buffered console output thrown away *)
 
 type sink = { emit : ts:float -> event -> unit }
 (** [ts] is simulated seconds; events that span time are stamped with
@@ -86,6 +99,13 @@ module Metrics : sig
     mutable offload_span_s : float;
     mutable refusals : int;
     mutable estimates : int;
+    mutable faults_injected : int;
+    mutable rpc_timeouts : int;
+    mutable retries : int;
+    mutable retry_wait_s : float;
+    mutable fallbacks : int;
+    mutable rollbacks : int;
+    mutable recovery_s : float;
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     mutable power_rev : (float * float * float * string) list;

@@ -6,6 +6,7 @@ module B = No_ir.Builder
 module Ty = No_ir.Ty
 module Equation = No_estimator.Equation
 module Dynamic = No_estimator.Dynamic_estimate
+module Predictor = No_estimator.Bandwidth_predictor
 module Static = No_estimator.Static_estimate
 module Callgraph = No_analysis.Callgraph
 
@@ -120,10 +121,51 @@ let test_dynamic_estimator () =
   Alcotest.(check bool) "forced local" false
     (Dynamic.should_offload d ~name:"kernel" ~mem_bytes:64)
 
+(* Abrupt mid-session bandwidth collapse: the predictor starts with a
+   stale healthy-link belief, learns only from observed transfers, and
+   must converge far enough that Equation 1 flips from offload to
+   refuse — the paper's "unexpected slow network" scenario driven
+   through the NWSLite-style feedback loop rather than configuration. *)
+let test_predictor_collapse_flips_decision () =
+  let pred = Predictor.create ~initial_bps:80e6 () in
+  let d = Dynamic.create ~r:5.0 ~bw_bps:(Predictor.predict_bps pred) in
+  (* Table 3's getAITurn: Tm = 26 s, 12 MB footprint — comfortably
+     profitable at 80 Mbps. *)
+  Dynamic.seed d ~name:"getAITurn" ~profile_time_s:26.0;
+  let mem = 12 * 1024 * 1024 in
+  Alcotest.(check bool) "healthy link offloads" true
+    (Dynamic.should_offload d ~name:"getAITurn" ~mem_bytes:mem);
+  (* The link drops to 1 Mbps; each subsequent transfer is observed at
+     the real rate and folded into the belief. *)
+  let actual_bps = 1e6 in
+  let beliefs = ref [ Predictor.predict_bps pred ] in
+  for _ = 1 to 40 do
+    let bytes = 256 * 1024 in
+    Predictor.observe pred ~bytes
+      ~seconds:(float_of_int bytes *. 8.0 /. actual_bps);
+    Dynamic.set_bandwidth d (Predictor.predict_bps pred);
+    beliefs := Predictor.predict_bps pred :: !beliefs
+  done;
+  let final = Predictor.predict_bps pred in
+  Alcotest.(check bool) "belief converged near the collapsed rate" true
+    (final >= 0.8 *. actual_bps && final <= 1.2 *. actual_bps);
+  let rec non_increasing = function
+    (* newest first: each belief must be <= its predecessor *)
+    | a :: (b :: _ as rest) -> a <= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "belief decays monotonically on a one-way collapse"
+    true
+    (non_increasing !beliefs);
+  Alcotest.(check bool) "Equation 1 now refuses" false
+    (Dynamic.should_offload d ~name:"getAITurn" ~mem_bytes:mem)
+
 let tests =
   [
     Alcotest.test_case "equation: table 3 numbers" `Quick
       test_equation_table3_numbers;
+    Alcotest.test_case "bandwidth collapse flips decision" `Quick
+      test_predictor_collapse_flips_decision;
     Alcotest.test_case "equation: monotonicity" `Quick
       test_equation_monotonicity;
     Alcotest.test_case "selection subsumption" `Quick

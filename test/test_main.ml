@@ -16,6 +16,7 @@ let () =
       ("interp-more", Test_exec_more.tests);
       ("offload", Test_offload.tests);
       ("runtime", Test_runtime.tests);
+      ("fault", Test_fault.tests);
       ("workloads", Test_workloads.tests);
       ("corpus-report", Test_corpus_report.tests);
     ]
