@@ -19,6 +19,13 @@
                                            rate and recovery overhead under
                                            link outage, server crash and
                                            message loss, per workload
+     dune exec bench/main.exe -- percentiles
+                                           fleet latency distributions: run
+                                           the whole registry, merge each
+                                           run's histograms, report
+                                           p50/p95/p99 for speedup, comm
+                                           time, page-fault service and
+                                           wire bytes
 
    Full-scale table regeneration takes minutes (it sweeps 17 workloads
    x 4 configurations), so the Bechamel entries wrap each table's
@@ -314,6 +321,7 @@ let run_traced_summary name =
         | Trace.Retry _ -> "retry"
         | Trace.Fallback_local _ -> "fallback-local"
         | Trace.Rollback _ -> "rollback"
+        | Trace.Replay _ -> "replay"
       in
       Hashtbl.replace counts key
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
@@ -423,6 +431,91 @@ let run_fault_sweep () =
     "\nsurvival: %d/%d runs reproduced the local console transcript\n\
      total recovery time across the sweep: %.2f s\n"
     !survived !injected_runs !recovery_total
+
+(* {1 Fleet percentiles}
+
+   Distribution view of the registry: run every workload at
+   profile-script scale (local + offloaded over the fast network),
+   fill one histogram per metric per run, then merge the per-run
+   histograms into fleet-wide distributions — the aggregation shape of
+   a monitoring pipeline, where each host ships a mergeable sketch
+   rather than raw samples.  Speedup is one sample per workload;
+   comm / page-fault / wire-bytes histograms pool every event in the
+   fleet. *)
+
+let run_percentiles () =
+  let module Hist = No_obs.Hist in
+  (* Per-run sketches, merged at the end. *)
+  let speedups = ref [] in
+  let comms = ref [] in
+  let faults = ref [] in
+  let wires = ref [] in
+  List.iter
+    (fun entry ->
+      let compiled =
+        Compiler.compile ~profile_script:entry.Registry.e_profile_script
+          ~profile_files:entry.Registry.e_files
+          ~eval_scale:entry.Registry.e_eval_scale
+          (entry.Registry.e_build ())
+      in
+      let local =
+        Local_run.run ~script:entry.Registry.e_profile_script
+          ~files:entry.Registry.e_files compiled.Compiler.c_original
+      in
+      let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
+      let config =
+        { (Session.default_config ()) with
+          Session.trace = Trace.Ring.sink ring }
+      in
+      let session =
+        Session.create ~config ~script:entry.Registry.e_profile_script
+          ~files:entry.Registry.e_files compiled.Compiler.c_output
+          ~seeds:compiled.Compiler.c_seeds
+      in
+      let r = Session.run session in
+      let speedup = Hist.create () in
+      let comm = Hist.create () in
+      let fault = Hist.create () in
+      let wire = Hist.create () in
+      Hist.add speedup (local.Local_run.lr_total_s /. r.Session.rep_total_s);
+      List.iter
+        (fun (_ts, ev) ->
+          match ev with
+          | Trace.Flush { wire_bytes; transfer_s; codec_s; _ } ->
+            Hist.add comm (transfer_s +. codec_s);
+            Hist.add wire (float_of_int wire_bytes)
+          | Trace.Page_fault { service_s; _ } -> Hist.add fault service_s
+          | _ -> ())
+        (Trace.Ring.events ring);
+      speedups := speedup :: !speedups;
+      comms := comm :: !comms;
+      faults := fault :: !faults;
+      wires := wire :: !wires)
+    Registry.spec;
+  let table =
+    Table.create
+      ~title:
+        "Fleet percentiles (17 workloads, profile-script scale, fast \
+         network; per-run histograms merged)"
+      [ "metric"; "samples"; "p50"; "p95"; "p99"; "max" ]
+  in
+  let row name digits hists =
+    let h = Hist.merge hists in
+    Table.add_row table
+      [
+        name;
+        Table.cell_i (Hist.count h);
+        Table.cell_f ~digits (Hist.quantile h 0.50);
+        Table.cell_f ~digits (Hist.quantile h 0.95);
+        Table.cell_f ~digits (Hist.quantile h 0.99);
+        Table.cell_f ~digits (Hist.max h);
+      ]
+  in
+  row "speedup (x)" 2 !speedups;
+  row "flush comm time (s)" 6 !comms;
+  row "page-fault service (s)" 6 !faults;
+  row "flush wire (bytes)" 0 !wires;
+  Table.print table
 
 (* {1 Ablations} *)
 
@@ -567,4 +660,5 @@ let () =
   | _ :: "ablations" :: _ -> run_ablations ()
   | _ :: "trace" :: _ -> run_trace_summaries ()
   | _ :: "faults" :: _ -> run_fault_sweep ()
+  | _ :: "percentiles" :: _ -> run_percentiles ()
   | _ -> regenerate_all ()

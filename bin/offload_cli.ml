@@ -25,6 +25,11 @@ module Fault_plan = No_fault.Plan
 module Compiler = Native_offloader.Compiler
 module Experiment = Native_offloader.Experiment
 module Evaluation = Native_offloader.Evaluation
+module Span = No_obs.Span
+module Hist = No_obs.Hist
+module Flame = No_obs.Flame
+module Audit = No_obs.Audit
+module Trace_file = No_obs.Trace_file
 
 open Cmdliner
 
@@ -82,7 +87,7 @@ let fault_plan_of_string text =
    is deterministic, so this reproduces the corresponding sweep run
    exactly) and export/print what was asked for. *)
 let traced_run entry (compiled : Compiler.compiled) ~config ~label ~trace_file
-    ~metrics =
+    ~trace_raw ~metrics =
   let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
   let m = Trace.Metrics.create () in
   let config =
@@ -109,6 +114,20 @@ let traced_run entry (compiled : Compiler.compiled) ~config ~label ~trace_file
       (if Trace.Ring.dropped ring > 0 then
          Printf.sprintf ", %d dropped" (Trace.Ring.dropped ring)
        else ""));
+  (match trace_raw with
+  | None -> ()
+  | Some file ->
+    if Trace.Ring.dropped ring > 0 then
+      Fmt.epr
+        "warning: capture ring dropped %d events; the raw trace is partial@."
+        (Trace.Ring.dropped ring);
+    (match Trace_file.save file (Trace.Ring.events ring) with
+    | exception Sys_error msg ->
+      Fmt.epr "cannot write raw trace: %s@." msg;
+      exit 1
+    | () ->
+      Fmt.pr "wrote %s (%d events) — feed it to `offload-cli analyze'@." file
+        (Trace.Ring.length ring)));
   if metrics then
     Table.print
       (Metrics_report.table
@@ -125,6 +144,16 @@ let run_cmd =
           ~doc:
             "Write a Chrome-trace JSON of the fast-network run to $(docv) \
              (loadable in chrome://tracing or Perfetto).")
+  in
+  let trace_raw_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-raw" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Persist the run's raw event stream as line-per-event JSON \
+             (versioned header + one event per line), the input format of \
+             $(b,offload-cli analyze).")
   in
   let metrics_arg =
     Arg.(
@@ -160,7 +189,7 @@ let run_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Override the fault plan's RNG seed (reproducible runs).")
   in
-  let run name trace_file metrics link faults seed =
+  let run name trace_file trace_raw metrics link faults seed =
     let entry = entry_of_name name in
     (* Validate the fault-run options before the (slow) sweep. *)
     let faulty_config =
@@ -240,20 +269,20 @@ let run_cmd =
         frun.Experiment.run_offloads ov.Session.fallbacks
         ov.Session.rpc_timeouts ov.Session.retries ov.Session.recovery_s;
       Fmt.pr "  survived (console identical to local): %b@." survived);
-    if trace_file <> None || metrics then begin
+    if trace_file <> None || trace_raw <> None || metrics then begin
       let config, label =
         match faulty_config with
         | Some config -> (config, "fault-injected")
         | None -> (Experiment.fast_config (), "fast-network")
       in
       traced_run entry res.Experiment.pres_compiled ~config ~label ~trace_file
-        ~metrics
+        ~trace_raw ~metrics
     end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload in all configurations")
     Term.(
-      const run $ name_arg $ trace_arg $ metrics_arg $ link_arg $ faults_arg
-      $ seed_arg)
+      const run $ name_arg $ trace_arg $ trace_raw_arg $ metrics_arg
+      $ link_arg $ faults_arg $ seed_arg)
 
 let report_cmd =
   let what_arg =
@@ -384,6 +413,147 @@ let load_cmd =
        ~doc:"Compile and offload a program from a textual IR file")
     Term.(const run $ file_arg $ input_arg)
 
+(* Post-hoc analysis of a raw trace written by `run --trace-raw`:
+   span tree, per-kind latency histograms, estimator audit, optional
+   collapsed-stack flamegraph export.  Pure function of the file, so
+   re-analyzing the same capture is byte-identical. *)
+let analyze_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl")
+  in
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Write a collapsed-stack flamegraph ($(b,a;b;c weight) lines, \
+             microsecond weights) to $(docv) — loadable in speedscope or \
+             flamegraph.pl.")
+  in
+  (* Per-kind cost distributions: which events feed which histogram,
+     and how to print that histogram's values. *)
+  let hist_specs :
+      (string * int * (Trace.event -> float option)) list =
+    [
+      ( "offload span (s)", 6,
+        function Trace.Offload_end { span_s; _ } -> Some span_s | _ -> None );
+      ( "page-fault service (s)", 6,
+        function Trace.Page_fault { service_s; _ } -> Some service_s | _ -> None );
+      ( "flush transfer+codec (s)", 6,
+        function
+        | Trace.Flush { transfer_s; codec_s; _ } -> Some (transfer_s +. codec_s)
+        | _ -> None );
+      ( "flush wire (bytes)", 0,
+        function
+        | Trace.Flush { wire_bytes; _ } -> Some (float_of_int wire_bytes)
+        | _ -> None );
+      ( "remote-io cost (s)", 6,
+        function Trace.Remote_io { cost_s; _ } -> Some cost_s | _ -> None );
+      ( "fnptr translate (s)", 6,
+        function Trace.Fnptr_translate { cost_s } -> Some cost_s | _ -> None );
+      ( "rpc-timeout wait (s)", 6,
+        function Trace.Rpc_timeout { waited_s; _ } -> Some waited_s | _ -> None );
+      ( "retry backoff (s)", 6,
+        function Trace.Retry { backoff_s; _ } -> Some backoff_s | _ -> None );
+      ( "local replay (s)", 6,
+        function Trace.Replay { replay_s; _ } -> Some replay_s | _ -> None );
+    ]
+  in
+  let run file flame =
+    match Trace_file.load file with
+    | Error msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 1
+    | Ok events ->
+      let root = Span.of_events events in
+      Fmt.pr "span tree (%d events):@.@.%s@." (List.length events)
+        (Flame.to_text root);
+      let table =
+        Table.create ~title:"Cost distributions (log-bucketed histograms)"
+          [ "kind"; "count"; "sum"; "min"; "p50"; "p90"; "p95"; "p99"; "max" ]
+      in
+      List.iter
+        (fun (name, digits, select) ->
+          let h = Hist.create () in
+          List.iter
+            (fun (_ts, ev) -> Option.iter (Hist.add h) (select ev))
+            events;
+          if Hist.count h > 0 then
+            Table.add_row table
+              [
+                name;
+                Table.cell_i (Hist.count h);
+                Table.cell_f ~digits (Hist.sum h);
+                Table.cell_f ~digits (Hist.min h);
+                Table.cell_f ~digits (Hist.quantile h 0.50);
+                Table.cell_f ~digits (Hist.quantile h 0.90);
+                Table.cell_f ~digits (Hist.quantile h 0.95);
+                Table.cell_f ~digits (Hist.quantile h 0.99);
+                Table.cell_f ~digits (Hist.max h);
+              ])
+        hist_specs;
+      Table.print table;
+      let rows = Audit.of_events events in
+      if rows <> [] then begin
+        let table =
+          Table.create ~title:"Estimator audit (predicted vs measured gain)"
+            [ "ts (s)"; "target"; "decision"; "predicted (s)"; "measured (s)";
+              "abs err (s)"; "verdict" ]
+        in
+        List.iter
+          (fun (r : Audit.row) ->
+            let measured, err =
+              match r.Audit.a_measured_gain_s with
+              | Some g ->
+                ( Table.cell_f ~digits:4 g
+                  ^ (if r.Audit.a_proxied then "*" else ""),
+                  Table.cell_f ~digits:4
+                    (abs_float (r.Audit.a_predicted_gain_s -. g)) )
+              | None -> ("-", "-")
+            in
+            Table.add_row table
+              [
+                Table.cell_f ~digits:4 r.Audit.a_ts;
+                r.Audit.a_target;
+                (if r.Audit.a_decision then "offload" else "refuse");
+                Table.cell_f ~digits:4 r.Audit.a_predicted_gain_s;
+                measured;
+                err;
+                Audit.verdict_to_string r.Audit.a_verdict;
+              ])
+          rows;
+        print_newline ();
+        Table.print table;
+        let s = Audit.summarize rows in
+        Fmt.pr "(* = measured via same-target proxy)@.";
+        Fmt.pr
+          "estimates %d: TP %d  FP %d  TN %d  FN %d  unverified %d@."
+          s.Audit.s_estimates s.Audit.s_true_pos s.Audit.s_false_pos
+          s.Audit.s_true_neg s.Audit.s_false_neg s.Audit.s_unverified;
+        if not (Float.is_nan s.Audit.s_mean_abs_err_s) then
+          Fmt.pr "mean gain error: %.4f s absolute, %.1f%% relative@."
+            s.Audit.s_mean_abs_err_s (100.0 *. s.Audit.s_mean_rel_err)
+      end;
+      (match flame with
+      | None -> ()
+      | Some out -> (
+        match open_out_bin out with
+        | exception Sys_error msg ->
+          Fmt.epr "cannot write flamegraph: %s@." msg;
+          exit 1
+        | oc ->
+          output_string oc (Flame.to_collapsed root);
+          close_out oc;
+          Fmt.pr "@.wrote %s — load it in speedscope or flamegraph.pl@." out))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze a raw trace (from $(b,run --trace-raw)): span tree, \
+          latency histograms, estimator audit")
+    Term.(const run $ file_arg $ flame_arg)
+
 let headline_cmd =
   let run () =
     let h = Evaluation.headline () in
@@ -403,4 +573,5 @@ let headline_cmd =
 let () =
   let info = Cmd.info "offload-cli" ~doc:"Native Offloader reproduction" in
   exit (Cmd.eval (Cmd.group info
-    [ list_cmd; run_cmd; report_cmd; dump_cmd; load_cmd; headline_cmd ]))
+    [ list_cmd; run_cmd; report_cmd; dump_cmd; load_cmd; analyze_cmd;
+      headline_cmd ]))

@@ -70,6 +70,11 @@ let predicted_gain_s t ~name ~mem_bytes : float =
      })
     .Equation.gain_s
 
+(* The Tm belief the gain prediction is derived from — recorded in
+   Estimate events so post-hoc audits can turn a measured offload cost
+   into a measured gain. *)
+let predicted_local_s t ~name = (state t name).ts_local_time_s
+
 (* The decision, with the memory footprint observed *now*. *)
 let should_offload t ~name ~mem_bytes : bool =
   match t.forced with

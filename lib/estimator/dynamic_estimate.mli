@@ -39,6 +39,11 @@ val predicted_gain_s : t -> name:string -> mem_bytes:int -> float
 (** Equation 1's Tg under the current bandwidth/time beliefs — the
     quantity a dynamic decision at this instant is based on. *)
 
+val predicted_local_s : t -> name:string -> float
+(** The current Tm belief for a target (profile-seeded, refined by
+    observed local runs) — the local time the gain is measured
+    against. *)
+
 val observe_local : t -> name:string -> elapsed_s:float -> unit
 (** Feedback from an actual local execution (EWMA into Tm). *)
 

@@ -1,0 +1,209 @@
+(* Estimator-accuracy audit: Equation 1's predictions against what the
+   run actually did.
+
+   Every dynamic decision emits an Estimate event carrying the
+   predicted gain (Tg) and the Tm belief it was derived from; the
+   outcome of that same decision follows in the stream — a Refusal, or
+   an Offload_begin/Offload_end pair (possibly with Fallback_local +
+   Replay when the server was lost).  Correlating the two turns the
+   paper's §3.1/§4 accuracy story into data:
+
+   - decision = offload: the measured cost of the attempt is its wall
+     span (plus the forced local replay when it failed); the measured
+     gain is Tm_belief - measured_cost.  Positive → the offload paid
+     off (true positive); negative → the estimator was wrong to
+     offload (false positive) — e.g. the bandwidth collapsed after the
+     estimate was made.
+
+   - decision = refuse: the run carries no counterfactual, so the
+     measured gain is proxied by the same target's mean measured
+     offload cost across this run's successful attempts, when any
+     exist (then: proxy gain positive → the refusal looks like a
+     false negative, else a true negative); with no measurement to
+     borrow the verdict is unverified.
+
+   Absolute error is |predicted - measured| gain; relative error
+   normalizes by |measured|. *)
+
+module Trace = No_trace.Trace
+
+type verdict =
+  | True_positive    (* offloaded, and it measured faster *)
+  | False_positive   (* offloaded, but it measured slower *)
+  | True_negative    (* refused, and the proxy agrees it would not pay *)
+  | False_negative   (* refused, but the proxy says it would have paid *)
+  | Unverified       (* refused with no same-target measurement to borrow *)
+
+let verdict_to_string = function
+  | True_positive -> "TP"
+  | False_positive -> "FP"
+  | True_negative -> "TN"
+  | False_negative -> "FN"
+  | Unverified -> "?"
+
+type row = {
+  a_ts : float;                      (* when the estimate was made *)
+  a_target : string;
+  a_decision : bool;
+  a_predicted_gain_s : float;
+  a_local_s : float;                 (* the Tm belief behind the estimate *)
+  a_measured_cost_s : float option;  (* attempt span (+ replay), or proxy *)
+  a_measured_gain_s : float option;  (* local_s - measured cost *)
+  a_proxied : bool;                  (* measured via same-target proxy *)
+  a_verdict : verdict;
+}
+
+type summary = {
+  s_estimates : int;
+  s_true_pos : int;
+  s_false_pos : int;
+  s_true_neg : int;
+  s_false_neg : int;
+  s_unverified : int;
+  s_mean_abs_err_s : float;          (* over rows with a measured gain *)
+  s_mean_rel_err : float;            (* abs err / |measured gain| *)
+}
+
+(* One estimate waiting for (or matched with) its outcome. *)
+type pending = {
+  p_ts : float;
+  p_target : string;
+  p_gain : float;
+  p_local : float;
+  p_decision : bool;
+  mutable p_cost : float option;     (* measured attempt cost *)
+  mutable p_failed : bool;
+  mutable p_refused : bool;
+}
+
+let of_events (events : (float * Trace.event) list) : row list =
+  let rows = ref [] in               (* pending records, newest first *)
+  let waiting : (string, pending list) Hashtbl.t = Hashtbl.create 8 in
+  let push_waiting target p =
+    let q = Option.value ~default:[] (Hashtbl.find_opt waiting target) in
+    Hashtbl.replace waiting target (q @ [ p ])
+  in
+  let pop_waiting target =
+    match Hashtbl.find_opt waiting target with
+    | Some (p :: rest) ->
+      Hashtbl.replace waiting target rest;
+      Some p
+    | Some [] | None -> None
+  in
+  (* The attempt currently open / last closed, for cost attribution. *)
+  let current = ref None in
+  let last_closed = ref None in
+  List.iter
+    (fun (ts, ev) ->
+      match ev with
+      | Trace.Estimate { target; predicted_gain_s; local_s; decision } ->
+        let p =
+          { p_ts = ts; p_target = target; p_gain = predicted_gain_s;
+            p_local = local_s; p_decision = decision; p_cost = None;
+            p_failed = false; p_refused = false }
+        in
+        rows := p :: !rows;
+        push_waiting target p
+      | Trace.Refusal { target } -> (
+        (* Refusals without a pending estimate (server-dead path,
+           forced modes) have no prediction to audit. *)
+        match pop_waiting target with
+        | Some p -> p.p_refused <- true
+        | None -> ())
+      | Trace.Offload_begin { target } ->
+        current := pop_waiting target
+      | Trace.Fallback_local _ ->
+        (match !current with Some p -> p.p_failed <- true | None -> ())
+      | Trace.Offload_end { span_s; _ } ->
+        (match !current with
+        | Some p -> p.p_cost <- Some span_s
+        | None -> ());
+        last_closed := !current;
+        current := None
+      | Trace.Replay { target; replay_s } -> (
+        (* The forced local replay is part of what the failed decision
+           cost. *)
+        match !last_closed with
+        | Some p when p.p_failed && String.equal p.p_target target ->
+          p.p_cost <- Some (Option.value ~default:0.0 p.p_cost +. replay_s)
+        | _ -> ())
+      | _ -> ())
+    events;
+  let pendings = List.rev !rows in
+  (* Mean measured cost of *successful* attempts per target: the proxy
+     measurement refusals are judged against. *)
+  let proxy : (string, float * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      match p.p_cost with
+      | Some c when not p.p_failed ->
+        let sum, n =
+          Option.value ~default:(0.0, 0) (Hashtbl.find_opt proxy p.p_target)
+        in
+        Hashtbl.replace proxy p.p_target (sum +. c, n + 1)
+      | _ -> ())
+    pendings;
+  let proxy_cost target =
+    match Hashtbl.find_opt proxy target with
+    | Some (sum, n) when n > 0 -> Some (sum /. float_of_int n)
+    | _ -> None
+  in
+  List.map
+    (fun p ->
+      let cost, proxied =
+        match p.p_cost with
+        | Some c -> (Some c, false)
+        | None -> (proxy_cost p.p_target, true)
+      in
+      let gain = Option.map (fun c -> p.p_local -. c) cost in
+      let verdict =
+        match (p.p_decision, gain) with
+        | true, Some g -> if g > 0.0 then True_positive else False_positive
+        | true, None ->
+          (* Decision to offload but no attempt found: truncated
+             stream; nothing measured. *)
+          Unverified
+        | false, Some g -> if g > 0.0 then False_negative else True_negative
+        | false, None -> Unverified
+      in
+      {
+        a_ts = p.p_ts;
+        a_target = p.p_target;
+        a_decision = p.p_decision;
+        a_predicted_gain_s = p.p_gain;
+        a_local_s = p.p_local;
+        a_measured_cost_s = cost;
+        a_measured_gain_s = gain;
+        a_proxied = proxied;
+        a_verdict = verdict;
+      })
+    pendings
+
+let summarize (rows : row list) : summary =
+  let count v = List.length (List.filter (fun r -> r.a_verdict = v) rows) in
+  let measured =
+    List.filter_map
+      (fun r ->
+        Option.map (fun g -> (r.a_predicted_gain_s, g)) r.a_measured_gain_s)
+      rows
+  in
+  let abs_errs = List.map (fun (p, m) -> abs_float (p -. m)) measured in
+  let rel_errs =
+    List.map2
+      (fun err (_, m) -> err /. Float.max (abs_float m) 1e-9)
+      abs_errs measured
+  in
+  let mean = function
+    | [] -> Float.nan
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  {
+    s_estimates = List.length rows;
+    s_true_pos = count True_positive;
+    s_false_pos = count False_positive;
+    s_true_neg = count True_negative;
+    s_false_neg = count False_negative;
+    s_unverified = count Unverified;
+    s_mean_abs_err_s = mean abs_errs;
+    s_mean_rel_err = mean rel_errs;
+  }

@@ -1,0 +1,50 @@
+(** Estimator-accuracy audit: correlate each [Estimate] event with the
+    outcome of that same decision — the following [Refusal], or the
+    [Offload_begin]/[Offload_end] attempt (plus the forced local
+    replay when it failed) — and report predicted vs. measured gain
+    and a decision verdict.
+
+    Measured gain is [local_s - measured cost], where [local_s] is the
+    Tm belief the prediction was derived from and the measured cost is
+    the attempt's wall span (plus replay on failure).  Refusals carry
+    no counterfactual; they are judged against the same target's mean
+    measured cost over this run's successful attempts when one exists,
+    and are {!Unverified} otherwise. *)
+
+type verdict =
+  | True_positive    (** offloaded, and it measured faster *)
+  | False_positive   (** offloaded, but it measured slower *)
+  | True_negative    (** refused, and the proxy agrees it would not pay *)
+  | False_negative   (** refused, but the proxy says it would have paid *)
+  | Unverified       (** no measurement (or proxy) available *)
+
+val verdict_to_string : verdict -> string
+(** ["TP"], ["FP"], ["TN"], ["FN"], ["?"]. *)
+
+type row = {
+  a_ts : float;                      (** when the estimate was made *)
+  a_target : string;
+  a_decision : bool;
+  a_predicted_gain_s : float;
+  a_local_s : float;                 (** the Tm belief behind the estimate *)
+  a_measured_cost_s : float option;  (** attempt span (+ replay), or proxy *)
+  a_measured_gain_s : float option;  (** [local_s] minus measured cost *)
+  a_proxied : bool;                  (** measured via the same-target proxy *)
+  a_verdict : verdict;
+}
+
+type summary = {
+  s_estimates : int;
+  s_true_pos : int;
+  s_false_pos : int;
+  s_true_neg : int;
+  s_false_neg : int;
+  s_unverified : int;
+  s_mean_abs_err_s : float;  (** over rows with a measured gain; NaN if none *)
+  s_mean_rel_err : float;    (** abs error / |measured gain|; NaN if none *)
+}
+
+val of_events : (float * No_trace.Trace.event) list -> row list
+(** One row per [Estimate] event, in stream order. *)
+
+val summarize : row list -> summary

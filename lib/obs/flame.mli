@@ -1,0 +1,12 @@
+(** Span-tree renderers. *)
+
+val to_collapsed : Span.node -> string
+(** Collapsed-stack flamegraph format ([a;b;c <weight>], one stack per
+    line, weights in integer microseconds of {e exclusive} time) —
+    loadable by speedscope and flamegraph.pl.  Stacks whose self time
+    rounds to zero microseconds are dropped. *)
+
+val to_text : Span.node -> string
+(** Deterministic plain-text tree (ASCII box drawing), for terminal
+    output and golden tests.  Interior nodes show [total] and [self]
+    seconds; leaves show their single time. *)

@@ -1,0 +1,103 @@
+(* Log-bucketed (HDR-style) latency/size histogram.
+
+   Values land in geometrically spaced buckets — [sub_buckets] per
+   octave, so the relative bucket width is 2^(1/8) - 1 ≈ 9% — which
+   keeps the structure tiny no matter how wide the dynamic range is
+   (nanosecond fn-ptr translations and multi-second offload spans share
+   one histogram type).  Each bucket keeps its own count *and* sum, so
+   a quantile reports the mean of the bucket the rank falls in: exact
+   whenever a bucket holds one distinct value (in particular for any
+   point distribution), and within the 9% bucket width otherwise.
+
+   Histograms merge losslessly (bucket-wise addition), which is what
+   the fleet-percentile bench mode relies on: per-run histograms are
+   merged across the whole workload registry and quantiled once. *)
+
+(* 8 sub-buckets per power of two. *)
+let sub_buckets = 8.0
+
+(* Values at or below this floor share bucket 0; simulated costs are
+   well above it. *)
+let v_min = 1e-12
+
+type bucket = { mutable b_count : int; mutable b_sum : float }
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : (int, bucket) Hashtbl.t;
+}
+
+let create () =
+  { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity;
+    buckets = Hashtbl.create 32 }
+
+let index_of v =
+  if v <= v_min then 0
+  else 1 + int_of_float (floor (Float.log2 (v /. v_min) *. sub_buckets))
+
+let add t v =
+  if not (Float.is_nan v) then begin
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    let idx = index_of v in
+    match Hashtbl.find_opt t.buckets idx with
+    | Some b ->
+      b.b_count <- b.b_count + 1;
+      b.b_sum <- b.b_sum +. v
+    | None -> Hashtbl.replace t.buckets idx { b_count = 1; b_sum = v }
+  end
+
+let count t = t.count
+let sum t = t.sum
+let min t = if t.count = 0 then Float.nan else t.min_v
+let max t = if t.count = 0 then Float.nan else t.max_v
+let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+
+let merge_into ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
+  Hashtbl.iter
+    (fun idx (b : bucket) ->
+      match Hashtbl.find_opt into.buckets idx with
+      | Some dst ->
+        dst.b_count <- dst.b_count + b.b_count;
+        dst.b_sum <- dst.b_sum +. b.b_sum
+      | None ->
+        Hashtbl.replace into.buckets idx
+          { b_count = b.b_count; b_sum = b.b_sum })
+    src.buckets
+
+let merge hists =
+  let t = create () in
+  List.iter (fun h -> merge_into ~into:t h) hists;
+  t
+
+(* Nearest-rank quantile: rank ceil(q*n) (1-based), reported as the
+   mean of the bucket containing that rank. *)
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Hist.quantile: q outside [0,1]";
+  if t.count = 0 then Float.nan
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.count)))
+    in
+    let sorted =
+      List.sort compare
+        (Hashtbl.fold (fun idx b acc -> (idx, b) :: acc) t.buckets [])
+    in
+    let rec walk cum = function
+      | [] -> t.max_v (* q = 1 rounding; the last bucket was consumed *)
+      | (_, b) :: rest ->
+        let cum = cum + b.b_count in
+        if rank <= cum then b.b_sum /. float_of_int b.b_count
+        else walk cum rest
+    in
+    walk 0 sorted
+  end

@@ -1,0 +1,32 @@
+(** Span trees: the flat runtime event stream folded into a causal
+    tree — run → per-target offload attempts → child cost spans
+    (flushes, page-fault services, remote I/O, fn-ptr translations,
+    retry/backoff waits) — with total and self time per node.
+
+    Attempts of the same target and outcome merge flamegraph-style
+    (one node per distinct name, counts and durations summed); failed
+    attempts appear as a separate ["offload:<t> [failed]"] node that
+    also absorbs the local replay following the rollback, so a failure
+    and everything it cost reads as one subtree.
+
+    Invariants (locked by the property tests):
+    - the root's [total_s] is the run's wall clock
+      ({!No_trace.Trace.Metrics.total_s} when derived from a session);
+    - for every node, [self_s +. sum of children total_s = total_s];
+      [self_s] is the unattributed residue (mobile compute at the
+      root, interpreter stalls inside an attempt). *)
+
+type node = {
+  name : string;
+  count : int;           (** events / attempts merged into this node *)
+  total_s : float;       (** inclusive time *)
+  self_s : float;        (** total minus children *)
+  children : node list;  (** descending total, ties broken by name *)
+}
+
+val of_events : (float * No_trace.Trace.event) list -> node
+(** Fold a timestamp-ordered stream (as captured by a ring sink or
+    reloaded from a raw trace file) into the tree rooted at ["run"]. *)
+
+val iter : ?depth:int -> (depth:int -> node -> unit) -> node -> unit
+(** Preorder walk, children in display order. *)

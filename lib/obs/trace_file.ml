@@ -1,0 +1,405 @@
+(* Raw-trace persistence: one JSON object per line.
+
+   Line 1 is a header carrying the format name, a version number and
+   the event count; every following line is one timestamped event with
+   a "kind" tag and that variant's fields.  Floats print as %.17g so a
+   save/load round trip is bit-exact, which is what lets `analyze`
+   reproduce byte-identical reports from a recorded run.
+
+   The loader is strict: an unknown version, an unknown kind, a
+   missing field or a line count that disagrees with the header all
+   produce a line-numbered [Error _], never an exception — a half
+   written file from a crashed run must fail loudly, not parse as a
+   shorter run. *)
+
+module Trace = No_trace.Trace
+
+let version = 1
+
+(* {1 Writing} *)
+
+let fl f = Printf.sprintf "%.17g" f
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let line_of_event ts (ev : Trace.event) : string =
+  let tagged kind rest =
+    Printf.sprintf "{\"ts\":%s,\"kind\":\"%s\"%s}" (fl ts) kind rest
+  in
+  match ev with
+  | Trace.Flush { direction; raw_bytes; wire_bytes; transfer_s; codec_s } ->
+    tagged "flush"
+      (Printf.sprintf
+         ",\"direction\":%s,\"raw_bytes\":%d,\"wire_bytes\":%d,\"transfer_s\":%s,\"codec_s\":%s"
+         (quote (Trace.direction_to_string direction))
+         raw_bytes wire_bytes (fl transfer_s) (fl codec_s))
+  | Trace.Page_fault { page; service_s } ->
+    tagged "page-fault"
+      (Printf.sprintf ",\"page\":%d,\"service_s\":%s" page (fl service_s))
+  | Trace.Prefetch { pages; bytes } ->
+    tagged "prefetch" (Printf.sprintf ",\"pages\":%d,\"bytes\":%d" pages bytes)
+  | Trace.Fnptr_translate { cost_s } ->
+    tagged "fnptr-translate" (Printf.sprintf ",\"cost_s\":%s" (fl cost_s))
+  | Trace.Remote_io { io_name; request_bytes; response_bytes; cost_s } ->
+    tagged "remote-io"
+      (Printf.sprintf
+         ",\"io_name\":%s,\"request_bytes\":%d,\"response_bytes\":%d,\"cost_s\":%s"
+         (quote io_name) request_bytes response_bytes (fl cost_s))
+  | Trace.Offload_begin { target } ->
+    tagged "offload-begin" (Printf.sprintf ",\"target\":%s" (quote target))
+  | Trace.Offload_end { target; dirty_pages; span_s } ->
+    tagged "offload-end"
+      (Printf.sprintf ",\"target\":%s,\"dirty_pages\":%d,\"span_s\":%s"
+         (quote target) dirty_pages (fl span_s))
+  | Trace.Refusal { target } ->
+    tagged "refusal" (Printf.sprintf ",\"target\":%s" (quote target))
+  | Trace.Power_state { state; mw; duration_s } ->
+    tagged "power-state"
+      (Printf.sprintf ",\"state\":%s,\"mw\":%s,\"duration_s\":%s"
+         (quote state) (fl mw) (fl duration_s))
+  | Trace.Estimate { target; predicted_gain_s; local_s; decision } ->
+    tagged "estimate"
+      (Printf.sprintf
+         ",\"target\":%s,\"predicted_gain_s\":%s,\"local_s\":%s,\"decision\":%b"
+         (quote target) (fl predicted_gain_s) (fl local_s) decision)
+  | Trace.Module_load { role; functions; globals } ->
+    tagged "module-load"
+      (Printf.sprintf ",\"role\":%s,\"functions\":%d,\"globals\":%d"
+         (quote role) functions globals)
+  | Trace.Fault_injected { kind; op } ->
+    tagged "fault-injected"
+      (Printf.sprintf ",\"fault\":%s,\"op\":%s" (quote kind) (quote op))
+  | Trace.Rpc_timeout { op; attempt; waited_s } ->
+    tagged "rpc-timeout"
+      (Printf.sprintf ",\"op\":%s,\"attempt\":%d,\"waited_s\":%s" (quote op)
+         attempt (fl waited_s))
+  | Trace.Retry { op; attempt; backoff_s } ->
+    tagged "retry"
+      (Printf.sprintf ",\"op\":%s,\"attempt\":%d,\"backoff_s\":%s" (quote op)
+         attempt (fl backoff_s))
+  | Trace.Fallback_local { target; reason; recovery_s } ->
+    tagged "fallback-local"
+      (Printf.sprintf ",\"target\":%s,\"reason\":%s,\"recovery_s\":%s"
+         (quote target) (quote reason) (fl recovery_s))
+  | Trace.Rollback { target; pages_restored; bytes_discarded } ->
+    tagged "rollback"
+      (Printf.sprintf
+         ",\"target\":%s,\"pages_restored\":%d,\"bytes_discarded\":%d"
+         (quote target) pages_restored bytes_discarded)
+  | Trace.Replay { target; replay_s } ->
+    tagged "replay"
+      (Printf.sprintf ",\"target\":%s,\"replay_s\":%s" (quote target)
+         (fl replay_s))
+
+let to_string (events : (float * Trace.event) list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"format\":\"no-trace-raw\",\"version\":%d,\"events\":%d}\n" version
+       (List.length events));
+  List.iter
+    (fun (ts, ev) ->
+      Buffer.add_string buf (line_of_event ts ev);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* {1 Parsing} *)
+
+exception Bad of string
+
+type scalar = S of string | F of float | B of bool
+
+(* Flat JSON object parser: {"key": scalar, ...} with string, number
+   and boolean values — all the grammar the format uses. *)
+let parse_object (s : string) : (string * scalar) list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad msg) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some x when x = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      if c = '"' then ()
+      else if c = '\\' then (
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'u' -> (
+          if !pos + 4 > n then fail "bad unicode escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> fail "bad unicode escape")
+        | _ -> fail "unknown escape");
+        go ())
+      else (
+        Buffer.add_char buf c;
+        go ())
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> S (parse_string ())
+    | Some c when c = '-' || (c >= '0' && c <= '9') -> (
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        let c = s.[!pos] in
+        c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        || (c >= '0' && c <= '9')
+        (* %.17g can print these on non-finite values *)
+        || c = 'i' || c = 'n' || c = 'f' || c = 'a'
+      do
+        incr pos
+      done;
+      let lit = String.sub s start (!pos - start) in
+      match float_of_string_opt lit with
+      | Some f -> F f
+      | None -> fail (Printf.sprintf "bad number %S" lit))
+    | Some 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
+      pos := !pos + 4;
+      B true
+    | Some 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
+      pos := !pos + 5;
+      B false
+    | _ -> fail "expected a string, number or boolean"
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  (match peek () with
+  | Some '}' -> incr pos
+  | _ ->
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      let v = parse_scalar () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        incr pos;
+        members ()
+      | Some '}' -> incr pos
+      | _ -> fail "expected ',' or '}'"
+    in
+    members ());
+  skip_ws ();
+  if !pos <> n then fail "trailing characters after object";
+  List.rev !fields
+
+let get fields key =
+  match List.assoc_opt key fields with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing field %S" key))
+
+let str fields key =
+  match get fields key with
+  | S v -> v
+  | _ -> raise (Bad (Printf.sprintf "field %S: expected a string" key))
+
+let num fields key =
+  match get fields key with
+  | F v -> v
+  | _ -> raise (Bad (Printf.sprintf "field %S: expected a number" key))
+
+let int_ fields key = int_of_float (num fields key)
+
+let bool_ fields key =
+  match get fields key with
+  | B v -> v
+  | _ -> raise (Bad (Printf.sprintf "field %S: expected a boolean" key))
+
+let direction_of_string = function
+  | "to-server" -> Trace.To_server
+  | "to-mobile" -> Trace.To_mobile
+  | s -> raise (Bad (Printf.sprintf "unknown direction %S" s))
+
+let event_of_fields fields : float * Trace.event =
+  let ts = num fields "ts" in
+  let ev =
+    match str fields "kind" with
+    | "flush" ->
+      Trace.Flush
+        { direction = direction_of_string (str fields "direction");
+          raw_bytes = int_ fields "raw_bytes";
+          wire_bytes = int_ fields "wire_bytes";
+          transfer_s = num fields "transfer_s";
+          codec_s = num fields "codec_s" }
+    | "page-fault" ->
+      Trace.Page_fault
+        { page = int_ fields "page"; service_s = num fields "service_s" }
+    | "prefetch" ->
+      Trace.Prefetch { pages = int_ fields "pages"; bytes = int_ fields "bytes" }
+    | "fnptr-translate" -> Trace.Fnptr_translate { cost_s = num fields "cost_s" }
+    | "remote-io" ->
+      Trace.Remote_io
+        { io_name = str fields "io_name";
+          request_bytes = int_ fields "request_bytes";
+          response_bytes = int_ fields "response_bytes";
+          cost_s = num fields "cost_s" }
+    | "offload-begin" -> Trace.Offload_begin { target = str fields "target" }
+    | "offload-end" ->
+      Trace.Offload_end
+        { target = str fields "target";
+          dirty_pages = int_ fields "dirty_pages";
+          span_s = num fields "span_s" }
+    | "refusal" -> Trace.Refusal { target = str fields "target" }
+    | "power-state" ->
+      Trace.Power_state
+        { state = str fields "state";
+          mw = num fields "mw";
+          duration_s = num fields "duration_s" }
+    | "estimate" ->
+      Trace.Estimate
+        { target = str fields "target";
+          predicted_gain_s = num fields "predicted_gain_s";
+          local_s = num fields "local_s";
+          decision = bool_ fields "decision" }
+    | "module-load" ->
+      Trace.Module_load
+        { role = str fields "role";
+          functions = int_ fields "functions";
+          globals = int_ fields "globals" }
+    | "fault-injected" ->
+      Trace.Fault_injected { kind = str fields "fault"; op = str fields "op" }
+    | "rpc-timeout" ->
+      Trace.Rpc_timeout
+        { op = str fields "op";
+          attempt = int_ fields "attempt";
+          waited_s = num fields "waited_s" }
+    | "retry" ->
+      Trace.Retry
+        { op = str fields "op";
+          attempt = int_ fields "attempt";
+          backoff_s = num fields "backoff_s" }
+    | "fallback-local" ->
+      Trace.Fallback_local
+        { target = str fields "target";
+          reason = str fields "reason";
+          recovery_s = num fields "recovery_s" }
+    | "rollback" ->
+      Trace.Rollback
+        { target = str fields "target";
+          pages_restored = int_ fields "pages_restored";
+          bytes_discarded = int_ fields "bytes_discarded" }
+    | "replay" ->
+      Trace.Replay
+        { target = str fields "target"; replay_s = num fields "replay_s" }
+    | kind -> raise (Bad (Printf.sprintf "unknown event kind %S" kind))
+  in
+  (ts, ev)
+
+let split_lines s =
+  let raw = String.split_on_char '\n' s in
+  let strip l =
+    let len = String.length l in
+    if len > 0 && l.[len - 1] = '\r' then String.sub l 0 (len - 1) else l
+  in
+  List.filter (fun l -> l <> "") (List.map strip raw)
+
+let of_string (s : string) : ((float * Trace.event) list, string) result =
+  match split_lines s with
+  | [] -> Error "empty file: expected a no-trace-raw header line"
+  | header :: body -> (
+    try
+      let fields =
+        try parse_object header
+        with Bad msg ->
+          raise
+            (Bad
+               (Printf.sprintf "line 1: not a no-trace-raw header (%s)" msg))
+      in
+      (try
+         let fmt = str fields "format" in
+         if fmt <> "no-trace-raw" then
+           raise (Bad (Printf.sprintf "line 1: unknown format %S" fmt))
+       with Bad msg -> raise (Bad (Printf.sprintf "line 1: %s" msg)));
+      let got_version = int_ fields "version" in
+      if got_version <> version then
+        raise
+          (Bad
+             (Printf.sprintf
+                "unsupported trace version %d (this build reads version %d); \
+                 re-record the trace"
+                got_version version));
+      let declared = int_ fields "events" in
+      let events =
+        List.mapi
+          (fun i line ->
+            try event_of_fields (parse_object line)
+            with Bad msg -> raise (Bad (Printf.sprintf "line %d: %s" (i + 2) msg)))
+          body
+      in
+      let found = List.length events in
+      if found <> declared then
+        raise
+          (Bad
+             (Printf.sprintf
+                "truncated trace: header declares %d events but the file \
+                 holds %d"
+                declared found));
+      Ok events
+    with Bad msg -> Error msg)
+
+let save (path : string) (events : (float * Trace.event) list) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string events))
+
+let load (path : string) : ((float * Trace.event) list, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,26 @@
+(** Raw-trace persistence: line-per-event JSON.
+
+    Line 1 is a header — [{"format":"no-trace-raw","version":1,"events":N}]
+    — and every following line is one timestamped event.  Floats are
+    written as [%.17g], so a save/load round trip reproduces the event
+    list bit-exactly.
+
+    Loading is strict: a version the build does not understand, an
+    unknown event kind, a missing field, or a body whose line count
+    disagrees with the header's [events] count all yield a
+    line-numbered [Error _] diagnostic rather than an exception or a
+    silently shorter run. *)
+
+val version : int
+(** The format version this build writes and reads. *)
+
+val to_string : (float * No_trace.Trace.event) list -> string
+
+val of_string :
+  string -> ((float * No_trace.Trace.event) list, string) result
+
+val save : string -> (float * No_trace.Trace.event) list -> unit
+
+val load : string -> ((float * No_trace.Trace.event) list, string) result
+(** [of_string] on the file's contents; an unreadable file is also an
+    [Error _]. *)

@@ -804,7 +804,13 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
     (* Transparent local re-execution: the mobile partition retains
        every target body for the refuse path; replay it with the same
        arguments against the rolled-back state. *)
-    Interp.call t.mobile target.Partition.t_name args
+    let replay_t0 = t.clock.Host.now in
+    let result = Interp.call t.mobile target.Partition.t_name args in
+    emit_at t ~ts:replay_t0
+      (Trace.Replay
+         { target = target.Partition.t_name;
+           replay_s = t.clock.Host.now -. replay_t0 });
+    result
   end
 
 (* {1 Mobile-side externs} *)
@@ -846,6 +852,7 @@ let mobile_extern t name (argv : Value.t list) : Value.t option =
              predicted_gain_s =
                Dynamic_estimate.predicted_gain_s t.estimator ~name:target
                  ~mem_bytes;
+             local_s = Dynamic_estimate.predicted_local_s t.estimator ~name:target;
              decision;
            });
     if not decision then begin

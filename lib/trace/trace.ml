@@ -44,6 +44,7 @@ type event =
   | Estimate of {
       target : string;
       predicted_gain_s : float;   (* Equation 1's Tg at this call *)
+      local_s : float;            (* the estimator's Tm belief at this call *)
       decision : bool;
     }
   | Module_load of { role : string; functions : int; globals : int }
@@ -52,6 +53,7 @@ type event =
   | Retry of { op : string; attempt : int; backoff_s : float }
   | Fallback_local of { target : string; reason : string; recovery_s : float }
   | Rollback of { target : string; pages_restored : int; bytes_discarded : int }
+  | Replay of { target : string; replay_s : float }
 
 (* Events that carry a time-span are stamped with the *start* of the
    span; the clock value is simulated seconds. *)
@@ -91,6 +93,7 @@ let event_name = function
   | Retry _ -> "retry"
   | Fallback_local { target; _ } -> "fallback:" ^ target
   | Rollback { target; _ } -> "rollback:" ^ target
+  | Replay { target; _ } -> "replay:" ^ target
 
 (* {1 Aggregating metrics sink}
 
@@ -127,6 +130,8 @@ module Metrics = struct
     mutable fallbacks : int;
     mutable rollbacks : int;
     mutable recovery_s : float;
+    mutable replays : int;
+    mutable replay_s : float;
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     (* (start, mw, duration, state), reversed — the Figure-8 raw
@@ -163,6 +168,8 @@ module Metrics = struct
       fallbacks = 0;
       rollbacks = 0;
       recovery_s = 0.0;
+      replays = 0;
+      replay_s = 0.0;
       energy_mj = 0.0;
       power_s = Hashtbl.create 8;
       power_rev = [];
@@ -216,6 +223,9 @@ module Metrics = struct
       t.fallbacks <- t.fallbacks + 1;
       t.recovery_s <- t.recovery_s +. recovery_s
     | Rollback _ -> t.rollbacks <- t.rollbacks + 1
+    | Replay { replay_s; _ } ->
+      t.replays <- t.replays + 1;
+      t.replay_s <- t.replay_s +. replay_s
 
   let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
 
@@ -273,6 +283,7 @@ module Metrics = struct
       ("remote I/O time (s)", Printf.sprintf "%.4f" t.remote_io_s);
       ("page faults", string_of_int t.fault_count);
       ("prefetched pages", string_of_int t.prefetched_pages);
+      ("prefetched bytes", string_of_int t.prefetched_bytes);
       ("flushes to server", string_of_int t.flushes_to_server);
       ("flushes to mobile", string_of_int t.flushes_to_mobile);
       ("raw bytes to server", string_of_int t.raw_to_server);
@@ -286,6 +297,8 @@ module Metrics = struct
       ("local fallbacks", string_of_int t.fallbacks);
       ("rollbacks", string_of_int t.rollbacks);
       ("recovery time (s)", Printf.sprintf "%.4f" t.recovery_s);
+      ("local replays", string_of_int t.replays);
+      ("replay time (s)", Printf.sprintf "%.4f" t.replay_s);
       ("energy (mJ)", Printf.sprintf "%.2f" t.energy_mj);
       ("total time (s)", Printf.sprintf "%.4f" (total_s t));
     ]
@@ -321,13 +334,18 @@ module Ring = struct
   let length t = t.stored
   let dropped t = t.dropped
 
-  (* Oldest first. *)
+  (* Oldest first.  One pass over the stored slots, newest to oldest,
+     consing onto the result: O(stored) time and no stack growth, no
+     matter how many events were evicted before the call. *)
   let events t : (float * event) list =
     let start = (t.next - t.stored + t.capacity) mod t.capacity in
-    List.init t.stored (fun i ->
-        match t.buf.((start + i) mod t.capacity) with
-        | Some entry -> entry
-        | None -> assert false)
+    let acc = ref [] in
+    for i = t.stored - 1 downto 0 do
+      match t.buf.((start + i) mod t.capacity) with
+      | Some entry -> acc := entry :: !acc
+      | None -> assert false
+    done;
+    !acc
 end
 
 (* {1 Chrome-trace JSON exporter}
@@ -436,11 +454,12 @@ module Chrome = struct
           [ ("mW", Printf.sprintf "%.1f" mw);
             ("state", Printf.sprintf "\"%s\"" (escape state)) ]
         ()
-    | Estimate { predicted_gain_s; decision; _ } ->
+    | Estimate { predicted_gain_s; local_s; decision; _ } ->
       record ~name ~ph:"i" ~ts ~tid:session_tid
         ~args:
           [
             ("predicted_gain_s", Printf.sprintf "%.6f" predicted_gain_s);
+            ("local_s", Printf.sprintf "%.6f" local_s);
             ("decision", if decision then "true" else "false");
           ]
         ()
@@ -488,6 +507,8 @@ module Chrome = struct
             ("bytes_discarded", string_of_int bytes_discarded);
           ]
         ()
+    | Replay { replay_s; _ } ->
+      record ~name ~ph:"X" ~ts ~dur:(us replay_s) ~tid:session_tid ()
 
   let thread_meta tid label =
     Printf.sprintf

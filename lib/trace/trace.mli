@@ -36,6 +36,10 @@ type event =
   | Estimate of {
       target : string;
       predicted_gain_s : float;
+      local_s : float;
+          (** the estimator's belief of the target's local (mobile)
+              execution time at this decision — the Tm the predicted
+              gain was derived from *)
       decision : bool;
     }
   | Module_load of { role : string; functions : int; globals : int }
@@ -52,6 +56,9 @@ type event =
   | Rollback of { target : string; pages_restored : int; bytes_discarded : int }
       (** mobile state restored to the offload-start snapshot;
           [bytes_discarded] is buffered console output thrown away *)
+  | Replay of { target : string; replay_s : float }
+      (** the retained local body re-ran after a rollback; stamped at
+          replay start, [replay_s] is the local re-execution time *)
 
 type sink = { emit : ts:float -> event -> unit }
 (** [ts] is simulated seconds; events that span time are stamped with
@@ -106,6 +113,8 @@ module Metrics : sig
     mutable fallbacks : int;
     mutable rollbacks : int;
     mutable recovery_s : float;
+    mutable replays : int;
+    mutable replay_s : float;
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     mutable power_rev : (float * float * float * string) list;
@@ -139,12 +148,20 @@ module Ring : sig
   type t
 
   val create : ?capacity:int -> unit -> t
+  (** [capacity] defaults to 65536 events; it must be positive.  Once
+      full, each new event evicts the oldest one and increments
+      {!dropped}, so [dropped t + length t] always equals the total
+      number of events emitted into the ring. *)
+
   val sink : t -> sink
   val length : t -> int
+
   val dropped : t -> int
+  (** Events evicted so far (0 until the ring wraps). *)
 
   val events : t -> (float * event) list
-  (** Oldest first. *)
+  (** Oldest first.  O(length) time regardless of how many events were
+      evicted before the call. *)
 end
 
 (** Chrome Trace Event Format exporter (chrome://tracing, Perfetto). *)

@@ -66,6 +66,30 @@ let test_ring_eviction () =
     [ 3.0; 4.0; 5.0; 6.0 ]
     (List.map fst (Trace.Ring.events ring))
 
+(* The ring's accounting invariant: nothing is ever silently lost —
+   whatever did not survive in the buffer is counted in [dropped]. *)
+let test_ring_wraparound_accounting () =
+  let capacity = 16 in
+  let ring = Trace.Ring.create ~capacity () in
+  let sink = Trace.Ring.sink ring in
+  let total = 1000 in
+  for i = 1 to total do
+    sink.Trace.emit ~ts:(float_of_int i) (Trace.Refusal { target = "t" });
+    Alcotest.(check int)
+      (Printf.sprintf "dropped + length = emitted after %d" i)
+      i
+      (Trace.Ring.dropped ring + Trace.Ring.length ring)
+  done;
+  Alcotest.(check int) "length capped at capacity" capacity
+    (Trace.Ring.length ring);
+  Alcotest.(check int) "events matches length" capacity
+    (List.length (Trace.Ring.events ring));
+  (* The survivors are exactly the newest [capacity] events, oldest
+     first. *)
+  Alcotest.(check (list (float 0.0))) "survivors are the newest, in order"
+    (List.init capacity (fun i -> float_of_int (total - capacity + 1 + i)))
+    (List.map fst (Trace.Ring.events ring))
+
 (* {1 Aggregation parity}
 
    Fixed workloads, default and ideal configurations: every statistic
@@ -240,11 +264,144 @@ let test_chrome_export () =
   Alcotest.(check bool) "timestamps non-negative" true
     (List.for_all (fun t -> t >= 0.0) ts)
 
+(* Every counter the metrics sink tracks must surface in the report
+   rows — a full golden of [to_rows] after one event of every kind, so
+   adding a tracked-but-unreported field breaks this test. *)
+let test_to_rows_covers_all_counters () =
+  let m = Trace.Metrics.create () in
+  let sink = Trace.Metrics.sink m in
+  List.iter
+    (fun (ts, ev) -> sink.Trace.emit ~ts ev)
+    [
+      (0.0, Trace.Module_load { role = "mobile"; functions = 2; globals = 1 });
+      ( 0.0,
+        Trace.Estimate
+          { target = "w"; predicted_gain_s = 1.0; local_s = 2.0;
+            decision = true } );
+      (0.0, Trace.Offload_begin { target = "w" });
+      ( 0.0,
+        Trace.Flush
+          { direction = Trace.To_server; raw_bytes = 100; wire_bytes = 40;
+            transfer_s = 0.5; codec_s = 0.1 } );
+      (0.6, Trace.Page_fault { page = 1; service_s = 0.25 });
+      (0.9, Trace.Prefetch { pages = 3; bytes = 12288 });
+      (0.9, Trace.Fnptr_translate { cost_s = 0.001 });
+      ( 0.9,
+        Trace.Remote_io
+          { io_name = "puts"; request_bytes = 10; response_bytes = 20;
+            cost_s = 0.01 } );
+      (1.0, Trace.Fault_injected { kind = "drop"; op = "flush" });
+      (1.0, Trace.Rpc_timeout { op = "flush"; attempt = 1; waited_s = 0.3 });
+      (1.3, Trace.Retry { op = "flush"; attempt = 2; backoff_s = 0.1 });
+      ( 1.4,
+        Trace.Flush
+          { direction = Trace.To_mobile; raw_bytes = 200; wire_bytes = 60;
+            transfer_s = 0.2; codec_s = 0.05 } );
+      ( 1.65,
+        Trace.Rollback { target = "w"; pages_restored = 4; bytes_discarded = 8 } );
+      ( 1.65,
+        Trace.Fallback_local
+          { target = "w"; reason = "server dead"; recovery_s = 0.6 } );
+      (1.65, Trace.Offload_end { target = "w"; dirty_pages = 2; span_s = 1.65 });
+      (1.65, Trace.Replay { target = "w"; replay_s = 1.35 });
+      (3.0, Trace.Refusal { target = "w" });
+      (0.0, Trace.Power_state { state = "computing"; mw = 1000.0; duration_s = 3.0 });
+    ];
+  let expected =
+    [
+      ("offloads", "1");
+      ("refusals", "1");
+      ("estimates", "1");
+      ("offload span (s)", "1.6500");
+      ("communication (s)", "1.1000");
+      ("  transfer (s)", "0.7000");
+      ("  codec (s)", "0.1500");
+      ("  fault service (s)", "0.2500");
+      ("fn-ptr translations", "1");
+      ("fn-ptr time (s)", "0.0010");
+      ("remote I/O ops", "1");
+      ("remote I/O time (s)", "0.0100");
+      ("page faults", "1");
+      ("prefetched pages", "3");
+      ("prefetched bytes", "12288");
+      ("flushes to server", "1");
+      ("flushes to mobile", "1");
+      ("raw bytes to server", "100");
+      ("raw bytes to mobile", "200");
+      ("wire bytes to server", "40");
+      ("wire bytes to mobile", "60");
+      ("faults injected", "1");
+      ("rpc timeouts", "1");
+      ("retries", "1");
+      ("retry wait (s)", "0.4000");
+      ("local fallbacks", "1");
+      ("rollbacks", "1");
+      ("recovery time (s)", "0.6000");
+      ("local replays", "1");
+      ("replay time (s)", "1.3500");
+      ("energy (mJ)", "3000.00");
+      ("total time (s)", "3.0000");
+    ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "to_rows reports every tracked counter" expected
+    (Trace.Metrics.to_rows m)
+
+(* Golden for the Chrome exporter on a tiny synthetic stream: locks
+   the metadata records, phase letters, µs conversion and arg
+   spelling. *)
+let test_chrome_golden () =
+  let events =
+    [
+      (0.0, Trace.Module_load { role = "mobile"; functions = 2; globals = 1 });
+      (0.5, Trace.Offload_begin { target = "work" });
+      ( 0.75,
+        Trace.Flush
+          { direction = Trace.To_server; raw_bytes = 100; wire_bytes = 40;
+            transfer_s = 0.5; codec_s = 0.1 } );
+      (2.0, Trace.Offload_end { target = "work"; dirty_pages = 3; span_s = 1.5 });
+    ]
+  in
+  let expected =
+    String.concat ""
+      [
+        "{\"traceEvents\":[";
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,";
+        "\"args\":{\"name\":\"native-offloader\"}}";
+        ",{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,";
+        "\"tid\":1,\"args\":{\"name\":\"offload session\"}}";
+        ",{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,";
+        "\"tid\":2,\"args\":{\"name\":\"network\"}}";
+        ",{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,";
+        "\"tid\":3,\"args\":{\"name\":\"power\"}}";
+        ",{\"name\":\"module-load:mobile\",\"ph\":\"i\",\"ts\":0.000,";
+        "\"pid\":1,\"tid\":1,\"s\":\"t\",";
+        "\"args\":{\"functions\":2,\"globals\":1}}";
+        ",{\"name\":\"offload:work\",\"ph\":\"B\",\"ts\":500000.000,";
+        "\"pid\":1,\"tid\":1}";
+        ",{\"name\":\"flush:to-server\",\"ph\":\"X\",\"ts\":750000.000,";
+        "\"pid\":1,\"tid\":2,\"dur\":600000.000,";
+        "\"args\":{\"raw_bytes\":100,\"wire_bytes\":40,";
+        "\"transfer_us\":500000.000,\"codec_us\":100000.000}}";
+        ",{\"name\":\"offload:work\",\"ph\":\"E\",\"ts\":2000000.000,";
+        "\"pid\":1,\"tid\":1,";
+        "\"args\":{\"dirty_pages\":3,\"span_us\":1500000.000}}";
+        "],\"displayTimeUnit\":\"ms\"}";
+      ]
+  in
+  Alcotest.(check string) "chrome export golden" expected
+    (Trace.Chrome.export events)
+
 let tests =
   [
     Alcotest.test_case "fan-out" `Quick test_fan_out;
     Alcotest.test_case "zero-cost wrapper" `Quick test_zero_cost;
     Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "ring wraparound accounting" `Quick
+      test_ring_wraparound_accounting;
+    Alcotest.test_case "to_rows covers all counters" `Quick
+      test_to_rows_covers_all_counters;
+    Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
     Alcotest.test_case "parity: chess" `Quick test_parity_chess;
     Alcotest.test_case "parity: 456.hmmer" `Quick test_parity_hmmer;
     Alcotest.test_case "parity: 164.gzip" `Quick test_parity_gzip;
