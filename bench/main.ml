@@ -32,35 +32,7 @@
    *kernel* at reduced scale — what the table costs per unit of work —
    while the default mode produces the tables themselves. *)
 
-module Ir = No_ir.Ir
-module Arch = No_arch.Arch
-module Layout = No_arch.Layout
-module Link = No_netsim.Link
-module Compress = No_netsim.Compress
-module Memory = No_mem.Memory
-module Region = No_mem.Region
-module Uva = No_mem.Uva
-module Host = No_exec.Host
-module Interp = No_exec.Interp
-module Console = No_exec.Console
-module Profiler = No_profiler.Profiler
-module Filter = No_analysis.Filter
-module Equation = No_estimator.Equation
-module Static_estimate = No_estimator.Static_estimate
-module Pipeline = No_transform.Pipeline
-module Session = No_runtime.Session
-module Local_run = No_runtime.Local_run
-module Registry = No_workloads.Registry
-module Chess = No_workloads.Chess
-module Table = No_report.Table
-module Battery = No_power.Battery
-module Power_model = No_power.Power_model
-module Trace = No_trace.Trace
-module Fault_plan = No_fault.Plan
-module Metrics_report = No_report.Metrics_report
-module Compiler = Native_offloader.Compiler
-module Experiment = Native_offloader.Experiment
-module Evaluation = Native_offloader.Evaluation
+open No_prelude.Prelude
 
 (* {1 Full regeneration (default mode)} *)
 
@@ -322,6 +294,9 @@ let run_traced_summary name =
         | Trace.Fallback_local _ -> "fallback-local"
         | Trace.Rollback _ -> "rollback"
         | Trace.Replay _ -> "replay"
+        | Trace.Queue _ -> "queue"
+        | Trace.Admit _ -> "admit"
+        | Trace.Reject _ -> "reject"
       in
       Hashtbl.replace counts key
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
@@ -360,7 +335,41 @@ let fault_plan_exn s =
   | Ok p -> p
   | Error msg -> failwith ("fault_sweep: bad plan " ^ s ^ ": " ^ msg)
 
-let run_fault_sweep () =
+(* {1 Headline JSON}
+
+   The CI bench lane runs [percentiles] and [faults] at reduced scale
+   ([--sample N] keeps only the first N registry entries) and writes
+   each mode's headline numbers as a flat JSON object ([--json FILE]);
+   scripts/bench_guard.py merges them into BENCH_pr.json and compares
+   against the committed BENCH_baseline.json. *)
+
+let take n list =
+  let rec go n = function
+    | hd :: tl when n > 0 -> hd :: go (n - 1) tl
+    | _ -> []
+  in
+  go n list
+
+let sampled_registry = function
+  | None -> Registry.spec
+  | Some n -> take n Registry.spec
+
+let write_json path (fields : (string * string) list) =
+  let oc = open_out path in
+  output_string oc "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "\n  \"%s\": %s" k v)
+    fields;
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+let json_f v = Printf.sprintf "%.6f" v
+let json_i v = string_of_int v
+
+let run_fault_sweep ?sample ?json () =
   let table =
     Table.create
       ~title:
@@ -371,6 +380,7 @@ let run_fault_sweep () =
   in
   let survived = ref 0 and injected_runs = ref 0 in
   let recovery_total = ref 0.0 in
+  let slowdowns = ref [] in
   List.iter
     (fun entry ->
       let compiled =
@@ -413,6 +423,7 @@ let run_fault_sweep () =
           incr injected_runs;
           if ok then incr survived;
           recovery_total := !recovery_total +. r.Session.rep_recovery_s;
+          slowdowns := (r.Session.rep_total_s /. t) :: !slowdowns;
           Table.add_row table
             [
               entry.Registry.e_name;
@@ -425,12 +436,25 @@ let run_fault_sweep () =
               Table.cell_f (r.Session.rep_total_s /. t);
             ])
         plans)
-    Registry.spec;
+    (sampled_registry sample);
   Table.print table;
   Printf.printf
     "\nsurvival: %d/%d runs reproduced the local console transcript\n\
      total recovery time across the sweep: %.2f s\n"
-    !survived !injected_runs !recovery_total
+    !survived !injected_runs !recovery_total;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("mode", "\"faults\"");
+          ("runs", json_i !injected_runs);
+          ("survived", json_i !survived);
+          ( "survival_rate",
+            json_f (float_of_int !survived /. float_of_int !injected_runs) );
+          ("recovery_total_s", json_f !recovery_total);
+          ("slowdown_geomean", json_f (Experiment.geomean !slowdowns));
+        ])
+    json
 
 (* {1 Fleet percentiles}
 
@@ -443,13 +467,14 @@ let run_fault_sweep () =
    comm / page-fault / wire-bytes histograms pool every event in the
    fleet. *)
 
-let run_percentiles () =
+let run_percentiles ?sample ?json () =
   let module Hist = No_obs.Hist in
   (* Per-run sketches, merged at the end. *)
   let speedups = ref [] in
   let comms = ref [] in
   let faults = ref [] in
   let wires = ref [] in
+  let speedup_values = ref [] in
   List.iter
     (fun entry ->
       let compiled =
@@ -477,7 +502,9 @@ let run_percentiles () =
       let comm = Hist.create () in
       let fault = Hist.create () in
       let wire = Hist.create () in
-      Hist.add speedup (local.Local_run.lr_total_s /. r.Session.rep_total_s);
+      let speedup_x = local.Local_run.lr_total_s /. r.Session.rep_total_s in
+      Hist.add speedup speedup_x;
+      speedup_values := speedup_x :: !speedup_values;
       List.iter
         (fun (_ts, ev) ->
           match ev with
@@ -491,12 +518,14 @@ let run_percentiles () =
       comms := comm :: !comms;
       faults := fault :: !faults;
       wires := wire :: !wires)
-    Registry.spec;
+    (sampled_registry sample);
   let table =
     Table.create
       ~title:
-        "Fleet percentiles (17 workloads, profile-script scale, fast \
-         network; per-run histograms merged)"
+        (Printf.sprintf
+           "Fleet percentiles (%d workloads, profile-script scale, fast \
+            network; per-run histograms merged)"
+           (List.length !speedups))
       [ "metric"; "samples"; "p50"; "p95"; "p99"; "max" ]
   in
   let row name digits hists =
@@ -515,7 +544,77 @@ let run_percentiles () =
   row "flush comm time (s)" 6 !comms;
   row "page-fault service (s)" 6 !faults;
   row "flush wire (bytes)" 0 !wires;
-  Table.print table
+  Table.print table;
+  Option.iter
+    (fun path ->
+      let speedup_h = Hist.merge !speedups in
+      let comm_h = Hist.merge !comms in
+      let wire_h = Hist.merge !wires in
+      write_json path
+        [
+          ("mode", "\"percentiles\"");
+          ("workloads", json_i (List.length !speedups));
+          ("geomean_speedup", json_f (Experiment.geomean !speedup_values));
+          ("speedup_p50", json_f (Hist.quantile speedup_h 0.50));
+          ("speedup_p95", json_f (Hist.quantile speedup_h 0.95));
+          ("comm_p95_s", json_f (Hist.quantile comm_h 0.95));
+          ("wire_p95_bytes", json_f (Hist.quantile wire_h 0.95));
+        ])
+    json
+
+(* {1 Multi-client scheduling}
+
+   Throughput and latency versus client count on one shared server:
+   the same workload fans out over 1..8 staggered clients at fixed
+   worker slots, so contention (queueing, admission rejections,
+   load-aware refusals) is the only thing that changes between rows.
+   Per-client speedup degrades monotonically as clients pile on, and
+   under saturation at least one client's tasks flip back to local
+   execution — the scheduler tests lock both properties. *)
+
+let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip") () =
+  let config =
+    { Sim.default_config with
+      Sim.s_load = { Server_load.default with Server_load.slots;
+                     Server_load.queue_cap = queue } }
+  in
+  let summary =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Multi-client scaling (%s, %d worker slots, queue %d, \
+            profile-script scale)"
+           workload slots queue)
+      [ "clients"; "geomean speedup"; "local flips"; "queued"; "rejects";
+        "throughput (c/s)"; "p50 (s)"; "p95 (s)"; "p99 (s)" ]
+  in
+  List.iter
+    (fun count ->
+      let clients =
+        Sim.make_clients ~stagger_s:0.02 ~workloads:[ workload ] ~count ()
+      in
+      let result = Sim.run ~config clients in
+      print_endline
+        (Sim.render
+           ~title:(Printf.sprintf "%d client(s), %d slots" count slots)
+           result);
+      print_newline ();
+      let lat = Sim.span_latencies result in
+      let st = result.Sim.r_stats in
+      Table.add_row summary
+        [
+          Table.cell_i count;
+          Table.cell_f ~digits:3 (Sim.geomean_speedup result);
+          Table.cell_i (Sim.flipped_local result);
+          Table.cell_i st.Server_load.st_queued;
+          Table.cell_i st.Server_load.st_rejects;
+          Table.cell_f ~digits:3 result.Sim.r_throughput;
+          Table.cell_f ~digits:4 (Sim.percentile lat ~p:50.0);
+          Table.cell_f ~digits:4 (Sim.percentile lat ~p:95.0);
+          Table.cell_f ~digits:4 (Sim.percentile lat ~p:99.0);
+        ])
+    [ 1; 2; 4; 8 ];
+  Table.print summary
 
 (* {1 Ablations} *)
 
@@ -655,10 +754,25 @@ let run_ablations () =
   Table.print table3
 
 let () =
-  match Array.to_list Sys.argv with
+  let argv = Array.to_list Sys.argv in
+  let opt name =
+    let rec go = function
+      | flag :: v :: _ when String.equal flag name -> Some v
+      | _ :: tl -> go tl
+      | [] -> None
+    in
+    go argv
+  in
+  let opt_int name = Option.map int_of_string (opt name) in
+  match argv with
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "ablations" :: _ -> run_ablations ()
   | _ :: "trace" :: _ -> run_trace_summaries ()
-  | _ :: "faults" :: _ -> run_fault_sweep ()
-  | _ :: "percentiles" :: _ -> run_percentiles ()
+  | _ :: "faults" :: _ ->
+    run_fault_sweep ?sample:(opt_int "--sample") ?json:(opt "--json") ()
+  | _ :: "percentiles" :: _ ->
+    run_percentiles ?sample:(opt_int "--sample") ?json:(opt "--json") ()
+  | _ :: "multiclient" :: _ ->
+    run_multiclient ?slots:(opt_int "--slots") ?queue:(opt_int "--queue")
+      ?workload:(opt "--workload") ()
   | _ -> regenerate_all ()

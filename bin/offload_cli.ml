@@ -10,27 +10,12 @@
                                          the event-derived metrics table
      offload-cli report table1 ... fig8  regenerate tables/figures
      offload-cli dump 164.gzip mobile    print partitioned IR
+     offload-cli serve --clients 4 --slots 2
+                                         multi-client shared-server
+                                         scheduling simulation
      offload-cli headline                geomean speedups / battery *)
 
-module Ir = No_ir.Ir
-module Pretty = No_ir.Pretty
-module Pipeline = No_transform.Pipeline
-module Registry = No_workloads.Registry
-module Table = No_report.Table
-module Metrics_report = No_report.Metrics_report
-module Session = No_runtime.Session
-module Trace = No_trace.Trace
-module Link = No_netsim.Link
-module Fault_plan = No_fault.Plan
-module Compiler = Native_offloader.Compiler
-module Experiment = Native_offloader.Experiment
-module Evaluation = Native_offloader.Evaluation
-module Span = No_obs.Span
-module Hist = No_obs.Hist
-module Flame = No_obs.Flame
-module Audit = No_obs.Audit
-module Trace_file = No_obs.Trace_file
-
+open No_prelude.Prelude
 open Cmdliner
 
 let list_cmd =
@@ -554,6 +539,136 @@ let analyze_cmd =
           latency histograms, estimator audit")
     Term.(const run $ file_arg $ flame_arg)
 
+(* Multi-client scheduling: N staggered mobile hosts share one server
+   with K worker slots and a bounded FIFO admission queue.  The
+   simulation is a deterministic discrete-event interleaving, so the
+   same arguments always print the same table. *)
+let serve_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Number of concurrent mobile clients sharing the server.")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "slots" ] ~docv:"K"
+          ~doc:"Server worker slots (concurrent offloads served).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "queue" ] ~docv:"Q"
+          ~doc:
+            "FIFO admission queue capacity; requests that would wait \
+             behind $(docv) queued offloads are rejected and replayed \
+             locally.")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (list string) [ "164.gzip" ]
+      & info [ "workloads" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated workload names assigned to clients \
+             round-robin (see $(b,offload-cli list)).")
+  in
+  let stagger_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "stagger" ] ~docv:"S"
+          ~doc:"Seconds between successive client start times.")
+  in
+  let link_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "link" ] ~docv:"NAME"
+          ~doc:"Link profile shared by all clients (default 802.11ac).")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Deterministic fault plan applied to every client (each \
+             client gets a distinct derived seed), e.g. \
+             $(b,outage=0.5:2.0,drop=0.05,seed=7).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Override the fault plan's base RNG seed.")
+  in
+  let eval_arg =
+    Arg.(
+      value & flag
+      & info [ "eval" ]
+          ~doc:
+            "Run workloads at evaluation scale instead of the (much \
+             faster) profile scale.")
+  in
+  let run clients slots queue workloads stagger link faults seed eval =
+    if clients < 1 then begin
+      Fmt.epr "need at least one client@.";
+      exit 1
+    end;
+    if slots < 1 then begin
+      Fmt.epr "need at least one worker slot@.";
+      exit 1
+    end;
+    List.iter
+      (fun name -> ignore (entry_of_name name : Registry.entry))
+      workloads;
+    let plan =
+      match (faults, seed) with
+      | None, None -> None
+      | _ ->
+        let p =
+          match faults with
+          | Some text -> fault_plan_of_string text
+          | None -> Fault_plan.empty
+        in
+        Some
+          (match seed with
+          | Some s -> Fault_plan.with_seed p s
+          | None -> p)
+    in
+    let config =
+      { Sim.s_load =
+          { Server_load.default with Server_load.slots;
+            Server_load.queue_cap = queue };
+        Sim.s_link =
+          (match link with
+          | Some name -> link_of_name name
+          | None -> Link.fast_wifi);
+        Sim.s_scale = (if eval then Sim.Eval else Sim.Profile) }
+    in
+    let cs =
+      Sim.make_clients ~stagger_s:stagger ?faults:plan ~workloads
+        ~count:clients ()
+    in
+    let result = Sim.run ~config cs in
+    print_endline
+      (Sim.render
+         ~title:
+           (Printf.sprintf "%d client(s), %d slots, queue %d" clients slots
+              queue)
+         result)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Simulate N clients sharing one server (slots, FIFO queue, \
+          load-aware offload decisions)")
+    Term.(
+      const run $ clients_arg $ slots_arg $ queue_arg $ workloads_arg
+      $ stagger_arg $ link_arg $ faults_arg $ seed_arg $ eval_arg)
+
 let headline_cmd =
   let run () =
     let h = Evaluation.headline () in
@@ -574,4 +689,4 @@ let () =
   let info = Cmd.info "offload-cli" ~doc:"Native Offloader reproduction" in
   exit (Cmd.eval (Cmd.group info
     [ list_cmd; run_cmd; report_cmd; dump_cmd; load_cmd; analyze_cmd;
-      headline_cmd ]))
+      serve_cmd; headline_cmd ]))

@@ -10,12 +10,7 @@
    not to suffer from performance slowdown in an unexpected slow
    network environment." *)
 
-module Link = No_netsim.Link
-module Session = No_runtime.Session
-module Local_run = No_runtime.Local_run
-module Registry = No_workloads.Registry
-module Table = No_report.Table
-module Compiler = Native_offloader.Compiler
+open No_prelude.Prelude
 
 let () =
   let entry = Option.get (Registry.by_name "164.gzip") in

@@ -7,12 +7,7 @@
    spikes around long low-power waits — exactly the Figure 8(a) shape
    — followed by the per-state energy budget. *)
 
-module Session = No_runtime.Session
-module Local_run = No_runtime.Local_run
-module Registry = No_workloads.Registry
-module Battery = No_power.Battery
-module Power_model = No_power.Power_model
-module Compiler = Native_offloader.Compiler
+open No_prelude.Prelude
 
 let bar mw =
   let width = int_of_float (mw /. 100.0) in

@@ -8,18 +8,7 @@
    Equation-1 estimation table, the partitioned server module, and a
    turn-by-turn interactive game where every AI move is offloaded. *)
 
-module Ir = No_ir.Ir
-module Pretty = No_ir.Pretty
-module Filter = No_analysis.Filter
-module Profiler = No_profiler.Profiler
-module Static_estimate = No_estimator.Static_estimate
-module Pipeline = No_transform.Pipeline
-module Session = No_runtime.Session
-module Local_run = No_runtime.Local_run
-module Chess = No_workloads.Chess
-module Table = No_report.Table
-module Compiler = Native_offloader.Compiler
-module Evaluation = Native_offloader.Evaluation
+open No_prelude.Prelude
 
 let () =
   Fmt.pr "=== compiling the chess application ===@.";

@@ -13,12 +13,7 @@
    byte-for-byte the one a pure-local run produces; what varies is the
    time (and battery) the recovery cost. *)
 
-module Session = No_runtime.Session
-module Local_run = No_runtime.Local_run
-module Registry = No_workloads.Registry
-module Fault_plan = No_fault.Plan
-module Table = No_report.Table
-module Compiler = Native_offloader.Compiler
+open No_prelude.Prelude
 
 let plan_exn s =
   match Fault_plan.parse s with

@@ -17,18 +17,7 @@
    estimator prices the transfer at nominal bandwidth, offloads, and
    the audit catches the false positive. *)
 
-module Session = No_runtime.Session
-module Local_run = No_runtime.Local_run
-module Registry = No_workloads.Registry
-module Fault_plan = No_fault.Plan
-module Trace = No_trace.Trace
-module Span = No_obs.Span
-module Hist = No_obs.Hist
-module Flame = No_obs.Flame
-module Audit = No_obs.Audit
-module Trace_file = No_obs.Trace_file
-module Table = No_report.Table
-module Compiler = Native_offloader.Compiler
+open No_prelude.Prelude
 
 let compile name =
   let entry = Option.get (Registry.by_name name) in

@@ -7,13 +7,9 @@
    found automatically (no annotations), everything else stays on the
    phone. *)
 
+open No_prelude.Prelude
 module B = No_ir.Builder
-module Ir = No_ir.Ir
-module Ty = No_ir.Ty
 module W = No_workloads.Support
-module Compiler = Native_offloader.Compiler
-module Session = No_runtime.Session
-module Local_run = No_runtime.Local_run
 
 (* 1. The "native application": a matrix multiply whose inputs come
    from the console and whose result checksum is printed. *)

@@ -57,15 +57,22 @@ let force t decision = t.forced <- decision
 
 (* Equation 1's Tg with the current beliefs — what a decision at this
    instant is based on (forced modes ignore it but it is still the
-   estimator's live prediction, e.g. for tracing). *)
-let predicted_gain_s t ~name ~mem_bytes : float =
+   estimator's live prediction, e.g. for tracing).
+
+   [r_factor]/[bw_factor] fold server contention into the prediction:
+   a shared server at occupancy m delivers only a fraction of its
+   nominal speedup and link service rate, so a saturated client sees a
+   smaller (possibly negative) gain and declines.  1.0 = exclusive
+   server, bit-for-bit the single-client estimate. *)
+let predicted_gain_s ?(r_factor = 1.0) ?(bw_factor = 1.0) t ~name ~mem_bytes :
+    float =
   let s = state t name in
   (Equation.evaluate
      {
        Equation.tm_s = s.ts_local_time_s;
-       r = t.r;
+       r = t.r *. r_factor;
        mem_bytes;
-       bw_bps = t.bw_bps;
+       bw_bps = t.bw_bps *. bw_factor;
        invocations = 1;
      })
     .Equation.gain_s
@@ -76,7 +83,8 @@ let predicted_gain_s t ~name ~mem_bytes : float =
 let predicted_local_s t ~name = (state t name).ts_local_time_s
 
 (* The decision, with the memory footprint observed *now*. *)
-let should_offload t ~name ~mem_bytes : bool =
+let should_offload ?(r_factor = 1.0) ?(bw_factor = 1.0) t ~name ~mem_bytes :
+    bool =
   match t.forced with
   | Some decision -> decision
   | None ->
@@ -85,9 +93,9 @@ let should_offload t ~name ~mem_bytes : bool =
       Equation.profitable
         {
           Equation.tm_s = s.ts_local_time_s;
-          r = t.r;
+          r = t.r *. r_factor;
           mem_bytes;
-          bw_bps = t.bw_bps;
+          bw_bps = t.bw_bps *. bw_factor;
           invocations = 1;
         }
     in

@@ -32,12 +32,21 @@ val force : t -> bool option -> unit
 (** Ablations: [Some true] always offloads, [Some false] never,
     [None] restores dynamic decisions. *)
 
-val should_offload : t -> name:string -> mem_bytes:int -> bool
-(** The per-invocation decision, with the footprint observed now. *)
+val should_offload :
+  ?r_factor:float -> ?bw_factor:float -> t -> name:string -> mem_bytes:int ->
+  bool
+(** The per-invocation decision, with the footprint observed now.
+    [r_factor]/[bw_factor] (default 1.0 = exclusive server) scale the
+    effective speedup and bandwidth for shared-server contention, so a
+    client talking to a saturated server declines offloads a dedicated
+    server would have won. *)
 
-val predicted_gain_s : t -> name:string -> mem_bytes:int -> float
+val predicted_gain_s :
+  ?r_factor:float -> ?bw_factor:float -> t -> name:string -> mem_bytes:int ->
+  float
 (** Equation 1's Tg under the current bandwidth/time beliefs — the
-    quantity a dynamic decision at this instant is based on. *)
+    quantity a dynamic decision at this instant is based on.  Factors
+    as in {!should_offload}. *)
 
 val predicted_local_s : t -> name:string -> float
 (** The current Tm belief for a target (profile-seeded, refined by

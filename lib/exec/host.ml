@@ -63,6 +63,11 @@ type t = {
   code : (string, compiled) Hashtbl.t;
   mutable instr_count : int;
   mutable fuel : int;            (* instructions left; -1 = unlimited *)
+  mutable slowdown : float;      (* execution-time multiplier; a shared,
+                                    contended server runs its slice of
+                                    the machine >1x slower.  1.0 (the
+                                    multiplicative identity) is
+                                    bit-for-bit the uncontended host *)
 }
 
 let compile_func (f : Ir.func) : compiled =
@@ -143,6 +148,7 @@ let create ~arch ~role ~(modul : Ir.modul) ~layout
       code = Hashtbl.create 64;
       instr_count = 0;
       fuel = -1;
+      slowdown = 1.0;
     }
   in
   List.iter
@@ -180,9 +186,11 @@ let create ~arch ~role ~(modul : Ir.modul) ~layout
   host
 
 let charge host cls =
-  host.clock.now <- host.clock.now +. Cost.seconds_of host.arch cls
+  host.clock.now <-
+    host.clock.now +. (Cost.seconds_of host.arch cls *. host.slowdown)
 
-let charge_seconds host s = host.clock.now <- host.clock.now +. s
+let charge_seconds host s =
+  host.clock.now <- host.clock.now +. (s *. host.slowdown)
 
 let global_addr host name =
   match Hashtbl.find_opt host.globals name with

@@ -79,6 +79,10 @@ let item_of_event : Trace.event -> item option = function
     Some { i_name = "backoff:" ^ op; i_dur = backoff_s }
   | Trace.Rollback _ -> Some { i_name = "rollback"; i_dur = 0.0 }
   | Trace.Fallback_local _ -> Some { i_name = "fallback-local"; i_dur = 0.0 }
+  | Trace.Queue { wait_s; _ } ->
+    Some { i_name = "queue-wait"; i_dur = wait_s }
+  | Trace.Admit _ -> Some { i_name = "admit"; i_dur = 0.0 }
+  | Trace.Reject _ -> Some { i_name = "reject"; i_dur = 0.0 }
   | Trace.Offload_begin _ | Trace.Offload_end _ | Trace.Replay _
   | Trace.Refusal _ | Trace.Estimate _ | Trace.Power_state _ -> None
 
@@ -98,6 +102,7 @@ let run_end_s events =
         | Trace.Rpc_timeout { waited_s; _ } -> ts +. waited_s
         | Trace.Retry { backoff_s; _ } -> ts +. backoff_s
         | Trace.Replay { replay_s; _ } -> ts +. replay_s
+        | Trace.Queue { wait_s; _ } -> ts +. wait_s
         | _ -> ts
       in
       Float.max acc close)

@@ -106,6 +106,18 @@ let line_of_event ts (ev : Trace.event) : string =
     tagged "replay"
       (Printf.sprintf ",\"target\":%s,\"replay_s\":%s" (quote target)
          (fl replay_s))
+  | Trace.Queue { target; wait_s; depth } ->
+    tagged "queue"
+      (Printf.sprintf ",\"target\":%s,\"wait_s\":%s,\"depth\":%d"
+         (quote target) (fl wait_s) depth)
+  | Trace.Admit { target; occupancy; slot } ->
+    tagged "admit"
+      (Printf.sprintf ",\"target\":%s,\"occupancy\":%d,\"slot\":%d"
+         (quote target) occupancy slot)
+  | Trace.Reject { target; queue_depth } ->
+    tagged "reject"
+      (Printf.sprintf ",\"target\":%s,\"queue_depth\":%d" (quote target)
+         queue_depth)
 
 let to_string (events : (float * Trace.event) list) : string =
   let buf = Buffer.create 4096 in
@@ -332,6 +344,19 @@ let event_of_fields fields : float * Trace.event =
     | "replay" ->
       Trace.Replay
         { target = str fields "target"; replay_s = num fields "replay_s" }
+    | "queue" ->
+      Trace.Queue
+        { target = str fields "target";
+          wait_s = num fields "wait_s";
+          depth = int_ fields "depth" }
+    | "admit" ->
+      Trace.Admit
+        { target = str fields "target";
+          occupancy = int_ fields "occupancy";
+          slot = int_ fields "slot" }
+    | "reject" ->
+      Trace.Reject
+        { target = str fields "target"; queue_depth = int_ fields "queue_depth" }
     | kind -> raise (Bad (Printf.sprintf "unknown event kind %S" kind))
   in
   (ts, ev)

@@ -53,6 +53,38 @@ exception Server_lost of string
 
 type decision_mode = Dynamic | Always_offload | Never_offload
 
+(* {1 Shared-server admission}
+
+   A session normally assumes it owns its server outright.  Under the
+   multi-client scheduler (lib/sched) the server is shared: before an
+   offload leaves the mobile device the session asks the server for a
+   worker slot, may wait in a FIFO queue, may be rejected outright,
+   and — once admitted — pays contention-scaled compute and link
+   rates.  The handle is the session's only view of the shared server;
+   [None] (the default) is bit-for-bit the exclusive-server runtime. *)
+
+type admission =
+  | Admitted of {
+      wait_s : float;        (* FIFO queue wait before a slot freed *)
+      occupancy : int;       (* concurrent offloads incl. this one *)
+      slot : int;            (* worker slot granted *)
+      queue_depth : int;     (* requests already waiting at arrival *)
+      r_scale : float;       (* effective-speedup scale at [occupancy] *)
+      bw_scale : float;      (* link-bandwidth scale at [occupancy] *)
+    }
+  | Rejected of { queue_depth : int }  (* admission queue full *)
+
+type server_handle = {
+  sh_load : now:float -> float * float;
+      (* (r_scale, bw_scale) an offload starting now would be priced
+         at — consulted by the dynamic estimator at decision time so
+         saturated clients decline offloads an idle server would win *)
+  sh_request : now:float -> target:string -> admission;
+      (* ask for a worker slot; blocks (simulated) FIFO-fairly *)
+  sh_release : now:float -> slot:int -> unit;
+      (* the offload finished (or was abandoned); free the slot *)
+}
+
 type config = {
   mobile_arch : Arch.t;
   server_arch : Arch.t;
@@ -72,6 +104,9 @@ type config = {
   faults : Fault_plan.t option;  (* deterministic fault schedule; None
                                     (and the empty plan) = no faults *)
   retry : Injector.policy;       (* per-RPC deadline + backoff bounds *)
+  server_handle : server_handle option;
+                                 (* shared-server admission; None = the
+                                    session owns the server outright *)
 }
 
 let default_config ?(link = Link.fast_wifi) () = {
@@ -90,6 +125,7 @@ let default_config ?(link = Link.fast_wifi) () = {
   trace = Trace.null;
   faults = None;
   retry = Injector.default_policy;
+  server_handle = None;
 }
 
 type target_seed = {
@@ -113,6 +149,9 @@ type overheads = {
   mutable retries : int;
   mutable fallbacks : int;
   mutable recovery_s : float;    (* wall time lost to failed attempts *)
+  mutable queued : int;          (* offloads that waited for a slot *)
+  mutable queue_wait_s : float;  (* total FIFO wait *)
+  mutable rejects : int;         (* admissions refused (queue full) *)
 }
 
 type t = {
@@ -142,6 +181,9 @@ type t = {
   injector : Injector.t option;            (* fault oracle; None = clean run *)
   mutable server_dead : bool;              (* crash observed; refuse future
                                               offloads, run locally *)
+  contention : float ref;                  (* shared-link bandwidth scale
+                                              while admitted to a contended
+                                              server; 1.0 otherwise *)
 }
 
 (* {1 Power bookkeeping} *)
@@ -251,10 +293,17 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
     Option.map (fun plan -> Injector.create ~policy:config.retry plan)
       config.faults
   in
+  (* Link contention from the shared server composes multiplicatively
+     with the injector's bandwidth collapse; both are 1.0 (the IEEE
+     multiplicative identity) on an uncontended clean run. *)
+  let contention = ref 1.0 in
   let channel_bw_factor () =
-    match injector with
-    | None -> 1.0
-    | Some inj -> Injector.bw_factor inj ~now:clock.Host.now
+    let inj_factor =
+      match injector with
+      | None -> 1.0
+      | Some inj -> Injector.bw_factor inj ~now:clock.Host.now
+    in
+    inj_factor *. !contention
   in
   let t =
     {
@@ -282,7 +331,8 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
         { comm_s = 0.0; fnptr_s = 0.0; remote_io_s = 0.0; fnptr_count = 0;
           remote_io_count = 0; fault_count = 0; prefetched_pages = 0;
           offloads = 0; refusals = 0; rpc_timeouts = 0; retries = 0;
-          fallbacks = 0; recovery_s = 0.0 };
+          fallbacks = 0; recovery_s = 0.0; queued = 0; queue_wait_s = 0.0;
+          rejects = 0 };
       mem_estimate;
       uva_global_addr = Hashtbl.create 16;
       last_mark = 0.0;
@@ -295,6 +345,7 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
       finished = false;
       injector;
       server_dead = false;
+      contention;
     }
   in
   t
@@ -335,12 +386,16 @@ let flush_to_mobile t =
   observe_transfer t ~bytes ~seconds;
   charge_comm t seconds
 
-(* Usable-bandwidth scale at the current instant (fault injection's
-   bandwidth collapse); 1.0 on a clean run. *)
+(* Usable-bandwidth scale at the current instant: fault injection's
+   bandwidth collapse composed with shared-server link contention;
+   1.0 on an uncontended clean run. *)
 let bw_factor t =
-  match t.injector with
-  | None -> 1.0
-  | Some inj -> Injector.bw_factor inj ~now:t.clock.Host.now
+  let inj_factor =
+    match t.injector with
+    | None -> 1.0
+    | Some inj -> Injector.bw_factor inj ~now:t.clock.Host.now
+  in
+  inj_factor *. !(t.contention)
 
 (* {1 Fault-aware exchanges}
 
@@ -747,6 +802,30 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
        its way here (Always_offload); run the retained local body. *)
     Interp.call t.mobile target.Partition.t_name args
   else begin
+  (* Shared-server admission: ask for a worker slot before any
+     protocol work.  A rejection never leaves the mobile device — the
+     retained local body runs, and the Replay event keeps the obs
+     layer's accounting of forced local executions intact. *)
+  let admission =
+    Option.map
+      (fun sh ->
+        ( sh,
+          sh.sh_request ~now:t.clock.Host.now
+            ~target:target.Partition.t_name ))
+      t.config.server_handle
+  in
+  match admission with
+  | Some (_, Rejected { queue_depth }) ->
+    t.ov.rejects <- t.ov.rejects + 1;
+    emit t (Trace.Reject { target = target.Partition.t_name; queue_depth });
+    let replay_t0 = t.clock.Host.now in
+    let result = Interp.call t.mobile target.Partition.t_name args in
+    emit_at t ~ts:replay_t0
+      (Trace.Replay
+         { target = target.Partition.t_name;
+           replay_s = t.clock.Host.now -. replay_t0 });
+    result
+  | None | Some (_, Admitted _) ->
   let snap =
     match t.injector with None -> None | Some _ -> Some (take_snapshot t)
   in
@@ -754,6 +833,34 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
   t.in_offload <- true;
   let t0 = t.clock.Host.now in
   emit_at t ~ts:t0 (Trace.Offload_begin { target = target.Partition.t_name });
+  (* Occupy the granted slot: wait out the FIFO queue (the mobile
+     radio idles in Waiting), then price the contention — the server's
+     slice of the machine slows down and the shared link serves a
+     fraction of its bandwidth until the slot is released. *)
+  let release_slot =
+    match admission with
+    | None -> fun () -> ()
+    | Some (sh, Admitted { wait_s; occupancy; slot; queue_depth; r_scale;
+                           bw_scale }) ->
+      if wait_s > 0.0 then begin
+        t.ov.queued <- t.ov.queued + 1;
+        t.ov.queue_wait_s <- t.ov.queue_wait_s +. wait_s;
+        emit t
+          (Trace.Queue
+             { target = target.Partition.t_name; wait_s;
+               depth = queue_depth });
+        with_state t Power_model.Waiting (fun () -> advance t wait_s)
+      end;
+      emit t
+        (Trace.Admit { target = target.Partition.t_name; occupancy; slot });
+      t.server.Host.slowdown <- 1.0 /. r_scale;
+      t.contention := bw_scale;
+      fun () ->
+        t.server.Host.slowdown <- 1.0;
+        t.contention := 1.0;
+        sh.sh_release ~now:t.clock.Host.now ~slot
+    | Some (_, Rejected _) -> assert false   (* handled above *)
+  in
   let attempt () =
     initialization t target.Partition.t_id args;
     (* Offloading execution: run the generated listener on the server;
@@ -783,12 +890,15 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
       (Trace.Offload_end
          { target = target.Partition.t_name; dirty_pages = dirty_count;
            span_s });
+    release_slot ();
     t.pending_ret
   | exception Server_lost reason ->
     (* Close the span the failure interrupted (the mobile device was
-       waiting on the server), then fall back. *)
+       waiting on the server), then fall back.  The abandoned slot is
+       released immediately — the replay is purely local work. *)
     mark t Power_model.Waiting;
     t.in_offload <- false;
+    release_slot ();
     rollback t target (Option.get snap);
     let recovery_s = t.clock.Host.now -. t0 in
     t.ov.fallbacks <- t.ov.fallbacks + 1;
@@ -841,8 +951,17 @@ let mobile_extern t name (argv : Value.t list) : Value.t option =
       | Some observed -> max observed live
       | None -> live
     in
+    (* Under a shared server the estimator prices the speedup and the
+       link at the load an offload starting now would actually get, so
+       a saturated server turns profitable offloads into refusals. *)
+    let r_factor, bw_factor =
+      match t.config.server_handle with
+      | None -> (1.0, 1.0)
+      | Some sh -> sh.sh_load ~now:t.clock.Host.now
+    in
     let decision =
-      Dynamic_estimate.should_offload t.estimator ~name:target ~mem_bytes
+      Dynamic_estimate.should_offload ~r_factor ~bw_factor t.estimator
+        ~name:target ~mem_bytes
     in
     if not (Trace.is_null t.config.trace) then
       emit t
@@ -850,8 +969,8 @@ let mobile_extern t name (argv : Value.t list) : Value.t option =
            {
              target;
              predicted_gain_s =
-               Dynamic_estimate.predicted_gain_s t.estimator ~name:target
-                 ~mem_bytes;
+               Dynamic_estimate.predicted_gain_s ~r_factor ~bw_factor
+                 t.estimator ~name:target ~mem_bytes;
              local_s = Dynamic_estimate.predicted_local_s t.estimator ~name:target;
              decision;
            });
@@ -919,6 +1038,9 @@ type report = {
   rep_retries : int;
   rep_fallbacks : int;            (* offloads recovered by local replay *)
   rep_recovery_s : float;         (* wall time lost to failed attempts *)
+  rep_queued : int;               (* offloads that waited for a slot *)
+  rep_queue_wait_s : float;       (* total FIFO admission wait *)
+  rep_rejects : int;              (* admissions refused (queue full) *)
 }
 
 let run t : report =
@@ -951,6 +1073,9 @@ let run t : report =
     rep_retries = t.ov.retries;
     rep_fallbacks = t.ov.fallbacks;
     rep_recovery_s = t.ov.recovery_s;
+    rep_queued = t.ov.queued;
+    rep_queue_wait_s = t.ov.queue_wait_s;
+    rep_rejects = t.ov.rejects;
   }
 
 let battery t = t.battery

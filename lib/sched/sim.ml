@@ -1,0 +1,354 @@
+(* Deterministic discrete-event simulation of N mobile clients sharing
+   one offload server.
+
+   Each client is a complete offloading session (its own mobile host,
+   link, battery and clock, starting at a configurable global offset);
+   the server's worker slots, admission queue and contention model are
+   the one piece of shared state (Server_load).  A session only
+   touches that state at three points — the load query behind a
+   dynamic-estimation decision, the admission request, the slot
+   release — so the simulation suspends a client exactly there, with
+   the client's *global* time (start offset + session clock), and
+   always resumes the suspended client with the smallest global time
+   (ties broken by client id, then arrival order).  Server state is
+   therefore read and written in global-time order: a conservative
+   discrete-event simulation.
+
+   Suspension is an OCaml effect: the per-client server handle
+   performs [Sync g] before (load, request) or after (release)
+   touching shared state, and the scheduler captures the continuation
+   into a priority queue keyed by g.  Between suspension points a
+   client runs to completion — in particular an admitted offload runs
+   all the way to its release (finalizing the slot's exact free
+   instant) before any later-arriving request is examined, which is
+   what lets Server_load compute FIFO waits from exact release times
+   instead of hold estimates.
+
+   Everything is deterministic: same client mix, same stagger, same
+   fault seeds — byte-identical trace streams and rendered tables. *)
+
+module Link = No_netsim.Link
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Registry = No_workloads.Registry
+module Compiler = Native_offloader.Compiler
+module Experiment = Native_offloader.Experiment
+module Trace = No_trace.Trace
+module Fault_plan = No_fault.Plan
+module Table = No_report.Table
+
+type client = {
+  cl_id : int;
+  cl_workload : string;            (* registry entry name *)
+  cl_start_s : float;              (* global arrival offset *)
+  cl_faults : Fault_plan.t option; (* per-client fault schedule *)
+}
+
+(* Which console input each session replays.  Profile inputs are the
+   small training runs — cheap enough for tests and CI sweeps; Eval
+   replays the paper's evaluation inputs. *)
+type scale = Profile | Eval
+
+type config = {
+  s_load : Server_load.config;
+  s_link : Link.t;
+  s_scale : scale;
+}
+
+let default_config =
+  { s_load = Server_load.default; s_link = Link.fast_wifi; s_scale = Profile }
+
+let make_clients ?(stagger_s = 0.05) ?faults ~workloads ~count () =
+  if workloads = [] then invalid_arg "Sim.make_clients: no workloads";
+  if count < 1 then invalid_arg "Sim.make_clients: count < 1";
+  List.init count (fun i ->
+      {
+        cl_id = i;
+        cl_workload = List.nth workloads (i mod List.length workloads);
+        cl_start_s = stagger_s *. float_of_int i;
+        cl_faults =
+          Option.map
+            (fun plan ->
+              Fault_plan.with_seed plan
+                (Int64.add plan.Fault_plan.seed (Int64.of_int i)))
+            faults;
+      })
+
+type client_result = {
+  cr_id : int;
+  cr_workload : string;
+  cr_start_s : float;
+  cr_report : Session.report;
+  cr_local_s : float;    (* the same program + input run locally *)
+  cr_speedup : float;    (* local time / offloaded-session time *)
+  cr_end_s : float;      (* global completion instant *)
+  cr_events : (float * Trace.event) list;  (* session-local timestamps *)
+}
+
+type result = {
+  r_clients : client_result list;
+  r_makespan_s : float;
+  r_throughput : float;            (* clients completed / makespan *)
+  r_stats : Server_load.stats;
+}
+
+(* {1 The scheduler} *)
+
+type _ Effect.t += Sync : float -> unit Effect.t
+
+let run ?(config = default_config) (clients : client list) : result =
+  if clients = [] then invalid_arg "Sim.run: no clients";
+  let load = Server_load.create config.s_load in
+  (* Priority queue of suspended clients, keyed (global time, client
+     id, arrival order).  Event counts are small (a handful of
+     suspensions per offload), so a sorted list is plenty. *)
+  let queue = ref [] in
+  let seq = ref 0 in
+  let insert time cid thunk =
+    incr seq;
+    let key = (time, cid, !seq) in
+    let rec ins = function
+      | [] -> [ (key, thunk) ]
+      | ((k, _) as hd) :: tl when k <= key -> hd :: ins tl
+      | rest -> (key, thunk) :: rest
+    in
+    queue := ins !queue
+  in
+  let run_next () =
+    match !queue with
+    | [] -> ()
+    | (_, thunk) :: rest ->
+      queue := rest;
+      thunk ()
+  in
+  let sync time = Effect.perform (Sync time) in
+  (* The session's only view of the shared server: every closure
+     converts the session clock to global time and suspends, so shared
+     state is touched in global order.  The release records the slot's
+     free instant *before* suspending — by the time any later request
+     runs, the booking is final. *)
+  let handle_of (cl : client) : Session.server_handle =
+    let glob now = cl.cl_start_s +. now in
+    {
+      Session.sh_load =
+        (fun ~now ->
+          sync (glob now);
+          Server_load.load load ~now:(glob now));
+      Session.sh_request =
+        (fun ~now ~target ->
+          sync (glob now);
+          Server_load.request load ~now:(glob now) ~target);
+      Session.sh_release =
+        (fun ~now ~slot ->
+          Server_load.release load ~now:(glob now) ~slot;
+          sync (glob now));
+    }
+  in
+  (* Compile once per distinct workload; the local baseline shares the
+     compiled program and the session's input. *)
+  let compiled_cache = Hashtbl.create 4 in
+  let compiled_of name =
+    match Hashtbl.find_opt compiled_cache name with
+    | Some c -> c
+    | None ->
+      let entry =
+        match Registry.by_name name with
+        | Some e -> e
+        | None -> invalid_arg ("Sim.run: unknown workload " ^ name)
+      in
+      let compiled =
+        Compiler.compile ~profile_script:entry.Registry.e_profile_script
+          ~profile_files:entry.Registry.e_files
+          ~eval_scale:entry.Registry.e_eval_scale
+          (entry.Registry.e_build ())
+      in
+      Hashtbl.replace compiled_cache name (entry, compiled);
+      (entry, compiled)
+  in
+  let script_of (entry : Registry.entry) =
+    match config.s_scale with
+    | Profile -> entry.Registry.e_profile_script
+    | Eval -> entry.Registry.e_eval_script
+  in
+  let local_cache = Hashtbl.create 4 in
+  let local_of name =
+    match Hashtbl.find_opt local_cache name with
+    | Some s -> s
+    | None ->
+      let entry, compiled = compiled_of name in
+      let r =
+        Local_run.run ~script:(script_of entry) ~files:entry.Registry.e_files
+          compiled.Compiler.c_original
+      in
+      Hashtbl.replace local_cache name r.Local_run.lr_total_s;
+      r.Local_run.lr_total_s
+  in
+  List.iter
+    (fun cl ->
+      ignore (compiled_of cl.cl_workload);
+      ignore (local_of cl.cl_workload))
+    clients;
+  let n = List.length clients in
+  let results = Array.make n None in
+  let client_main idx (cl : client) () =
+    let entry, compiled = compiled_of cl.cl_workload in
+    let ring = Trace.Ring.create () in
+    let cfg =
+      { (Session.default_config ~link:config.s_link ()) with
+        Session.trace = Trace.Ring.sink ring;
+        Session.server_handle = Some (handle_of cl);
+        Session.faults = cl.cl_faults }
+    in
+    let session =
+      Session.create ~config:cfg ~script:(script_of entry)
+        ~files:entry.Registry.e_files compiled.Compiler.c_output
+        ~seeds:compiled.Compiler.c_seeds
+    in
+    let report = Session.run session in
+    results.(idx) <- Some (report, ring)
+  in
+  List.iteri
+    (fun idx cl ->
+      insert cl.cl_start_s cl.cl_id (fun () ->
+          Effect.Deep.match_with (client_main idx cl) ()
+            {
+              Effect.Deep.retc = (fun () -> run_next ());
+              exnc = raise;
+              effc =
+                (fun (type a) (eff : a Effect.t) ->
+                  match eff with
+                  | Sync time ->
+                    Some
+                      (fun (k : (a, _) Effect.Deep.continuation) ->
+                        insert time cl.cl_id (fun () ->
+                            Effect.Deep.continue k ());
+                        run_next ())
+                  | _ -> None);
+            }))
+    clients;
+  run_next ();
+  let client_results =
+    List.mapi
+      (fun idx cl ->
+        match results.(idx) with
+        | None -> failwith "Sim.run: client never completed"
+        | Some (report, ring) ->
+          let local_s = local_of cl.cl_workload in
+          {
+            cr_id = cl.cl_id;
+            cr_workload = cl.cl_workload;
+            cr_start_s = cl.cl_start_s;
+            cr_report = report;
+            cr_local_s = local_s;
+            cr_speedup = local_s /. report.Session.rep_total_s;
+            cr_end_s = cl.cl_start_s +. report.Session.rep_total_s;
+            cr_events = Trace.Ring.events ring;
+          })
+      clients
+  in
+  let makespan =
+    List.fold_left (fun acc c -> Float.max acc c.cr_end_s) 0.0 client_results
+  in
+  {
+    r_clients = client_results;
+    r_makespan_s = makespan;
+    r_throughput = float_of_int n /. makespan;
+    r_stats = Server_load.stats load;
+  }
+
+(* {1 Derived views} *)
+
+let geomean_speedup result =
+  Experiment.geomean (List.map (fun c -> c.cr_speedup) result.r_clients)
+
+(* Clients the scheduler pushed back to local execution: at least one
+   task refused by the load-aware estimator or bounced off the full
+   admission queue. *)
+let flipped_local result =
+  List.length
+    (List.filter
+       (fun c ->
+         c.cr_report.Session.rep_refusals > 0
+         || c.cr_report.Session.rep_rejects > 0)
+       result.r_clients)
+
+(* End-to-end latencies of every completed offload span, ascending. *)
+let span_latencies result =
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun (_ts, ev) ->
+          match ev with
+          | Trace.Offload_end { span_s; _ } -> Some span_s
+          | _ -> None)
+        c.cr_events)
+    result.r_clients
+  |> List.sort compare
+
+(* Nearest-rank percentile of an ascending list; 0.0 when empty. *)
+let percentile sorted ~p =
+  match sorted with
+  | [] -> 0.0
+  | xs ->
+    let n = List.length xs in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    List.nth xs (max 0 (min (n - 1) (rank - 1)))
+
+(* Global-time [admit, release] intervals of admitted offloads — on
+   both the success and the fallback path the release coincides with
+   the Offload_end stamp, so at no instant may more than [slots] of
+   these overlap (the scheduler tests sweep this invariant). *)
+let admitted_intervals result =
+  List.concat_map
+    (fun c ->
+      let rec scan acc pending = function
+        | [] -> List.rev acc
+        | (ts, Trace.Admit _) :: rest -> scan acc (Some ts) rest
+        | (ts, Trace.Offload_end _) :: rest -> (
+          match pending with
+          | Some t0 ->
+            scan
+              ((c.cr_start_s +. t0, c.cr_start_s +. ts) :: acc)
+              None rest
+          | None -> scan acc None rest)
+        | _ :: rest -> scan acc pending rest
+      in
+      scan [] None c.cr_events)
+    result.r_clients
+
+(* {1 Rendering} *)
+
+let render ?(title = "multi-client schedule") result : string =
+  let tbl =
+    Table.create ~title
+      [ "client"; "workload"; "start s"; "offloads"; "refusals"; "queued";
+        "rejects"; "wait s"; "total s"; "speedup" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row tbl
+        [
+          Table.cell_i c.cr_id;
+          c.cr_workload;
+          Table.cell_f ~digits:3 c.cr_start_s;
+          Table.cell_i c.cr_report.Session.rep_offloads;
+          Table.cell_i c.cr_report.Session.rep_refusals;
+          Table.cell_i c.cr_report.Session.rep_queued;
+          Table.cell_i c.cr_report.Session.rep_rejects;
+          Table.cell_f ~digits:4 c.cr_report.Session.rep_queue_wait_s;
+          Table.cell_f ~digits:4 c.cr_report.Session.rep_total_s;
+          Table.cell_f ~digits:3 c.cr_speedup;
+        ])
+    result.r_clients;
+  let lat = span_latencies result in
+  let st = result.r_stats in
+  Printf.sprintf
+    "%s\n\
+     geomean speedup %.3f | makespan %.4f s | throughput %.3f clients/s\n\
+     server: %d admits, %d queued, %d rejects, peak occupancy %d\n\
+     offload latency p50 %.4f s, p95 %.4f s, p99 %.4f s"
+    (Table.render tbl) (geomean_speedup result) result.r_makespan_s
+    result.r_throughput st.Server_load.st_admits st.Server_load.st_queued
+    st.Server_load.st_rejects st.Server_load.st_peak_occupancy
+    (percentile lat ~p:50.0) (percentile lat ~p:95.0)
+    (percentile lat ~p:99.0)

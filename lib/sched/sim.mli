@@ -1,0 +1,90 @@
+(** Deterministic discrete-event simulation of N mobile clients
+    sharing one offload server.
+
+    Each client is a full offloading session starting at a global
+    offset; the shared state is the server's worker slots and
+    admission queue ({!Server_load}).  Clients suspend (via an OCaml
+    effect) at every shared-server interaction and are resumed in
+    global-time order, so the run is a conservative discrete-event
+    simulation: same mix + same seeds → byte-identical traces and
+    tables. *)
+
+type client = {
+  cl_id : int;                     (** unique, also the tie-breaker *)
+  cl_workload : string;            (** registry entry name *)
+  cl_start_s : float;              (** global arrival offset *)
+  cl_faults : No_fault.Plan.t option;  (** per-client fault schedule *)
+}
+
+(** Which console input each session replays: [Profile] (small
+    training inputs — cheap, for tests/CI) or [Eval] (the paper's
+    evaluation inputs). *)
+type scale = Profile | Eval
+
+type config = {
+  s_load : Server_load.config;
+  s_link : No_netsim.Link.t;
+  s_scale : scale;
+}
+
+val default_config : config
+(** {!Server_load.default}, fast Wi-Fi, profile-scale inputs. *)
+
+val make_clients :
+  ?stagger_s:float ->
+  ?faults:No_fault.Plan.t ->
+  workloads:string list ->
+  count:int ->
+  unit ->
+  client list
+(** [count] clients round-robined over [workloads], arriving
+    [stagger_s] (default 0.05 s) apart.  A fault plan is re-seeded
+    per client (base seed + client id) so every client suffers its
+    own deterministic schedule. *)
+
+type client_result = {
+  cr_id : int;
+  cr_workload : string;
+  cr_start_s : float;
+  cr_report : No_runtime.Session.report;
+  cr_local_s : float;    (** the same program + input run locally *)
+  cr_speedup : float;    (** local time / offloaded-session time *)
+  cr_end_s : float;      (** global completion instant *)
+  cr_events : (float * No_trace.Trace.event) list;
+      (** the session's trace, session-local timestamps (add
+          [cr_start_s] for global time) *)
+}
+
+type result = {
+  r_clients : client_result list;
+  r_makespan_s : float;
+  r_throughput : float;            (** clients completed / makespan *)
+  r_stats : Server_load.stats;
+}
+
+val run : ?config:config -> client list -> result
+(** Simulate the whole fleet to completion.  Raises
+    [Invalid_argument] on an empty client list or an unknown
+    workload name. *)
+
+val geomean_speedup : result -> float
+
+val flipped_local : result -> int
+(** Clients with at least one estimator refusal or queue rejection —
+    tasks the contended server pushed back to the mobile device. *)
+
+val span_latencies : result -> float list
+(** End-to-end latencies of every completed offload span (queue wait
+    included), ascending. *)
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile of an ascending list; 0.0 when empty. *)
+
+val admitted_intervals : result -> (float * float) list
+(** Global-time [(admit, release)] intervals of admitted offloads; at
+    no instant may more than [slots] of them overlap. *)
+
+val render : ?title:string -> result -> string
+(** Deterministic per-client table plus aggregate lines (geomean
+    speedup, makespan, throughput, server stats, latency
+    percentiles). *)

@@ -54,6 +54,9 @@ type event =
   | Fallback_local of { target : string; reason : string; recovery_s : float }
   | Rollback of { target : string; pages_restored : int; bytes_discarded : int }
   | Replay of { target : string; replay_s : float }
+  | Queue of { target : string; wait_s : float; depth : int }
+  | Admit of { target : string; occupancy : int; slot : int }
+  | Reject of { target : string; queue_depth : int }
 
 (* Events that carry a time-span are stamped with the *start* of the
    span; the clock value is simulated seconds. *)
@@ -94,6 +97,9 @@ let event_name = function
   | Fallback_local { target; _ } -> "fallback:" ^ target
   | Rollback { target; _ } -> "rollback:" ^ target
   | Replay { target; _ } -> "replay:" ^ target
+  | Queue { target; _ } -> "queue:" ^ target
+  | Admit { target; _ } -> "admit:" ^ target
+  | Reject { target; _ } -> "reject:" ^ target
 
 (* {1 Aggregating metrics sink}
 
@@ -132,6 +138,10 @@ module Metrics = struct
     mutable recovery_s : float;
     mutable replays : int;
     mutable replay_s : float;
+    mutable queued : int;
+    mutable queue_wait_s : float;
+    mutable admits : int;
+    mutable rejects : int;
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     (* (start, mw, duration, state), reversed — the Figure-8 raw
@@ -170,6 +180,10 @@ module Metrics = struct
       recovery_s = 0.0;
       replays = 0;
       replay_s = 0.0;
+      queued = 0;
+      queue_wait_s = 0.0;
+      admits = 0;
+      rejects = 0;
       energy_mj = 0.0;
       power_s = Hashtbl.create 8;
       power_rev = [];
@@ -226,6 +240,11 @@ module Metrics = struct
     | Replay { replay_s; _ } ->
       t.replays <- t.replays + 1;
       t.replay_s <- t.replay_s +. replay_s
+    | Queue { wait_s; _ } ->
+      t.queued <- t.queued + 1;
+      t.queue_wait_s <- t.queue_wait_s +. wait_s
+    | Admit _ -> t.admits <- t.admits + 1
+    | Reject _ -> t.rejects <- t.rejects + 1
 
   let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
 
@@ -299,6 +318,10 @@ module Metrics = struct
       ("recovery time (s)", Printf.sprintf "%.4f" t.recovery_s);
       ("local replays", string_of_int t.replays);
       ("replay time (s)", Printf.sprintf "%.4f" t.replay_s);
+      ("server admits", string_of_int t.admits);
+      ("server rejects", string_of_int t.rejects);
+      ("queued offloads", string_of_int t.queued);
+      ("queue wait (s)", Printf.sprintf "%.4f" t.queue_wait_s);
       ("energy (mJ)", Printf.sprintf "%.2f" t.energy_mj);
       ("total time (s)", Printf.sprintf "%.4f" (total_s t));
     ]
@@ -509,6 +532,20 @@ module Chrome = struct
         ()
     | Replay { replay_s; _ } ->
       record ~name ~ph:"X" ~ts ~dur:(us replay_s) ~tid:session_tid ()
+    | Queue { wait_s; depth; _ } ->
+      record ~name ~ph:"X" ~ts ~dur:(us wait_s) ~tid:session_tid
+        ~args:[ ("depth", string_of_int depth) ]
+        ()
+    | Admit { occupancy; slot; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:
+          [ ("occupancy", string_of_int occupancy);
+            ("slot", string_of_int slot) ]
+        ()
+    | Reject { queue_depth; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:[ ("queue_depth", string_of_int queue_depth) ]
+        ()
 
   let thread_meta tid label =
     Printf.sprintf

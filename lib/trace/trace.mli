@@ -59,6 +59,17 @@ type event =
   | Replay of { target : string; replay_s : float }
       (** the retained local body re-ran after a rollback; stamped at
           replay start, [replay_s] is the local re-execution time *)
+  | Queue of { target : string; wait_s : float; depth : int }
+      (** every worker slot of the shared server was busy at arrival;
+          the request waited [wait_s] in FIFO order behind [depth]
+          queued requests.  Stamped at arrival (the wait's start) *)
+  | Admit of { target : string; occupancy : int; slot : int }
+      (** the shared server granted worker [slot]; [occupancy] is the
+          number of concurrently executing offloads including this
+          one — the load the contention scaling was priced at *)
+  | Reject of { target : string; queue_depth : int }
+      (** the shared server's admission queue was full; the task runs
+          on the mobile device instead *)
 
 type sink = { emit : ts:float -> event -> unit }
 (** [ts] is simulated seconds; events that span time are stamped with
@@ -115,6 +126,10 @@ module Metrics : sig
     mutable recovery_s : float;
     mutable replays : int;
     mutable replay_s : float;
+    mutable queued : int;
+    mutable queue_wait_s : float;
+    mutable admits : int;
+    mutable rejects : int;
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     mutable power_rev : (float * float * float * string) list;

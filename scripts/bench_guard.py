@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Bench-lane helper: merge headline JSON files and guard against
+performance regressions.
+
+Subcommands:
+
+  merge P F -o OUT      combine the `bench percentiles --json` and
+                        `bench faults --json` outputs into one
+                        BENCH_pr.json (schema-versioned)
+  check PR BASELINE     compare a PR's headline numbers against the
+                        committed baseline; exit non-zero on a
+                        regression (or an out-of-band improvement —
+                        see re-baselining below)
+  selftest BASELINE     verify the guard actually fails on an injected
+                        2x slowdown (and passes on an identical copy)
+
+The simulator is deterministic, so at a fixed --sample size the
+headline numbers are stable across runs and machines; the tolerance
+only needs to absorb intentional model changes, not noise.
+
+Re-baselining: when a PR intentionally shifts performance (either
+direction) beyond the tolerance, regenerate the baseline at the same
+reduced scale and commit it with the change:
+
+    dune exec bench/main.exe -- percentiles --sample 4 --json /tmp/p.json
+    dune exec bench/main.exe -- faults      --sample 4 --json /tmp/f.json
+    python3 scripts/bench_guard.py merge /tmp/p.json /tmp/f.json \
+        -o BENCH_baseline.json
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA = 1
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def cmd_merge(args):
+    percentiles = load(args.percentiles)
+    faults = load(args.faults)
+    for blob, want in ((percentiles, "percentiles"), (faults, "faults")):
+        mode = blob.get("mode")
+        if mode != want:
+            sys.exit(f"bench_guard: expected mode={want!r}, got {mode!r}")
+    merged = {"schema": SCHEMA, "percentiles": percentiles, "faults": faults}
+    with open(args.output, "w") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+
+def compare(pr, baseline, tolerance):
+    """Return a list of failure messages (empty = within tolerance)."""
+    failures = []
+    for blob, name in ((pr, "PR"), (baseline, "baseline")):
+        if blob.get("schema") != SCHEMA:
+            failures.append(
+                f"{name} file has schema {blob.get('schema')!r}, "
+                f"expected {SCHEMA}"
+            )
+    if failures:
+        return failures
+
+    base_speedup = baseline["percentiles"]["geomean_speedup"]
+    pr_speedup = pr["percentiles"]["geomean_speedup"]
+    ratio = pr_speedup / base_speedup
+    if ratio < 1.0 - tolerance:
+        failures.append(
+            f"geomean speedup regressed: {pr_speedup:.4f} vs baseline "
+            f"{base_speedup:.4f} ({(1.0 - ratio) * 100:.1f}% below, "
+            f"tolerance {tolerance * 100:.0f}%)"
+        )
+    elif ratio > 1.0 + tolerance:
+        failures.append(
+            f"geomean speedup improved beyond tolerance: {pr_speedup:.4f} "
+            f"vs baseline {base_speedup:.4f} "
+            f"({(ratio - 1.0) * 100:.1f}% above) — if intentional, "
+            "re-baseline (see scripts/bench_guard.py docstring)"
+        )
+
+    base_survival = baseline["faults"]["survival_rate"]
+    pr_survival = pr["faults"]["survival_rate"]
+    if pr_survival < base_survival:
+        failures.append(
+            f"fault survival rate dropped: {pr_survival:.3f} vs baseline "
+            f"{base_survival:.3f}"
+        )
+    return failures
+
+
+def cmd_check(args):
+    pr = load(args.pr)
+    baseline = load(args.baseline)
+    failures = compare(pr, baseline, args.tolerance)
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        sys.exit(1)
+    print(
+        "OK: geomean speedup "
+        f"{pr['percentiles']['geomean_speedup']:.4f} vs baseline "
+        f"{baseline['percentiles']['geomean_speedup']:.4f} "
+        f"(tolerance {args.tolerance * 100:.0f}%), survival rate "
+        f"{pr['faults']['survival_rate']:.3f}"
+    )
+
+
+def cmd_selftest(args):
+    baseline = load(args.baseline)
+
+    identical = copy.deepcopy(baseline)
+    if compare(identical, baseline, args.tolerance):
+        sys.exit("selftest: identical copy should pass but failed")
+
+    slowed = copy.deepcopy(baseline)
+    slowed["percentiles"]["geomean_speedup"] /= 2.0
+    if not compare(slowed, baseline, args.tolerance):
+        sys.exit("selftest: injected 2x slowdown was not caught")
+
+    print("selftest OK: identical copy passes, 2x slowdown fails")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("merge", help="combine headline JSONs")
+    p.add_argument("percentiles")
+    p.add_argument("faults")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_merge)
+
+    p = sub.add_parser("check", help="compare PR numbers to the baseline")
+    p.add_argument("pr")
+    p.add_argument("baseline")
+    p.add_argument("--tolerance", type=float, default=0.10)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("selftest", help="prove the guard catches a slowdown")
+    p.add_argument("baseline")
+    p.add_argument("--tolerance", type=float, default=0.10)
+    p.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ let () =
       ("offload", Test_offload.tests);
       ("runtime", Test_runtime.tests);
       ("fault", Test_fault.tests);
+      ("sched", Test_sched.tests);
       ("workloads", Test_workloads.tests);
       ("corpus-report", Test_corpus_report.tests);
     ]

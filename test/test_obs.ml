@@ -358,7 +358,17 @@ let chess_events =
      Trace.Ring.events ring)
 
 let test_trace_file_round_trip () =
-  let events = Lazy.force chess_events in
+  (* Append scheduler events (emitted only under a shared-server
+     handle) so the round trip covers every constructor the
+     multi-client simulator produces. *)
+  let events =
+    Lazy.force chess_events
+    @ [
+        (9.0, Trace.Queue { target = "search"; wait_s = 0.25; depth = 1 });
+        (9.25, Trace.Admit { target = "search"; occupancy = 2; slot = 1 });
+        (9.5, Trace.Reject { target = "search"; queue_depth = 2 });
+      ]
+  in
   let text = Trace_file.to_string events in
   match Trace_file.of_string text with
   | Error msg -> Alcotest.fail msg

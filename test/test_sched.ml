@@ -1,0 +1,277 @@
+(* Multi-client scheduler tests: the Server_load admission/contention
+   model in isolation, the session-level server handle driven by stub
+   handles, and the discrete-event simulator's headline guarantees —
+   byte-identical reruns, the worker-slot bound as a QCheck property
+   over random fleets, and monotone speedup degradation with clients
+   flipping back to local under saturation. *)
+
+module Link = No_netsim.Link
+module Session = No_runtime.Session
+module Local_run = No_runtime.Local_run
+module Registry = No_workloads.Registry
+module Compiler = Native_offloader.Compiler
+module Server_load = No_sched.Server_load
+module Sim = No_sched.Sim
+
+let close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9f, got %.9f" msg expected actual
+
+(* {1 Server_load units} *)
+
+let test_scale_curves () =
+  let cfg = Server_load.default in
+  close "r_scale exclusive" 1.0 (Server_load.r_scale cfg ~occupancy:1);
+  close "bw_scale exclusive" 1.0 (Server_load.bw_scale cfg ~occupancy:1);
+  close "r_scale closed form at occupancy 3"
+    (1.0 /. (1.0 +. (cfg.Server_load.alpha *. 2.0)))
+    (Server_load.r_scale cfg ~occupancy:3);
+  for m = 1 to 7 do
+    Alcotest.(check bool) "r_scale strictly decreasing" true
+      (Server_load.r_scale cfg ~occupancy:(m + 1)
+      < Server_load.r_scale cfg ~occupancy:m);
+    Alcotest.(check bool) "bw_scale strictly decreasing" true
+      (Server_load.bw_scale cfg ~occupancy:(m + 1)
+      < Server_load.bw_scale cfg ~occupancy:m)
+  done
+
+(* One slot, queue of one: the driver protocol (request, run to
+   release, next request) exercises admit, exact-wait queueing, and
+   rejection in sequence. *)
+let test_admission_queue_reject () =
+  let cfg =
+    { Server_load.default with Server_load.slots = 1; queue_cap = 1 }
+  in
+  let t = Server_load.create cfg in
+  (match Server_load.request t ~now:0.0 ~target:"a" with
+  | Session.Admitted { wait_s; occupancy; slot; _ } ->
+    close "first request admits at once" 0.0 wait_s;
+    Alcotest.(check int) "exclusive occupancy" 1 occupancy;
+    Server_load.release t ~now:1.0 ~slot
+  | Session.Rejected _ -> Alcotest.fail "first request rejected");
+  (* Arrives at 0.5 while the slot is booked until 1.0: queued with
+     the exact wait, not an estimate. *)
+  (match Server_load.request t ~now:0.5 ~target:"b" with
+  | Session.Admitted { wait_s; occupancy; slot; queue_depth; _ } ->
+    close "FIFO wait is release - arrival" 0.5 wait_s;
+    Alcotest.(check int) "queued request starts exclusive" 1 occupancy;
+    Alcotest.(check int) "no earlier waiters" 0 queue_depth;
+    Server_load.release t ~now:2.0 ~slot
+  | Session.Rejected _ -> Alcotest.fail "queueable request rejected");
+  (* Arrives at 0.6 behind the queued waiter: the queue is full. *)
+  (match Server_load.request t ~now:0.6 ~target:"c" with
+  | Session.Admitted _ -> Alcotest.fail "over-capacity request admitted"
+  | Session.Rejected { queue_depth } ->
+    Alcotest.(check int) "rejected behind one waiter" 1 queue_depth);
+  let st = Server_load.stats t in
+  Alcotest.(check int) "admits" 2 st.Server_load.st_admits;
+  Alcotest.(check int) "queued" 1 st.Server_load.st_queued;
+  Alcotest.(check int) "rejects" 1 st.Server_load.st_rejects;
+  Alcotest.(check int) "peak occupancy" 1 st.Server_load.st_peak_occupancy
+
+let test_contention_pricing () =
+  let cfg =
+    { Server_load.default with Server_load.slots = 2; queue_cap = 0 }
+  in
+  let t = Server_load.create cfg in
+  let r1, bw1 = Server_load.load t ~now:0.0 in
+  close "idle server prices exclusive R" 1.0 r1;
+  close "idle server prices exclusive BW" 1.0 bw1;
+  (match Server_load.request t ~now:0.0 ~target:"a" with
+  | Session.Admitted { slot; _ } -> Server_load.release t ~now:2.0 ~slot
+  | Session.Rejected _ -> Alcotest.fail "first request rejected");
+  (* A neighbour running until 2.0: the second slot admits at once but
+     at occupancy 2, so both contention coefficients bite. *)
+  match Server_load.request t ~now:0.1 ~target:"b" with
+  | Session.Admitted { wait_s; occupancy; slot; r_scale; bw_scale; _ } ->
+    close "free slot admits with no wait" 0.0 wait_s;
+    Alcotest.(check int) "priced at occupancy 2" 2 occupancy;
+    close "compute contention"
+      (1.0 /. (1.0 +. cfg.Server_load.alpha))
+      r_scale;
+    close "link contention" (1.0 /. (1.0 +. cfg.Server_load.beta)) bw_scale;
+    Server_load.release t ~now:1.5 ~slot
+  | Session.Rejected _ -> Alcotest.fail "second slot rejected"
+
+(* {1 Session under stub server handles} *)
+
+let gzip =
+  lazy
+    (let entry = Option.get (Registry.by_name "164.gzip") in
+     let compiled =
+       Compiler.compile ~profile_script:entry.Registry.e_profile_script
+         ~profile_files:entry.Registry.e_files
+         ~eval_scale:entry.Registry.e_eval_scale
+         (entry.Registry.e_build ())
+     in
+     (entry, compiled))
+
+let run_session ?server_handle () =
+  let entry, compiled = Lazy.force gzip in
+  let config =
+    match server_handle with
+    | None -> Session.default_config ()
+    | Some handle ->
+      { (Session.default_config ()) with
+        Session.server_handle = Some handle }
+  in
+  let session =
+    Session.create ~config ~script:entry.Registry.e_profile_script
+      ~files:entry.Registry.e_files compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  Session.run session
+
+(* An uncontended always-admit handle prices every offload at
+   occupancy 1 with unit scales — the session must be bit-for-bit the
+   plain single-client run. *)
+let test_stub_admit_transparent () =
+  let handle =
+    {
+      Session.sh_load = (fun ~now:_ -> (1.0, 1.0));
+      Session.sh_request =
+        (fun ~now:_ ~target:_ ->
+          Session.Admitted
+            {
+              wait_s = 0.0;
+              occupancy = 1;
+              slot = 0;
+              queue_depth = 0;
+              r_scale = 1.0;
+              bw_scale = 1.0;
+            });
+      Session.sh_release = (fun ~now:_ ~slot:_ -> ());
+    }
+  in
+  let plain = run_session () in
+  let served = run_session ~server_handle:handle () in
+  close "identical total time" plain.Session.rep_total_s
+    served.Session.rep_total_s;
+  Alcotest.(check string) "identical console" plain.Session.rep_console
+    served.Session.rep_console;
+  Alcotest.(check int) "same offload count" plain.Session.rep_offloads
+    served.Session.rep_offloads;
+  Alcotest.(check int) "nothing queued" 0 served.Session.rep_queued;
+  Alcotest.(check int) "nothing rejected" 0 served.Session.rep_rejects
+
+(* An always-reject handle: every admission bounces, every task runs
+   on the mobile device, and the output still matches the local run. *)
+let test_stub_reject_runs_local () =
+  let handle =
+    {
+      Session.sh_load = (fun ~now:_ -> (1.0, 1.0));
+      Session.sh_request =
+        (fun ~now:_ ~target:_ -> Session.Rejected { queue_depth = 0 });
+      Session.sh_release = (fun ~now:_ ~slot:_ -> ());
+    }
+  in
+  let entry, compiled = Lazy.force gzip in
+  let local =
+    Local_run.run ~script:entry.Registry.e_profile_script
+      ~files:entry.Registry.e_files compiled.Compiler.c_original
+  in
+  let served = run_session ~server_handle:handle () in
+  Alcotest.(check int) "no offload completes" 0 served.Session.rep_offloads;
+  Alcotest.(check bool) "every attempt rejected" true
+    (served.Session.rep_rejects > 0);
+  Alcotest.(check string) "console identical to local"
+    local.Local_run.lr_console served.Session.rep_console
+
+(* {1 Simulator guarantees} *)
+
+let degraded_config ~slots ~queue =
+  { Sim.default_config with
+    Sim.s_load =
+      { Server_load.default with Server_load.slots; queue_cap = queue } }
+
+let test_sim_deterministic () =
+  let run_once () =
+    let clients =
+      Sim.make_clients ~stagger_s:0.02
+        ~workloads:[ "164.gzip"; "429.mcf" ] ~count:4 ()
+    in
+    Sim.render (Sim.run ~config:(degraded_config ~slots:1 ~queue:1) clients)
+  in
+  Alcotest.(check string) "byte-identical rerun" (run_once ()) (run_once ())
+
+let test_sim_degrades_and_flips () =
+  let geomeans =
+    List.map
+      (fun count ->
+        let clients =
+          Sim.make_clients ~stagger_s:0.02 ~workloads:[ "164.gzip" ] ~count
+            ()
+        in
+        let result =
+          Sim.run ~config:(degraded_config ~slots:2 ~queue:1) clients
+        in
+        (count, Sim.geomean_speedup result, Sim.flipped_local result))
+      [ 1; 2; 4; 8 ]
+  in
+  let rec check_monotone = function
+    | (c1, g1, _) :: ((c2, g2, _) :: _ as rest) ->
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "geomean speedup non-increasing (%d clients %.3f -> %d clients \
+            %.3f)"
+           c1 g1 c2 g2)
+        true
+        (g2 <= g1 +. 1e-9);
+      check_monotone rest
+    | _ -> ()
+  in
+  check_monotone geomeans;
+  let _, _, flips_at_max = List.nth geomeans (List.length geomeans - 1) in
+  Alcotest.(check bool) "saturation flips at least one client local" true
+    (flips_at_max >= 1)
+
+(* Maximum number of intervals overlapping at any instant, by sweeping
+   the sorted start/end events. *)
+let max_overlap intervals =
+  let events =
+    List.concat_map (fun (s, e) -> [ (s, 1); (e, -1) ]) intervals
+    (* At equal instants process releases before admissions: a slot
+       released at t is free for an admission at t. *)
+    |> List.sort compare
+  in
+  let _, peak =
+    List.fold_left
+      (fun (cur, peak) (_t, d) ->
+        let cur = cur + d in
+        (cur, max cur peak))
+      (0, 0) events
+  in
+  peak
+
+let prop_slot_bound =
+  QCheck.Test.make ~name:"admitted offloads never exceed the slot bound"
+    ~count:25
+    QCheck.(
+      triple (int_range 1 6) (int_range 1 3) (int_range 0 2))
+    (fun (count, slots, queue) ->
+      let clients =
+        Sim.make_clients ~stagger_s:0.03
+          ~workloads:[ "164.gzip"; "429.mcf" ] ~count ()
+      in
+      let result = Sim.run ~config:(degraded_config ~slots ~queue) clients in
+      let intervals = Sim.admitted_intervals result in
+      max_overlap intervals <= slots)
+
+let tests =
+  [
+    Alcotest.test_case "server-load: contention curves" `Quick
+      test_scale_curves;
+    Alcotest.test_case "server-load: admit/queue/reject" `Quick
+      test_admission_queue_reject;
+    Alcotest.test_case "server-load: occupancy pricing" `Quick
+      test_contention_pricing;
+    Alcotest.test_case "session: always-admit handle is transparent" `Quick
+      test_stub_admit_transparent;
+    Alcotest.test_case "session: always-reject handle runs local" `Quick
+      test_stub_reject_runs_local;
+    Alcotest.test_case "sim: deterministic rerun" `Quick
+      test_sim_deterministic;
+    Alcotest.test_case "sim: degradation and local flips" `Quick
+      test_sim_degrades_and_flips;
+    QCheck_alcotest.to_alcotest prop_slot_bound;
+  ]
