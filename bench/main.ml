@@ -26,6 +26,16 @@
                                            p50/p95/p99 for speedup, comm
                                            time, page-fault service and
                                            wire bytes
+     dune exec bench/main.exe -- multiclient
+                                           throughput/latency vs client
+                                           count, with SLO verdicts per
+                                           sweep point (--slo SPEC)
+     dune exec bench/main.exe -- timeseries
+                                           windowed telemetry of one traced
+                                           run: per-interval rates, gauges,
+                                           SLO verdicts, OpenMetrics export
+                                           (--workload, --window, --slo,
+                                           --metrics-out, --json)
 
    Full-scale table regeneration takes minutes (it sweeps 17 workloads
    x 4 configurations), so the Bechamel entries wrap each table's
@@ -243,103 +253,11 @@ let run_micro () =
     (List.sort compare !rows);
   Table.print table
 
-(* {1 Event-derived run summaries}
-
-   The runtime event spine in action: run a few workloads at
-   profile-script scale with a ring + metrics sink attached and report
-   what the stream says — per-event-kind counts and the aggregated
-   metrics table. *)
-
-let run_traced_summary name =
-  let entry = Option.get (Registry.by_name name) in
-  let compiled =
-    Compiler.compile ~profile_script:entry.Registry.e_profile_script
-      ~profile_files:entry.Registry.e_files
-      ~eval_scale:entry.Registry.e_eval_scale
-      (entry.Registry.e_build ())
-  in
-  let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
-  let metrics = Trace.Metrics.create () in
-  let config =
-    { (Session.default_config ()) with
-      Session.trace =
-        Trace.fan_out [ Trace.Ring.sink ring; Trace.Metrics.sink metrics ] }
-  in
-  let session =
-    Session.create ~config ~script:entry.Registry.e_profile_script
-      ~files:entry.Registry.e_files compiled.Compiler.c_output
-      ~seeds:compiled.Compiler.c_seeds
-  in
-  ignore (Session.run session);
-  let counts = Hashtbl.create 16 in
-  List.iter
-    (fun (_, ev) ->
-      let key =
-        match ev with
-        | Trace.Flush { direction; _ } ->
-          "flush:" ^ Trace.direction_to_string direction
-        | Trace.Page_fault _ -> "page-fault"
-        | Trace.Prefetch _ -> "prefetch"
-        | Trace.Fnptr_translate _ -> "fnptr-translate"
-        | Trace.Remote_io _ -> "remote-io"
-        | Trace.Offload_begin _ -> "offload-begin"
-        | Trace.Offload_end _ -> "offload-end"
-        | Trace.Refusal _ -> "refusal"
-        | Trace.Power_state _ -> "power-state"
-        | Trace.Estimate _ -> "estimate"
-        | Trace.Module_load _ -> "module-load"
-        | Trace.Fault_injected { kind; _ } -> "fault:" ^ kind
-        | Trace.Rpc_timeout _ -> "rpc-timeout"
-        | Trace.Retry _ -> "retry"
-        | Trace.Fallback_local _ -> "fallback-local"
-        | Trace.Rollback _ -> "rollback"
-        | Trace.Replay _ -> "replay"
-        | Trace.Queue _ -> "queue"
-        | Trace.Admit _ -> "admit"
-        | Trace.Reject _ -> "reject"
-      in
-      Hashtbl.replace counts key
-        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
-    (Trace.Ring.events ring);
-  let count_table =
-    Table.create ~title:(name ^ ": event stream (" ^
-                         string_of_int (Trace.Ring.length ring) ^ " events)")
-      [ "event"; "count" ]
-  in
-  List.iter
-    (fun (k, n) -> Table.add_row count_table [ k; string_of_int n ])
-    (List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []));
-  Table.print count_table;
-  print_newline ();
-  Table.print
-    (Metrics_report.table ~title:(name ^ ": event-derived metrics") metrics);
-  print_newline ()
-
-let run_trace_summaries () =
-  List.iter run_traced_summary [ "164.gzip"; "456.hmmer"; "458.sjeng" ]
-
-(* {1 Fault-injection sweep}
-
-   Survival under deterministic injected faults, across the whole
-   workload registry at profile-script scale.  Each workload first
-   runs clean to measure its fault-free offloaded duration T, then
-   re-runs under plans whose timing derives from T — a link outage
-   covering [0.25T, 0.45T], a server crash at 0.4T, and a 3% message
-   drop rate — so the faults land mid-offload regardless of how long
-   the workload runs.  "Survived" means the console transcript matches
-   the pure-local run byte for byte: every fault was absorbed by
-   retries or by rollback + local replay. *)
-
-let fault_plan_exn s =
-  match Fault_plan.parse s with
-  | Ok p -> p
-  | Error msg -> failwith ("fault_sweep: bad plan " ^ s ^ ": " ^ msg)
-
 (* {1 Headline JSON}
 
-   The CI bench lane runs [percentiles] and [faults] at reduced scale
-   ([--sample N] keeps only the first N registry entries) and writes
-   each mode's headline numbers as a flat JSON object ([--json FILE]);
+   The CI bench lane runs the sweep modes at reduced scale ([--sample
+   N] keeps only the first N registry entries) and writes each mode's
+   headline numbers as a flat JSON object ([--json FILE]);
    scripts/bench_guard.py merges them into BENCH_pr.json and compares
    against the committed BENCH_baseline.json. *)
 
@@ -368,6 +286,119 @@ let write_json path (fields : (string * string) list) =
 
 let json_f v = Printf.sprintf "%.6f" v
 let json_i v = string_of_int v
+
+(* {1 Event-derived run summaries}
+
+   The runtime event spine in action: run a few workloads at
+   profile-script scale with a ring + metrics sink attached and report
+   what the stream says — per-event-kind counts and the aggregated
+   metrics table. *)
+
+(* One traced run; returns (event count, offloads, wall seconds) so
+   the mode's --json headline can sum across workloads. *)
+let run_traced_summary name =
+  let entry = Option.get (Registry.by_name name) in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale
+      (entry.Registry.e_build ())
+  in
+  let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
+  let metrics = Trace.Metrics.create () in
+  let config =
+    { (Session.default_config ()) with
+      Session.trace =
+        Trace.fan_out [ Trace.Ring.sink ring; Trace.Metrics.sink metrics ] }
+  in
+  let session =
+    Session.create ~config ~script:entry.Registry.e_profile_script
+      ~files:entry.Registry.e_files compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  let report = Session.run session in
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ev) ->
+      let key =
+        match ev with
+        | Trace.Flush { direction; _ } ->
+          "flush:" ^ Trace.direction_to_string direction
+        | Trace.Page_fault _ -> "page-fault"
+        | Trace.Prefetch _ -> "prefetch"
+        | Trace.Fnptr_translate _ -> "fnptr-translate"
+        | Trace.Remote_io _ -> "remote-io"
+        | Trace.Offload_begin _ -> "offload-begin"
+        | Trace.Offload_end _ -> "offload-end"
+        | Trace.Refusal _ -> "refusal"
+        | Trace.Power_state _ -> "power-state"
+        | Trace.Estimate _ -> "estimate"
+        | Trace.Module_load _ -> "module-load"
+        | Trace.Fault_injected { kind; _ } -> "fault:" ^ kind
+        | Trace.Rpc_timeout _ -> "rpc-timeout"
+        | Trace.Retry _ -> "retry"
+        | Trace.Fallback_local _ -> "fallback-local"
+        | Trace.Rollback _ -> "rollback"
+        | Trace.Replay _ -> "replay"
+        | Trace.Queue _ -> "queue"
+        | Trace.Admit _ -> "admit"
+        | Trace.Reject _ -> "reject"
+        | Trace.Bw_sample _ -> "bw-sample"
+      in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    (Trace.Ring.events ring);
+  let count_table =
+    Table.create ~title:(name ^ ": event stream (" ^
+                         string_of_int (Trace.Ring.length ring) ^ " events)")
+      [ "event"; "count" ]
+  in
+  List.iter
+    (fun (k, n) -> Table.add_row count_table [ k; string_of_int n ])
+    (List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []));
+  Table.print count_table;
+  print_newline ();
+  Table.print
+    (Metrics_report.table ~title:(name ^ ": event-derived metrics") metrics);
+  print_newline ();
+  (Trace.Ring.length ring, metrics.Trace.Metrics.offloads,
+   report.Session.rep_total_s)
+
+let run_trace_summaries ?json () =
+  let per_run =
+    List.map run_traced_summary [ "164.gzip"; "456.hmmer"; "458.sjeng" ]
+  in
+  Option.iter
+    (fun path ->
+      let sum f = List.fold_left (fun acc r -> acc + f r) 0 per_run in
+      write_json path
+        [
+          ("mode", "\"trace\"");
+          ("workloads", json_i (List.length per_run));
+          ("events", json_i (sum (fun (e, _, _) -> e)));
+          ("offloads", json_i (sum (fun (_, o, _) -> o)));
+          ( "wall_total_s",
+            json_f
+              (List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 per_run) );
+        ])
+    json
+
+(* {1 Fault-injection sweep}
+
+   Survival under deterministic injected faults, across the whole
+   workload registry at profile-script scale.  Each workload first
+   runs clean to measure its fault-free offloaded duration T, then
+   re-runs under plans whose timing derives from T — a link outage
+   covering [0.25T, 0.45T], a server crash at 0.4T, and a 3% message
+   drop rate — so the faults land mid-offload regardless of how long
+   the workload runs.  "Survived" means the console transcript matches
+   the pure-local run byte for byte: every fault was absorbed by
+   retries or by rollback + local replay. *)
+
+let fault_plan_exn s =
+  match Fault_plan.parse s with
+  | Ok p -> p
+  | Error msg -> failwith ("fault_sweep: bad plan " ^ s ^ ": " ^ msg)
 
 let run_fault_sweep ?sample ?json () =
   let table =
@@ -572,22 +603,32 @@ let run_percentiles ?sample ?json () =
    under saturation at least one client's tasks flip back to local
    execution — the scheduler tests lock both properties. *)
 
-let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip") () =
+let slo_objectives_exn spec =
+  match Slo.parse spec with
+  | Ok objectives -> objectives
+  | Error msg ->
+    Printf.eprintf "bad SLO spec %S: %s\nexpected: %s\n" spec msg Slo.grammar;
+    exit 1
+
+let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip")
+    ?(slo = Slo.default_spec) ?json () =
   let config =
     { Sim.default_config with
       Sim.s_load = { Server_load.default with Server_load.slots;
                      Server_load.queue_cap = queue } }
   in
+  let objectives = slo_objectives_exn slo in
   let summary =
     Table.create
       ~title:
         (Printf.sprintf
            "Multi-client scaling (%s, %d worker slots, queue %d, \
-            profile-script scale)"
-           workload slots queue)
+            profile-script scale; SLO %s)"
+           workload slots queue slo)
       [ "clients"; "geomean speedup"; "local flips"; "queued"; "rejects";
-        "throughput (c/s)"; "p50 (s)"; "p95 (s)"; "p99 (s)" ]
+        "throughput (c/s)"; "p50 (s)"; "p95 (s)"; "p99 (s)"; "SLO" ]
   in
+  let json_fields = ref [] in
   List.iter
     (fun count ->
       let clients =
@@ -598,7 +639,11 @@ let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip") () =
         (Sim.render
            ~title:(Printf.sprintf "%d client(s), %d slots" count slots)
            result);
-      print_newline ();
+      (* SLO verdicts over the fleet-wide windowed series: every
+         client's trace merged onto the global clock. *)
+      let series = Series.of_events (Sim.global_events result) in
+      let verdicts = Slo.evaluate objectives series in
+      Printf.printf "SLO (%d clients): %s\n\n" count (Slo.render verdicts);
       let lat = Sim.span_latencies result in
       let st = result.Sim.r_stats in
       Table.add_row summary
@@ -612,9 +657,114 @@ let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip") () =
           Table.cell_f ~digits:4 (Sim.percentile lat ~p:50.0);
           Table.cell_f ~digits:4 (Sim.percentile lat ~p:95.0);
           Table.cell_f ~digits:4 (Sim.percentile lat ~p:99.0);
-        ])
+          (if Slo.pass verdicts then "pass" else "FAIL");
+        ];
+      json_fields :=
+        !json_fields
+        @ [
+            ( Printf.sprintf "c%d_geomean" count,
+              json_f (Sim.geomean_speedup result) );
+            ( Printf.sprintf "c%d_throughput" count,
+              json_f result.Sim.r_throughput );
+            ( Printf.sprintf "c%d_slo_pass" count,
+              if Slo.pass verdicts then "true" else "false" );
+          ])
     [ 1; 2; 4; 8 ];
-  Table.print summary
+  Table.print summary;
+  Option.iter
+    (fun path ->
+      write_json path
+        ([ ("mode", "\"multiclient\"");
+           ("workload", Printf.sprintf "\"%s\"" workload);
+           ("slots", json_i slots); ("queue", json_i queue) ]
+        @ !json_fields))
+    json
+
+(* {1 Windowed time series}
+
+   The telemetry layer end to end on one traced run: cut the virtual
+   timeline into fixed windows, print per-interval rates and gauges,
+   evaluate the SLO spec over the series, and optionally export the
+   whole thing as OpenMetrics text.  Driven by the simulated clock, so
+   the table is byte-identical across reruns. *)
+
+let run_timeseries ?(workload = "164.gzip") ?(window = Series.default_window_s)
+    ?(slo = Slo.default_spec) ?json ?metrics_out () =
+  let entry =
+    match Registry.by_name workload with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown workload %s\n" workload;
+      exit 1
+  in
+  let objectives = slo_objectives_exn slo in
+  let compiled =
+    Compiler.compile ~profile_script:entry.Registry.e_profile_script
+      ~profile_files:entry.Registry.e_files
+      ~eval_scale:entry.Registry.e_eval_scale
+      (entry.Registry.e_build ())
+  in
+  let metrics = Trace.Metrics.create () in
+  let series = Series.create ~window_s:window () in
+  let config =
+    { (Session.default_config ()) with
+      Session.trace =
+        Trace.fan_out [ Trace.Metrics.sink metrics; Series.sink series ] }
+  in
+  let session =
+    Session.create ~config ~script:entry.Registry.e_profile_script
+      ~files:entry.Registry.e_files compiled.Compiler.c_output
+      ~seeds:compiled.Compiler.c_seeds
+  in
+  ignore (Session.run session);
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%s: windowed time series (%gs windows, profile-script scale)"
+           workload window)
+      [ "window"; "start (s)"; "offloads"; "faults"; "wire (B)"; "retries";
+        "rejects"; "queue peak"; "occ peak"; "bw belief (Mbps)" ]
+  in
+  List.iter
+    (fun (w : Series.window) ->
+      let m = w.Series.w_metrics in
+      Table.add_row table
+        [
+          Table.cell_i w.Series.w_index;
+          Table.cell_f ~digits:2 w.Series.w_start_s;
+          Table.cell_i m.Trace.Metrics.offloads;
+          Table.cell_i m.Trace.Metrics.fault_count;
+          Table.cell_i
+            (m.Trace.Metrics.wire_to_server + m.Trace.Metrics.wire_to_mobile);
+          Table.cell_i m.Trace.Metrics.retries;
+          Table.cell_i m.Trace.Metrics.rejects;
+          Table.cell_i w.Series.w_peak_queue_depth;
+          Table.cell_i w.Series.w_peak_occupancy;
+          (if Float.is_nan w.Series.w_bw_bps then "-"
+           else Table.cell_f ~digits:2 (w.Series.w_bw_bps /. 1e6));
+        ])
+    (Series.windows series);
+  Table.print table;
+  let verdicts = Slo.evaluate objectives series in
+  Printf.printf "\nSLO: %s\n" (Slo.render verdicts);
+  Option.iter
+    (fun path ->
+      Openmetrics.write path ~series metrics;
+      Printf.printf "wrote %s (OpenMetrics text exposition)\n" path)
+    metrics_out;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("mode", "\"timeseries\"");
+          ("workload", Printf.sprintf "\"%s\"" workload);
+          ("window_s", json_f window);
+          ("windows", json_i (List.length (Series.windows series)));
+          ("offloads", json_i metrics.Trace.Metrics.offloads);
+          ("slo_pass", if Slo.pass verdicts then "true" else "false");
+        ])
+    json
 
 (* {1 Ablations} *)
 
@@ -767,12 +917,17 @@ let () =
   match argv with
   | _ :: "micro" :: _ -> run_micro ()
   | _ :: "ablations" :: _ -> run_ablations ()
-  | _ :: "trace" :: _ -> run_trace_summaries ()
+  | _ :: "trace" :: _ -> run_trace_summaries ?json:(opt "--json") ()
   | _ :: "faults" :: _ ->
     run_fault_sweep ?sample:(opt_int "--sample") ?json:(opt "--json") ()
   | _ :: "percentiles" :: _ ->
     run_percentiles ?sample:(opt_int "--sample") ?json:(opt "--json") ()
   | _ :: "multiclient" :: _ ->
     run_multiclient ?slots:(opt_int "--slots") ?queue:(opt_int "--queue")
-      ?workload:(opt "--workload") ()
+      ?workload:(opt "--workload") ?slo:(opt "--slo") ?json:(opt "--json") ()
+  | _ :: "timeseries" :: _ ->
+    run_timeseries ?workload:(opt "--workload")
+      ?window:(Option.map float_of_string (opt "--window"))
+      ?slo:(opt "--slo") ?json:(opt "--json")
+      ?metrics_out:(opt "--metrics-out") ()
   | _ -> regenerate_all ()

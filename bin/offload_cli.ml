@@ -9,6 +9,10 @@
                                          chrome://tracing / Perfetto) and
                                          the event-derived metrics table
      offload-cli report table1 ... fig8  regenerate tables/figures
+     offload-cli diff old.jsonl new.jsonl
+                                         attribute the cost delta between
+                                         two raw traces to span-tree nodes
+                                         and event kinds
      offload-cli dump 164.gzip mobile    print partitioned IR
      offload-cli serve --clients 4 --slots 2
                                          multi-client shared-server
@@ -72,12 +76,15 @@ let fault_plan_of_string text =
    is deterministic, so this reproduces the corresponding sweep run
    exactly) and export/print what was asked for. *)
 let traced_run entry (compiled : Compiler.compiled) ~config ~label ~trace_file
-    ~trace_raw ~metrics =
+    ~trace_raw ~metrics ~metrics_out =
   let ring = Trace.Ring.create ~capacity:(1 lsl 20) () in
   let m = Trace.Metrics.create () in
+  let series = Series.create () in
   let config =
     { config with
-      Session.trace = Trace.fan_out [ Trace.Ring.sink ring; Trace.Metrics.sink m ] }
+      Session.trace =
+        Trace.fan_out
+          [ Trace.Ring.sink ring; Trace.Metrics.sink m; Series.sink series ] }
   in
   let _run, _session = Experiment.offloaded_run ~label:"traced" ~config compiled entry in
   (match trace_file with
@@ -113,6 +120,17 @@ let traced_run entry (compiled : Compiler.compiled) ~config ~label ~trace_file
     | () ->
       Fmt.pr "wrote %s (%d events) — feed it to `offload-cli analyze'@." file
         (Trace.Ring.length ring)));
+  (match metrics_out with
+  | None -> ()
+  | Some file -> (
+    match Openmetrics.write file ~series m with
+    | exception Sys_error msg ->
+      Fmt.epr "cannot write metrics: %s@." msg;
+      exit 1
+    | () ->
+      Fmt.pr "wrote %s (OpenMetrics text, windowed at %gs) — scrape or diff \
+              it@."
+        file (Series.window_s series)));
   if metrics then
     Table.print
       (Metrics_report.table
@@ -174,7 +192,16 @@ let run_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Override the fault plan's RNG seed (reproducible runs).")
   in
-  let run name trace_file trace_raw metrics link faults seed =
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's metrics and windowed time series as \
+             OpenMetrics/Prometheus text exposition to $(docv).")
+  in
+  let run name trace_file trace_raw metrics metrics_out link faults seed =
     let entry = entry_of_name name in
     (* Validate the fault-run options before the (slow) sweep. *)
     let faulty_config =
@@ -254,20 +281,22 @@ let run_cmd =
         frun.Experiment.run_offloads ov.Session.fallbacks
         ov.Session.rpc_timeouts ov.Session.retries ov.Session.recovery_s;
       Fmt.pr "  survived (console identical to local): %b@." survived);
-    if trace_file <> None || trace_raw <> None || metrics then begin
+    if trace_file <> None || trace_raw <> None || metrics
+       || metrics_out <> None
+    then begin
       let config, label =
         match faulty_config with
         | Some config -> (config, "fault-injected")
         | None -> (Experiment.fast_config (), "fast-network")
       in
       traced_run entry res.Experiment.pres_compiled ~config ~label ~trace_file
-        ~trace_raw ~metrics
+        ~trace_raw ~metrics ~metrics_out
     end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload in all configurations")
     Term.(
       const run $ name_arg $ trace_arg $ trace_raw_arg $ metrics_arg
-      $ link_arg $ faults_arg $ seed_arg)
+      $ metrics_out_arg $ link_arg $ faults_arg $ seed_arg)
 
 let report_cmd =
   let what_arg =
@@ -416,6 +445,15 @@ let analyze_cmd =
              microsecond weights) to $(docv) — loadable in speedscope or \
              flamegraph.pl.")
   in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the analysis as JSON to $(docv): per-kind histogram \
+             quantiles, the estimator audit table and its summary.")
+  in
   (* Per-kind cost distributions: which events feed which histogram,
      and how to print that histogram's values. *)
   let hist_specs :
@@ -445,7 +483,85 @@ let analyze_cmd =
         function Trace.Replay { replay_s; _ } -> Some replay_s | _ -> None );
     ]
   in
-  let run file flame =
+  (* Machine-readable twin of the printed tables: per-kind histogram
+     quantiles plus the estimator audit, one JSON document.  Pure
+     function of the trace, so re-analyzing is byte-identical. *)
+  let analysis_json ~hist_specs events =
+    let b = Buffer.create 2048 in
+    let jf = Printf.sprintf "%.9g" in
+    let esc s =
+      String.concat ""
+        (List.map
+           (fun c ->
+             match c with
+             | '"' -> "\\\""
+             | '\\' -> "\\\\"
+             | c -> String.make 1 c)
+           (List.init (String.length s) (String.get s)))
+    in
+    Buffer.add_string b
+      (Printf.sprintf "{\n  \"events\": %d,\n  \"histograms\": ["
+         (List.length events));
+    let first = ref true in
+    List.iter
+      (fun (name, _digits, select) ->
+        let h = Hist.create () in
+        List.iter (fun (_ts, ev) -> Option.iter (Hist.add h) (select ev)) events;
+        if Hist.count h > 0 then begin
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n    {\"kind\": \"%s\", \"count\": %d, \"sum\": %s, \
+                \"min\": %s, \"p50\": %s, \"p90\": %s, \"p95\": %s, \
+                \"p99\": %s, \"max\": %s}"
+               (esc name) (Hist.count h) (jf (Hist.sum h)) (jf (Hist.min h))
+               (jf (Hist.quantile h 0.50))
+               (jf (Hist.quantile h 0.90))
+               (jf (Hist.quantile h 0.95))
+               (jf (Hist.quantile h 0.99))
+               (jf (Hist.max h)))
+        end)
+      hist_specs;
+    Buffer.add_string b "\n  ],\n  \"audit\": [";
+    let rows = Audit.of_events events in
+    List.iteri
+      (fun i (r : Audit.row) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n    {\"ts_s\": %s, \"target\": \"%s\", \"decision\": \"%s\", \
+              \"predicted_gain_s\": %s, \"measured_gain_s\": %s, \
+              \"proxied\": %b, \"verdict\": \"%s\"}"
+             (jf r.Audit.a_ts) (esc r.Audit.a_target)
+             (if r.Audit.a_decision then "offload" else "refuse")
+             (jf r.Audit.a_predicted_gain_s)
+             (match r.Audit.a_measured_gain_s with
+             | Some g -> jf g
+             | None -> "null")
+             r.Audit.a_proxied
+             (Audit.verdict_to_string r.Audit.a_verdict)))
+      rows;
+    Buffer.add_string b "\n  ]";
+    (if rows <> [] then begin
+       let s = Audit.summarize rows in
+       Buffer.add_string b
+         (Printf.sprintf
+            ",\n  \"audit_summary\": {\"estimates\": %d, \"true_pos\": %d, \
+             \"false_pos\": %d, \"true_neg\": %d, \"false_neg\": %d, \
+             \"unverified\": %d, \"mean_abs_err_s\": %s, \
+             \"mean_rel_err\": %s}"
+            s.Audit.s_estimates s.Audit.s_true_pos s.Audit.s_false_pos
+            s.Audit.s_true_neg s.Audit.s_false_neg s.Audit.s_unverified
+            (if Float.is_nan s.Audit.s_mean_abs_err_s then "null"
+             else jf s.Audit.s_mean_abs_err_s)
+            (if Float.is_nan s.Audit.s_mean_rel_err then "null"
+             else jf s.Audit.s_mean_rel_err))
+     end);
+    Buffer.add_string b "\n}\n";
+    Buffer.contents b
+  in
+  let run file flame json =
     match Trace_file.load file with
     | Error msg ->
       Fmt.epr "%s: %s@." file msg;
@@ -530,14 +646,25 @@ let analyze_cmd =
         | oc ->
           output_string oc (Flame.to_collapsed root);
           close_out oc;
-          Fmt.pr "@.wrote %s — load it in speedscope or flamegraph.pl@." out))
+          Fmt.pr "@.wrote %s — load it in speedscope or flamegraph.pl@." out));
+      (match json with
+      | None -> ()
+      | Some out -> (
+        match open_out_bin out with
+        | exception Sys_error msg ->
+          Fmt.epr "cannot write analysis JSON: %s@." msg;
+          exit 1
+        | oc ->
+          output_string oc (analysis_json ~hist_specs events);
+          close_out oc;
+          Fmt.pr "@.wrote %s (histogram quantiles + estimator audit)@." out))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Analyze a raw trace (from $(b,run --trace-raw)): span tree, \
           latency histograms, estimator audit")
-    Term.(const run $ file_arg $ flame_arg)
+    Term.(const run $ file_arg $ flame_arg $ json_arg)
 
 (* Multi-client scheduling: N staggered mobile hosts share one server
    with K worker slots and a bounded FIFO admission queue.  The
@@ -612,7 +739,18 @@ let serve_cmd =
             "Run workloads at evaluation scale instead of the (much \
              faster) profile scale.")
   in
-  let run clients slots queue workloads stagger link faults seed eval =
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the fleet-wide metrics and windowed time series (every \
+             client's trace merged onto the global clock) as OpenMetrics \
+             text exposition to $(docv).")
+  in
+  let run clients slots queue workloads stagger link faults seed eval
+      metrics_out =
     if clients < 1 then begin
       Fmt.epr "need at least one client@.";
       exit 1
@@ -658,7 +796,18 @@ let serve_cmd =
          ~title:
            (Printf.sprintf "%d client(s), %d slots, queue %d" clients slots
               queue)
-         result)
+         result);
+    match metrics_out with
+    | None -> ()
+    | Some file -> (
+      let series = Series.of_events (Sim.global_events result) in
+      match Openmetrics.write file ~series (Series.totals series) with
+      | exception Sys_error msg ->
+        Fmt.epr "cannot write metrics: %s@." msg;
+        exit 1
+      | () ->
+        Fmt.pr "wrote %s (OpenMetrics text, %d clients merged)@." file
+          clients)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -667,7 +816,66 @@ let serve_cmd =
           load-aware offload decisions)")
     Term.(
       const run $ clients_arg $ slots_arg $ queue_arg $ workloads_arg
-      $ stagger_arg $ link_arg $ faults_arg $ seed_arg $ eval_arg)
+      $ stagger_arg $ link_arg $ faults_arg $ seed_arg $ eval_arg
+      $ metrics_out_arg)
+
+(* Regression attribution between two raw traces (from `run
+   --trace-raw`): align the span trees by path, attribute the
+   wall-clock delta to nodes and event kinds.  Diffing a capture
+   against itself reports zero everywhere and exits 0 — the CI smoke
+   invariant. *)
+let diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.jsonl")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.jsonl")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report as JSON to $(docv) (consumed by \
+             scripts/bench_guard.py --explain).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Number of node rows to print (ranked by |self delta|).")
+  in
+  let load_or_die file =
+    match Trace_file.load file with
+    | Ok events -> events
+    | Error msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 1
+  in
+  let run old_file new_file json top_n =
+    let report =
+      Diff.compare_events (load_or_die old_file) (load_or_die new_file)
+    in
+    print_string (Diff.render ~top_n report);
+    match json with
+    | None -> ()
+    | Some out -> (
+      match open_out_bin out with
+      | exception Sys_error msg ->
+        Fmt.epr "cannot write diff JSON: %s@." msg;
+        exit 1
+      | oc ->
+        output_string oc (Diff.to_json ~top_n report);
+        close_out oc;
+        Fmt.pr "wrote %s@." out)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Attribute the cost delta between two raw traces to span-tree \
+          nodes and event kinds")
+    Term.(const run $ old_arg $ new_arg $ json_arg $ top_arg)
 
 let headline_cmd =
   let run () =
@@ -689,4 +897,4 @@ let () =
   let info = Cmd.info "offload-cli" ~doc:"Native Offloader reproduction" in
   exit (Cmd.eval (Cmd.group info
     [ list_cmd; run_cmd; report_cmd; dump_cmd; load_cmd; analyze_cmd;
-      serve_cmd; headline_cmd ]))
+      diff_cmd; serve_cmd; headline_cmd ]))

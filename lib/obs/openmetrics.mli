@@ -1,0 +1,17 @@
+(** OpenMetrics / Prometheus text exposition of a run's metrics and
+    (optionally) a windowed series.
+
+    Metric families follow a fixed naming scheme (`offload_*_total`
+    counters, `offload_*_seconds_total` time counters, labelled
+    direction/state/kind families, `offload_window_*` per-interval
+    samples stamped with window-start timestamps); see DESIGN.md §12.
+    Output order and float formatting are fixed, so deterministic runs
+    expose byte-identical text. *)
+
+val of_run : ?series:Series.t -> No_trace.Trace.Metrics.t -> string
+(** Ends with the OpenMetrics "# EOF" terminator.  With [series], the
+    whole-run latency summaries (merged windowed histograms) and the
+    per-interval `offload_window_*` samples are appended. *)
+
+val write : string -> ?series:Series.t -> No_trace.Trace.Metrics.t -> unit
+(** [write path ?series m] saves {!of_run} to [path]. *)

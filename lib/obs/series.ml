@@ -1,0 +1,160 @@
+(* Windowed time series over the runtime event stream.
+
+   The aggregate views (Metrics, Span, Hist) answer "how much, in
+   total"; a Series answers "when".  The virtual timeline is cut into
+   fixed-width windows and every event is charged to the window its
+   *start* timestamp falls in — the same stamping convention as the
+   sinks — so a window holds:
+
+     - a full Trace.Metrics aggregate of just that interval (counts,
+       bytes, seconds, energy, power residencies);
+     - one latency histogram per event kind (lossless HDR sketches, so
+       merging all windows reproduces the whole-run distribution);
+     - gauges: peak queue depth, peak slot occupancy and the bandwidth
+       predictor's last sampled belief.
+
+   Everything is driven by the simulated clock, never the host's, so
+   a seeded rerun produces a byte-identical series.  Conservation —
+   summing every window's metrics equals the end-of-run Metrics of the
+   same stream — is a locked test invariant. *)
+
+module Trace = No_trace.Trace
+
+let default_window_s = 1.0
+
+(* Per-event-kind latency selectors, shared by the windowed histograms,
+   the SLO evaluator and the trace differ.  Names are the stable
+   telemetry vocabulary (OpenMetrics label values, SLO grammar kinds). *)
+let latency_kinds : (string * (Trace.event -> float option)) list =
+  [
+    ( "offload-span",
+      function Trace.Offload_end { span_s; _ } -> Some span_s | _ -> None );
+    ( "page-fault",
+      function Trace.Page_fault { service_s; _ } -> Some service_s | _ -> None );
+    ( "flush",
+      function
+      | Trace.Flush { transfer_s; codec_s; _ } -> Some (transfer_s +. codec_s)
+      | _ -> None );
+    ( "remote-io",
+      function Trace.Remote_io { cost_s; _ } -> Some cost_s | _ -> None );
+    ( "fnptr-translate",
+      function Trace.Fnptr_translate { cost_s } -> Some cost_s | _ -> None );
+    ( "rpc-timeout",
+      function Trace.Rpc_timeout { waited_s; _ } -> Some waited_s | _ -> None );
+    ( "retry-backoff",
+      function Trace.Retry { backoff_s; _ } -> Some backoff_s | _ -> None );
+    ( "replay",
+      function Trace.Replay { replay_s; _ } -> Some replay_s | _ -> None );
+    ( "queue-wait",
+      function Trace.Queue { wait_s; _ } -> Some wait_s | _ -> None );
+  ]
+
+type window = {
+  w_index : int;
+  w_start_s : float;
+  w_metrics : Trace.Metrics.t;
+  w_hists : (string * Hist.t) list;      (* latency_kinds order *)
+  mutable w_peak_queue_depth : int;
+  mutable w_peak_occupancy : int;
+  mutable w_bw_bps : float;              (* last sampled belief; NaN = none *)
+}
+
+type t = {
+  window_s : float;
+  by_index : (int, window) Hashtbl.t;
+  mutable max_index : int;               (* highest window touched; -1 = none *)
+  mutable end_s : float;                 (* latest instant any event reaches *)
+}
+
+let create ?(window_s = default_window_s) () =
+  if not (window_s > 0.0) then invalid_arg "Series.create: window_s";
+  { window_s; by_index = Hashtbl.create 64; max_index = -1; end_s = 0.0 }
+
+let window_s t = t.window_s
+let duration_s t = t.end_s
+
+let fresh_window t index =
+  {
+    w_index = index;
+    w_start_s = float_of_int index *. t.window_s;
+    w_metrics = Trace.Metrics.create ();
+    w_hists = List.map (fun (name, _) -> (name, Hist.create ())) latency_kinds;
+    w_peak_queue_depth = 0;
+    w_peak_occupancy = 0;
+    w_bw_bps = Float.nan;
+  }
+
+let window_at t index =
+  match Hashtbl.find_opt t.by_index index with
+  | Some w -> w
+  | None ->
+    let w = fresh_window t index in
+    Hashtbl.replace t.by_index index w;
+    if index > t.max_index then t.max_index <- index;
+    w
+
+(* The instant an event's span closes — mirrors Span.run_end_s, so a
+   series over a session trace covers exactly the run's wall clock. *)
+let close_of_event ts ev =
+  match ev with
+  | Trace.Power_state { duration_s; _ } -> ts +. duration_s
+  | Trace.Flush { transfer_s; codec_s; _ } -> ts +. transfer_s +. codec_s
+  | Trace.Page_fault { service_s; _ } -> ts +. service_s
+  | Trace.Fnptr_translate { cost_s } -> ts +. cost_s
+  | Trace.Remote_io { cost_s; _ } -> ts +. cost_s
+  | Trace.Rpc_timeout { waited_s; _ } -> ts +. waited_s
+  | Trace.Retry { backoff_s; _ } -> ts +. backoff_s
+  | Trace.Replay { replay_s; _ } -> ts +. replay_s
+  | Trace.Queue { wait_s; _ } -> ts +. wait_s
+  | _ -> ts
+
+let observe t ~ts ev =
+  let index =
+    if ts <= 0.0 then 0 else int_of_float (Float.floor (ts /. t.window_s))
+  in
+  let w = window_at t index in
+  (Trace.Metrics.sink w.w_metrics).Trace.emit ~ts ev;
+  List.iter2
+    (fun (_, select) (_, hist) -> Option.iter (Hist.add hist) (select ev))
+    latency_kinds w.w_hists;
+  (match ev with
+  | Trace.Queue { depth; _ } ->
+    (* [depth] requests already waiting, plus this one. *)
+    w.w_peak_queue_depth <- max w.w_peak_queue_depth (depth + 1)
+  | Trace.Reject { queue_depth; _ } ->
+    w.w_peak_queue_depth <- max w.w_peak_queue_depth queue_depth
+  | Trace.Admit { occupancy; _ } ->
+    w.w_peak_occupancy <- max w.w_peak_occupancy occupancy
+  | Trace.Bw_sample { bps } -> w.w_bw_bps <- bps
+  | _ -> ());
+  let close = close_of_event ts ev in
+  if close > t.end_s then t.end_s <- close
+
+let sink t = { Trace.emit = (fun ~ts ev -> observe t ~ts ev) }
+
+let of_events ?window_s events =
+  let t = create ?window_s () in
+  List.iter (fun (ts, ev) -> observe t ~ts ev) events;
+  t
+
+(* Dense, chronological: every window from 0 up to the later of the
+   last touched window and the last covered instant, gaps filled with
+   (cached) empty windows so rates read as zero rather than missing. *)
+let windows t =
+  let last_covered =
+    if t.end_s <= 0.0 then 0
+    else int_of_float (Float.ceil (t.end_s /. t.window_s)) - 1
+  in
+  let last = max 0 (max t.max_index last_covered) in
+  List.init (last + 1) (fun i -> window_at t i)
+
+let totals t =
+  let m = Trace.Metrics.create () in
+  List.iter
+    (fun w -> Trace.Metrics.merge_into ~into:m w.w_metrics)
+    (windows t);
+  m
+
+let kind_hist t name =
+  Hist.merge
+    (List.filter_map (fun w -> List.assoc_opt name w.w_hists) (windows t))

@@ -1,0 +1,45 @@
+(** Declarative service-level objectives evaluated over a windowed
+    {!Series}.
+
+    Spec grammar (comma-separated clauses; see {!grammar}):
+    - [avail>=0.99] — offload availability over the whole run,
+      [1 - (fallbacks + rejects) / (offload attempts + rejects)];
+    - [p99(page-fault)<=50ms] — a latency-kind quantile over the
+      merged windowed histograms; duration units s (default), ms, us;
+    - [rate(retries)<=0.5] — events per simulated second;
+    - [burn(0.99)<=14] / [burn(0.99,fast=6,slow=36)<=14] — windowed
+      error-budget burn rate against availability target 0.99, failing
+      only when both the fast (default last 6 windows) and slow
+      (default last 36) trailing means exceed the limit.
+
+    Kind/counter names are case- and punctuation-insensitive
+    ("PageFault" matches "page-fault").  Evaluation is a pure function
+    of the series: seeded reruns give byte-identical verdicts. *)
+
+type objective =
+  | Avail of { min : float }
+  | Quantile of { q : float; kind : string; limit_s : float }
+  | Rate of { counter : string; max_per_s : float }
+  | Burn of { target : float; max_rate : float; fast : int; slow : int }
+
+type verdict = {
+  v_label : string;  (** the clause, normalized *)
+  v_value : float;   (** the measured value *)
+  v_pass : bool;
+}
+
+val grammar : string
+(** One-line grammar summary for error messages and --help. *)
+
+val default_spec : string
+(** ["avail>=0.99,p99(page-fault)<=50ms,burn(0.99)<=14"]. *)
+
+val parse : string -> (objective list, string) result
+
+val evaluate : objective list -> Series.t -> verdict list
+(** Verdicts in spec order. *)
+
+val pass : verdict list -> bool
+
+val render : verdict list -> string
+(** ["avail>=0.99: pass (1); p99(page-fault)<=0.05s: FAIL (0.072)"]. *)

@@ -84,7 +84,8 @@ let item_of_event : Trace.event -> item option = function
   | Trace.Admit _ -> Some { i_name = "admit"; i_dur = 0.0 }
   | Trace.Reject _ -> Some { i_name = "reject"; i_dur = 0.0 }
   | Trace.Offload_begin _ | Trace.Offload_end _ | Trace.Replay _
-  | Trace.Refusal _ | Trace.Estimate _ | Trace.Power_state _ -> None
+  | Trace.Refusal _ | Trace.Estimate _ | Trace.Power_state _
+  | Trace.Bw_sample _ -> None
 
 (* The run's wall clock: the latest instant any event reaches.  Power
    segments partition the timeline, so on a session trace this equals

@@ -118,6 +118,8 @@ let line_of_event ts (ev : Trace.event) : string =
     tagged "reject"
       (Printf.sprintf ",\"target\":%s,\"queue_depth\":%d" (quote target)
          queue_depth)
+  | Trace.Bw_sample { bps } ->
+    tagged "bw-sample" (Printf.sprintf ",\"bps\":%s" (fl bps))
 
 let to_string (events : (float * Trace.event) list) : string =
   let buf = Buffer.create 4096 in
@@ -357,6 +359,7 @@ let event_of_fields fields : float * Trace.event =
     | "reject" ->
       Trace.Reject
         { target = str fields "target"; queue_depth = int_ fields "queue_depth" }
+    | "bw-sample" -> Trace.Bw_sample { bps = num fields "bps" }
     | kind -> raise (Bad (Printf.sprintf "unknown event kind %S" kind))
   in
   (ts, ev)

@@ -57,6 +57,10 @@ module Hist = No_obs.Hist
 module Flame = No_obs.Flame
 module Audit = No_obs.Audit
 module Trace_file = No_obs.Trace_file
+module Series = No_obs.Series
+module Openmetrics = No_obs.Openmetrics
+module Slo = No_obs.Slo
+module Diff = No_obs.Diff
 
 (* Multi-client scheduling *)
 module Server_load = No_sched.Server_load

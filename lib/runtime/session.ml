@@ -364,8 +364,11 @@ let charge_comm t seconds =
 let observe_transfer t ~bytes ~seconds =
   if not t.config.ideal then begin
     Bandwidth_predictor.observe t.predictor ~bytes ~seconds;
-    Dynamic_estimate.set_bandwidth t.estimator
-      (Bandwidth_predictor.predict_bps t.predictor)
+    let belief = Bandwidth_predictor.predict_bps t.predictor in
+    Dynamic_estimate.set_bandwidth t.estimator belief;
+    (* Sampling hook for the telemetry layer: the refreshed belief as
+       a gauge, so windowed series can chart what the estimator saw. *)
+    emit t (Trace.Bw_sample { bps = belief })
   end
 
 let send_to_server t (payload : Bytes.t) =

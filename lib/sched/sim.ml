@@ -272,6 +272,18 @@ let flipped_local result =
          || c.cr_report.Session.rep_rejects > 0)
        result.r_clients)
 
+(* One merged fleet-wide stream on the global clock: every client's
+   session-local trace shifted by its start instant, then stably
+   sorted by timestamp (client order breaks ties, so seeded reruns
+   interleave identically).  This is what the telemetry layer windows
+   over for multi-client runs. *)
+let global_events result =
+  List.concat_map
+    (fun c ->
+      List.map (fun (ts, ev) -> (c.cr_start_s +. ts, ev)) c.cr_events)
+    result.r_clients
+  |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+
 (* End-to-end latencies of every completed offload span, ascending. *)
 let span_latencies result =
   List.concat_map

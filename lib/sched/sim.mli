@@ -69,6 +69,13 @@ val run : ?config:config -> client list -> result
 
 val geomean_speedup : result -> float
 
+val global_events : result -> (float * No_trace.Trace.event) list
+(** Every client's trace merged onto the global clock ([cr_start_s]
+    added to each session-local timestamp), stably sorted by time —
+    client order breaks ties, so seeded reruns interleave
+    byte-identically.  Feed to [Series.of_events] for fleet-wide
+    telemetry. *)
+
 val flipped_local : result -> int
 (** Clients with at least one estimator refusal or queue rejection —
     tasks the contended server pushed back to the mobile device. *)

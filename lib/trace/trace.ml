@@ -57,6 +57,9 @@ type event =
   | Queue of { target : string; wait_s : float; depth : int }
   | Admit of { target : string; occupancy : int; slot : int }
   | Reject of { target : string; queue_depth : int }
+  | Bw_sample of { bps : float }
+      (* the bandwidth predictor's belief, sampled after each physical
+         transfer — a gauge for the telemetry layer, not a cost *)
 
 (* Events that carry a time-span are stamped with the *start* of the
    span; the clock value is simulated seconds. *)
@@ -100,6 +103,7 @@ let event_name = function
   | Queue { target; _ } -> "queue:" ^ target
   | Admit { target; _ } -> "admit:" ^ target
   | Reject { target; _ } -> "reject:" ^ target
+  | Bw_sample _ -> "bw-sample"
 
 (* {1 Aggregating metrics sink}
 
@@ -245,8 +249,57 @@ module Metrics = struct
       t.queue_wait_s <- t.queue_wait_s +. wait_s
     | Admit _ -> t.admits <- t.admits + 1
     | Reject _ -> t.rejects <- t.rejects + 1
+    | Bw_sample _ -> ()
 
   let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
+
+  (* Field-wise addition, used to reconstitute run totals from
+     windowed per-interval metrics (Obs.Series).  Power segments are
+     prepended so that merging windows in chronological order keeps
+     [power_rev] reverse-chronological, like a single sink would. *)
+  let merge_into ~into src =
+    into.flushes_to_server <- into.flushes_to_server + src.flushes_to_server;
+    into.flushes_to_mobile <- into.flushes_to_mobile + src.flushes_to_mobile;
+    into.raw_to_server <- into.raw_to_server + src.raw_to_server;
+    into.raw_to_mobile <- into.raw_to_mobile + src.raw_to_mobile;
+    into.wire_to_server <- into.wire_to_server + src.wire_to_server;
+    into.wire_to_mobile <- into.wire_to_mobile + src.wire_to_mobile;
+    into.transfer_s <- into.transfer_s +. src.transfer_s;
+    into.codec_s <- into.codec_s +. src.codec_s;
+    into.fault_count <- into.fault_count + src.fault_count;
+    into.fault_s <- into.fault_s +. src.fault_s;
+    into.prefetched_pages <- into.prefetched_pages + src.prefetched_pages;
+    into.prefetched_bytes <- into.prefetched_bytes + src.prefetched_bytes;
+    into.fnptr_count <- into.fnptr_count + src.fnptr_count;
+    into.fnptr_s <- into.fnptr_s +. src.fnptr_s;
+    into.remote_io_count <- into.remote_io_count + src.remote_io_count;
+    into.remote_io_s <- into.remote_io_s +. src.remote_io_s;
+    into.offloads <- into.offloads + src.offloads;
+    into.offload_span_s <- into.offload_span_s +. src.offload_span_s;
+    into.refusals <- into.refusals + src.refusals;
+    into.estimates <- into.estimates + src.estimates;
+    into.faults_injected <- into.faults_injected + src.faults_injected;
+    into.rpc_timeouts <- into.rpc_timeouts + src.rpc_timeouts;
+    into.retries <- into.retries + src.retries;
+    into.retry_wait_s <- into.retry_wait_s +. src.retry_wait_s;
+    into.fallbacks <- into.fallbacks + src.fallbacks;
+    into.rollbacks <- into.rollbacks + src.rollbacks;
+    into.recovery_s <- into.recovery_s +. src.recovery_s;
+    into.replays <- into.replays + src.replays;
+    into.replay_s <- into.replay_s +. src.replay_s;
+    into.queued <- into.queued + src.queued;
+    into.queue_wait_s <- into.queue_wait_s +. src.queue_wait_s;
+    into.admits <- into.admits + src.admits;
+    into.rejects <- into.rejects + src.rejects;
+    into.energy_mj <- into.energy_mj +. src.energy_mj;
+    Hashtbl.iter
+      (fun state s ->
+        let prev =
+          Option.value ~default:0.0 (Hashtbl.find_opt into.power_s state)
+        in
+        Hashtbl.replace into.power_s state (prev +. s))
+      src.power_s;
+    into.power_rev <- src.power_rev @ into.power_rev
 
   (* The session charges communication time for every physical flush
      (transfer + codec) and every copy-on-demand round trip. *)
@@ -545,6 +598,10 @@ module Chrome = struct
     | Reject { queue_depth; _ } ->
       record ~name ~ph:"i" ~ts ~tid:session_tid
         ~args:[ ("queue_depth", string_of_int queue_depth) ]
+        ()
+    | Bw_sample { bps } ->
+      record ~name:"bandwidth-belief" ~ph:"C" ~ts ~tid:net_tid
+        ~args:[ ("bps", Printf.sprintf "%.1f" bps) ]
         ()
 
   let thread_meta tid label =

@@ -70,6 +70,9 @@ type event =
   | Reject of { target : string; queue_depth : int }
       (** the shared server's admission queue was full; the task runs
           on the mobile device instead *)
+  | Bw_sample of { bps : float }
+      (** the bandwidth predictor's belief after a physical transfer —
+          a sampled gauge for the telemetry layer, carrying no cost *)
 
 type sink = { emit : ts:float -> event -> unit }
 (** [ts] is simulated seconds; events that span time are stamped with
@@ -137,6 +140,11 @@ module Metrics : sig
 
   val create : unit -> t
   val sink : t -> sink
+
+  val merge_into : into:t -> t -> unit
+  (** Field-wise addition (power-state residencies included), so that
+      summing windowed metrics in chronological order reconstitutes
+      what a single sink over the whole run would have aggregated. *)
 
   val comm_s : t -> float
   (** Total charged communication time: transfers + codec CPU +

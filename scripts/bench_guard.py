@@ -10,7 +10,11 @@ Subcommands:
   check PR BASELINE     compare a PR's headline numbers against the
                         committed baseline; exit non-zero on a
                         regression (or an out-of-band improvement —
-                        see re-baselining below)
+                        see re-baselining below). With --explain
+                        DIFF.json (the output of `offload-cli diff
+                        OLD NEW --json`), a failure message also
+                        names the top-3 span-tree nodes the trace
+                        differ attributes the slowdown to.
   selftest BASELINE     verify the guard actually fails on an injected
                         2x slowdown (and passes on an identical copy)
 
@@ -94,6 +98,35 @@ def compare(pr, baseline, tolerance):
     return failures
 
 
+def explain(path, top=3):
+    """Summarise a trace-diff JSON (`offload-cli diff OLD NEW --json`)
+    as attribution lines: where did the extra time go?"""
+    try:
+        report = load(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"(--explain {path}: unreadable — {exc})"]
+    lines = [
+        "attribution (from {}: wall {:.4f}s -> {:.4f}s, delta {:+.4f}s):".format(
+            path,
+            report.get("wall_a_s", 0.0),
+            report.get("wall_b_s", 0.0),
+            report.get("delta_s", 0.0),
+        )
+    ]
+    nodes = sorted(
+        report.get("nodes", []),
+        key=lambda n: abs(n.get("self_delta_s", 0.0)),
+        reverse=True,
+    )
+    for node in nodes[:top]:
+        lines.append(
+            f"  {node.get('path', '?')}: self {node.get('self_delta_s', 0.0):+.4f}s"
+        )
+    if not nodes:
+        lines.append("  (diff report carries no node rows)")
+    return lines
+
+
 def cmd_check(args):
     pr = load(args.pr)
     baseline = load(args.baseline)
@@ -101,6 +134,9 @@ def cmd_check(args):
     if failures:
         for message in failures:
             print(f"FAIL: {message}")
+        if args.explain:
+            for line in explain(args.explain):
+                print(line)
         sys.exit(1)
     print(
         "OK: geomean speedup "
@@ -140,6 +176,11 @@ def main():
     p.add_argument("pr")
     p.add_argument("baseline")
     p.add_argument("--tolerance", type=float, default=0.10)
+    p.add_argument(
+        "--explain",
+        metavar="DIFF_JSON",
+        help="trace-diff JSON to attribute a failure with",
+    )
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("selftest", help="prove the guard catches a slowdown")

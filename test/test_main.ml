@@ -21,4 +21,5 @@ let () =
       ("sched", Test_sched.tests);
       ("workloads", Test_workloads.tests);
       ("corpus-report", Test_corpus_report.tests);
+      ("telemetry", Test_telemetry.tests);
     ]
