@@ -30,6 +30,13 @@
                                            throughput/latency vs client
                                            count, with SLO verdicts per
                                            sweep point (--slo SPEC)
+     dune exec bench/main.exe -- fleet     fleet-scale scheduler sweep:
+                                           1000+ synthetic clients against
+                                           a K-server pool, one row per
+                                           routing policy, plus the
+                                           below/past-saturation policy
+                                           flip (--clients, --servers,
+                                           --slots, --queue, --json)
      dune exec bench/main.exe -- timeseries
                                            windowed telemetry of one traced
                                            run: per-interval rates, gauges,
@@ -644,7 +651,6 @@ let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip")
       let series = Series.of_events (Sim.global_events result) in
       let verdicts = Slo.evaluate objectives series in
       Printf.printf "SLO (%d clients): %s\n\n" count (Slo.render verdicts);
-      let lat = Sim.span_latencies result in
       let st = result.Sim.r_stats in
       Table.add_row summary
         [
@@ -654,9 +660,9 @@ let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip")
           Table.cell_i st.Server_load.st_queued;
           Table.cell_i st.Server_load.st_rejects;
           Table.cell_f ~digits:3 result.Sim.r_throughput;
-          Table.cell_f ~digits:4 (Sim.percentile lat ~p:50.0);
-          Table.cell_f ~digits:4 (Sim.percentile lat ~p:95.0);
-          Table.cell_f ~digits:4 (Sim.percentile lat ~p:99.0);
+          Table.cell_f ~digits:4 (Sim.latency_percentile result ~p:50.0);
+          Table.cell_f ~digits:4 (Sim.latency_percentile result ~p:95.0);
+          Table.cell_f ~digits:4 (Sim.latency_percentile result ~p:99.0);
           (if Slo.pass verdicts then "pass" else "FAIL");
         ];
       json_fields :=
@@ -677,6 +683,132 @@ let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip")
         ([ ("mode", "\"multiclient\"");
            ("workload", Printf.sprintf "\"%s\"" workload);
            ("slots", json_i slots); ("queue", json_i queue) ]
+        @ !json_fields))
+    json
+
+(* {1 Fleet-scale sweep}
+
+   The discrete-event core at fleet scale: 10^3+ tiny synthetic
+   sessions (fleet.micro, with a slice of the long-running heavy
+   variant) against a pool of K servers, once per routing policy.
+   Event recording is off — latencies stream into the simulator's
+   histogram — so the sweep measures the scheduler, not trace
+   bookkeeping.  The simulated numbers (geomean, makespan, per-policy
+   throughput) are deterministic; the host-side clients/sec and
+   events/sec are the wall-clock headline the bench guard soft-floors.
+
+   A second table demonstrates the policy flip: below saturation
+   (count = servers, every client gets an idle server) least-loaded
+   and round-robin price identically; past saturation the light/heavy
+   mix drains servers unevenly and blind round-robin keeps feeding
+   busy ones, so least-loaded pulls ahead. *)
+
+let fleet_mix = [ "fleet.micro"; "fleet.micro"; "fleet.micro.heavy" ]
+
+let fleet_config ~servers ~slots ~queue ~policy ~record =
+  { Sim.s_load =
+      { Server_load.default with Server_load.slots;
+        Server_load.queue_cap = queue };
+    Sim.s_servers = servers;
+    Sim.s_policy = policy;
+    Sim.s_link = Link.fast_wifi;
+    Sim.s_scale = Sim.Profile;
+    Sim.s_record_events = record }
+
+let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
+    ?json () =
+  let stagger_s = 0.0005 in
+  let run_policy policy count =
+    let cs = Sim.make_clients ~stagger_s ~workloads:fleet_mix ~count () in
+    let config = fleet_config ~servers ~slots ~queue ~policy ~record:false in
+    let t0 = Monotonic_clock.now () in
+    let result = Sim.run ~config cs in
+    let wall_s =
+      Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+    in
+    (result, wall_s)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fleet sweep (%d clients, %d servers x %d slots, queue %d, mix \
+            %s)"
+           clients servers slots queue
+           (String.concat "," fleet_mix))
+      [ "policy"; "geomean speedup"; "local flips"; "queued"; "rejects";
+        "makespan (s)"; "sim c/s"; "host c/s"; "host events/s"; "p95 (s)" ]
+  in
+  let json_fields = ref [] in
+  List.iter
+    (fun policy ->
+      let result, wall_s = run_policy policy clients in
+      let st = result.Sim.r_stats in
+      let short =
+        match policy with
+        | Pool.Round_robin -> "rr"
+        | Pool.Least_loaded -> "ll"
+        | Pool.Sticky -> "sticky"
+      in
+      Table.add_row table
+        [
+          Pool.policy_to_string policy;
+          Table.cell_f ~digits:3 (Sim.geomean_speedup result);
+          Table.cell_i (Sim.flipped_local result);
+          Table.cell_i st.Server_load.st_queued;
+          Table.cell_i st.Server_load.st_rejects;
+          Table.cell_f ~digits:3 result.Sim.r_makespan_s;
+          Table.cell_f ~digits:1 result.Sim.r_throughput;
+          Table.cell_f ~digits:0 (float_of_int clients /. wall_s);
+          Table.cell_f ~digits:0 (float_of_int result.Sim.r_events /. wall_s);
+          Table.cell_f ~digits:4 (Sim.latency_percentile result ~p:95.0);
+        ];
+      json_fields :=
+        !json_fields
+        @ [
+            ( Printf.sprintf "fleet_%s_geomean" short,
+              json_f (Sim.geomean_speedup result) );
+            ( Printf.sprintf "fleet_%s_throughput" short,
+              json_f result.Sim.r_throughput );
+            ( Printf.sprintf "fleet_%s_clients_per_sec" short,
+              json_f (float_of_int clients /. wall_s) );
+          ])
+    Pool.all_policies;
+  Table.print table;
+  print_newline ();
+  let flip =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Policy flip (%d servers x %d slots): least-loaded wins only \
+            past saturation" servers slots)
+      [ "clients"; "round-robin geomean"; "least-loaded geomean"; "winner" ]
+  in
+  List.iter
+    (fun count ->
+      let rr, _ = run_policy Pool.Round_robin count in
+      let ll, _ = run_policy Pool.Least_loaded count in
+      let g_rr = Sim.geomean_speedup rr
+      and g_ll = Sim.geomean_speedup ll in
+      Table.add_row flip
+        [
+          Table.cell_i count;
+          Table.cell_f ~digits:4 g_rr;
+          Table.cell_f ~digits:4 g_ll;
+          (if Float.abs (g_ll -. g_rr) <= 1e-9 then "tie"
+           else if g_ll > g_rr then "least-loaded"
+           else "round-robin");
+        ])
+    [ servers; clients ];
+  Table.print flip;
+  Option.iter
+    (fun path ->
+      write_json path
+        ([ ("mode", "\"fleet\"");
+           ("clients", json_i clients);
+           ("servers", json_i servers);
+           ("slots", json_i slots);
+           ("queue", json_i queue) ]
         @ !json_fields))
     json
 
@@ -925,6 +1057,10 @@ let () =
   | _ :: "multiclient" :: _ ->
     run_multiclient ?slots:(opt_int "--slots") ?queue:(opt_int "--queue")
       ?workload:(opt "--workload") ?slo:(opt "--slo") ?json:(opt "--json") ()
+  | _ :: "fleet" :: _ ->
+    run_fleet ?clients:(opt_int "--clients") ?servers:(opt_int "--servers")
+      ?slots:(opt_int "--slots") ?queue:(opt_int "--queue")
+      ?json:(opt "--json") ()
   | _ :: "timeseries" :: _ ->
     run_timeseries ?workload:(opt "--workload")
       ?window:(Option.map float_of_string (opt "--window"))

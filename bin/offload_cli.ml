@@ -692,6 +692,23 @@ let serve_cmd =
              behind $(docv) queued offloads are rejected and replayed \
              locally.")
   in
+  let servers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "servers" ] ~docv:"K"
+          ~doc:
+            "Independent offload servers in the pool, each with its own \
+             worker slots and admission queue.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "round-robin"
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:
+            "Routing policy placing each admission request on a pool \
+             member: $(b,round-robin), $(b,least-loaded) or $(b,sticky) \
+             (client hashed to a fixed server).")
+  in
   let workloads_arg =
     Arg.(
       value
@@ -749,8 +766,8 @@ let serve_cmd =
              client's trace merged onto the global clock) as OpenMetrics \
              text exposition to $(docv).")
   in
-  let run clients slots queue workloads stagger link faults seed eval
-      metrics_out =
+  let run clients slots queue servers policy workloads stagger link faults
+      seed eval metrics_out =
     if clients < 1 then begin
       Fmt.epr "need at least one client@.";
       exit 1
@@ -759,6 +776,19 @@ let serve_cmd =
       Fmt.epr "need at least one worker slot@.";
       exit 1
     end;
+    if servers < 1 then begin
+      Fmt.epr "need at least one server@.";
+      exit 1
+    end;
+    let policy =
+      match Pool.policy_of_string policy with
+      | Some p -> p
+      | None ->
+        Fmt.epr "unknown policy %s (try: %s)@." policy
+          (String.concat ", "
+             (List.map Pool.policy_to_string Pool.all_policies));
+        exit 1
+    in
     List.iter
       (fun name -> ignore (entry_of_name name : Registry.entry))
       workloads;
@@ -780,11 +810,14 @@ let serve_cmd =
       { Sim.s_load =
           { Server_load.default with Server_load.slots;
             Server_load.queue_cap = queue };
+        Sim.s_servers = servers;
+        Sim.s_policy = policy;
         Sim.s_link =
           (match link with
           | Some name -> link_of_name name
           | None -> Link.fast_wifi);
-        Sim.s_scale = (if eval then Sim.Eval else Sim.Profile) }
+        Sim.s_scale = (if eval then Sim.Eval else Sim.Profile);
+        Sim.s_record_events = true }
     in
     let cs =
       Sim.make_clients ~stagger_s:stagger ?faults:plan ~workloads
@@ -794,8 +827,8 @@ let serve_cmd =
     print_endline
       (Sim.render
          ~title:
-           (Printf.sprintf "%d client(s), %d slots, queue %d" clients slots
-              queue)
+           (Printf.sprintf "%d client(s), %d server(s) x %d slots, queue %d, %s"
+              clients servers slots queue (Pool.policy_to_string policy))
          result);
     match metrics_out with
     | None -> ()
@@ -812,12 +845,12 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Simulate N clients sharing one server (slots, FIFO queue, \
-          load-aware offload decisions)")
+         "Simulate N clients against a pool of K servers (worker slots, \
+          FIFO queues, routing policy, load-aware offload decisions)")
     Term.(
-      const run $ clients_arg $ slots_arg $ queue_arg $ workloads_arg
-      $ stagger_arg $ link_arg $ faults_arg $ seed_arg $ eval_arg
-      $ metrics_out_arg)
+      const run $ clients_arg $ slots_arg $ queue_arg $ servers_arg
+      $ policy_arg $ workloads_arg $ stagger_arg $ link_arg $ faults_arg
+      $ seed_arg $ eval_arg $ metrics_out_arg)
 
 (* Regression attribution between two raw traces (from `run
    --trace-raw`): align the span trees by path, attribute the

@@ -56,6 +56,9 @@ type window = {
   w_hists : (string * Hist.t) list;      (* latency_kinds order *)
   mutable w_peak_queue_depth : int;
   mutable w_peak_occupancy : int;
+  mutable w_server_peaks : (int * int) list;
+      (* per-server peak admit occupancy, ascending server id; servers
+         with no admit in the window are absent *)
   mutable w_bw_bps : float;              (* last sampled belief; NaN = none *)
 }
 
@@ -81,6 +84,7 @@ let fresh_window t index =
     w_hists = List.map (fun (name, _) -> (name, Hist.create ())) latency_kinds;
     w_peak_queue_depth = 0;
     w_peak_occupancy = 0;
+    w_server_peaks = [];
     w_bw_bps = Float.nan;
   }
 
@@ -123,8 +127,15 @@ let observe t ~ts ev =
     w.w_peak_queue_depth <- max w.w_peak_queue_depth (depth + 1)
   | Trace.Reject { queue_depth; _ } ->
     w.w_peak_queue_depth <- max w.w_peak_queue_depth queue_depth
-  | Trace.Admit { occupancy; _ } ->
-    w.w_peak_occupancy <- max w.w_peak_occupancy occupancy
+  | Trace.Admit { server; occupancy; _ } ->
+    w.w_peak_occupancy <- max w.w_peak_occupancy occupancy;
+    let rec bump = function
+      | [] -> [ (server, occupancy) ]
+      | (s, peak) :: rest when s = server -> (s, max peak occupancy) :: rest
+      | (s, _) as hd :: rest when s < server -> hd :: bump rest
+      | rest -> (server, occupancy) :: rest
+    in
+    w.w_server_peaks <- bump w.w_server_peaks
   | Trace.Bw_sample { bps } -> w.w_bw_bps <- bps
   | _ -> ());
   let close = close_of_event ts ev in

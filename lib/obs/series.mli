@@ -30,6 +30,9 @@ type window = {
   w_hists : (string * Hist.t) list;  (** {!latency_kinds} order *)
   mutable w_peak_queue_depth : int;
   mutable w_peak_occupancy : int;
+  mutable w_server_peaks : (int * int) list;
+      (** per-server peak admit occupancy within the window, ascending
+          server id; servers with no admit in the window are absent *)
   mutable w_bw_bps : float;  (** last sampled belief; NaN when none *)
 }
 

@@ -14,7 +14,11 @@
 
 module Trace = No_trace.Trace
 
-let version = 1
+(* Version 2: queue/admit/reject events gained a "server" field when
+   the scheduler grew a multi-server pool.  Version-1 traces predate
+   server ids and must be re-recorded — the loader refuses them rather
+   than guessing server 0. *)
+let version = 2
 
 (* {1 Writing} *)
 
@@ -106,18 +110,18 @@ let line_of_event ts (ev : Trace.event) : string =
     tagged "replay"
       (Printf.sprintf ",\"target\":%s,\"replay_s\":%s" (quote target)
          (fl replay_s))
-  | Trace.Queue { target; wait_s; depth } ->
+  | Trace.Queue { target; server; wait_s; depth } ->
     tagged "queue"
-      (Printf.sprintf ",\"target\":%s,\"wait_s\":%s,\"depth\":%d"
-         (quote target) (fl wait_s) depth)
-  | Trace.Admit { target; occupancy; slot } ->
+      (Printf.sprintf ",\"target\":%s,\"server\":%d,\"wait_s\":%s,\"depth\":%d"
+         (quote target) server (fl wait_s) depth)
+  | Trace.Admit { target; server; occupancy; slot } ->
     tagged "admit"
-      (Printf.sprintf ",\"target\":%s,\"occupancy\":%d,\"slot\":%d"
-         (quote target) occupancy slot)
-  | Trace.Reject { target; queue_depth } ->
+      (Printf.sprintf ",\"target\":%s,\"server\":%d,\"occupancy\":%d,\"slot\":%d"
+         (quote target) server occupancy slot)
+  | Trace.Reject { target; server; queue_depth } ->
     tagged "reject"
-      (Printf.sprintf ",\"target\":%s,\"queue_depth\":%d" (quote target)
-         queue_depth)
+      (Printf.sprintf ",\"target\":%s,\"server\":%d,\"queue_depth\":%d"
+         (quote target) server queue_depth)
   | Trace.Bw_sample { bps } ->
     tagged "bw-sample" (Printf.sprintf ",\"bps\":%s" (fl bps))
 
@@ -349,16 +353,20 @@ let event_of_fields fields : float * Trace.event =
     | "queue" ->
       Trace.Queue
         { target = str fields "target";
+          server = int_ fields "server";
           wait_s = num fields "wait_s";
           depth = int_ fields "depth" }
     | "admit" ->
       Trace.Admit
         { target = str fields "target";
+          server = int_ fields "server";
           occupancy = int_ fields "occupancy";
           slot = int_ fields "slot" }
     | "reject" ->
       Trace.Reject
-        { target = str fields "target"; queue_depth = int_ fields "queue_depth" }
+        { target = str fields "target";
+          server = int_ fields "server";
+          queue_depth = int_ fields "queue_depth" }
     | "bw-sample" -> Trace.Bw_sample { bps = num fields "bps" }
     | kind -> raise (Bad (Printf.sprintf "unknown event kind %S" kind))
   in

@@ -64,6 +64,8 @@ module Diff = No_obs.Diff
 
 (* Multi-client scheduling *)
 module Server_load = No_sched.Server_load
+module Event_queue = No_sched.Event_queue
+module Pool = No_sched.Pool
 module Sim = No_sched.Sim
 
 (* Workloads and reporting *)

@@ -65,6 +65,7 @@ type decision_mode = Dynamic | Always_offload | Never_offload
 
 type admission =
   | Admitted of {
+      server : int;          (* pool member that granted the slot *)
       wait_s : float;        (* FIFO queue wait before a slot freed *)
       occupancy : int;       (* concurrent offloads incl. this one *)
       slot : int;            (* worker slot granted *)
@@ -72,17 +73,21 @@ type admission =
       r_scale : float;       (* effective-speedup scale at [occupancy] *)
       bw_scale : float;      (* link-bandwidth scale at [occupancy] *)
     }
-  | Rejected of { queue_depth : int }  (* admission queue full *)
+  | Rejected of { server : int; queue_depth : int }
+      (* admission queue full on the server the policy chose *)
 
 type server_handle = {
   sh_load : now:float -> float * float;
       (* (r_scale, bw_scale) an offload starting now would be priced
-         at — consulted by the dynamic estimator at decision time so
-         saturated clients decline offloads an idle server would win *)
+         at on the server the routing policy would pick — consulted by
+         the dynamic estimator at decision time so saturated clients
+         decline offloads an idle server would win *)
   sh_request : now:float -> target:string -> admission;
-      (* ask for a worker slot; blocks (simulated) FIFO-fairly *)
-  sh_release : now:float -> slot:int -> unit;
-      (* the offload finished (or was abandoned); free the slot *)
+      (* ask for a worker slot; the policy picks the server at this
+         instant and the admission carries its id *)
+  sh_release : now:float -> server:int -> slot:int -> unit;
+      (* the offload finished (or was abandoned); free the slot on the
+         server that granted it *)
 }
 
 type config = {
@@ -818,9 +823,10 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
       t.config.server_handle
   in
   match admission with
-  | Some (_, Rejected { queue_depth }) ->
+  | Some (_, Rejected { server; queue_depth }) ->
     t.ov.rejects <- t.ov.rejects + 1;
-    emit t (Trace.Reject { target = target.Partition.t_name; queue_depth });
+    emit t
+      (Trace.Reject { target = target.Partition.t_name; server; queue_depth });
     let replay_t0 = t.clock.Host.now in
     let result = Interp.call t.mobile target.Partition.t_name args in
     emit_at t ~ts:replay_t0
@@ -843,25 +849,26 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
   let release_slot =
     match admission with
     | None -> fun () -> ()
-    | Some (sh, Admitted { wait_s; occupancy; slot; queue_depth; r_scale;
-                           bw_scale }) ->
+    | Some (sh, Admitted { server; wait_s; occupancy; slot; queue_depth;
+                           r_scale; bw_scale }) ->
       if wait_s > 0.0 then begin
         t.ov.queued <- t.ov.queued + 1;
         t.ov.queue_wait_s <- t.ov.queue_wait_s +. wait_s;
         emit t
           (Trace.Queue
-             { target = target.Partition.t_name; wait_s;
+             { target = target.Partition.t_name; server; wait_s;
                depth = queue_depth });
         with_state t Power_model.Waiting (fun () -> advance t wait_s)
       end;
       emit t
-        (Trace.Admit { target = target.Partition.t_name; occupancy; slot });
+        (Trace.Admit
+           { target = target.Partition.t_name; server; occupancy; slot });
       t.server.Host.slowdown <- 1.0 /. r_scale;
       t.contention := bw_scale;
       fun () ->
         t.server.Host.slowdown <- 1.0;
         t.contention := 1.0;
-        sh.sh_release ~now:t.clock.Host.now ~slot
+        sh.sh_release ~now:t.clock.Host.now ~server ~slot
     | Some (_, Rejected _) -> assert false   (* handled above *)
   in
   let attempt () =

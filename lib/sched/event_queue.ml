@@ -1,0 +1,123 @@
+(* Array-backed binary min-heap keyed (time, id, seq) — the
+   continuation queue of the discrete-event core.
+
+   The sorted-list queue the first multi-client simulator used costs
+   O(n) per insert; at fleet scale (10^4 suspended clients, several
+   suspensions each) that is the difference between milliseconds and
+   minutes.  This heap gives O(log n) push/pop with the exact total
+   order the simulator's determinism contract needs: earliest time
+   first, ties broken by the owning client's id, then by a
+   monotonically increasing sequence number assigned at push — so two
+   events of one client at one instant pop in arrival order, and a
+   seeded rerun pops byte-identically.
+
+   Entries are stored in three parallel arrays (keys unboxed as a
+   float array plus two int arrays) so sifting moves scalars, not
+   tuples — no per-push allocation beyond amortized growth. *)
+
+type 'a t = {
+  mutable time : float array;   (* primary key *)
+  mutable id : int array;       (* first tie-break: client id *)
+  mutable seq : int array;      (* second tie-break: push order *)
+  mutable payload : 'a array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () =
+  {
+    time = [||];
+    id = [||];
+    seq = [||];
+    payload = [||];
+    size = 0;
+    next_seq = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Strict key order: (time, id, seq) lexicographic. *)
+let before t i j =
+  let ti = t.time.(i) and tj = t.time.(j) in
+  if ti < tj then true
+  else if ti > tj then false
+  else if t.id.(i) < t.id.(j) then true
+  else if t.id.(i) > t.id.(j) then false
+  else t.seq.(i) < t.seq.(j)
+
+let swap t i j =
+  let ft = t.time.(i) in
+  t.time.(i) <- t.time.(j);
+  t.time.(j) <- ft;
+  let d = t.id.(i) in
+  t.id.(i) <- t.id.(j);
+  t.id.(j) <- d;
+  let s = t.seq.(i) in
+  t.seq.(i) <- t.seq.(j);
+  t.seq.(j) <- s;
+  let p = t.payload.(i) in
+  t.payload.(i) <- t.payload.(j);
+  t.payload.(j) <- p
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let r = l + 1 in
+    let smallest = if r < t.size && before t r l then r else l in
+    if before t smallest i then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+  end
+
+let grow t dummy =
+  let cap = Array.length t.time in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let copy old mk =
+    let fresh = mk cap' in
+    Array.blit old 0 fresh 0 t.size;
+    fresh
+  in
+  t.time <- copy t.time (fun n -> Array.make n 0.0);
+  t.id <- copy t.id (fun n -> Array.make n 0);
+  t.seq <- copy t.seq (fun n -> Array.make n 0);
+  t.payload <- copy t.payload (fun n -> Array.make n dummy)
+
+let push t ~time ~id payload =
+  if t.size = Array.length t.time then grow t payload;
+  let i = t.size in
+  t.time.(i) <- time;
+  t.id.(i) <- id;
+  t.seq.(i) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.payload.(i) <- payload;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let out = t.payload.(0) in
+    let last = t.size - 1 in
+    t.size <- last;
+    if last > 0 then begin
+      t.time.(0) <- t.time.(last);
+      t.id.(0) <- t.id.(last);
+      t.seq.(0) <- t.seq.(last);
+      t.payload.(0) <- t.payload.(last);
+      sift_down t 0
+    end;
+    Some out
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.time.(0)

@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap keyed [(time, id, seq)] — the
+    continuation queue of the discrete-event simulator.
+
+    O(log n) {!push}/{!pop} over parallel unboxed key arrays, with a
+    deterministic total order: earliest [time] first, ties broken by
+    [id] (the owning client), then by push order ([seq], assigned
+    internally).  Two pushes can therefore never compare equal, so a
+    seeded rerun pops in a byte-identical sequence. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> id:int -> 'a -> unit
+(** Insert a payload at [(time, id)]; arrival order among equal
+    [(time, id)] keys is preserved. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum-key payload; [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** The minimum key's time without removing it; [None] when empty. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

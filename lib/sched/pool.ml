@@ -1,0 +1,117 @@
+(* A pool of K independent offload servers fronted by a routing
+   policy.
+
+   Each member is a complete Server_load — its own worker slots,
+   admission queue and contention bookkeeping; the pool adds only the
+   placement decision.  The policy picks a server per admission
+   request, at the instant the request is examined:
+
+   - Round_robin cycles a counter over the members, blind to load.
+   - Least_loaded picks the member with the fewest offloads executing
+     at that instant (ties to the lowest id) — below saturation it is
+     indistinguishable from round-robin, past it it routes around busy
+     servers, which is the policy flip the fleet bench demonstrates.
+   - Sticky hashes the client id to a fixed member, so one client's
+     offloads always land together (warm-cache placement); the hash is
+     multiplicative so consecutive ids spread instead of clustering.
+
+   [load] (the estimator's price preview) peeks at the server the
+   policy *would* choose without advancing any policy state, so a
+   preview followed by a request sees one consistent server under
+   every policy.  All choice is deterministic — no RNG — preserving
+   the simulator's byte-identical-rerun contract. *)
+
+module Session = No_runtime.Session
+
+type policy = Round_robin | Least_loaded | Sticky
+
+let policy_to_string = function
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Sticky -> "sticky"
+
+let policy_of_string = function
+  | "round-robin" | "rr" -> Some Round_robin
+  | "least-loaded" | "ll" -> Some Least_loaded
+  | "sticky" -> Some Sticky
+  | _ -> None
+
+let all_policies = [ Round_robin; Least_loaded; Sticky ]
+
+type t = {
+  servers : Server_load.t array;
+  policy : policy;
+  mutable rr_next : int;               (* Round_robin cursor *)
+}
+
+let create ?(policy = Round_robin) ~servers cfg =
+  if servers < 1 then invalid_arg "Pool.create: servers < 1";
+  {
+    servers = Array.init servers (fun id -> Server_load.create ~id cfg);
+    policy;
+    rr_next = 0;
+  }
+
+let size t = Array.length t.servers
+let policy t = t.policy
+let server t i = t.servers.(i)
+
+(* Knuth's multiplicative hash over the client id: consecutive ids
+   land on well-spread members instead of adjacent ones. *)
+let sticky_index t ~client =
+  let k = Array.length t.servers in
+  (client * 2654435761) land max_int mod k
+
+let least_loaded_index t ~now =
+  let best = ref 0 in
+  let best_occ = ref (Server_load.occupancy t.servers.(0) ~now) in
+  for i = 1 to Array.length t.servers - 1 do
+    let occ = Server_load.occupancy t.servers.(i) ~now in
+    if occ < !best_occ then begin
+      best := i;
+      best_occ := occ
+    end
+  done;
+  !best
+
+(* The member the policy would grant the next request from [client] to
+   at instant [now] — without advancing any policy state. *)
+let peek t ~client ~now =
+  match t.policy with
+  | Round_robin -> t.rr_next
+  | Least_loaded -> least_loaded_index t ~now
+  | Sticky -> sticky_index t ~client
+
+let load t ~client ~now =
+  Server_load.load t.servers.(peek t ~client ~now) ~now
+
+let request t ~client ~now ~target : Session.admission =
+  let chosen = peek t ~client ~now in
+  (match t.policy with
+  | Round_robin -> t.rr_next <- (t.rr_next + 1) mod Array.length t.servers
+  | Least_loaded | Sticky -> ());
+  Server_load.request t.servers.(chosen) ~now ~target
+
+let release t ~server ~now ~slot =
+  if server < 0 || server >= Array.length t.servers then
+    invalid_arg "Pool.release: bad server";
+  Server_load.release t.servers.(server) ~now ~slot
+
+let stats t = Array.map Server_load.stats t.servers
+
+(* Pool-wide totals: the single-server stats summed, with peak
+   occupancy reported as the largest per-member peak (occupancies on
+   distinct machines don't add). *)
+let total_stats t =
+  Array.fold_left
+    (fun acc (st : Server_load.stats) ->
+      {
+        Server_load.st_admits = acc.Server_load.st_admits + st.st_admits;
+        st_queued = acc.Server_load.st_queued + st.st_queued;
+        st_rejects = acc.Server_load.st_rejects + st.st_rejects;
+        st_peak_occupancy =
+          max acc.Server_load.st_peak_occupancy st.st_peak_occupancy;
+      })
+    { Server_load.st_admits = 0; st_queued = 0; st_rejects = 0;
+      st_peak_occupancy = 0 }
+    (stats t)

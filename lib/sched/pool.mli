@@ -1,0 +1,65 @@
+(** A pool of K independent {!Server_load} servers fronted by a
+    deterministic routing policy.
+
+    Every member keeps its own worker slots, admission queue and
+    contention pricing; the pool only decides {e which} member an
+    admission request lands on, at the instant the request is
+    examined.  No randomness anywhere — seeded simulator reruns stay
+    byte-identical per policy. *)
+
+type policy =
+  | Round_robin   (** cycle a cursor over the members, blind to load *)
+  | Least_loaded
+      (** the member with the fewest offloads executing at the
+          decision instant, ties to the lowest id *)
+  | Sticky
+      (** client id hashed (multiplicative) to a fixed member, so one
+          client's offloads always land together *)
+
+val policy_to_string : policy -> string
+(** ["round-robin"], ["least-loaded"], ["sticky"]. *)
+
+val policy_of_string : string -> policy option
+(** Inverse of {!policy_to_string}; also accepts the short forms
+    ["rr"] and ["ll"]. *)
+
+val all_policies : policy list
+
+type t
+
+val create : ?policy:policy -> servers:int -> Server_load.config -> t
+(** [servers] identically-configured members, ids [0 .. servers-1].
+    Default policy {!Round_robin}.  Raises [Invalid_argument] on
+    [servers < 1]. *)
+
+val size : t -> int
+val policy : t -> policy
+
+val server : t -> int -> Server_load.t
+(** Direct access to member [i] (tests and stats). *)
+
+val peek : t -> client:int -> now:float -> int
+(** The member the policy would grant the next request from [client]
+    to at instant [now] — advances no policy state, so a {!load}
+    preview and the {!request} that follows see the same server. *)
+
+val load : t -> client:int -> now:float -> float * float
+(** [(r_scale, bw_scale)] on the previewed member — what the dynamic
+    estimator prices a would-be offload at. *)
+
+val request :
+  t -> client:int -> now:float -> target:string ->
+  No_runtime.Session.admission
+(** Route an admission request: pick the member (advancing the
+    round-robin cursor), ask it for a slot.  The returned admission
+    carries the member's id for the matching {!release}. *)
+
+val release : t -> server:int -> now:float -> slot:int -> unit
+(** Free [slot] on member [server] at instant [now]. *)
+
+val stats : t -> Server_load.stats array
+(** Per-member stats, indexed by server id. *)
+
+val total_stats : t -> Server_load.stats
+(** Members summed (admits, queued, rejects); peak occupancy is the
+    largest per-member peak. *)

@@ -47,6 +47,7 @@ let bw_scale cfg ~occupancy = scale cfg.beta ~occupancy
 
 type t = {
   cfg : config;
+  id : int;                           (* pool index stamped into admissions *)
   free_at : float array;              (* per-slot release instant *)
   mutable pending_starts : float list; (* admit times of queued waiters *)
   mutable admits : int;
@@ -55,11 +56,12 @@ type t = {
   mutable peak_occupancy : int;
 }
 
-let create cfg =
+let create ?(id = 0) cfg =
   if cfg.slots < 1 then invalid_arg "Server_load.create: slots < 1";
   if cfg.queue_cap < 0 then invalid_arg "Server_load.create: queue_cap < 0";
   {
     cfg;
+    id;
     free_at = Array.make cfg.slots 0.0;
     pending_starts = [];
     admits = 0;
@@ -69,6 +71,7 @@ let create cfg =
   }
 
 let config t = t.cfg
+let id t = t.id
 
 (* Offloads still running at instant [at]. *)
 let running t ~at =
@@ -98,7 +101,7 @@ let request t ~now ~target:_ : Session.admission =
   let queue_depth = List.length t.pending_starts in
   if wait_s > 0.0 && queue_depth >= t.cfg.queue_cap then begin
     t.rejects <- t.rejects + 1;
-    Session.Rejected { queue_depth }
+    Session.Rejected { server = t.id; queue_depth }
   end
   else begin
     let occupancy = running t ~at:start + 1 in
@@ -111,6 +114,7 @@ let request t ~now ~target:_ : Session.admission =
     t.free_at.(slot) <- infinity;   (* held; finalized by [release] *)
     Session.Admitted
       {
+        server = t.id;
         wait_s;
         occupancy;
         slot;

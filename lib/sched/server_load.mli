@@ -30,9 +30,13 @@ val bw_scale : config -> occupancy:int -> float
 
 type t
 
-val create : config -> t
-(** All slots free.  Raises [Invalid_argument] on [slots < 1] or a
-    negative queue capacity. *)
+val create : ?id:int -> config -> t
+(** All slots free.  [id] (default 0) is the pool index stamped into
+    every admission this server issues.  Raises [Invalid_argument] on
+    [slots < 1] or a negative queue capacity. *)
+
+val id : t -> int
+(** The pool index given at {!create}. *)
 
 val config : t -> config
 

@@ -1,31 +1,46 @@
-(* Deterministic discrete-event simulation of N mobile clients sharing
-   one offload server.
+(* Deterministic discrete-event simulation of N mobile clients against
+   a pool of offload servers.
 
    Each client is a complete offloading session (its own mobile host,
    link, battery and clock, starting at a configurable global offset);
-   the server's worker slots, admission queue and contention model are
-   the one piece of shared state (Server_load).  A session only
-   touches that state at three points — the load query behind a
+   the shared state is the server pool — K independent Server_load
+   machines fronted by a routing policy (Pool).  A session only
+   touches shared state at three points — the load query behind a
    dynamic-estimation decision, the admission request, the slot
    release — so the simulation suspends a client exactly there, with
    the client's *global* time (start offset + session clock), and
    always resumes the suspended client with the smallest global time
-   (ties broken by client id, then arrival order).  Server state is
+   (ties broken by client id, then arrival order).  Shared state is
    therefore read and written in global-time order: a conservative
    discrete-event simulation.
 
    Suspension is an OCaml effect: the per-client server handle
    performs [Sync g] before (load, request) or after (release)
-   touching shared state, and the scheduler captures the continuation
-   into a priority queue keyed by g.  Between suspension points a
-   client runs to completion — in particular an admitted offload runs
-   all the way to its release (finalizing the slot's exact free
-   instant) before any later-arriving request is examined, which is
-   what lets Server_load compute FIFO waits from exact release times
-   instead of hold estimates.
+   touching shared state.  The effect handler does *not* resume the
+   next client itself — it pushes the captured continuation into a
+   binary-heap event queue (Event_queue, O(log n) per operation) and
+   returns, unwinding to a flat driver loop that pops and runs one
+   continuation at a time.  Native stack depth therefore stays O(1) in
+   the fleet size where the old nested run_next scheduler grew a stack
+   frame per suspended client — the difference between 8 clients and
+   10^4.
+
+   Between suspension points a client runs to completion — in
+   particular an admitted offload runs all the way to its release
+   (finalizing the slot's exact free instant on its server) before any
+   later-arriving request is examined, which is what lets Server_load
+   compute FIFO waits from exact release times instead of hold
+   estimates.
+
+   Offload-span latencies stream into an Obs.Hist as sessions run, so
+   fleet-scale sweeps never materialize per-event lists; full
+   per-client traces (Ring buffers) are kept only while
+   [s_record_events] is on — the default for tests and telemetry, off
+   for 10^4-client benches.
 
    Everything is deterministic: same client mix, same stagger, same
-   fault seeds — byte-identical trace streams and rendered tables. *)
+   policy, same fault seeds — byte-identical trace streams and
+   rendered tables. *)
 
 module Link = No_netsim.Link
 module Session = No_runtime.Session
@@ -36,6 +51,7 @@ module Experiment = Native_offloader.Experiment
 module Trace = No_trace.Trace
 module Fault_plan = No_fault.Plan
 module Table = No_report.Table
+module Hist = No_obs.Hist
 
 type client = {
   cl_id : int;
@@ -50,21 +66,33 @@ type client = {
 type scale = Profile | Eval
 
 type config = {
-  s_load : Server_load.config;
+  s_load : Server_load.config;     (* every pool member's config *)
+  s_servers : int;                 (* pool size K *)
+  s_policy : Pool.policy;          (* placement policy *)
   s_link : Link.t;
   s_scale : scale;
+  s_record_events : bool;          (* keep full per-client traces *)
 }
 
 let default_config =
-  { s_load = Server_load.default; s_link = Link.fast_wifi; s_scale = Profile }
+  {
+    s_load = Server_load.default;
+    s_servers = 1;
+    s_policy = Pool.Round_robin;
+    s_link = Link.fast_wifi;
+    s_scale = Profile;
+    s_record_events = true;
+  }
 
 let make_clients ?(stagger_s = 0.05) ?faults ~workloads ~count () =
   if workloads = [] then invalid_arg "Sim.make_clients: no workloads";
   if count < 1 then invalid_arg "Sim.make_clients: count < 1";
+  let mix = Array.of_list workloads in
+  let m = Array.length mix in
   List.init count (fun i ->
       {
         cl_id = i;
-        cl_workload = List.nth workloads (i mod List.length workloads);
+        cl_workload = mix.(i mod m);
         cl_start_s = stagger_s *. float_of_int i;
         cl_faults =
           Option.map
@@ -82,14 +110,19 @@ type client_result = {
   cr_local_s : float;    (* the same program + input run locally *)
   cr_speedup : float;    (* local time / offloaded-session time *)
   cr_end_s : float;      (* global completion instant *)
-  cr_events : (float * Trace.event) list;  (* session-local timestamps *)
+  cr_events : (float * Trace.event) list;  (* session-local timestamps;
+                                              [] unless recording *)
 }
 
 type result = {
   r_clients : client_result list;
+  r_policy : Pool.policy;
   r_makespan_s : float;
   r_throughput : float;            (* clients completed / makespan *)
-  r_stats : Server_load.stats;
+  r_stats : Server_load.stats;     (* pool totals *)
+  r_server_stats : Server_load.stats array;  (* per member, by id *)
+  r_latency : Hist.t;              (* streamed offload-span latencies *)
+  r_events : int;                  (* trace events emitted fleet-wide *)
 }
 
 (* {1 The scheduler} *)
@@ -98,49 +131,33 @@ type _ Effect.t += Sync : float -> unit Effect.t
 
 let run ?(config = default_config) (clients : client list) : result =
   if clients = [] then invalid_arg "Sim.run: no clients";
-  let load = Server_load.create config.s_load in
-  (* Priority queue of suspended clients, keyed (global time, client
-     id, arrival order).  Event counts are small (a handful of
-     suspensions per offload), so a sorted list is plenty. *)
-  let queue = ref [] in
-  let seq = ref 0 in
-  let insert time cid thunk =
-    incr seq;
-    let key = (time, cid, !seq) in
-    let rec ins = function
-      | [] -> [ (key, thunk) ]
-      | ((k, _) as hd) :: tl when k <= key -> hd :: ins tl
-      | rest -> (key, thunk) :: rest
-    in
-    queue := ins !queue
+  let pool =
+    Pool.create ~policy:config.s_policy ~servers:config.s_servers
+      config.s_load
   in
-  let run_next () =
-    match !queue with
-    | [] -> ()
-    | (_, thunk) :: rest ->
-      queue := rest;
-      thunk ()
-  in
+  (* Suspended-client continuations, keyed (global time, client id,
+     arrival order) in a binary heap — O(log n) per suspension. *)
+  let queue : (unit -> unit) Event_queue.t = Event_queue.create () in
   let sync time = Effect.perform (Sync time) in
-  (* The session's only view of the shared server: every closure
-     converts the session clock to global time and suspends, so shared
-     state is touched in global order.  The release records the slot's
-     free instant *before* suspending — by the time any later request
-     runs, the booking is final. *)
+  (* The session's only view of the pool: every closure converts the
+     session clock to global time and suspends, so shared state is
+     touched in global order.  The release records the slot's free
+     instant *before* suspending — by the time any later request runs,
+     the booking is final. *)
   let handle_of (cl : client) : Session.server_handle =
     let glob now = cl.cl_start_s +. now in
     {
       Session.sh_load =
         (fun ~now ->
           sync (glob now);
-          Server_load.load load ~now:(glob now));
+          Pool.load pool ~client:cl.cl_id ~now:(glob now));
       Session.sh_request =
         (fun ~now ~target ->
           sync (glob now);
-          Server_load.request load ~now:(glob now) ~target);
+          Pool.request pool ~client:cl.cl_id ~now:(glob now) ~target);
       Session.sh_release =
-        (fun ~now ~slot ->
-          Server_load.release load ~now:(glob now) ~slot;
+        (fun ~now ~server ~slot ->
+          Pool.release pool ~server ~now:(glob now) ~slot;
           sync (glob now));
     }
   in
@@ -183,19 +200,42 @@ let run ?(config = default_config) (clients : client list) : result =
       Hashtbl.replace local_cache name r.Local_run.lr_total_s;
       r.Local_run.lr_total_s
   in
-  List.iter
+  let clients = Array.of_list clients in
+  let n = Array.length clients in
+  Array.iter
     (fun cl ->
       ignore (compiled_of cl.cl_workload);
       ignore (local_of cl.cl_workload))
     clients;
-  let n = List.length clients in
+  (* Offload latencies stream into one histogram as sessions emit
+     Offload_end; bucket counts are order-independent, so the
+     interleaving cannot perturb the result. *)
+  let latency = Hist.create () in
+  let event_count = ref 0 in
+  let stream_sink =
+    {
+      Trace.emit =
+        (fun ~ts:_ ev ->
+          incr event_count;
+          match ev with
+          | Trace.Offload_end { span_s; _ } -> Hist.add latency span_s
+          | _ -> ());
+    }
+  in
   let results = Array.make n None in
   let client_main idx (cl : client) () =
     let entry, compiled = compiled_of cl.cl_workload in
-    let ring = Trace.Ring.create () in
+    let ring =
+      if config.s_record_events then Some (Trace.Ring.create ()) else None
+    in
+    let sink =
+      match ring with
+      | None -> stream_sink
+      | Some r -> Trace.fan_out [ Trace.Ring.sink r; stream_sink ]
+    in
     let cfg =
       { (Session.default_config ~link:config.s_link ()) with
-        Session.trace = Trace.Ring.sink ring;
+        Session.trace = sink;
         Session.server_handle = Some (handle_of cl);
         Session.faults = cl.cl_faults }
     in
@@ -207,12 +247,15 @@ let run ?(config = default_config) (clients : client list) : result =
     let report = Session.run session in
     results.(idx) <- Some (report, ring)
   in
-  List.iteri
+  (* The flat driver.  The effect handler never resumes anyone: it
+     pushes the continuation and unwinds, so the native stack holds at
+     most one client at any instant regardless of fleet size. *)
+  Array.iteri
     (fun idx cl ->
-      insert cl.cl_start_s cl.cl_id (fun () ->
+      Event_queue.push queue ~time:cl.cl_start_s ~id:cl.cl_id (fun () ->
           Effect.Deep.match_with (client_main idx cl) ()
             {
-              Effect.Deep.retc = (fun () -> run_next ());
+              Effect.Deep.retc = (fun () -> ());
               exnc = raise;
               effc =
                 (fun (type a) (eff : a Effect.t) ->
@@ -220,40 +263,54 @@ let run ?(config = default_config) (clients : client list) : result =
                   | Sync time ->
                     Some
                       (fun (k : (a, _) Effect.Deep.continuation) ->
-                        insert time cl.cl_id (fun () ->
-                            Effect.Deep.continue k ());
-                        run_next ())
+                        Event_queue.push queue ~time ~id:cl.cl_id
+                          (fun () -> Effect.Deep.continue k ()))
                   | _ -> None);
             }))
     clients;
-  run_next ();
+  let rec drive () =
+    match Event_queue.pop queue with
+    | None -> ()
+    | Some thunk ->
+      thunk ();
+      drive ()
+  in
+  drive ();
   let client_results =
-    List.mapi
-      (fun idx cl ->
-        match results.(idx) with
-        | None -> failwith "Sim.run: client never completed"
-        | Some (report, ring) ->
-          let local_s = local_of cl.cl_workload in
-          {
-            cr_id = cl.cl_id;
-            cr_workload = cl.cl_workload;
-            cr_start_s = cl.cl_start_s;
-            cr_report = report;
-            cr_local_s = local_s;
-            cr_speedup = local_s /. report.Session.rep_total_s;
-            cr_end_s = cl.cl_start_s +. report.Session.rep_total_s;
-            cr_events = Trace.Ring.events ring;
-          })
-      clients
+    Array.to_list
+      (Array.mapi
+         (fun idx cl ->
+           match results.(idx) with
+           | None -> failwith "Sim.run: client never completed"
+           | Some (report, ring) ->
+             let local_s = local_of cl.cl_workload in
+             {
+               cr_id = cl.cl_id;
+               cr_workload = cl.cl_workload;
+               cr_start_s = cl.cl_start_s;
+               cr_report = report;
+               cr_local_s = local_s;
+               cr_speedup = local_s /. report.Session.rep_total_s;
+               cr_end_s = cl.cl_start_s +. report.Session.rep_total_s;
+               cr_events =
+                 (match ring with
+                 | None -> []
+                 | Some r -> Trace.Ring.events r);
+             })
+         clients)
   in
   let makespan =
     List.fold_left (fun acc c -> Float.max acc c.cr_end_s) 0.0 client_results
   in
   {
     r_clients = client_results;
+    r_policy = config.s_policy;
     r_makespan_s = makespan;
     r_throughput = float_of_int n /. makespan;
-    r_stats = Server_load.stats load;
+    r_stats = Pool.total_stats pool;
+    r_server_stats = Pool.stats pool;
+    r_latency = latency;
+    r_events = !event_count;
   }
 
 (* {1 Derived views} *)
@@ -276,7 +333,7 @@ let flipped_local result =
    session-local trace shifted by its start instant, then stably
    sorted by timestamp (client order breaks ties, so seeded reruns
    interleave identically).  This is what the telemetry layer windows
-   over for multi-client runs. *)
+   over for multi-client runs.  Empty unless the run recorded events. *)
 let global_events result =
   List.concat_map
     (fun c ->
@@ -284,43 +341,33 @@ let global_events result =
     result.r_clients
   |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
 
-(* End-to-end latencies of every completed offload span, ascending. *)
-let span_latencies result =
-  List.concat_map
-    (fun c ->
-      List.filter_map
-        (fun (_ts, ev) ->
-          match ev with
-          | Trace.Offload_end { span_s; _ } -> Some span_s
-          | _ -> None)
-        c.cr_events)
-    result.r_clients
-  |> List.sort compare
+let latency_hist result = result.r_latency
 
-(* Nearest-rank percentile of an ascending list; 0.0 when empty. *)
-let percentile sorted ~p =
-  match sorted with
-  | [] -> 0.0
-  | xs ->
-    let n = List.length xs in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    List.nth xs (max 0 (min (n - 1) (rank - 1)))
+(* Histogram-backed nearest-rank percentile of the streamed offload
+   spans; 0.0 when no offload completed (the old empty-list
+   behaviour). *)
+let latency_percentile result ~p =
+  if Hist.count result.r_latency = 0 then 0.0
+  else Hist.quantile result.r_latency (p /. 100.0)
 
-(* Global-time [admit, release] intervals of admitted offloads — on
-   both the success and the fallback path the release coincides with
-   the Offload_end stamp, so at no instant may more than [slots] of
-   these overlap (the scheduler tests sweep this invariant). *)
+(* Global-time [admit, release] intervals of admitted offloads, tagged
+   with the admitting server — on both the success and the fallback
+   path the release coincides with the Offload_end stamp, so at no
+   instant may more than [slots] intervals of one server overlap (the
+   scheduler tests sweep this invariant per server).  Needs a run with
+   [s_record_events] on. *)
 let admitted_intervals result =
   List.concat_map
     (fun c ->
       let rec scan acc pending = function
         | [] -> List.rev acc
-        | (ts, Trace.Admit _) :: rest -> scan acc (Some ts) rest
+        | (ts, Trace.Admit { server; _ }) :: rest ->
+          scan acc (Some (server, ts)) rest
         | (ts, Trace.Offload_end _) :: rest -> (
           match pending with
-          | Some t0 ->
+          | Some (server, t0) ->
             scan
-              ((c.cr_start_s +. t0, c.cr_start_s +. ts) :: acc)
+              ((server, c.cr_start_s +. t0, c.cr_start_s +. ts) :: acc)
               None rest
           | None -> scan acc None rest)
         | _ :: rest -> scan acc pending rest
@@ -352,15 +399,40 @@ let render ?(title = "multi-client schedule") result : string =
           Table.cell_f ~digits:3 c.cr_speedup;
         ])
     result.r_clients;
-  let lat = span_latencies result in
+  let servers =
+    let tbl =
+      Table.create ~title:"server pool"
+        [ "server"; "policy"; "admits"; "queued"; "rejects"; "peak occ" ]
+    in
+    Array.iteri
+      (fun id (st : Server_load.stats) ->
+        Table.add_row tbl
+          [
+            Table.cell_i id;
+            Pool.policy_to_string result.r_policy;
+            Table.cell_i st.Server_load.st_admits;
+            Table.cell_i st.Server_load.st_queued;
+            Table.cell_i st.Server_load.st_rejects;
+            Table.cell_i st.Server_load.st_peak_occupancy;
+          ])
+      result.r_server_stats;
+    Table.render tbl
+  in
   let st = result.r_stats in
   Printf.sprintf
     "%s\n\
      geomean speedup %.3f | makespan %.4f s | throughput %.3f clients/s\n\
-     server: %d admits, %d queued, %d rejects, peak occupancy %d\n\
+     pool (%d server%s, %s): %d admits, %d queued, %d rejects, peak \
+     occupancy %d\n\
+     %s\n\
      offload latency p50 %.4f s, p95 %.4f s, p99 %.4f s"
     (Table.render tbl) (geomean_speedup result) result.r_makespan_s
-    result.r_throughput st.Server_load.st_admits st.Server_load.st_queued
-    st.Server_load.st_rejects st.Server_load.st_peak_occupancy
-    (percentile lat ~p:50.0) (percentile lat ~p:95.0)
-    (percentile lat ~p:99.0)
+    result.r_throughput
+    (Array.length result.r_server_stats)
+    (if Array.length result.r_server_stats = 1 then "" else "s")
+    (Pool.policy_to_string result.r_policy)
+    st.Server_load.st_admits st.Server_load.st_queued
+    st.Server_load.st_rejects st.Server_load.st_peak_occupancy servers
+    (latency_percentile result ~p:50.0)
+    (latency_percentile result ~p:95.0)
+    (latency_percentile result ~p:99.0)

@@ -1,13 +1,14 @@
 (** Deterministic discrete-event simulation of N mobile clients
-    sharing one offload server.
+    against a pool of offload servers.
 
     Each client is a full offloading session starting at a global
-    offset; the shared state is the server's worker slots and
-    admission queue ({!Server_load}).  Clients suspend (via an OCaml
-    effect) at every shared-server interaction and are resumed in
-    global-time order, so the run is a conservative discrete-event
-    simulation: same mix + same seeds → byte-identical traces and
-    tables. *)
+    offset; the shared state is the server pool — K independent
+    {!Server_load} machines fronted by a {!Pool.policy}.  Clients
+    suspend (via an OCaml effect) at every shared-state interaction;
+    a binary-heap event queue ({!Event_queue}) resumes them in
+    global-time order from a flat driver loop, so native stack depth
+    is O(1) in the fleet size.  Same mix + same policy + same seeds →
+    byte-identical traces and tables. *)
 
 type client = {
   cl_id : int;                     (** unique, also the tie-breaker *)
@@ -22,13 +23,21 @@ type client = {
 type scale = Profile | Eval
 
 type config = {
-  s_load : Server_load.config;
+  s_load : Server_load.config;  (** every pool member's config *)
+  s_servers : int;              (** pool size K *)
+  s_policy : Pool.policy;       (** placement policy *)
   s_link : No_netsim.Link.t;
   s_scale : scale;
+  s_record_events : bool;
+      (** keep full per-client traces (Ring buffers).  On by default;
+          turn off for 10^4-client sweeps — latencies still stream
+          into {!val-latency_hist}, but [cr_events], {!global_events}
+          and {!admitted_intervals} come back empty *)
 }
 
 val default_config : config
-(** {!Server_load.default}, fast Wi-Fi, profile-scale inputs. *)
+(** One {!Server_load.default} server, round-robin, fast Wi-Fi,
+    profile-scale inputs, events recorded. *)
 
 val make_clients :
   ?stagger_s:float ->
@@ -52,14 +61,18 @@ type client_result = {
   cr_end_s : float;      (** global completion instant *)
   cr_events : (float * No_trace.Trace.event) list;
       (** the session's trace, session-local timestamps (add
-          [cr_start_s] for global time) *)
+          [cr_start_s] for global time); [] unless recording *)
 }
 
 type result = {
   r_clients : client_result list;
+  r_policy : Pool.policy;
   r_makespan_s : float;
   r_throughput : float;            (** clients completed / makespan *)
-  r_stats : Server_load.stats;
+  r_stats : Server_load.stats;     (** pool totals ({!Pool.total_stats}) *)
+  r_server_stats : Server_load.stats array;  (** per member, by id *)
+  r_latency : No_obs.Hist.t;       (** streamed offload-span latencies *)
+  r_events : int;                  (** trace events emitted fleet-wide *)
 }
 
 val run : ?config:config -> client list -> result
@@ -74,24 +87,28 @@ val global_events : result -> (float * No_trace.Trace.event) list
     added to each session-local timestamp), stably sorted by time —
     client order breaks ties, so seeded reruns interleave
     byte-identically.  Feed to [Series.of_events] for fleet-wide
-    telemetry. *)
+    telemetry.  Empty unless the run recorded events. *)
 
 val flipped_local : result -> int
 (** Clients with at least one estimator refusal or queue rejection —
-    tasks the contended server pushed back to the mobile device. *)
+    tasks the contended pool pushed back to the mobile device. *)
 
-val span_latencies : result -> float list
-(** End-to-end latencies of every completed offload span (queue wait
-    included), ascending. *)
+val latency_hist : result -> No_obs.Hist.t
+(** The streamed offload-span latency histogram — available at any
+    fleet size, recording on or off. *)
 
-val percentile : float list -> p:float -> float
-(** Nearest-rank percentile of an ascending list; 0.0 when empty. *)
+val latency_percentile : result -> p:float -> float
+(** Nearest-rank percentile (p in [0,100]) of the streamed offload
+    spans via {!No_obs.Hist.quantile}; 0.0 when no offload
+    completed. *)
 
-val admitted_intervals : result -> (float * float) list
-(** Global-time [(admit, release)] intervals of admitted offloads; at
-    no instant may more than [slots] of them overlap. *)
+val admitted_intervals : result -> (int * float * float) list
+(** Global-time [(server, admit, release)] intervals of admitted
+    offloads; at no instant may more intervals of one server overlap
+    than that server has slots.  Needs a run with [s_record_events]
+    on. *)
 
 val render : ?title:string -> result -> string
 (** Deterministic per-client table plus aggregate lines (geomean
-    speedup, makespan, throughput, server stats, latency
-    percentiles). *)
+    speedup, makespan, throughput, pool totals and policy), a
+    per-server stats table, and latency percentiles. *)

@@ -54,9 +54,9 @@ type event =
   | Fallback_local of { target : string; reason : string; recovery_s : float }
   | Rollback of { target : string; pages_restored : int; bytes_discarded : int }
   | Replay of { target : string; replay_s : float }
-  | Queue of { target : string; wait_s : float; depth : int }
-  | Admit of { target : string; occupancy : int; slot : int }
-  | Reject of { target : string; queue_depth : int }
+  | Queue of { target : string; server : int; wait_s : float; depth : int }
+  | Admit of { target : string; server : int; occupancy : int; slot : int }
+  | Reject of { target : string; server : int; queue_depth : int }
   | Bw_sample of { bps : float }
       (* the bandwidth predictor's belief, sampled after each physical
          transfer — a gauge for the telemetry layer, not a cost *)
@@ -585,19 +585,24 @@ module Chrome = struct
         ()
     | Replay { replay_s; _ } ->
       record ~name ~ph:"X" ~ts ~dur:(us replay_s) ~tid:session_tid ()
-    | Queue { wait_s; depth; _ } ->
+    | Queue { server; wait_s; depth; _ } ->
       record ~name ~ph:"X" ~ts ~dur:(us wait_s) ~tid:session_tid
-        ~args:[ ("depth", string_of_int depth) ]
+        ~args:
+          [ ("server", string_of_int server);
+            ("depth", string_of_int depth) ]
         ()
-    | Admit { occupancy; slot; _ } ->
+    | Admit { server; occupancy; slot; _ } ->
       record ~name ~ph:"i" ~ts ~tid:session_tid
         ~args:
-          [ ("occupancy", string_of_int occupancy);
+          [ ("server", string_of_int server);
+            ("occupancy", string_of_int occupancy);
             ("slot", string_of_int slot) ]
         ()
-    | Reject { queue_depth; _ } ->
+    | Reject { server; queue_depth; _ } ->
       record ~name ~ph:"i" ~ts ~tid:session_tid
-        ~args:[ ("queue_depth", string_of_int queue_depth) ]
+        ~args:
+          [ ("server", string_of_int server);
+            ("queue_depth", string_of_int queue_depth) ]
         ()
     | Bw_sample { bps } ->
       record ~name:"bandwidth-belief" ~ph:"C" ~ts ~tid:net_tid

@@ -59,17 +59,18 @@ type event =
   | Replay of { target : string; replay_s : float }
       (** the retained local body re-ran after a rollback; stamped at
           replay start, [replay_s] is the local re-execution time *)
-  | Queue of { target : string; wait_s : float; depth : int }
-      (** every worker slot of the shared server was busy at arrival;
+  | Queue of { target : string; server : int; wait_s : float; depth : int }
+      (** every worker slot of server [server] was busy at arrival;
           the request waited [wait_s] in FIFO order behind [depth]
           queued requests.  Stamped at arrival (the wait's start) *)
-  | Admit of { target : string; occupancy : int; slot : int }
-      (** the shared server granted worker [slot]; [occupancy] is the
+  | Admit of { target : string; server : int; occupancy : int; slot : int }
+      (** server [server] granted worker [slot]; [occupancy] is the
           number of concurrently executing offloads including this
           one — the load the contention scaling was priced at *)
-  | Reject of { target : string; queue_depth : int }
-      (** the shared server's admission queue was full; the task runs
-          on the mobile device instead *)
+  | Reject of { target : string; server : int; queue_depth : int }
+      (** server [server]'s admission queue was full; the task runs
+          on the mobile device instead.  Single-server setups stamp
+          server 0 throughout *)
   | Bw_sample of { bps : float }
       (** the bandwidth predictor's belief after a physical transfer —
           a sampled gauge for the telemetry layer, carrying no cost *)

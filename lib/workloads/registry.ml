@@ -268,7 +268,43 @@ let spec : entry list =
     };
   ]
 
+(* Synthetic scheduler-stress workloads.  Not part of the paper's
+   Table 4 — kept out of [spec] so the evaluation tables and the
+   per-workload tests iterate only the paper's programs — but
+   resolvable through [by_name] for fleet-scale scheduling sweeps.
+   The paper row is all zeros: there is no published counterpart. *)
+let synthetic : entry list =
+  let no_row =
+    row ~loc:0.0 ~exec:0.0 ~fns:(1, 3) ~gvs:(0, 0) ~ptrs:0
+      ~target:Fleet_micro.target ~cover:0.0 ~invo:1 ~traffic:0.0
+  in
+  [
+    {
+      e_name = Fleet_micro.name;
+      e_description = Fleet_micro.description;
+      e_build = Fleet_micro.build;
+      e_profile_script = Fleet_micro.profile_script;
+      e_eval_script = Fleet_micro.eval_script;
+      e_files = Fleet_micro.files;
+      e_eval_scale = Fleet_micro.eval_scale;
+      e_expected_targets = [ Fleet_micro.target ];
+      e_paper = no_row;
+    };
+    {
+      e_name = Fleet_micro.heavy_name;
+      e_description = Fleet_micro.heavy_description;
+      e_build = Fleet_micro.build;
+      e_profile_script = Fleet_micro.heavy_profile_script;
+      e_eval_script = Fleet_micro.heavy_eval_script;
+      e_files = Fleet_micro.files;
+      e_eval_scale = Fleet_micro.heavy_eval_scale;
+      e_expected_targets = [ Fleet_micro.target ];
+      e_paper = no_row;
+    };
+  ]
+
 let by_name name =
-  List.find_opt (fun e -> String.equal e.e_name name) spec
+  List.find_opt (fun e -> String.equal e.e_name name) (spec @ synthetic)
 
 let names = List.map (fun e -> e.e_name) spec
+let synthetic_names = List.map (fun e -> e.e_name) synthetic

@@ -4,9 +4,10 @@ performance regressions.
 
 Subcommands:
 
-  merge P F -o OUT      combine the `bench percentiles --json` and
-                        `bench faults --json` outputs into one
-                        BENCH_pr.json (schema-versioned)
+  merge P F FL -o OUT   combine the `bench percentiles --json`,
+                        `bench faults --json` and `bench fleet --json`
+                        outputs into one BENCH_pr.json
+                        (schema-versioned)
   check PR BASELINE     compare a PR's headline numbers against the
                         committed baseline; exit non-zero on a
                         regression (or an out-of-band improvement —
@@ -28,8 +29,15 @@ reduced scale and commit it with the change:
 
     dune exec bench/main.exe -- percentiles --sample 4 --json /tmp/p.json
     dune exec bench/main.exe -- faults      --sample 4 --json /tmp/f.json
-    python3 scripts/bench_guard.py merge /tmp/p.json /tmp/f.json \
+    dune exec bench/main.exe -- fleet       --json /tmp/fl.json
+    python3 scripts/bench_guard.py merge /tmp/p.json /tmp/f.json /tmp/fl.json \
         -o BENCH_baseline.json
+
+Fleet guard: the per-policy geomean speedups and simulated clients/sec
+come from the deterministic simulator, so they are held to the same
+tolerance as the percentile headline.  The host-side clients/sec is
+wall-clock and machine-dependent; it only has to clear an absolute
+floor (--fleet-host-floor), not track the baseline.
 """
 
 import argparse
@@ -37,7 +45,9 @@ import copy
 import json
 import sys
 
-SCHEMA = 1
+SCHEMA = 2
+
+FLEET_POLICIES = ("rr", "ll", "sticky")
 
 
 def load(path):
@@ -48,11 +58,21 @@ def load(path):
 def cmd_merge(args):
     percentiles = load(args.percentiles)
     faults = load(args.faults)
-    for blob, want in ((percentiles, "percentiles"), (faults, "faults")):
+    fleet = load(args.fleet)
+    for blob, want in (
+        (percentiles, "percentiles"),
+        (faults, "faults"),
+        (fleet, "fleet"),
+    ):
         mode = blob.get("mode")
         if mode != want:
             sys.exit(f"bench_guard: expected mode={want!r}, got {mode!r}")
-    merged = {"schema": SCHEMA, "percentiles": percentiles, "faults": faults}
+    merged = {
+        "schema": SCHEMA,
+        "percentiles": percentiles,
+        "faults": faults,
+        "fleet": fleet,
+    }
     with open(args.output, "w") as fh:
         json.dump(merged, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -95,6 +115,47 @@ def compare(pr, baseline, tolerance):
             f"fault survival rate dropped: {pr_survival:.3f} vs baseline "
             f"{base_survival:.3f}"
         )
+
+    # Fleet headline: simulated numbers are deterministic, so both
+    # geomean and simulated clients/sec track the baseline within the
+    # same tolerance (both directions — an out-of-band improvement
+    # means the model changed and the baseline is stale).
+    for policy in FLEET_POLICIES:
+        for metric, label in (
+            ("geomean", "fleet geomean speedup"),
+            ("throughput", "fleet simulated clients/sec"),
+        ):
+            key = f"fleet_{policy}_{metric}"
+            base_value = baseline["fleet"][key]
+            pr_value = pr["fleet"][key]
+            ratio = pr_value / base_value
+            if ratio < 1.0 - tolerance:
+                failures.append(
+                    f"{label} ({policy}) regressed: {pr_value:.4f} vs "
+                    f"baseline {base_value:.4f} "
+                    f"({(1.0 - ratio) * 100:.1f}% below)"
+                )
+            elif ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{label} ({policy}) improved beyond tolerance: "
+                    f"{pr_value:.4f} vs baseline {base_value:.4f} — "
+                    "if intentional, re-baseline"
+                )
+    return failures
+
+
+def check_host_floor(pr, floor):
+    """Wall-clock fleet throughput only has to clear an absolute
+    floor; it is machine-dependent, so it never tracks the baseline."""
+    failures = []
+    for policy in FLEET_POLICIES:
+        key = f"fleet_{policy}_clients_per_sec"
+        value = pr["fleet"].get(key)
+        if value is not None and value < floor:
+            failures.append(
+                f"fleet host throughput ({policy}) below floor: "
+                f"{value:.0f} clients/sec < {floor:.0f}"
+            )
     return failures
 
 
@@ -131,6 +192,7 @@ def cmd_check(args):
     pr = load(args.pr)
     baseline = load(args.baseline)
     failures = compare(pr, baseline, args.tolerance)
+    failures += check_host_floor(pr, args.fleet_host_floor)
     if failures:
         for message in failures:
             print(f"FAIL: {message}")
@@ -143,7 +205,10 @@ def cmd_check(args):
         f"{pr['percentiles']['geomean_speedup']:.4f} vs baseline "
         f"{baseline['percentiles']['geomean_speedup']:.4f} "
         f"(tolerance {args.tolerance * 100:.0f}%), survival rate "
-        f"{pr['faults']['survival_rate']:.3f}"
+        f"{pr['faults']['survival_rate']:.3f}, fleet geomeans "
+        + "/".join(
+            f"{pr['fleet'][f'fleet_{p}_geomean']:.3f}" for p in FLEET_POLICIES
+        )
     )
 
 
@@ -159,7 +224,20 @@ def cmd_selftest(args):
     if not compare(slowed, baseline, args.tolerance):
         sys.exit("selftest: injected 2x slowdown was not caught")
 
-    print("selftest OK: identical copy passes, 2x slowdown fails")
+    fleet_slowed = copy.deepcopy(baseline)
+    fleet_slowed["fleet"]["fleet_ll_throughput"] /= 2.0
+    if not compare(fleet_slowed, baseline, args.tolerance):
+        sys.exit("selftest: injected 2x fleet slowdown was not caught")
+
+    crawling = copy.deepcopy(baseline)
+    crawling["fleet"]["fleet_rr_clients_per_sec"] = 1.0
+    if not check_host_floor(crawling, 50.0):
+        sys.exit("selftest: sub-floor host throughput was not caught")
+
+    print(
+        "selftest OK: identical copy passes; 2x headline slowdown, "
+        "2x fleet slowdown and sub-floor host throughput all fail"
+    )
 
 
 def main():
@@ -169,6 +247,7 @@ def main():
     p = sub.add_parser("merge", help="combine headline JSONs")
     p.add_argument("percentiles")
     p.add_argument("faults")
+    p.add_argument("fleet")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=cmd_merge)
 
@@ -176,6 +255,14 @@ def main():
     p.add_argument("pr")
     p.add_argument("baseline")
     p.add_argument("--tolerance", type=float, default=0.10)
+    p.add_argument(
+        "--fleet-host-floor",
+        type=float,
+        default=50.0,
+        metavar="CPS",
+        help="minimum acceptable wall-clock fleet clients/sec "
+        "(default: %(default)s)",
+    )
     p.add_argument(
         "--explain",
         metavar="DIFF_JSON",

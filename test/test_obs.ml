@@ -364,9 +364,13 @@ let test_trace_file_round_trip () =
   let events =
     Lazy.force chess_events
     @ [
-        (9.0, Trace.Queue { target = "search"; wait_s = 0.25; depth = 1 });
-        (9.25, Trace.Admit { target = "search"; occupancy = 2; slot = 1 });
-        (9.5, Trace.Reject { target = "search"; queue_depth = 2 });
+        ( 9.0,
+          Trace.Queue { target = "search"; server = 1; wait_s = 0.25; depth = 1 }
+        );
+        ( 9.25,
+          Trace.Admit { target = "search"; server = 1; occupancy = 2; slot = 1 }
+        );
+        (9.5, Trace.Reject { target = "search"; server = 0; queue_depth = 2 });
       ]
   in
   let text = Trace_file.to_string events in
@@ -426,25 +430,28 @@ let expect_error label needle text =
 let test_trace_file_diagnostics () =
   (* Version from the future: a clear refusal, not a parse attempt. *)
   expect_error "future version" "version"
-    "{\"format\":\"no-trace-raw\",\"version\":2,\"events\":0}\n";
+    "{\"format\":\"no-trace-raw\",\"version\":3,\"events\":0}\n";
+  (* Version 1 predates server ids on scheduler events: refused too. *)
+  expect_error "pre-pool version" "version"
+    "{\"format\":\"no-trace-raw\",\"version\":1,\"events\":0}\n";
   (* Truncated body: header promises more events than the file holds. *)
   expect_error "truncation" "truncated"
-    "{\"format\":\"no-trace-raw\",\"version\":1,\"events\":2}\n\
+    "{\"format\":\"no-trace-raw\",\"version\":2,\"events\":2}\n\
      {\"ts\":0.5,\"kind\":\"refusal\",\"target\":\"t\"}\n";
   (* Unknown event kind, with the line number. *)
   expect_error "unknown kind" "line 2"
-    "{\"format\":\"no-trace-raw\",\"version\":1,\"events\":1}\n\
+    "{\"format\":\"no-trace-raw\",\"version\":2,\"events\":1}\n\
      {\"ts\":0.5,\"kind\":\"bogus\"}\n";
   (* Missing field. *)
   expect_error "missing field" "service_s"
-    "{\"format\":\"no-trace-raw\",\"version\":1,\"events\":1}\n\
+    "{\"format\":\"no-trace-raw\",\"version\":2,\"events\":1}\n\
      {\"ts\":0.5,\"kind\":\"page-fault\",\"page\":3}\n";
   (* Not this format at all. *)
   expect_error "wrong format" "header" "{\"traceEvents\":[]}\n";
   expect_error "empty file" "header" "";
   (* Garbage mid-file. *)
   expect_error "garbage line" "line 2"
-    "{\"format\":\"no-trace-raw\",\"version\":1,\"events\":1}\n\
+    "{\"format\":\"no-trace-raw\",\"version\":2,\"events\":1}\n\
      not json\n"
 
 let tests =

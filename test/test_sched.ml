@@ -11,6 +11,8 @@ module Local_run = No_runtime.Local_run
 module Registry = No_workloads.Registry
 module Compiler = Native_offloader.Compiler
 module Server_load = No_sched.Server_load
+module Pool = No_sched.Pool
+module Event_queue = No_sched.Event_queue
 module Sim = No_sched.Sim
 
 let close ?(eps = 1e-9) msg expected actual =
@@ -61,7 +63,7 @@ let test_admission_queue_reject () =
   (* Arrives at 0.6 behind the queued waiter: the queue is full. *)
   (match Server_load.request t ~now:0.6 ~target:"c" with
   | Session.Admitted _ -> Alcotest.fail "over-capacity request admitted"
-  | Session.Rejected { queue_depth } ->
+  | Session.Rejected { queue_depth; _ } ->
     Alcotest.(check int) "rejected behind one waiter" 1 queue_depth);
   let st = Server_load.stats t in
   Alcotest.(check int) "admits" 2 st.Server_load.st_admits;
@@ -133,6 +135,7 @@ let test_stub_admit_transparent () =
         (fun ~now:_ ~target:_ ->
           Session.Admitted
             {
+              server = 0;
               wait_s = 0.0;
               occupancy = 1;
               slot = 0;
@@ -140,7 +143,7 @@ let test_stub_admit_transparent () =
               r_scale = 1.0;
               bw_scale = 1.0;
             });
-      Session.sh_release = (fun ~now:_ ~slot:_ -> ());
+      Session.sh_release = (fun ~now:_ ~server:_ ~slot:_ -> ());
     }
   in
   let plain = run_session () in
@@ -161,8 +164,9 @@ let test_stub_reject_runs_local () =
     {
       Session.sh_load = (fun ~now:_ -> (1.0, 1.0));
       Session.sh_request =
-        (fun ~now:_ ~target:_ -> Session.Rejected { queue_depth = 0 });
-      Session.sh_release = (fun ~now:_ ~slot:_ -> ());
+        (fun ~now:_ ~target:_ ->
+          Session.Rejected { server = 0; queue_depth = 0 });
+      Session.sh_release = (fun ~now:_ ~server:_ ~slot:_ -> ());
     }
   in
   let entry, compiled = Lazy.force gzip in
@@ -243,19 +247,194 @@ let max_overlap intervals =
   in
   peak
 
+(* Admitted intervals grouped by the server that granted them. *)
+let intervals_by_server result =
+  let by_server = Hashtbl.create 8 in
+  List.iter
+    (fun (srv, s, e) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt by_server srv)
+      in
+      Hashtbl.replace by_server srv ((s, e) :: prev))
+    (Sim.admitted_intervals result);
+  Hashtbl.fold (fun srv iv acc -> (srv, iv) :: acc) by_server []
+
 let prop_slot_bound =
-  QCheck.Test.make ~name:"admitted offloads never exceed the slot bound"
-    ~count:25
+  QCheck.Test.make
+    ~name:"admitted offloads never exceed any server's slot bound" ~count:25
     QCheck.(
-      triple (int_range 1 6) (int_range 1 3) (int_range 0 2))
-    (fun (count, slots, queue) ->
+      pair
+        (triple (int_range 1 6) (int_range 1 3) (int_range 0 2))
+        (pair (int_range 1 3) (oneofl Pool.all_policies)))
+    (fun ((count, slots, queue), (servers, policy)) ->
       let clients =
         Sim.make_clients ~stagger_s:0.03
           ~workloads:[ "164.gzip"; "429.mcf" ] ~count ()
       in
-      let result = Sim.run ~config:(degraded_config ~slots ~queue) clients in
-      let intervals = Sim.admitted_intervals result in
-      max_overlap intervals <= slots)
+      let config =
+        { (degraded_config ~slots ~queue) with
+          Sim.s_servers = servers; Sim.s_policy = policy }
+      in
+      let result = Sim.run ~config clients in
+      List.for_all
+        (fun (_srv, iv) -> max_overlap iv <= slots)
+        (intervals_by_server result))
+
+(* {1 Event queue} *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  (* Fifty scrambled pushes exercise growth past the initial
+     capacity. *)
+  let times = List.init 50 (fun i -> float_of_int (i * 37 mod 50)) in
+  List.iter (fun t -> Event_queue.push q ~time:t ~id:0 t) times;
+  Alcotest.(check int) "length" 50 (Event_queue.length q);
+  let rec drain acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some t -> drain (t :: acc)
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "pops sorted by time" (List.sort compare times) (drain []);
+  Alcotest.(check bool) "emptied" true (Event_queue.is_empty q)
+
+let test_event_queue_tie_break () =
+  let q = Event_queue.create () in
+  (* One shared instant: order must fall back to client id, then to
+     push order within an id. *)
+  Event_queue.push q ~time:1.0 ~id:2 "c";
+  Event_queue.push q ~time:1.0 ~id:1 "a";
+  Event_queue.push q ~time:1.0 ~id:1 "b";
+  Event_queue.push q ~time:0.5 ~id:9 "first";
+  Alcotest.(check (option (float 1e-9)))
+    "peek_time sees the minimum" (Some 0.5) (Event_queue.peek_time q);
+  let rec drain acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some s -> drain (s :: acc)
+  in
+  Alcotest.(check (list string))
+    "(time, id, seq) order" [ "first"; "a"; "b"; "c" ] (drain [])
+
+(* {1 Pool routing} *)
+
+let pool_config ~slots ~queue =
+  { Server_load.default with Server_load.slots; queue_cap = queue }
+
+let admit_exn pool ~client ~now =
+  match Pool.request pool ~client ~now ~target:"t" with
+  | Session.Admitted { server; slot; _ } -> (server, slot)
+  | Session.Rejected _ -> Alcotest.fail "unexpected reject"
+
+let test_pool_round_robin () =
+  let pool =
+    Pool.create ~policy:Pool.Round_robin ~servers:3
+      (pool_config ~slots:2 ~queue:0)
+  in
+  let targets =
+    List.init 6 (fun i ->
+        fst (admit_exn pool ~client:i ~now:(float_of_int i)))
+  in
+  Alcotest.(check (list int)) "cursor cycles members" [ 0; 1; 2; 0; 1; 2 ]
+    targets
+
+let test_pool_least_loaded () =
+  let pool =
+    Pool.create ~policy:Pool.Least_loaded ~servers:3
+      (pool_config ~slots:2 ~queue:0)
+  in
+  Alcotest.(check int) "empty pool ties to lowest id" 0
+    (Pool.peek pool ~client:7 ~now:0.0);
+  let s0, slot0 = admit_exn pool ~client:0 ~now:0.0 in
+  Alcotest.(check int) "first admit on 0" 0 s0;
+  let s1, _ = admit_exn pool ~client:1 ~now:0.0 in
+  Alcotest.(check int) "routes around the busy member" 1 s1;
+  let s2, _ = admit_exn pool ~client:2 ~now:0.0 in
+  Alcotest.(check int) "then the last idle member" 2 s2;
+  Pool.release pool ~server:0 ~now:1.0 ~slot:slot0;
+  Alcotest.(check int) "released member preferred again" 0
+    (Pool.peek pool ~client:3 ~now:1.0)
+
+let test_pool_sticky () =
+  let pool =
+    Pool.create ~policy:Pool.Sticky ~servers:4 (pool_config ~slots:1 ~queue:0)
+  in
+  List.iter
+    (fun client ->
+      let first = Pool.peek pool ~client ~now:0.0 in
+      Alcotest.(check bool) "member in range" true (first >= 0 && first < 4);
+      Alcotest.(check int) "same client, same member" first
+        (Pool.peek pool ~client ~now:0.5))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  let expected = Pool.peek pool ~client:5 ~now:0.0 in
+  let s, _ = admit_exn pool ~client:5 ~now:0.0 in
+  Alcotest.(check int) "request lands on the peeked member" expected s
+
+let test_pool_policy_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Pool.policy_to_string p ^ " round-trips")
+        true
+        (Pool.policy_of_string (Pool.policy_to_string p) = Some p))
+    Pool.all_policies;
+  Alcotest.(check bool) "short form rr" true
+    (Pool.policy_of_string "rr" = Some Pool.Round_robin);
+  Alcotest.(check bool) "short form ll" true
+    (Pool.policy_of_string "ll" = Some Pool.Least_loaded);
+  Alcotest.(check bool) "unknown name refused" true
+    (Pool.policy_of_string "bogus" = None)
+
+(* {1 Policy flip} *)
+
+let fleet_mix = [ "fleet.micro"; "fleet.micro"; "fleet.micro.heavy" ]
+
+let fleet_geomean ~policy ~count =
+  let clients =
+    Sim.make_clients ~stagger_s:0.0005 ~workloads:fleet_mix ~count ()
+  in
+  let config =
+    { (degraded_config ~slots:1 ~queue:1) with
+      Sim.s_servers = 2;
+      Sim.s_policy = policy;
+      Sim.s_record_events = false }
+  in
+  Sim.geomean_speedup (Sim.run ~config clients)
+
+let test_policy_flip () =
+  (* Below saturation every client finds an idle member, so blind
+     round-robin and least-loaded price identically. *)
+  let rr = fleet_geomean ~policy:Pool.Round_robin ~count:2
+  and ll = fleet_geomean ~policy:Pool.Least_loaded ~count:2 in
+  close "identical below saturation" rr ll;
+  (* Past saturation the light/heavy mix drains members unevenly;
+     least-loaded routes around the backlog and pulls ahead. *)
+  let rr = fleet_geomean ~policy:Pool.Round_robin ~count:60
+  and ll = fleet_geomean ~policy:Pool.Least_loaded ~count:60 in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "least-loaded beats round-robin past saturation (%.4f > %.4f)" ll rr)
+    true
+    (ll > rr +. 1e-6)
+
+let test_policy_determinism () =
+  List.iter
+    (fun policy ->
+      let run_once () =
+        let clients =
+          Sim.make_clients ~stagger_s:0.0005 ~workloads:fleet_mix ~count:20 ()
+        in
+        let config =
+          { (degraded_config ~slots:1 ~queue:1) with
+            Sim.s_servers = 2;
+            Sim.s_policy = policy }
+        in
+        Sim.render (Sim.run ~config clients)
+      in
+      Alcotest.(check string)
+        (Pool.policy_to_string policy ^ ": byte-identical rerun")
+        (run_once ()) (run_once ()))
+    Pool.all_policies
 
 let tests =
   [
@@ -269,8 +448,22 @@ let tests =
       test_stub_admit_transparent;
     Alcotest.test_case "session: always-reject handle runs local" `Quick
       test_stub_reject_runs_local;
+    Alcotest.test_case "event-queue: heap order" `Quick
+      test_event_queue_order;
+    Alcotest.test_case "event-queue: deterministic tie-break" `Quick
+      test_event_queue_tie_break;
+    Alcotest.test_case "pool: round-robin cursor" `Quick
+      test_pool_round_robin;
+    Alcotest.test_case "pool: least-loaded routing" `Quick
+      test_pool_least_loaded;
+    Alcotest.test_case "pool: sticky hashing" `Quick test_pool_sticky;
+    Alcotest.test_case "pool: policy names" `Quick test_pool_policy_names;
     Alcotest.test_case "sim: deterministic rerun" `Quick
       test_sim_deterministic;
+    Alcotest.test_case "sim: policy flip past saturation" `Quick
+      test_policy_flip;
+    Alcotest.test_case "sim: per-policy byte-identical reruns" `Quick
+      test_policy_determinism;
     Alcotest.test_case "sim: degradation and local flips" `Quick
       test_sim_degrades_and_flips;
     QCheck_alcotest.to_alcotest prop_slot_bound;

@@ -88,8 +88,8 @@ let test_series_windowing () =
   let series = Series.create ~window_s:1.0 () in
   let feed ts ev = Series.observe series ~ts ev in
   feed 0.2 (Trace.Offload_begin { target = "w" });
-  feed 0.3 (Trace.Queue { target = "w"; wait_s = 0.1; depth = 2 });
-  feed 0.4 (Trace.Admit { target = "w"; occupancy = 2; slot = 1 });
+  feed 0.3 (Trace.Queue { target = "w"; server = 0; wait_s = 0.1; depth = 2 });
+  feed 0.4 (Trace.Admit { target = "w"; server = 0; occupancy = 2; slot = 1 });
   feed 0.5 (Trace.Bw_sample { bps = 8e6 });
   (* Window 1 is a gap; window 2 gets the tail. *)
   feed 2.5 (Trace.Page_fault { page = 3; service_s = 0.2 });

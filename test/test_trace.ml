@@ -304,9 +304,9 @@ let test_to_rows_covers_all_counters () =
           { target = "w"; reason = "server dead"; recovery_s = 0.6 } );
       (1.65, Trace.Offload_end { target = "w"; dirty_pages = 2; span_s = 1.65 });
       (1.65, Trace.Replay { target = "w"; replay_s = 1.35 });
-      (2.0, Trace.Queue { target = "w"; wait_s = 0.2; depth = 1 });
-      (2.2, Trace.Admit { target = "w"; occupancy = 2; slot = 1 });
-      (2.5, Trace.Reject { target = "w"; queue_depth = 2 });
+      (2.0, Trace.Queue { target = "w"; server = 0; wait_s = 0.2; depth = 1 });
+      (2.2, Trace.Admit { target = "w"; server = 0; occupancy = 2; slot = 1 });
+      (2.5, Trace.Reject { target = "w"; server = 0; queue_depth = 2 });
       (3.0, Trace.Refusal { target = "w" });
       (0.0, Trace.Power_state { state = "computing"; mw = 1000.0; duration_s = 3.0 });
     ];
