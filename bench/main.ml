@@ -351,6 +351,9 @@ let run_traced_summary name =
         | Trace.Admit _ -> "admit"
         | Trace.Reject _ -> "reject"
         | Trace.Bw_sample _ -> "bw-sample"
+        | Trace.Checkpoint _ -> "checkpoint"
+        | Trace.Migrate_start _ -> "migrate-start"
+        | Trace.Migrate_done _ -> "migrate-done"
       in
       Hashtbl.replace counts key
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
@@ -706,27 +709,34 @@ let run_multiclient ?(slots = 2) ?(queue = 1) ?(workload = "164.gzip")
 let fleet_mix = [ "fleet.micro"; "fleet.micro"; "fleet.micro.heavy" ]
 
 let fleet_config ~servers ~slots ~queue ~policy ~record =
-  { Sim.s_load =
+  { Sim.default_config with
+    Sim.s_load =
       { Server_load.default with Server_load.slots;
         Server_load.queue_cap = queue };
     Sim.s_servers = servers;
     Sim.s_policy = policy;
-    Sim.s_link = Link.fast_wifi;
-    Sim.s_scale = Sim.Profile;
     Sim.s_record_events = record }
 
 let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
-    ?json () =
+    ?(slo = Slo.default_spec) ?json () =
   let stagger_s = 0.0005 in
+  let objectives = slo_objectives_exn slo in
+  (* Per-policy SLO verdicts come from a fleet-wide windowed series
+     fed by the simulator's streaming global sink — no per-client
+     rings, so the sweep still measures the scheduler. *)
   let run_policy policy count =
     let cs = Sim.make_clients ~stagger_s ~workloads:fleet_mix ~count () in
-    let config = fleet_config ~servers ~slots ~queue ~policy ~record:false in
+    let series = Series.create () in
+    let config =
+      { (fleet_config ~servers ~slots ~queue ~policy ~record:false) with
+        Sim.s_global_sink = Some (Series.sink series) }
+    in
     let t0 = Monotonic_clock.now () in
     let result = Sim.run ~config cs in
     let wall_s =
       Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
     in
-    (result, wall_s)
+    (result, wall_s, Slo.evaluate objectives series)
   in
   let table =
     Table.create
@@ -737,12 +747,13 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
            clients servers slots queue
            (String.concat "," fleet_mix))
       [ "policy"; "geomean speedup"; "local flips"; "queued"; "rejects";
-        "makespan (s)"; "sim c/s"; "host c/s"; "host events/s"; "p95 (s)" ]
+        "makespan (s)"; "sim c/s"; "host c/s"; "host events/s"; "p95 (s)";
+        "SLO" ]
   in
   let json_fields = ref [] in
   List.iter
     (fun policy ->
-      let result, wall_s = run_policy policy clients in
+      let result, wall_s, verdicts = run_policy policy clients in
       let st = result.Sim.r_stats in
       let short =
         match policy with
@@ -762,7 +773,11 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
           Table.cell_f ~digits:0 (float_of_int clients /. wall_s);
           Table.cell_f ~digits:0 (float_of_int result.Sim.r_events /. wall_s);
           Table.cell_f ~digits:4 (Sim.latency_percentile result ~p:95.0);
+          (if Slo.pass verdicts then "pass" else "FAIL");
         ];
+      Printf.printf "SLO (%s): %s\n"
+        (Pool.policy_to_string policy)
+        (Slo.render verdicts);
       json_fields :=
         !json_fields
         @ [
@@ -772,6 +787,8 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
               json_f result.Sim.r_throughput );
             ( Printf.sprintf "fleet_%s_clients_per_sec" short,
               json_f (float_of_int clients /. wall_s) );
+            ( Printf.sprintf "fleet_%s_slo_pass" short,
+              if Slo.pass verdicts then "true" else "false" );
           ])
     Pool.all_policies;
   Table.print table;
@@ -786,8 +803,8 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
   in
   List.iter
     (fun count ->
-      let rr, _ = run_policy Pool.Round_robin count in
-      let ll, _ = run_policy Pool.Least_loaded count in
+      let rr, _, _ = run_policy Pool.Round_robin count in
+      let ll, _, _ = run_policy Pool.Least_loaded count in
       let g_rr = Sim.geomean_speedup rr
       and g_ll = Sim.geomean_speedup ll in
       Table.add_row flip
@@ -809,6 +826,113 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
            ("servers", json_i servers);
            ("slots", json_i slots);
            ("queue", json_i queue) ]
+        @ !json_fields))
+    json
+
+(* {1 Migration recovery}
+
+   The checkpoint/migration machinery against its fallback: every
+   canonical loss scenario (mid-offload crash with healthy siblings,
+   rolling maintenance, cost-driven rebalance of a heterogeneous
+   pool) runs twice — migration on, then off, where every lost
+   offload rolls back and replays locally.  Both runs are fully
+   simulated and deterministic; the headline is how many tasks
+   finished by migration and the recovered-task wall-clock ratio
+   replay/migrate (> 1 means shipping the checkpoint to a healthy
+   member beat re-running on the slow mobile core).  The ratio is
+   measured on the clients that actually lost a server — the fleet
+   makespan can be pinned by an unaffected straggler. *)
+
+(* Wall clock summed over the clients a scenario actually disturbed:
+   checkpoint takers in migrate mode, local replayers in replay mode.
+   Determinism makes the two sets the same clients. *)
+let recovered_wall (r : Sim.result) =
+  List.fold_left
+    (fun acc cr ->
+      let rep = cr.Sim.cr_report in
+      if rep.Session.rep_checkpoints > 0 || rep.Session.rep_fallbacks > 0
+      then acc +. rep.Session.rep_total_s
+      else acc)
+    0.0 r.Sim.r_clients
+
+let run_migrate ?(policy = Pool.Round_robin) ?json () =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Migration recovery vs rollback + local replay (%s, \
+            profile-script scale)"
+           (Pool.policy_to_string policy))
+      [ "scenario"; "mode"; "checkpoints"; "migrations"; "completed";
+        "replays"; "recovered wall (s)"; "makespan (s)"; "geomean speedup" ]
+  in
+  let json_fields = ref [] in
+  let ratios = ref [] in
+  let migrations_total = ref 0 in
+  List.iter
+    (fun name ->
+      let sc_on = Sim.scenario ~policy ~migrate:true name in
+      let sc_off = Sim.scenario ~policy ~migrate:false name in
+      let on = Sim.run ~config:sc_on.Sim.sc_config sc_on.Sim.sc_clients in
+      let off = Sim.run ~config:sc_off.Sim.sc_config sc_off.Sim.sc_clients in
+      print_endline
+        (Sim.render
+           ~title:(Printf.sprintf "%s (migrate on): %s" name sc_on.Sim.sc_title)
+           on);
+      print_newline ();
+      let ck_on, mig_on, done_on, fb_on = Sim.migration_totals on in
+      let ck_off, mig_off, done_off, fb_off = Sim.migration_totals off in
+      ignore ck_off;
+      let row mode (ck, mig, done_, fb) (r : Sim.result) =
+        Table.add_row table
+          [
+            name; mode; Table.cell_i ck; Table.cell_i mig;
+            Table.cell_i done_; Table.cell_i fb;
+            Table.cell_f ~digits:4 (recovered_wall r);
+            Table.cell_f ~digits:4 r.Sim.r_makespan_s;
+            Table.cell_f ~digits:3 (Sim.geomean_speedup r);
+          ]
+      in
+      row "migrate" (ck_on, mig_on, done_on, fb_on) on;
+      row "replay" (0, mig_off, done_off, fb_off) off;
+      let ratio = recovered_wall off /. recovered_wall on in
+      migrations_total := !migrations_total + done_on;
+      ratios := ratio :: !ratios;
+      json_fields :=
+        !json_fields
+        @ [
+            (Printf.sprintf "%s_migrations" name, json_i done_on);
+            (Printf.sprintf "%s_replays" name, json_i fb_off);
+            ( Printf.sprintf "%s_recovered_wall_on" name,
+              json_f (recovered_wall on) );
+            ( Printf.sprintf "%s_recovered_wall_off" name,
+              json_f (recovered_wall off) );
+            (Printf.sprintf "%s_makespan_on" name, json_f on.Sim.r_makespan_s);
+            ( Printf.sprintf "%s_makespan_off" name,
+              json_f off.Sim.r_makespan_s );
+            (Printf.sprintf "%s_ratio" name, json_f ratio);
+          ])
+    Sim.scenario_names;
+  Table.print table;
+  let geomean xs =
+    exp
+      (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+      /. float_of_int (List.length xs))
+  in
+  let recovery_ratio = geomean !ratios in
+  Printf.printf
+    "\n%d migration(s) completed; replay/migrate recovered-task wall-clock \
+     ratio (geomean) %.4f\n"
+    !migrations_total recovery_ratio;
+  Option.iter
+    (fun path ->
+      write_json path
+        ([
+           ("mode", "\"migrate\"");
+           ("policy", Printf.sprintf "\"%s\"" (Pool.policy_to_string policy));
+           ("migrations_done", json_i !migrations_total);
+           ("recovery_ratio", json_f recovery_ratio);
+         ]
         @ !json_fields))
     json
 
@@ -1061,6 +1185,11 @@ let () =
     run_fleet ?clients:(opt_int "--clients") ?servers:(opt_int "--servers")
       ?slots:(opt_int "--slots") ?queue:(opt_int "--queue")
       ?json:(opt "--json") ()
+  | _ :: "migrate" :: _ ->
+    let policy =
+      Option.bind (opt "--policy") Pool.policy_of_string
+    in
+    run_migrate ?policy ?json:(opt "--json") ()
   | _ :: "timeseries" :: _ ->
     run_timeseries ?workload:(opt "--workload")
       ?window:(Option.map float_of_string (opt "--window"))

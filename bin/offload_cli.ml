@@ -17,6 +17,10 @@
      offload-cli serve --clients 4 --slots 2
                                          multi-client shared-server
                                          scheduling simulation
+     offload-cli serve --migrate failover
+                                         checkpoint/migrate a task off a
+                                         crashing pool member (also:
+                                         maintenance, rebalance)
      offload-cli headline                geomean speedups / battery *)
 
 open No_prelude.Prelude
@@ -766,8 +770,39 @@ let serve_cmd =
              client's trace merged onto the global clock) as OpenMetrics \
              text exposition to $(docv).")
   in
+  let migrate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "migrate" ] ~docv:"SCENARIO"
+          ~doc:
+            "Run a canonical migration scenario instead of the synthetic \
+             fleet: $(b,failover) (a member crashes mid-offload and the \
+             task fails over), $(b,maintenance) (rolling drains across the \
+             pool), or $(b,rebalance) (the fast member of a heterogeneous \
+             pool is drained mid-run).  Honours $(b,--policy); other fleet \
+             options are ignored.")
+  in
+  let no_migrate_arg =
+    Arg.(
+      value & flag
+      & info [ "no-migrate" ]
+          ~doc:
+            "Disable checkpoint/migrate recovery: a lost server always \
+             rolls the task back and replays it locally.")
+  in
+  let slo_arg =
+    Arg.(
+      value
+      & opt string Slo.default_spec
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "Service-level objectives evaluated over the fleet-wide \
+             windowed series, e.g. \
+             $(b,avail>=0.99,p99(page-fault)<=50ms,burn(0.99)<=14).")
+  in
   let run clients slots queue servers policy workloads stagger link faults
-      seed eval metrics_out =
+      seed eval metrics_out migrate no_migrate slo =
     if clients < 1 then begin
       Fmt.epr "need at least one client@.";
       exit 1
@@ -789,6 +824,41 @@ let serve_cmd =
              (List.map Pool.policy_to_string Pool.all_policies));
         exit 1
     in
+    let objectives =
+      match Slo.parse slo with
+      | Ok objs -> objs
+      | Error msg ->
+        Fmt.epr "bad --slo spec: %s@.(grammar: %s)@." msg Slo.grammar;
+        exit 1
+    in
+    let print_slo result =
+      let series = Series.of_events (Sim.global_events result) in
+      let verdicts = Slo.evaluate objectives series in
+      Fmt.pr "%s@." (Slo.render verdicts);
+      Fmt.pr "SLO (%s): %s@."
+        (Pool.policy_to_string policy)
+        (if Slo.pass verdicts then "pass" else "FAIL")
+    in
+    match migrate with
+    | Some scenario_name ->
+      let sc =
+        match
+          Sim.scenario ~policy ~migrate:(not no_migrate) scenario_name
+        with
+        | sc -> sc
+        | exception Invalid_argument msg ->
+          Fmt.epr "%s@." msg;
+          exit 1
+      in
+      let result = Sim.run ~config:sc.Sim.sc_config sc.Sim.sc_clients in
+      print_endline
+        (Sim.render
+           ~title:
+             (Printf.sprintf "%s: %s%s" sc.Sim.sc_name sc.Sim.sc_title
+                (if no_migrate then " (migration disabled)" else ""))
+           result);
+      print_slo result
+    | None ->
     List.iter
       (fun name -> ignore (entry_of_name name : Registry.entry))
       workloads;
@@ -807,7 +877,8 @@ let serve_cmd =
           | None -> p)
     in
     let config =
-      { Sim.s_load =
+      { Sim.default_config with
+        Sim.s_load =
           { Server_load.default with Server_load.slots;
             Server_load.queue_cap = queue };
         Sim.s_servers = servers;
@@ -817,6 +888,7 @@ let serve_cmd =
           | Some name -> link_of_name name
           | None -> Link.fast_wifi);
         Sim.s_scale = (if eval then Sim.Eval else Sim.Profile);
+        Sim.s_migrate = not no_migrate;
         Sim.s_record_events = true }
     in
     let cs =
@@ -830,6 +902,7 @@ let serve_cmd =
            (Printf.sprintf "%d client(s), %d server(s) x %d slots, queue %d, %s"
               clients servers slots queue (Pool.policy_to_string policy))
          result);
+    print_slo result;
     match metrics_out with
     | None -> ()
     | Some file -> (
@@ -850,7 +923,8 @@ let serve_cmd =
     Term.(
       const run $ clients_arg $ slots_arg $ queue_arg $ servers_arg
       $ policy_arg $ workloads_arg $ stagger_arg $ link_arg $ faults_arg
-      $ seed_arg $ eval_arg $ metrics_out_arg)
+      $ seed_arg $ eval_arg $ metrics_out_arg $ migrate_arg $ no_migrate_arg
+      $ slo_arg)
 
 (* Regression attribution between two raw traces (from `run
    --trace-raw`): align the span trees by path, attribute the

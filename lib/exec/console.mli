@@ -36,3 +36,21 @@ val rollback_to : t -> mark -> int
     discarded.  Used by offload recovery so a locally replayed task
     re-reads the same inputs and each side effect is observed exactly
     once. *)
+
+val committed_since : t -> mark -> int
+(** Output bytes delivered after the mark — the side-effect ledger a
+    migrating task ships with its checkpoint. *)
+
+val resume_at : t -> mark -> int
+(** Migration resume: keep the output already delivered, rewind the
+    input script and op counters to the mark, and arm a suppression
+    window over the committed tail — the resumed task's re-executed
+    writes are verified against it and dropped, so the observable
+    transcript shows each effect exactly once.  Returns the window
+    size in bytes.  @raise Invalid_argument from a later
+    {!write_string} if resumed output ever diverges from the committed
+    ledger. *)
+
+val suppressed_remaining : t -> int
+(** Bytes of the suppression window not yet consumed (0 once the
+    resumed task has caught up with its pre-migration self). *)

@@ -42,10 +42,21 @@ type t = {
   policy : policy;
   rng : Rng.t;
   mutable injected : int;
+  (* A planned crash kills one specific machine.  When the session
+     migrates the task to another pool member the plan's crash is
+     spent — the new host is healthy — so the oracle stops returning
+     Server_down. *)
+  mutable crash_cleared : bool;
 }
 
 let create ?(policy = default_policy) plan =
-  { plan; policy; rng = Rng.create plan.Plan.seed; injected = 0 }
+  {
+    plan;
+    policy;
+    rng = Rng.create plan.Plan.seed;
+    injected = 0;
+    crash_cleared = false;
+  }
 
 let plan t = t.plan
 let policy t = t.policy
@@ -65,9 +76,13 @@ let bw_factor t ~now =
   | _ -> 1.0
 
 let server_crashed t ~now =
+  (not t.crash_cleared)
+  &&
   match t.plan.Plan.crash_at_s with
   | Some at -> now >= at
   | None -> false
+
+let clear_crash t = t.crash_cleared <- true
 
 let judge t ~now =
   let verdict =

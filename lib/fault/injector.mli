@@ -49,6 +49,12 @@ val bw_factor : t -> now:float -> float
 
 val server_crashed : t -> now:float -> bool
 
+val clear_crash : t -> unit
+(** Mark the plan's crash as spent: a planned crash kills one specific
+    machine, so once the task migrates to another pool member the
+    oracle stops returning [Server_down].  Idempotent; no effect on
+    outage / drop / corruption injection. *)
+
 val judge : t -> now:float -> verdict
 (** Fate of one message sent at [now].  Order: server crash, then
     outage, then seeded drop/corruption draw. *)

@@ -1,0 +1,84 @@
+(* Resumable task image.
+
+   When the granting server dies (or the pool drains it) mid-offload,
+   the session freezes the task into a checkpoint instead of throwing
+   the partial work away.  The image is everything another pool member
+   needs to finish the job with the same observable history:
+
+   - the *base*: the offload-start snapshot the session already takes
+     for rollback (mobile memory, allocator, console mark, file
+     cursors, server stack watermark).  Restoring the base on the
+     mobile and re-running the task body on the new member is how
+     "resume" works in this model — the interpreter's continuation is
+     lost with the server, but execution is deterministic, so
+     re-execution from the base reproduces it exactly;
+   - the *progress cursors*: how far the dead attempt got — dirty
+     pages accumulated on the lost server, remote-I/O operations
+     already performed, console bytes already delivered to the user.
+     The cursors are what makes resumption exactly-once: the mobile
+     suppresses (and verifies) re-delivered console bytes up to the
+     ledger cursor instead of showing them twice.
+
+   The image travels over the link, so it also carries a byte-size
+   model: a fixed header (registers, stack cursor, cursors) plus the
+   dirty pages the lost server had produced — those are state the new
+   member cannot recompute without re-running, so they ship. *)
+
+module Memory = No_mem.Memory
+module Region = No_mem.Region
+module Uva = No_mem.Uva
+module Stack_alloc = No_mem.Stack_alloc
+module Console = No_exec.Console
+module Fs = No_exec.Fs
+
+(* Continuation header: task id, program counter / stack cursor, the
+   three progress cursors.  Small and fixed, like a register file. *)
+let header_bytes = 256
+
+(* Per shipped page: page id + dirty-range descriptor. *)
+let page_header_bytes = 16
+
+type t = {
+  ck_target : string;  (** offloaded task being migrated *)
+  ck_dirty_pages : int list;
+      (** mobile-owned pages the lost server had modified *)
+  ck_resident_pages : int;
+      (** server working set at capture (diagnostic, not shipped) *)
+  ck_io_cursor : int;  (** remote-I/O ops already performed *)
+  ck_ledger_bytes : int;  (** console bytes already delivered *)
+  (* Offload-start base the mobile restores before re-admission. *)
+  ck_mem : Memory.snapshot;
+  ck_uva : Uva.snapshot;
+  ck_console : Console.mark;
+  ck_fs : Fs.snapshot;
+  ck_server_stack : Stack_alloc.mark;
+}
+
+let capture ~target ~dirty_pages ~resident_pages ~io_cursor ~ledger_bytes ~mem
+    ~uva ~console ~fs ~server_stack =
+  {
+    ck_target = target;
+    ck_dirty_pages = dirty_pages;
+    ck_resident_pages = resident_pages;
+    ck_io_cursor = io_cursor;
+    ck_ledger_bytes = ledger_bytes;
+    ck_mem = mem;
+    ck_uva = uva;
+    ck_console = console;
+    ck_fs = fs;
+    ck_server_stack = server_stack;
+  }
+
+let dirty_count t = List.length t.ck_dirty_pages
+
+(* Bytes that cross the link when the image ships: header + committed
+   ledger (the new member verifies re-produced output against it) +
+   the dirty pages with their descriptors. *)
+let image_bytes t =
+  header_bytes + t.ck_ledger_bytes
+  + (dirty_count t * (Region.page_size + page_header_bytes))
+
+let pp ppf t =
+  Fmt.pf ppf "checkpoint %s: %d dirty page(s), io@%d, ledger %dB, %dB image"
+    t.ck_target (dirty_count t) t.ck_io_cursor t.ck_ledger_bytes
+    (image_bytes t)

@@ -1,0 +1,54 @@
+(** Resumable task image.
+
+    Captured when the granting server is lost mid-offload; holds the
+    offload-start base snapshot (what the mobile restores before the
+    task is re-admitted elsewhere) plus progress cursors (dirty pages
+    on the lost server, remote-I/O count, delivered console bytes)
+    that make resumption exactly-once.  See DESIGN.md §14. *)
+
+module Memory = No_mem.Memory
+module Region = No_mem.Region
+module Uva = No_mem.Uva
+module Stack_alloc = No_mem.Stack_alloc
+module Console = No_exec.Console
+module Fs = No_exec.Fs
+
+type t = {
+  ck_target : string;
+  ck_dirty_pages : int list;
+  ck_resident_pages : int;
+  ck_io_cursor : int;
+  ck_ledger_bytes : int;
+  ck_mem : Memory.snapshot;
+  ck_uva : Uva.snapshot;
+  ck_console : Console.mark;
+  ck_fs : Fs.snapshot;
+  ck_server_stack : Stack_alloc.mark;
+}
+
+val capture :
+  target:string ->
+  dirty_pages:int list ->
+  resident_pages:int ->
+  io_cursor:int ->
+  ledger_bytes:int ->
+  mem:Memory.snapshot ->
+  uva:Uva.snapshot ->
+  console:Console.mark ->
+  fs:Fs.snapshot ->
+  server_stack:Stack_alloc.mark ->
+  t
+
+val dirty_count : t -> int
+
+val header_bytes : int
+(** Fixed continuation-header size (registers, stack cursor, cursors). *)
+
+val page_header_bytes : int
+(** Per-page descriptor shipped alongside each dirty page. *)
+
+val image_bytes : t -> int
+(** Bytes the image occupies on the wire: header + committed console
+    ledger + dirty pages with descriptors. *)
+
+val pp : t Fmt.t

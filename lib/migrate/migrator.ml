@@ -1,0 +1,81 @@
+(* Migration state machine.
+
+   One migrator drives one checkpoint through its lifecycle:
+
+     Captured --ship--> Shipped --resume--> Resumed
+         \                 \
+          \--abandon--------+--abandon--> Abandoned
+
+   Captured: the image exists on the mobile, no destination yet.
+   Shipped:  a healthy pool member admitted the task (through the
+             normal queue) and the image transfer has been charged
+             over the link.
+   Resumed:  the re-executed attempt completed on the new member and
+             the console ledger verified byte-for-byte — the offload
+             finished with exactly-once side effects.
+   Abandoned: no healthy member, or the resumed attempt died too; the
+             session falls back to rollback + local replay.
+
+   Transitions are enforced — a driver bug that, say, resumes an
+   unshipped image is a programming error, not a recoverable state. *)
+
+module Link = No_netsim.Link
+
+type state =
+  | Captured
+  | Shipped of { to_server : int; transfer_s : float }
+  | Resumed of { to_server : int }
+  | Abandoned of { why : string }
+
+type t = {
+  checkpoint : Checkpoint.t;
+  from_server : int;
+  reason : string;  (** why the source was lost (crash, drain, ...) *)
+  mutable state : state;
+}
+
+let create ~checkpoint ~from_server ~reason =
+  { checkpoint; from_server; reason; state = Captured }
+
+let checkpoint t = t.checkpoint
+let from_server t = t.from_server
+let reason t = t.reason
+let state t = t.state
+
+let state_name t =
+  match t.state with
+  | Captured -> "captured"
+  | Shipped _ -> "shipped"
+  | Resumed _ -> "resumed"
+  | Abandoned _ -> "abandoned"
+
+let illegal t what =
+  invalid_arg (Fmt.str "Migrator.%s: checkpoint is %s" what (state_name t))
+
+(* Time the image spends on the wire, under the same contention
+   scaling the session applies to every other transfer. *)
+let transfer_time t ~link ~bw_factor =
+  Link.transfer_time_scaled link
+    ~bytes:(Checkpoint.image_bytes t.checkpoint)
+    ~bw_factor
+
+let ship t ~to_server ~transfer_s =
+  (match t.state with Captured -> () | _ -> illegal t "ship");
+  t.state <- Shipped { to_server; transfer_s }
+
+let resume t =
+  match t.state with
+  | Shipped { to_server; _ } -> t.state <- Resumed { to_server }
+  | _ -> illegal t "resume"
+
+let abandon t why =
+  (match t.state with
+  | Captured | Shipped _ -> ()
+  | _ -> illegal t "abandon");
+  t.state <- Abandoned { why }
+
+let completed t = match t.state with Resumed _ -> true | _ -> false
+
+let pp ppf t =
+  Fmt.pf ppf "migrate %s from s%d (%s): %s" t.checkpoint.Checkpoint.ck_target
+    t.from_server t.reason (state_name t)

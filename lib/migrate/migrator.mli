@@ -1,0 +1,41 @@
+(** Migration state machine.
+
+    Drives one {!Checkpoint.t} from capture to resumption on another
+    pool member, or to abandonment (fall back to rollback + local
+    replay).  Transitions are enforced; see DESIGN.md §14 for the
+    exactly-once argument. *)
+
+module Link = No_netsim.Link
+
+type state =
+  | Captured  (** image exists on the mobile, no destination yet *)
+  | Shipped of { to_server : int; transfer_s : float }
+      (** a healthy member admitted the task; transfer charged *)
+  | Resumed of { to_server : int }
+      (** re-execution completed, ledger verified — offload done *)
+  | Abandoned of { why : string }
+      (** no healthy member (or resume died); local replay takes over *)
+
+type t
+
+val create : checkpoint:Checkpoint.t -> from_server:int -> reason:string -> t
+val checkpoint : t -> Checkpoint.t
+val from_server : t -> int
+val reason : t -> string
+val state : t -> state
+val state_name : t -> string
+
+val transfer_time : t -> link:Link.t -> bw_factor:float -> float
+(** Wire time for the image under the session's contention scaling. *)
+
+val ship : t -> to_server:int -> transfer_s:float -> unit
+(** Captured → Shipped.  @raise Invalid_argument on any other state. *)
+
+val resume : t -> unit
+(** Shipped → Resumed.  @raise Invalid_argument on any other state. *)
+
+val abandon : t -> string -> unit
+(** Captured/Shipped → Abandoned.  @raise Invalid_argument otherwise. *)
+
+val completed : t -> bool
+val pp : t Fmt.t

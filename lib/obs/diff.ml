@@ -108,6 +108,10 @@ let kind_of_event : Trace.event -> (string * float) option = function
   | Trace.Queue { wait_s; _ } -> Some ("queue-wait", wait_s)
   | Trace.Admit _ -> Some ("admit", 0.0)
   | Trace.Reject _ -> Some ("reject", 0.0)
+  | Trace.Checkpoint _ -> Some ("checkpoint", 0.0)
+  | Trace.Migrate_start { transfer_s; _ } ->
+    Some ("migrate-transfer", transfer_s)
+  | Trace.Migrate_done _ -> Some ("migrate-done", 0.0)
   | Trace.Bw_sample _ -> None
 
 let kind_totals events : (string, int * float) Hashtbl.t =

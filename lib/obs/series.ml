@@ -47,6 +47,10 @@ let latency_kinds : (string * (Trace.event -> float option)) list =
       function Trace.Replay { replay_s; _ } -> Some replay_s | _ -> None );
     ( "queue-wait",
       function Trace.Queue { wait_s; _ } -> Some wait_s | _ -> None );
+    ( "migrate-transfer",
+      function
+      | Trace.Migrate_start { transfer_s; _ } -> Some transfer_s
+      | _ -> None );
   ]
 
 type window = {
@@ -110,6 +114,7 @@ let close_of_event ts ev =
   | Trace.Retry { backoff_s; _ } -> ts +. backoff_s
   | Trace.Replay { replay_s; _ } -> ts +. replay_s
   | Trace.Queue { wait_s; _ } -> ts +. wait_s
+  | Trace.Migrate_start { transfer_s; _ } -> ts +. transfer_s
   | _ -> ts
 
 let observe t ~ts ev =

@@ -40,9 +40,10 @@ let grammar =
   "avail>=F | pQ(KIND)<=DUR | rate(COUNTER)<=F | \
    burn(TARGET[,fast=N,slow=M])<=F, comma-separated; DUR takes s/ms/us; \
    KIND: offload-span page-fault flush remote-io fnptr-translate \
-   rpc-timeout retry-backoff replay queue-wait; COUNTER: offloads \
-   refusals page-faults retries timeouts fallbacks rollbacks replays \
-   queued admits rejects faults-injected"
+   rpc-timeout retry-backoff replay queue-wait migrate-transfer; \
+   COUNTER: offloads refusals page-faults retries timeouts fallbacks \
+   rollbacks replays queued admits rejects faults-injected checkpoints \
+   migrations migrations-done"
 
 let default_spec = "avail>=0.99,p99(page-fault)<=50ms,burn(0.99)<=14"
 
@@ -81,6 +82,9 @@ let counters : (string * (Trace.Metrics.t -> int)) list =
     ("admits", fun m -> m.Trace.Metrics.admits);
     ("rejects", fun m -> m.Trace.Metrics.rejects);
     ("faults-injected", fun m -> m.Trace.Metrics.faults_injected);
+    ("checkpoints", fun m -> m.Trace.Metrics.checkpoints);
+    ("migrations", fun m -> m.Trace.Metrics.migrations);
+    ("migrations-done", fun m -> m.Trace.Metrics.migrations_done);
   ]
 
 let counter_of_string s =

@@ -83,6 +83,10 @@ let item_of_event : Trace.event -> item option = function
     Some { i_name = "queue-wait"; i_dur = wait_s }
   | Trace.Admit _ -> Some { i_name = "admit"; i_dur = 0.0 }
   | Trace.Reject _ -> Some { i_name = "reject"; i_dur = 0.0 }
+  | Trace.Checkpoint _ -> Some { i_name = "checkpoint"; i_dur = 0.0 }
+  | Trace.Migrate_start { transfer_s; _ } ->
+    Some { i_name = "migrate-transfer"; i_dur = transfer_s }
+  | Trace.Migrate_done _ -> Some { i_name = "migrate-done"; i_dur = 0.0 }
   | Trace.Offload_begin _ | Trace.Offload_end _ | Trace.Replay _
   | Trace.Refusal _ | Trace.Estimate _ | Trace.Power_state _
   | Trace.Bw_sample _ -> None

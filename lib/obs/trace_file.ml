@@ -17,8 +17,15 @@ module Trace = No_trace.Trace
 (* Version 2: queue/admit/reject events gained a "server" field when
    the scheduler grew a multi-server pool.  Version-1 traces predate
    server ids and must be re-recorded — the loader refuses them rather
-   than guessing server 0. *)
-let version = 2
+   than guessing server 0.
+
+   Version 3: the migration subsystem added checkpoint /
+   migrate-start / migrate-done kinds.  A version-2 trace is a valid
+   version-3 trace that happens to contain none of them, so the
+   loader still reads the old header; version 1 stays refused. *)
+let version = 3
+
+let min_read_version = 2
 
 (* {1 Writing} *)
 
@@ -124,6 +131,21 @@ let line_of_event ts (ev : Trace.event) : string =
          (quote target) server queue_depth)
   | Trace.Bw_sample { bps } ->
     tagged "bw-sample" (Printf.sprintf ",\"bps\":%s" (fl bps))
+  | Trace.Checkpoint { target; pages; image_bytes; io_cursor; ledger_bytes } ->
+    tagged "checkpoint"
+      (Printf.sprintf
+         ",\"target\":%s,\"pages\":%d,\"image_bytes\":%d,\"io_cursor\":%d,\"ledger_bytes\":%d"
+         (quote target) pages image_bytes io_cursor ledger_bytes)
+  | Trace.Migrate_start { target; from_server; to_server; reason; transfer_s }
+    ->
+    tagged "migrate-start"
+      (Printf.sprintf
+         ",\"target\":%s,\"from_server\":%d,\"to_server\":%d,\"reason\":%s,\"transfer_s\":%s"
+         (quote target) from_server to_server (quote reason) (fl transfer_s))
+  | Trace.Migrate_done { target; server; resumed_span_s } ->
+    tagged "migrate-done"
+      (Printf.sprintf ",\"target\":%s,\"server\":%d,\"resumed_span_s\":%s"
+         (quote target) server (fl resumed_span_s))
 
 let to_string (events : (float * Trace.event) list) : string =
   let buf = Buffer.create 4096 in
@@ -368,6 +390,25 @@ let event_of_fields fields : float * Trace.event =
           server = int_ fields "server";
           queue_depth = int_ fields "queue_depth" }
     | "bw-sample" -> Trace.Bw_sample { bps = num fields "bps" }
+    | "checkpoint" ->
+      Trace.Checkpoint
+        { target = str fields "target";
+          pages = int_ fields "pages";
+          image_bytes = int_ fields "image_bytes";
+          io_cursor = int_ fields "io_cursor";
+          ledger_bytes = int_ fields "ledger_bytes" }
+    | "migrate-start" ->
+      Trace.Migrate_start
+        { target = str fields "target";
+          from_server = int_ fields "from_server";
+          to_server = int_ fields "to_server";
+          reason = str fields "reason";
+          transfer_s = num fields "transfer_s" }
+    | "migrate-done" ->
+      Trace.Migrate_done
+        { target = str fields "target";
+          server = int_ fields "server";
+          resumed_span_s = num fields "resumed_span_s" }
     | kind -> raise (Bad (Printf.sprintf "unknown event kind %S" kind))
   in
   (ts, ev)
@@ -398,13 +439,13 @@ let of_string (s : string) : ((float * Trace.event) list, string) result =
            raise (Bad (Printf.sprintf "line 1: unknown format %S" fmt))
        with Bad msg -> raise (Bad (Printf.sprintf "line 1: %s" msg)));
       let got_version = int_ fields "version" in
-      if got_version <> version then
+      if got_version < min_read_version || got_version > version then
         raise
           (Bad
              (Printf.sprintf
-                "unsupported trace version %d (this build reads version %d); \
-                 re-record the trace"
-                got_version version));
+                "unsupported trace version %d (this build reads versions \
+                 %d-%d); re-record the trace"
+                got_version min_read_version version));
       let declared = int_ fields "events" in
       let events =
         List.mapi

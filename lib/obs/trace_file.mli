@@ -12,7 +12,12 @@
     silently shorter run. *)
 
 val version : int
-(** The format version this build writes and reads. *)
+(** The format version this build writes. *)
+
+val min_read_version : int
+(** The oldest header version the loader still accepts — newer
+    versions only add event kinds, so older traces load as streams
+    that simply contain none of them. *)
 
 val to_string : (float * No_trace.Trace.event) list -> string
 

@@ -62,6 +62,10 @@ module Openmetrics = No_obs.Openmetrics
 module Slo = No_obs.Slo
 module Diff = No_obs.Diff
 
+(* Checkpoint/migrate recovery *)
+module Checkpoint = No_migrate.Checkpoint
+module Migrator = No_migrate.Migrator
+
 (* Multi-client scheduling *)
 module Server_load = No_sched.Server_load
 module Event_queue = No_sched.Event_queue

@@ -43,6 +43,8 @@ module Bandwidth_predictor = No_estimator.Bandwidth_predictor
 module Trace = No_trace.Trace
 module Fault_plan = No_fault.Plan
 module Injector = No_fault.Injector
+module Checkpoint = No_migrate.Checkpoint
+module Migrator = No_migrate.Migrator
 
 exception Offload_error of string
 
@@ -88,6 +90,25 @@ type server_handle = {
   sh_release : now:float -> server:int -> slot:int -> unit;
       (* the offload finished (or was abandoned); free the slot on the
          server that granted it *)
+  sh_volatile : bool;
+      (* pool membership can change mid-offload (health schedule,
+         crash quarantine): the session must snapshot at offload start
+         even without a fault plan, because any exchange may raise
+         [Server_lost] via [sh_interrupt] *)
+  sh_interrupt : now:float -> server:int -> string option;
+      (* is the member this offload is running on down (drained,
+         quarantined) at [now]?  Consulted at every exchange.  Must
+         answer from data — it runs between suspension points and may
+         not block *)
+  sh_migrate :
+    now:float -> target:string -> from_server:int -> reason:string ->
+    admission;
+      (* re-admission for a checkpointed task: route to a healthy
+         member other than [from_server], through the normal queue.
+         [reason] is why the member was lost — a crash observation
+         quarantines it pool-wide, a scheduled drain does not.
+         [Rejected] means no healthy member — the caller falls back to
+         rollback + local replay *)
 }
 
 type config = {
@@ -112,6 +133,10 @@ type config = {
   server_handle : server_handle option;
                                  (* shared-server admission; None = the
                                     session owns the server outright *)
+  migrate : bool;                (* on [Server_lost] with a pool, ship a
+                                    checkpoint to a healthy member and
+                                    resume there; false = always roll
+                                    back and replay locally *)
 }
 
 let default_config ?(link = Link.fast_wifi) () = {
@@ -131,6 +156,7 @@ let default_config ?(link = Link.fast_wifi) () = {
   faults = None;
   retry = Injector.default_policy;
   server_handle = None;
+  migrate = true;
 }
 
 type target_seed = {
@@ -157,6 +183,11 @@ type overheads = {
   mutable queued : int;          (* offloads that waited for a slot *)
   mutable queue_wait_s : float;  (* total FIFO wait *)
   mutable rejects : int;         (* admissions refused (queue full) *)
+  mutable checkpoints : int;     (* task images captured on Server_lost *)
+  mutable migrations : int;      (* checkpoints shipped to a new member *)
+  mutable migrations_done : int; (* resumed attempts that completed *)
+  mutable migrate_transfer_s : float; (* image time on the wire *)
+  mutable migrate_resume_s : float;   (* re-execution span on the new member *)
 }
 
 type t = {
@@ -186,6 +217,8 @@ type t = {
   injector : Injector.t option;            (* fault oracle; None = clean run *)
   mutable server_dead : bool;              (* crash observed; refuse future
                                               offloads, run locally *)
+  mutable current_server : int option;     (* pool member running this
+                                              offload, while admitted *)
   contention : float ref;                  (* shared-link bandwidth scale
                                               while admitted to a contended
                                               server; 1.0 otherwise *)
@@ -337,7 +370,8 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
           remote_io_count = 0; fault_count = 0; prefetched_pages = 0;
           offloads = 0; refusals = 0; rpc_timeouts = 0; retries = 0;
           fallbacks = 0; recovery_s = 0.0; queued = 0; queue_wait_s = 0.0;
-          rejects = 0 };
+          rejects = 0; checkpoints = 0; migrations = 0; migrations_done = 0;
+          migrate_transfer_s = 0.0; migrate_resume_s = 0.0 };
       mem_estimate;
       uva_global_addr = Hashtbl.create 16;
       last_mark = 0.0;
@@ -350,6 +384,7 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
       finished = false;
       injector;
       server_dead = false;
+      current_server = None;
       contention;
     }
   in
@@ -421,7 +456,23 @@ let bw_factor t =
    the model is a reliable transport whose *payload* crosses the link
    once, with loss showing up as deadline + backoff stalls. *)
 
+(* Pool-driven loss: the member running this offload may be drained by
+   a maintenance schedule or quarantined after another client observed
+   its crash.  Checked at every exchange, with or without a fault
+   plan.  [sh_interrupt] answers from time-indexed pool data — no
+   suspension — so the check preserves the run-to-completion invariant
+   between Sync points. *)
+let check_interrupt t ~op =
+  match (t.config.server_handle, t.current_server) with
+  | Some sh, Some server -> (
+    match sh.sh_interrupt ~now:t.clock.Host.now ~server with
+    | Some why ->
+      raise (Server_lost (Printf.sprintf "%s: server %d %s" op server why))
+    | None -> ())
+  | _ -> ()
+
 let exchange t ~op ~state (deliver : unit -> 'a) : 'a =
+  check_interrupt t ~op;
   match t.injector with
   | None -> with_state t state deliver
   | Some inj ->
@@ -835,40 +886,58 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
            replay_s = t.clock.Host.now -. replay_t0 });
     result
   | None | Some (_, Admitted _) ->
+  (* A snapshot is needed whenever [Server_lost] can reach us: from
+     the fault oracle, or from a pool whose membership shifts under
+     running offloads (maintenance drains, crash quarantines). *)
+  let volatile =
+    match t.config.server_handle with
+    | Some sh -> sh.sh_volatile
+    | None -> false
+  in
   let snap =
-    match t.injector with None -> None | Some _ -> Some (take_snapshot t)
+    if t.injector <> None || volatile then Some (take_snapshot t) else None
   in
   t.ov.offloads <- t.ov.offloads + 1;
   t.in_offload <- true;
   let t0 = t.clock.Host.now in
+  let io0 = t.ov.remote_io_count in
   emit_at t ~ts:t0 (Trace.Offload_begin { target = target.Partition.t_name });
-  (* Occupy the granted slot: wait out the FIFO queue (the mobile
-     radio idles in Waiting), then price the contention — the server's
-     slice of the machine slows down and the shared link serves a
-     fraction of its bandwidth until the slot is released. *)
+  (* Occupy a granted slot: wait out the FIFO queue (the mobile radio
+     idles in Waiting), then price the contention — the server's slice
+     of the machine slows down and the shared link serves a fraction
+     of its bandwidth until the slot is released.  Used for the first
+     admission and again when a checkpointed task is re-admitted on a
+     new member. *)
+  let occupy sh ~server ~wait_s ~occupancy ~slot ~queue_depth ~r_scale
+      ~bw_scale =
+    if wait_s > 0.0 then begin
+      t.ov.queued <- t.ov.queued + 1;
+      t.ov.queue_wait_s <- t.ov.queue_wait_s +. wait_s;
+      emit t
+        (Trace.Queue
+           { target = target.Partition.t_name; server; wait_s;
+             depth = queue_depth });
+      with_state t Power_model.Waiting (fun () -> advance t wait_s)
+    end;
+    emit t
+      (Trace.Admit
+         { target = target.Partition.t_name; server; occupancy; slot });
+    t.server.Host.slowdown <- 1.0 /. r_scale;
+    t.contention := bw_scale;
+    t.current_server <- Some server;
+    fun () ->
+      t.server.Host.slowdown <- 1.0;
+      t.contention := 1.0;
+      t.current_server <- None;
+      sh.sh_release ~now:t.clock.Host.now ~server ~slot
+  in
   let release_slot =
     match admission with
     | None -> fun () -> ()
     | Some (sh, Admitted { server; wait_s; occupancy; slot; queue_depth;
                            r_scale; bw_scale }) ->
-      if wait_s > 0.0 then begin
-        t.ov.queued <- t.ov.queued + 1;
-        t.ov.queue_wait_s <- t.ov.queue_wait_s +. wait_s;
-        emit t
-          (Trace.Queue
-             { target = target.Partition.t_name; server; wait_s;
-               depth = queue_depth });
-        with_state t Power_model.Waiting (fun () -> advance t wait_s)
-      end;
-      emit t
-        (Trace.Admit
-           { target = target.Partition.t_name; server; occupancy; slot });
-      t.server.Host.slowdown <- 1.0 /. r_scale;
-      t.contention := bw_scale;
-      fun () ->
-        t.server.Host.slowdown <- 1.0;
-        t.contention := 1.0;
-        sh.sh_release ~now:t.clock.Host.now ~server ~slot
+      occupy sh ~server ~wait_s ~occupancy ~slot ~queue_depth ~r_scale
+        ~bw_scale
     | Some (_, Rejected _) -> assert false   (* handled above *)
   in
   let attempt () =
@@ -891,6 +960,124 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
       Hashtbl.replace t.mem_estimate target.Partition.t_name moved_bytes;
     dirty_count
   in
+  (* Mid-flight recovery by migration: freeze the task into a
+     checkpoint, ship it to a healthy pool member, resume there.
+     "Resume" is deterministic re-execution from the offload-start
+     base — the interpreter continuation died with the server — with
+     the progress cursors making the re-run externally invisible: the
+     console arms a suppression window over the bytes already
+     delivered, so re-executed writes are verified against the
+     committed ledger and dropped rather than shown twice.  Returns
+     [None] (fall back to rollback + local replay) when no healthy
+     member remains or the resumed attempt dies too. *)
+  let try_migrate sh ~from_server ~reason snap =
+    let tname = target.Partition.t_name in
+    let dirty =
+      List.filter mobile_owned_page (Memory.dirty_pages t.server.Host.mem)
+    in
+    let resident =
+      List.length
+        (List.filter mobile_owned_page
+           (Memory.resident_pages t.server.Host.mem))
+    in
+    let ledger_bytes =
+      Console.committed_since t.mobile.Host.console snap.sn_console
+    in
+    let ck =
+      Checkpoint.capture ~target:tname ~dirty_pages:dirty
+        ~resident_pages:resident ~io_cursor:(t.ov.remote_io_count - io0)
+        ~ledger_bytes ~mem:snap.sn_mem ~uva:snap.sn_uva
+        ~console:snap.sn_console ~fs:snap.sn_fs
+        ~server_stack:snap.sn_server_stack
+    in
+    t.ov.checkpoints <- t.ov.checkpoints + 1;
+    emit t
+      (Trace.Checkpoint
+         { target = tname; pages = Checkpoint.dirty_count ck;
+           image_bytes = Checkpoint.image_bytes ck;
+           io_cursor = ck.Checkpoint.ck_io_cursor; ledger_bytes });
+    let mig = Migrator.create ~checkpoint:ck ~from_server ~reason in
+    match
+      sh.sh_migrate ~now:t.clock.Host.now ~target:tname ~from_server ~reason
+    with
+    | Rejected _ ->
+      Migrator.abandon mig "no healthy member";
+      None
+    | Admitted { server = to_server; wait_s; occupancy; slot; queue_depth;
+                 r_scale; bw_scale } ->
+      (* Ship the image over the link, then reset the mobile to the
+         base WITHOUT undoing delivered output — the committed ledger
+         stays, armed as a suppression window. *)
+      let transfer_s =
+        if t.config.ideal then 0.0
+        else
+          Migrator.transfer_time mig ~link:t.config.link
+            ~bw_factor:(bw_factor t)
+      in
+      emit t
+        (Trace.Migrate_start
+           { target = tname; from_server; to_server; reason; transfer_s });
+      t.ov.migrations <- t.ov.migrations + 1;
+      t.ov.migrate_transfer_s <- t.ov.migrate_transfer_s +. transfer_s;
+      with_state t Power_model.Transmitting (fun () -> advance t transfer_s);
+      Migrator.ship mig ~to_server ~transfer_s;
+      Memory.restore t.mobile.Host.mem snap.sn_mem;
+      Uva.restore t.mobile.Host.uva snap.sn_uva;
+      ignore (Console.resume_at t.mobile.Host.console snap.sn_console);
+      Fs.restore t.mobile.Host.fs snap.sn_fs;
+      (* The lost member keeps no offloading data: leaked stack
+         frames and half-fetched pages are dropped, same as rollback. *)
+      Stack_alloc.release t.server.Host.stack snap.sn_server_stack;
+      let fetched =
+        List.filter mobile_owned_page
+          (Memory.resident_pages t.server.Host.mem)
+      in
+      List.iter (Memory.drop_page t.server.Host.mem) fetched;
+      t.server.Host.mem.Memory.track_dirty <- false;
+      Memory.clear_dirty t.server.Host.mem;
+      t.pending_request <- None;
+      t.pending_args <- [||];
+      if t.server_dead then begin
+        (* The planned crash killed [from_server]; the new member is
+           healthy, so the oracle's crash is spent. *)
+        (match t.injector with
+        | Some inj -> Injector.clear_crash inj
+        | None -> ());
+        t.server_dead <- false
+      end;
+      let release =
+        occupy sh ~server:to_server ~wait_s ~occupancy ~slot ~queue_depth
+          ~r_scale ~bw_scale
+      in
+      t.in_offload <- true;
+      let resume_t0 = t.clock.Host.now in
+      (match attempt () with
+      | dirty_count ->
+        Migrator.resume mig;
+        t.in_offload <- false;
+        let resumed_span_s = t.clock.Host.now -. resume_t0 in
+        t.ov.migrations_done <- t.ov.migrations_done + 1;
+        t.ov.migrate_resume_s <- t.ov.migrate_resume_s +. resumed_span_s;
+        emit t
+          (Trace.Migrate_done { target = tname; server = to_server;
+                                resumed_span_s });
+        let span_s = t.clock.Host.now -. t0 in
+        t.server_exec_s <- t.server_exec_s +. span_s;
+        emit t
+          (Trace.Offload_end
+             { target = tname; dirty_pages = dirty_count; span_s });
+        release ();
+        Some t.pending_ret
+      | exception Server_lost reason2 ->
+        (* The resumed attempt died too (second outage, a drained
+           replacement...).  One migration per invocation: give the
+           slot back and let local replay finish the job. *)
+        mark t Power_model.Waiting;
+        t.in_offload <- false;
+        release ();
+        Migrator.abandon mig reason2;
+        None)
+  in
   match attempt () with
   | dirty_count ->
     t.in_offload <- false;
@@ -904,11 +1091,22 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
     t.pending_ret
   | exception Server_lost reason ->
     (* Close the span the failure interrupted (the mobile device was
-       waiting on the server), then fall back.  The abandoned slot is
-       released immediately — the replay is purely local work. *)
+       waiting on the server) and release the lost member's slot, then
+       try to finish the job elsewhere in the pool before giving up on
+       it entirely. *)
     mark t Power_model.Waiting;
     t.in_offload <- false;
     release_slot ();
+    let migrated =
+      match admission with
+      | Some (sh, Admitted { server = from_server; _ })
+        when t.config.migrate ->
+        try_migrate sh ~from_server ~reason (Option.get snap)
+      | _ -> None
+    in
+    match migrated with
+    | Some result -> result
+    | None ->
     rollback t target (Option.get snap);
     let recovery_s = t.clock.Host.now -. t0 in
     t.ov.fallbacks <- t.ov.fallbacks + 1;
@@ -1051,6 +1249,11 @@ type report = {
   rep_queued : int;               (* offloads that waited for a slot *)
   rep_queue_wait_s : float;       (* total FIFO admission wait *)
   rep_rejects : int;              (* admissions refused (queue full) *)
+  rep_checkpoints : int;          (* task images captured on Server_lost *)
+  rep_migrations : int;           (* checkpoints shipped to a new member *)
+  rep_migrations_done : int;      (* resumed attempts that completed *)
+  rep_migrate_transfer_s : float; (* checkpoint image time on the wire *)
+  rep_migrate_resume_s : float;   (* re-execution span on the new member *)
 }
 
 let run t : report =
@@ -1086,6 +1289,11 @@ let run t : report =
     rep_queued = t.ov.queued;
     rep_queue_wait_s = t.ov.queue_wait_s;
     rep_rejects = t.ov.rejects;
+    rep_checkpoints = t.ov.checkpoints;
+    rep_migrations = t.ov.migrations;
+    rep_migrations_done = t.ov.migrations_done;
+    rep_migrate_transfer_s = t.ov.migrate_transfer_s;
+    rep_migrate_resume_s = t.ov.migrate_resume_s;
   }
 
 let battery t = t.battery

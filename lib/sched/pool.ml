@@ -38,23 +38,121 @@ let policy_of_string = function
 
 let all_policies = [ Round_robin; Least_loaded; Sticky ]
 
+(* {1 Member health}
+
+   Two ways a member leaves service mid-run:
+
+   - a *maintenance window* on a static schedule given at creation —
+     rolling drains, planned rebalances.  [is_down] is then a pure
+     function of simulated time, so health checks made between event
+     suspension points (which may observe any interleaving of host
+     order) still agree bit-for-bit on every rerun;
+   - a *quarantine* — some client observed the member crash and told
+     the pool; the member is out for the rest of the run, and every
+     other client discovers it at its next exchange. *)
+
+type maintenance = {
+  mw_server : int;
+  mw_from_s : float;
+  mw_until_s : float;
+  mw_reason : string;      (* "maintenance", "rebalance", ... *)
+}
+
 type t = {
   servers : Server_load.t array;
   policy : policy;
   mutable rr_next : int;               (* Round_robin cursor *)
+  schedule : maintenance list;         (* static down windows *)
+  quarantined : string option array;   (* Some reason = out for good *)
+  mutable quarantines : int;
 }
 
-let create ?(policy = Round_robin) ~servers cfg =
-  if servers < 1 then invalid_arg "Pool.create: servers < 1";
+let create_hetero ?(policy = Round_robin) ?(schedule = []) configs =
+  let k = Array.length configs in
+  if k < 1 then invalid_arg "Pool.create_hetero: no members";
+  List.iter
+    (fun w ->
+      if w.mw_server < 0 || w.mw_server >= k then
+        invalid_arg "Pool.create_hetero: schedule names a bad server";
+      if not (w.mw_until_s > w.mw_from_s) then
+        invalid_arg "Pool.create_hetero: empty maintenance window")
+    schedule;
   {
-    servers = Array.init servers (fun id -> Server_load.create ~id cfg);
+    servers = Array.mapi (fun id cfg -> Server_load.create ~id cfg) configs;
     policy;
     rr_next = 0;
+    schedule;
+    quarantined = Array.make k None;
+    quarantines = 0;
   }
+
+let create ?policy ?schedule ~servers cfg =
+  if servers < 1 then invalid_arg "Pool.create: servers < 1";
+  create_hetero ?policy ?schedule (Array.make servers cfg)
 
 let size t = Array.length t.servers
 let policy t = t.policy
 let server t i = t.servers.(i)
+let schedule t = t.schedule
+
+let volatile t = t.schedule <> []
+(* Can membership change under a clean client?  Static windows say yes
+   up front; crash quarantines only exist when some client carries a
+   fault plan, which the driver accounts for separately. *)
+
+let quarantine t ~server ~reason =
+  if server < 0 || server >= Array.length t.servers then
+    invalid_arg "Pool.quarantine: bad server";
+  if t.quarantined.(server) = None then begin
+    t.quarantined.(server) <- Some reason;
+    t.quarantines <- t.quarantines + 1
+  end
+
+let down_reason t ~server ~now =
+  match t.quarantined.(server) with
+  | Some _ as r -> r
+  | None ->
+    List.find_map
+      (fun w ->
+        if w.mw_server = server && now >= w.mw_from_s && now < w.mw_until_s
+        then Some w.mw_reason
+        else None)
+      t.schedule
+
+let is_down t ~server ~now = down_reason t ~server ~now <> None
+
+(* Fast path: a pool with no schedule and no quarantines routes with
+   zero health bookkeeping — clean fleet runs pay nothing for the
+   machinery. *)
+let clean t = t.schedule == [] && t.quarantines = 0
+
+let eligible t ~now ~exclude i =
+  i <> exclude && down_reason t ~server:i ~now = None
+
+(* First in-service member at or after [from] (cyclic), or None when
+   the whole pool is dark. *)
+let first_eligible t ~now ~exclude ~from =
+  let k = Array.length t.servers in
+  let rec go n =
+    if n = k then None
+    else
+      let i = (from + n) mod k in
+      if eligible t ~now ~exclude i then Some i else go (n + 1)
+  in
+  go 0
+
+let least_loaded_eligible t ~now ~exclude =
+  let best = ref None in
+  Array.iteri
+    (fun i srv ->
+      if eligible t ~now ~exclude i then begin
+        let occ = Server_load.occupancy srv ~now in
+        match !best with
+        | Some (_, best_occ) when best_occ <= occ -> ()
+        | _ -> best := Some (i, occ)
+      end)
+    t.servers;
+  Option.map fst !best
 
 (* Knuth's multiplicative hash over the client id: consecutive ids
    land on well-spread members instead of adjacent ones. *)
@@ -74,23 +172,57 @@ let least_loaded_index t ~now =
   done;
   !best
 
+(* The in-service member the policy would route [client] to at [now]:
+   Round_robin and Sticky keep their natural anchor (cursor, hash) and
+   step past dark members; Least_loaded restricts its scan.  [exclude]
+   additionally bars one member — migration re-admission must not land
+   back on the server that just died. *)
+let route t ~client ~now ~exclude =
+  if clean t && exclude < 0 then
+    Some
+      (match t.policy with
+      | Round_robin -> t.rr_next
+      | Least_loaded -> least_loaded_index t ~now
+      | Sticky -> sticky_index t ~client)
+  else
+    match t.policy with
+    | Round_robin -> first_eligible t ~now ~exclude ~from:t.rr_next
+    | Least_loaded -> least_loaded_eligible t ~now ~exclude
+    | Sticky -> first_eligible t ~now ~exclude ~from:(sticky_index t ~client)
+
 (* The member the policy would grant the next request from [client] to
-   at instant [now] — without advancing any policy state. *)
+   at instant [now] — without advancing any policy state.  When the
+   whole pool is dark this still answers (the policy's anchor) so load
+   previews have a price; the request itself will be rejected. *)
 let peek t ~client ~now =
-  match t.policy with
-  | Round_robin -> t.rr_next
-  | Least_loaded -> least_loaded_index t ~now
-  | Sticky -> sticky_index t ~client
+  match route t ~client ~now ~exclude:(-1) with
+  | Some i -> i
+  | None -> (
+    match t.policy with
+    | Round_robin -> t.rr_next
+    | Least_loaded -> 0
+    | Sticky -> sticky_index t ~client)
 
 let load t ~client ~now =
   Server_load.load t.servers.(peek t ~client ~now) ~now
 
-let request t ~client ~now ~target : Session.admission =
-  let chosen = peek t ~client ~now in
+let granted t chosen ~now ~target =
   (match t.policy with
-  | Round_robin -> t.rr_next <- (t.rr_next + 1) mod Array.length t.servers
+  | Round_robin -> t.rr_next <- (chosen + 1) mod Array.length t.servers
   | Least_loaded | Sticky -> ());
   Server_load.request t.servers.(chosen) ~now ~target
+
+let request t ~client ~now ~target : Session.admission =
+  match route t ~client ~now ~exclude:(-1) with
+  | Some chosen -> granted t chosen ~now ~target
+  | None ->
+    (* Every member is dark: the task never leaves the mobile. *)
+    Session.Rejected { server = peek t ~client ~now; queue_depth = 0 }
+
+let request_excluding t ~client ~now ~target ~exclude : Session.admission =
+  match route t ~client ~now ~exclude with
+  | Some chosen -> granted t chosen ~now ~target
+  | None -> Session.Rejected { server = exclude; queue_depth = 0 }
 
 let release t ~server ~now ~slot =
   if server < 0 || server >= Array.length t.servers then

@@ -25,15 +25,50 @@ val policy_of_string : string -> policy option
 
 val all_policies : policy list
 
+type maintenance = {
+  mw_server : int;
+  mw_from_s : float;
+  mw_until_s : float;   (** window is [[from, until)] *)
+  mw_reason : string;   (** "maintenance", "rebalance", ... *)
+}
+(** A static down window for one member.  Health from a schedule is a
+    pure function of simulated time, so checks made between event
+    suspension points agree bit-for-bit on every seeded rerun. *)
+
 type t
 
-val create : ?policy:policy -> servers:int -> Server_load.config -> t
+val create :
+  ?policy:policy -> ?schedule:maintenance list -> servers:int ->
+  Server_load.config -> t
 (** [servers] identically-configured members, ids [0 .. servers-1].
-    Default policy {!Round_robin}.  Raises [Invalid_argument] on
-    [servers < 1]. *)
+    Default policy {!Round_robin}, empty schedule.  Raises
+    [Invalid_argument] on [servers < 1] or a malformed schedule. *)
+
+val create_hetero :
+  ?policy:policy -> ?schedule:maintenance list ->
+  Server_load.config array -> t
+(** One member per config, ids in array order — heterogeneous pools
+    mix slot counts, queue depths and speed grades ([r_factor]). *)
 
 val size : t -> int
 val policy : t -> policy
+
+val schedule : t -> maintenance list
+
+val volatile : t -> bool
+(** Can membership change under a clean client (a non-empty
+    maintenance schedule)?  Crash quarantines are accounted for by the
+    driver, which knows which clients carry fault plans. *)
+
+val quarantine : t -> server:int -> reason:string -> unit
+(** Take [server] out of service for the rest of the run — a client
+    observed its crash.  Idempotent. *)
+
+val down_reason : t -> server:int -> now:float -> string option
+(** Why [server] is out of service at [now] ([None] = in service):
+    its quarantine reason, else the covering maintenance window's. *)
+
+val is_down : t -> server:int -> now:float -> bool
 
 val server : t -> int -> Server_load.t
 (** Direct access to member [i] (tests and stats). *)
@@ -50,9 +85,18 @@ val load : t -> client:int -> now:float -> float * float
 val request :
   t -> client:int -> now:float -> target:string ->
   No_runtime.Session.admission
-(** Route an admission request: pick the member (advancing the
-    round-robin cursor), ask it for a slot.  The returned admission
-    carries the member's id for the matching {!release}. *)
+(** Route an admission request: pick an in-service member (advancing
+    the round-robin cursor), ask it for a slot.  The returned
+    admission carries the member's id for the matching {!release}.
+    [Rejected] when the chosen member's queue is full, or when every
+    member is dark. *)
+
+val request_excluding :
+  t -> client:int -> now:float -> target:string -> exclude:int ->
+  No_runtime.Session.admission
+(** {!request}, barring one member — migration re-admission must not
+    land back on the server that was just lost.  [Rejected] when no
+    other in-service member exists. *)
 
 val release : t -> server:int -> now:float -> slot:int -> unit
 (** Free [slot] on member [server] at instant [now]. *)

@@ -34,15 +34,22 @@ type config = {
   queue_cap : int;      (* waiting requests tolerated beyond the slots *)
   alpha : float;        (* compute-contention coefficient *)
   beta : float;         (* link-contention coefficient *)
+  r_factor : float;     (* member speed relative to the baseline server
+                           machine: 1.0 = the architecture's R, 2.0 =
+                           twice that.  Heterogeneous pools mix values *)
 }
 
-let default = { slots = 2; queue_cap = 2; alpha = 0.8; beta = 0.5 }
+let default =
+  { slots = 2; queue_cap = 2; alpha = 0.8; beta = 0.5; r_factor = 1.0 }
 
 let scale coeff ~occupancy =
   if occupancy <= 1 then 1.0
   else 1.0 /. (1.0 +. (coeff *. float_of_int (occupancy - 1)))
 
-let r_scale cfg ~occupancy = scale cfg.alpha ~occupancy
+(* The member's speed grade composes with contention: a 2x machine at
+   occupancy 1 prices r_scale = 2.0, which the session turns into a
+   halved server slowdown. *)
+let r_scale cfg ~occupancy = cfg.r_factor *. scale cfg.alpha ~occupancy
 let bw_scale cfg ~occupancy = scale cfg.beta ~occupancy
 
 type t = {
@@ -59,6 +66,8 @@ type t = {
 let create ?(id = 0) cfg =
   if cfg.slots < 1 then invalid_arg "Server_load.create: slots < 1";
   if cfg.queue_cap < 0 then invalid_arg "Server_load.create: queue_cap < 0";
+  if not (cfg.r_factor > 0.0) then
+    invalid_arg "Server_load.create: r_factor must be positive";
   {
     cfg;
     id;

@@ -16,14 +16,18 @@ type config = {
   queue_cap : int;      (** waiting requests tolerated; more → reject *)
   alpha : float;        (** compute-contention coefficient *)
   beta : float;         (** link-contention coefficient *)
+  r_factor : float;
+      (** member speed relative to the baseline server machine (1.0 =
+          the architecture's R); composes multiplicatively with the
+          contention scale.  Heterogeneous pools mix values. *)
 }
 
 val default : config
-(** 2 slots, queue of 2, alpha 0.8, beta 0.5. *)
+(** 2 slots, queue of 2, alpha 0.8, beta 0.5, r_factor 1.0. *)
 
 val r_scale : config -> occupancy:int -> float
-(** Effective-speedup scale at an occupancy; 1.0 at occupancy 1,
-    strictly decreasing beyond (for positive [alpha]). *)
+(** Effective-speedup scale at an occupancy; [r_factor] at occupancy
+    1, strictly decreasing beyond (for positive [alpha]). *)
 
 val bw_scale : config -> occupancy:int -> float
 (** Link-bandwidth scale, as {!r_scale} with [beta]. *)

@@ -68,20 +68,36 @@ type scale = Profile | Eval
 type config = {
   s_load : Server_load.config;     (* every pool member's config *)
   s_servers : int;                 (* pool size K *)
+  s_members : Server_load.config array option;
+                                   (* heterogeneous pool: one config per
+                                      member, overriding s_load/s_servers *)
   s_policy : Pool.policy;          (* placement policy *)
+  s_schedule : Pool.maintenance list; (* static member down windows *)
+  s_migrate : bool;                (* sessions checkpoint + migrate on a
+                                      lost member; false = rollback and
+                                      replay locally (the old behaviour) *)
   s_link : Link.t;
   s_scale : scale;
   s_record_events : bool;          (* keep full per-client traces *)
+  s_global_sink : Trace.sink option;
+                                   (* extra fleet-wide sink fed every
+                                      client's events on the *global*
+                                      clock (cl_start_s added) as they
+                                      stream — telemetry without rings *)
 }
 
 let default_config =
   {
     s_load = Server_load.default;
     s_servers = 1;
+    s_members = None;
     s_policy = Pool.Round_robin;
+    s_schedule = [];
+    s_migrate = true;
     s_link = Link.fast_wifi;
     s_scale = Profile;
     s_record_events = true;
+    s_global_sink = None;
   }
 
 let make_clients ?(stagger_s = 0.05) ?faults ~workloads ~count () =
@@ -132,8 +148,21 @@ type _ Effect.t += Sync : float -> unit Effect.t
 let run ?(config = default_config) (clients : client list) : result =
   if clients = [] then invalid_arg "Sim.run: no clients";
   let pool =
-    Pool.create ~policy:config.s_policy ~servers:config.s_servers
-      config.s_load
+    match config.s_members with
+    | Some members ->
+      Pool.create_hetero ~policy:config.s_policy ~schedule:config.s_schedule
+        members
+    | None ->
+      Pool.create ~policy:config.s_policy ~schedule:config.s_schedule
+        ~servers:config.s_servers config.s_load
+  in
+  (* Can any session lose its server mid-offload?  A maintenance
+     schedule can drain anyone; a fault plan on any client can crash a
+     member and quarantine it under everyone.  If so, every session
+     must snapshot at offload start. *)
+  let volatile =
+    Pool.volatile pool
+    || List.exists (fun cl -> cl.cl_faults <> None) clients
   in
   (* Suspended-client continuations, keyed (global time, client id,
      arrival order) in a binary heap — O(log n) per suspension. *)
@@ -159,6 +188,37 @@ let run ?(config = default_config) (clients : client list) : result =
         (fun ~now ~server ~slot ->
           Pool.release pool ~server ~now:(glob now) ~slot;
           sync (glob now));
+      Session.sh_volatile = volatile;
+      (* Health probe at every exchange.  No [sync]: it runs between
+         suspension points, where the client must run to completion —
+         and needs none, because schedule health is a pure function of
+         time and quarantines only ever tighten. *)
+      Session.sh_interrupt =
+        (fun ~now ~server -> Pool.down_reason pool ~server ~now:(glob now));
+      (* Re-admission for a checkpointed task.  A crash observation
+         takes the member out for the rest of the run — every other
+         client discovers that at its next exchange and migrates off
+         it too.  Scheduled drains are not quarantined: the member
+         comes back when its window closes. *)
+      Session.sh_migrate =
+        (fun ~now ~target ~from_server ~reason ->
+          sync (glob now);
+          let crashed =
+            (* the session's loss reasons: "...: server crashed" from
+               the fault oracle vs a drain reason from the schedule *)
+            let n = String.length reason in
+            let needle = "crashed" in
+            let nl = String.length needle in
+            let rec scan i =
+              i + nl <= n
+              && (String.sub reason i nl = needle || scan (i + 1))
+            in
+            scan 0
+          in
+          if crashed then
+            Pool.quarantine pool ~server:from_server ~reason:"crashed";
+          Pool.request_excluding pool ~client:cl.cl_id ~now:(glob now)
+            ~target ~exclude:from_server);
     }
   in
   (* Compile once per distinct workload; the local baseline shares the
@@ -228,16 +288,30 @@ let run ?(config = default_config) (clients : client list) : result =
     let ring =
       if config.s_record_events then Some (Trace.Ring.create ()) else None
     in
+    let sinks =
+      (match ring with None -> [] | Some r -> [ Trace.Ring.sink r ])
+      @ [ stream_sink ]
+      @
+      match config.s_global_sink with
+      | None -> []
+      | Some global ->
+        (* Re-stamp onto the global clock as events stream, so the
+           fleet-wide consumer (SLO series, telemetry) never needs the
+           per-client rings. *)
+        [ {
+            Trace.emit =
+              (fun ~ts ev -> global.Trace.emit ~ts:(cl.cl_start_s +. ts) ev);
+          } ]
+    in
     let sink =
-      match ring with
-      | None -> stream_sink
-      | Some r -> Trace.fan_out [ Trace.Ring.sink r; stream_sink ]
+      match sinks with [ one ] -> one | many -> Trace.fan_out many
     in
     let cfg =
       { (Session.default_config ~link:config.s_link ()) with
         Session.trace = sink;
         Session.server_handle = Some (handle_of cl);
-        Session.faults = cl.cl_faults }
+        Session.faults = cl.cl_faults;
+        Session.migrate = config.s_migrate }
     in
     let session =
       Session.create ~config:cfg ~script:(script_of entry)
@@ -329,6 +403,17 @@ let flipped_local result =
          || c.cr_report.Session.rep_rejects > 0)
        result.r_clients)
 
+(* Fleet-wide recovery totals: checkpoints cut, migrations shipped /
+   completed, and the offloads that still fell back to local replay. *)
+let migration_totals result =
+  List.fold_left
+    (fun (ck, started, done_, fb) c ->
+      ( ck + c.cr_report.Session.rep_checkpoints,
+        started + c.cr_report.Session.rep_migrations,
+        done_ + c.cr_report.Session.rep_migrations_done,
+        fb + c.cr_report.Session.rep_fallbacks ))
+    (0, 0, 0, 0) result.r_clients
+
 (* One merged fleet-wide stream on the global clock: every client's
    session-local trace shifted by its start instant, then stably
    sorted by timestamp (client order breaks ties, so seeded reruns
@@ -375,6 +460,111 @@ let admitted_intervals result =
       scan [] None c.cr_events)
     result.r_clients
 
+(* {1 Migration scenarios}
+
+   The canonical fleet situations the checkpoint/migration machinery
+   exists for, shared by the CLI ([serve --migrate]) and the bench
+   lane.  All constants are simulated seconds; every scenario is
+   deterministic, so seeded reruns render byte-identically. *)
+
+type scenario = {
+  sc_name : string;
+  sc_title : string;       (* one-line description for reports *)
+  sc_config : config;
+  sc_clients : client list;
+}
+
+let scenario_names = [ "failover"; "maintenance"; "rebalance" ]
+
+let scenario ?(policy = Pool.Round_robin) ?(migrate = true) name =
+  let base =
+    { default_config with s_policy = policy; s_migrate = migrate }
+  in
+  match name with
+  | "failover" ->
+    (* Mid-flight crash with healthy siblings: client 0's granting
+       member dies partway through its offload loop; the checkpoint
+       ships to another member and the task finishes there.  Other
+       clients discover the quarantined member at their next exchange
+       and migrate off it too. *)
+    let crash =
+      { Fault_plan.empty with Fault_plan.crash_at_s = Some 0.05 }
+    in
+    let clients =
+      List.map
+        (fun cl ->
+          if cl.cl_id = 0 then { cl with cl_faults = Some crash } else cl)
+        (make_clients ~stagger_s:0.02
+           ~workloads:[ "164.gzip"; "429.mcf" ] ~count:4 ())
+    in
+    {
+      sc_name = name;
+      sc_title = "server crash mid-offload, failover to a healthy member";
+      sc_config = { base with s_servers = 3 };
+      sc_clients = clients;
+    }
+  | "maintenance" ->
+    (* Rolling maintenance: each member of a three-server pool is
+       drained for a window in turn.  Offloads running on the drained
+       member checkpoint and migrate; the member returns when its
+       window closes. *)
+    let schedule =
+      [
+        { Pool.mw_server = 0; mw_from_s = 0.05; mw_until_s = 0.45;
+          mw_reason = "maintenance" };
+        { Pool.mw_server = 1; mw_from_s = 0.45; mw_until_s = 0.85;
+          mw_reason = "maintenance" };
+        { Pool.mw_server = 2; mw_from_s = 0.85; mw_until_s = 1.25;
+          mw_reason = "maintenance" };
+      ]
+    in
+    {
+      sc_name = name;
+      sc_title = "rolling maintenance drains each pool member in turn";
+      sc_config = { base with s_servers = 3; s_schedule = schedule };
+      sc_clients =
+        make_clients ~stagger_s:0.02
+          ~workloads:[ "164.gzip"; "429.mcf" ] ~count:6 ();
+    }
+  | "rebalance" ->
+    (* Cost-driven rebalancing on a heterogeneous pool: the expensive
+       fast member (2x speed grade) is drained mid-run; tasks running
+       on it migrate to the cheap baseline members. *)
+    let members =
+      [|
+        { Server_load.default with Server_load.r_factor = 2.0 };
+        Server_load.default;
+        Server_load.default;
+      |]
+    in
+    let schedule =
+      [
+        { Pool.mw_server = 0; mw_from_s = 0.06; mw_until_s = 1.0e9;
+          mw_reason = "rebalance" };
+      ]
+    in
+    {
+      sc_name = name;
+      sc_title =
+        "cost rebalancing drains the expensive fast member of a \
+         heterogeneous pool";
+      sc_config =
+        { base with
+          s_members = Some members;
+          s_policy =
+            (* route by load so the fast member actually carries work
+               before the drain *)
+            (match policy with Pool.Round_robin -> Pool.Least_loaded | p -> p);
+          s_schedule = schedule };
+      sc_clients =
+        make_clients ~stagger_s:0.02
+          ~workloads:[ "164.gzip"; "429.mcf" ] ~count:6 ();
+    }
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Sim.scenario: unknown scenario %S (expected %s)" name
+         (String.concat ", " scenario_names))
+
 (* {1 Rendering} *)
 
 let render ?(title = "multi-client schedule") result : string =
@@ -419,20 +609,36 @@ let render ?(title = "multi-client schedule") result : string =
     Table.render tbl
   in
   let st = result.r_stats in
-  Printf.sprintf
-    "%s\n\
-     geomean speedup %.3f | makespan %.4f s | throughput %.3f clients/s\n\
-     pool (%d server%s, %s): %d admits, %d queued, %d rejects, peak \
-     occupancy %d\n\
-     %s\n\
-     offload latency p50 %.4f s, p95 %.4f s, p99 %.4f s"
-    (Table.render tbl) (geomean_speedup result) result.r_makespan_s
-    result.r_throughput
-    (Array.length result.r_server_stats)
-    (if Array.length result.r_server_stats = 1 then "" else "s")
-    (Pool.policy_to_string result.r_policy)
-    st.Server_load.st_admits st.Server_load.st_queued
-    st.Server_load.st_rejects st.Server_load.st_peak_occupancy servers
-    (latency_percentile result ~p:50.0)
-    (latency_percentile result ~p:95.0)
-    (latency_percentile result ~p:99.0)
+  let base =
+    Printf.sprintf
+      "%s\n\
+       geomean speedup %.3f | makespan %.4f s | throughput %.3f clients/s\n\
+       pool (%d server%s, %s): %d admits, %d queued, %d rejects, peak \
+       occupancy %d\n\
+       %s\n\
+       offload latency p50 %.4f s, p95 %.4f s, p99 %.4f s"
+      (Table.render tbl) (geomean_speedup result) result.r_makespan_s
+      result.r_throughput
+      (Array.length result.r_server_stats)
+      (if Array.length result.r_server_stats = 1 then "" else "s")
+      (Pool.policy_to_string result.r_policy)
+      st.Server_load.st_admits st.Server_load.st_queued
+      st.Server_load.st_rejects st.Server_load.st_peak_occupancy servers
+      (latency_percentile result ~p:50.0)
+      (latency_percentile result ~p:95.0)
+      (latency_percentile result ~p:99.0)
+  in
+  (* Recovery line only when something was recovered — a clean run
+     renders byte-identically to the pre-migration scheduler. *)
+  match migration_totals result with
+  | 0, _, _, 0 -> base
+  | checkpoints, started, completed, fallbacks ->
+    Printf.sprintf
+      "%s\nrecovery: %d checkpoint%s, %d migration%s started, %d completed, \
+       %d local replay%s"
+      base checkpoints
+      (if checkpoints = 1 then "" else "s")
+      started
+      (if started = 1 then "" else "s")
+      completed fallbacks
+      (if fallbacks = 1 then "" else "s")

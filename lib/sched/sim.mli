@@ -25,7 +25,17 @@ type scale = Profile | Eval
 type config = {
   s_load : Server_load.config;  (** every pool member's config *)
   s_servers : int;              (** pool size K *)
+  s_members : Server_load.config array option;
+      (** heterogeneous pool: one config per member (mixing slot
+          counts, queue depths, speed grades), overriding
+          [s_load]/[s_servers] when present *)
   s_policy : Pool.policy;       (** placement policy *)
+  s_schedule : Pool.maintenance list;
+      (** static down windows — rolling maintenance, planned
+          rebalance drains *)
+  s_migrate : bool;
+      (** sessions checkpoint and migrate off a lost member (the
+          default); [false] = always roll back and replay locally *)
   s_link : No_netsim.Link.t;
   s_scale : scale;
   s_record_events : bool;
@@ -33,11 +43,16 @@ type config = {
           turn off for 10^4-client sweeps — latencies still stream
           into {!val-latency_hist}, but [cr_events], {!global_events}
           and {!admitted_intervals} come back empty *)
+  s_global_sink : No_trace.Trace.sink option;
+      (** extra fleet-wide sink fed every client's events re-stamped
+          onto the global clock as they stream — SLO series and
+          telemetry at any fleet size, without rings *)
 }
 
 val default_config : config
-(** One {!Server_load.default} server, round-robin, fast Wi-Fi,
-    profile-scale inputs, events recorded. *)
+(** One {!Server_load.default} server, round-robin, no schedule,
+    migration on, fast Wi-Fi, profile-scale inputs, events recorded,
+    no global sink. *)
 
 val make_clients :
   ?stagger_s:float ->
@@ -92,6 +107,30 @@ val global_events : result -> (float * No_trace.Trace.event) list
 val flipped_local : result -> int
 (** Clients with at least one estimator refusal or queue rejection —
     tasks the contended pool pushed back to the mobile device. *)
+
+val migration_totals : result -> int * int * int * int
+(** Fleet-wide [(checkpoints, migrations started, migrations
+    completed, local replays)] — how mid-flight losses were
+    recovered. *)
+
+type scenario = {
+  sc_name : string;
+  sc_title : string;      (** one-line description for reports *)
+  sc_config : config;
+  sc_clients : client list;
+}
+
+val scenario_names : string list
+(** ["failover"; "maintenance"; "rebalance"]. *)
+
+val scenario : ?policy:Pool.policy -> ?migrate:bool -> string -> scenario
+(** Canonical migration scenario by name: ["failover"] (a member
+    crashes mid-offload, the task fails over to a healthy sibling),
+    ["maintenance"] (rolling drains across the pool), ["rebalance"]
+    (the expensive fast member of a heterogeneous pool is drained
+    mid-run).  [migrate:false] runs the same situation with the
+    rollback + local-replay recovery only, for comparison.  Raises
+    [Invalid_argument] on an unknown name. *)
 
 val latency_hist : result -> No_obs.Hist.t
 (** The streamed offload-span latency histogram — available at any

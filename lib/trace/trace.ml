@@ -60,6 +60,25 @@ type event =
   | Bw_sample of { bps : float }
       (* the bandwidth predictor's belief, sampled after each physical
          transfer — a gauge for the telemetry layer, not a cost *)
+  | Checkpoint of {
+      target : string;
+      pages : int;                (* dirty pages captured in the image *)
+      image_bytes : int;          (* continuation image incl. page payloads *)
+      io_cursor : int;            (* remote-I/O ops already delivered *)
+      ledger_bytes : int;         (* console bytes already committed *)
+    }
+  | Migrate_start of {
+      target : string;
+      from_server : int;
+      to_server : int;
+      reason : string;            (* crash / maintenance / rebalance … *)
+      transfer_s : float;         (* checkpoint shipping time on the link *)
+    }
+  | Migrate_done of {
+      target : string;
+      server : int;               (* the member that finished the task *)
+      resumed_span_s : float;     (* remote span on the new member *)
+    }
 
 (* Events that carry a time-span are stamped with the *start* of the
    span; the clock value is simulated seconds. *)
@@ -104,6 +123,9 @@ let event_name = function
   | Admit { target; _ } -> "admit:" ^ target
   | Reject { target; _ } -> "reject:" ^ target
   | Bw_sample _ -> "bw-sample"
+  | Checkpoint { target; _ } -> "checkpoint:" ^ target
+  | Migrate_start { target; _ } -> "migrate:" ^ target
+  | Migrate_done { target; _ } -> "migrate-done:" ^ target
 
 (* {1 Aggregating metrics sink}
 
@@ -146,6 +168,13 @@ module Metrics = struct
     mutable queue_wait_s : float;
     mutable admits : int;
     mutable rejects : int;
+    mutable checkpoints : int;
+    mutable checkpoint_pages : int;
+    mutable checkpoint_bytes : int;
+    mutable migrations : int;           (* migration attempts started *)
+    mutable migrations_done : int;      (* resumed to completion remotely *)
+    mutable migrate_transfer_s : float; (* checkpoint shipping time *)
+    mutable migrate_resume_s : float;   (* remote span after resuming *)
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     (* (start, mw, duration, state), reversed — the Figure-8 raw
@@ -188,6 +217,13 @@ module Metrics = struct
       queue_wait_s = 0.0;
       admits = 0;
       rejects = 0;
+      checkpoints = 0;
+      checkpoint_pages = 0;
+      checkpoint_bytes = 0;
+      migrations = 0;
+      migrations_done = 0;
+      migrate_transfer_s = 0.0;
+      migrate_resume_s = 0.0;
       energy_mj = 0.0;
       power_s = Hashtbl.create 8;
       power_rev = [];
@@ -250,6 +286,16 @@ module Metrics = struct
     | Admit _ -> t.admits <- t.admits + 1
     | Reject _ -> t.rejects <- t.rejects + 1
     | Bw_sample _ -> ()
+    | Checkpoint { pages; image_bytes; _ } ->
+      t.checkpoints <- t.checkpoints + 1;
+      t.checkpoint_pages <- t.checkpoint_pages + pages;
+      t.checkpoint_bytes <- t.checkpoint_bytes + image_bytes
+    | Migrate_start { transfer_s; _ } ->
+      t.migrations <- t.migrations + 1;
+      t.migrate_transfer_s <- t.migrate_transfer_s +. transfer_s
+    | Migrate_done { resumed_span_s; _ } ->
+      t.migrations_done <- t.migrations_done + 1;
+      t.migrate_resume_s <- t.migrate_resume_s +. resumed_span_s
 
   let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
 
@@ -291,6 +337,14 @@ module Metrics = struct
     into.queue_wait_s <- into.queue_wait_s +. src.queue_wait_s;
     into.admits <- into.admits + src.admits;
     into.rejects <- into.rejects + src.rejects;
+    into.checkpoints <- into.checkpoints + src.checkpoints;
+    into.checkpoint_pages <- into.checkpoint_pages + src.checkpoint_pages;
+    into.checkpoint_bytes <- into.checkpoint_bytes + src.checkpoint_bytes;
+    into.migrations <- into.migrations + src.migrations;
+    into.migrations_done <- into.migrations_done + src.migrations_done;
+    into.migrate_transfer_s <-
+      into.migrate_transfer_s +. src.migrate_transfer_s;
+    into.migrate_resume_s <- into.migrate_resume_s +. src.migrate_resume_s;
     into.energy_mj <- into.energy_mj +. src.energy_mj;
     Hashtbl.iter
       (fun state s ->
@@ -375,6 +429,13 @@ module Metrics = struct
       ("server rejects", string_of_int t.rejects);
       ("queued offloads", string_of_int t.queued);
       ("queue wait (s)", Printf.sprintf "%.4f" t.queue_wait_s);
+      ("checkpoints", string_of_int t.checkpoints);
+      ("checkpoint pages", string_of_int t.checkpoint_pages);
+      ("checkpoint bytes", string_of_int t.checkpoint_bytes);
+      ("migrations started", string_of_int t.migrations);
+      ("migrations completed", string_of_int t.migrations_done);
+      ("migrate transfer (s)", Printf.sprintf "%.4f" t.migrate_transfer_s);
+      ("migrate resume (s)", Printf.sprintf "%.4f" t.migrate_resume_s);
       ("energy (mJ)", Printf.sprintf "%.2f" t.energy_mj);
       ("total time (s)", Printf.sprintf "%.4f" (total_s t));
     ]
@@ -607,6 +668,33 @@ module Chrome = struct
     | Bw_sample { bps } ->
       record ~name:"bandwidth-belief" ~ph:"C" ~ts ~tid:net_tid
         ~args:[ ("bps", Printf.sprintf "%.1f" bps) ]
+        ()
+    | Checkpoint { pages; image_bytes; io_cursor; ledger_bytes; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:
+          [
+            ("pages", string_of_int pages);
+            ("image_bytes", string_of_int image_bytes);
+            ("io_cursor", string_of_int io_cursor);
+            ("ledger_bytes", string_of_int ledger_bytes);
+          ]
+        ()
+    | Migrate_start { from_server; to_server; reason; transfer_s; _ } ->
+      record ~name ~ph:"X" ~ts ~dur:(us transfer_s) ~tid:net_tid
+        ~args:
+          [
+            ("from_server", string_of_int from_server);
+            ("to_server", string_of_int to_server);
+            ("reason", Printf.sprintf "\"%s\"" (escape reason));
+          ]
+        ()
+    | Migrate_done { server; resumed_span_s; _ } ->
+      record ~name ~ph:"i" ~ts ~tid:session_tid
+        ~args:
+          [
+            ("server", string_of_int server);
+            ("resumed_span_us", Printf.sprintf "%.3f" (us resumed_span_s));
+          ]
         ()
 
   let thread_meta tid label =

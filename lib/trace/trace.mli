@@ -74,6 +74,31 @@ type event =
   | Bw_sample of { bps : float }
       (** the bandwidth predictor's belief after a physical transfer —
           a sampled gauge for the telemetry layer, carrying no cost *)
+  | Checkpoint of {
+      target : string;
+      pages : int;
+      image_bytes : int;
+      io_cursor : int;
+      ledger_bytes : int;
+    }
+      (** a resumable task image was captured after a mid-flight server
+          loss: [pages] dirty pages plus a continuation image of
+          [image_bytes] total; [io_cursor] remote-I/O ops and
+          [ledger_bytes] console bytes were already delivered and must
+          not be re-issued (the exactly-once ledger) *)
+  | Migrate_start of {
+      target : string;
+      from_server : int;
+      to_server : int;
+      reason : string;
+      transfer_s : float;
+    }
+      (** the checkpoint ships from the lost member to a healthy one;
+          stamped at transfer start, [transfer_s] is the link time
+          charged for dirty pages + image *)
+  | Migrate_done of { target : string; server : int; resumed_span_s : float }
+      (** the migrated task resumed and completed on member [server];
+          [resumed_span_s] is the remote span after resumption *)
 
 type sink = { emit : ts:float -> event -> unit }
 (** [ts] is simulated seconds; events that span time are stamped with
@@ -134,6 +159,13 @@ module Metrics : sig
     mutable queue_wait_s : float;
     mutable admits : int;
     mutable rejects : int;
+    mutable checkpoints : int;
+    mutable checkpoint_pages : int;
+    mutable checkpoint_bytes : int;
+    mutable migrations : int;
+    mutable migrations_done : int;
+    mutable migrate_transfer_s : float;
+    mutable migrate_resume_s : float;
     mutable energy_mj : float;
     power_s : (string, float) Hashtbl.t;
     mutable power_rev : (float * float * float * string) list;

@@ -4,10 +4,10 @@ performance regressions.
 
 Subcommands:
 
-  merge P F FL -o OUT   combine the `bench percentiles --json`,
-                        `bench faults --json` and `bench fleet --json`
-                        outputs into one BENCH_pr.json
-                        (schema-versioned)
+  merge P F FL M -o OUT combine the `bench percentiles --json`,
+                        `bench faults --json`, `bench fleet --json`
+                        and `bench migrate --json` outputs into one
+                        BENCH_pr.json (schema-versioned)
   check PR BASELINE     compare a PR's headline numbers against the
                         committed baseline; exit non-zero on a
                         regression (or an out-of-band improvement —
@@ -30,14 +30,21 @@ reduced scale and commit it with the change:
     dune exec bench/main.exe -- percentiles --sample 4 --json /tmp/p.json
     dune exec bench/main.exe -- faults      --sample 4 --json /tmp/f.json
     dune exec bench/main.exe -- fleet       --json /tmp/fl.json
-    python3 scripts/bench_guard.py merge /tmp/p.json /tmp/f.json /tmp/fl.json \
-        -o BENCH_baseline.json
+    dune exec bench/main.exe -- migrate     --json /tmp/m.json
+    python3 scripts/bench_guard.py merge /tmp/p.json /tmp/f.json \
+        /tmp/fl.json /tmp/m.json -o BENCH_baseline.json
 
 Fleet guard: the per-policy geomean speedups and simulated clients/sec
 come from the deterministic simulator, so they are held to the same
 tolerance as the percentile headline.  The host-side clients/sec is
 wall-clock and machine-dependent; it only has to clear an absolute
 floor (--fleet-host-floor), not track the baseline.
+
+Migration guard: the canonical loss scenarios are fully simulated, so
+migrations-completed is held *exactly* (a drop means tasks silently
+fell back to local replay) and the replay/migrate recovered-task
+wall-clock ratio tracks the baseline within the tolerance.  The ratio
+must also stay above 1.0 — the subsystem's reason to exist.
 """
 
 import argparse
@@ -45,7 +52,7 @@ import copy
 import json
 import sys
 
-SCHEMA = 2
+SCHEMA = 3
 
 FLEET_POLICIES = ("rr", "ll", "sticky")
 
@@ -59,10 +66,12 @@ def cmd_merge(args):
     percentiles = load(args.percentiles)
     faults = load(args.faults)
     fleet = load(args.fleet)
+    migrate = load(args.migrate)
     for blob, want in (
         (percentiles, "percentiles"),
         (faults, "faults"),
         (fleet, "fleet"),
+        (migrate, "migrate"),
     ):
         mode = blob.get("mode")
         if mode != want:
@@ -72,6 +81,7 @@ def cmd_merge(args):
         "percentiles": percentiles,
         "faults": faults,
         "fleet": fleet,
+        "migrate": migrate,
     }
     with open(args.output, "w") as fh:
         json.dump(merged, fh, indent=2, sort_keys=True)
@@ -141,6 +151,38 @@ def compare(pr, baseline, tolerance):
                     f"{pr_value:.4f} vs baseline {base_value:.4f} — "
                     "if intentional, re-baseline"
                 )
+
+    # Migration headline: completed migrations are deterministic and
+    # held exactly — a drop means a scenario silently fell back to
+    # local replay.  The recovered-task wall-clock ratio tracks the
+    # baseline, and must keep migration strictly cheaper than replay.
+    base_done = baseline["migrate"]["migrations_done"]
+    pr_done = pr["migrate"]["migrations_done"]
+    if pr_done != base_done:
+        failures.append(
+            f"migrations completed changed: {pr_done} vs baseline "
+            f"{base_done} (scenarios are deterministic — a drop means "
+            "tasks fell back to local replay)"
+        )
+    base_ratio = baseline["migrate"]["recovery_ratio"]
+    pr_ratio = pr["migrate"]["recovery_ratio"]
+    if pr_ratio <= 1.0:
+        failures.append(
+            f"migration no longer beats local replay: recovered-task "
+            f"wall-clock ratio {pr_ratio:.4f} <= 1.0"
+        )
+    rel = pr_ratio / base_ratio
+    if rel < 1.0 - tolerance:
+        failures.append(
+            f"migration recovery ratio regressed: {pr_ratio:.4f} vs "
+            f"baseline {base_ratio:.4f} ({(1.0 - rel) * 100:.1f}% below)"
+        )
+    elif rel > 1.0 + tolerance:
+        failures.append(
+            f"migration recovery ratio improved beyond tolerance: "
+            f"{pr_ratio:.4f} vs baseline {base_ratio:.4f} — "
+            "if intentional, re-baseline"
+        )
     return failures
 
 
@@ -209,6 +251,8 @@ def cmd_check(args):
         + "/".join(
             f"{pr['fleet'][f'fleet_{p}_geomean']:.3f}" for p in FLEET_POLICIES
         )
+        + f", {pr['migrate']['migrations_done']} migration(s) at "
+        f"recovery ratio {pr['migrate']['recovery_ratio']:.4f}"
     )
 
 
@@ -234,9 +278,20 @@ def cmd_selftest(args):
     if not check_host_floor(crawling, 50.0):
         sys.exit("selftest: sub-floor host throughput was not caught")
 
+    replayed = copy.deepcopy(baseline)
+    replayed["migrate"]["migrations_done"] -= 1
+    if not compare(replayed, baseline, args.tolerance):
+        sys.exit("selftest: a lost migration was not caught")
+
+    not_winning = copy.deepcopy(baseline)
+    not_winning["migrate"]["recovery_ratio"] = 0.98
+    if not compare(not_winning, baseline, args.tolerance):
+        sys.exit("selftest: replay beating migration was not caught")
+
     print(
         "selftest OK: identical copy passes; 2x headline slowdown, "
-        "2x fleet slowdown and sub-floor host throughput all fail"
+        "2x fleet slowdown, sub-floor host throughput, a lost "
+        "migration and a sub-1.0 recovery ratio all fail"
     )
 
 
@@ -248,6 +303,7 @@ def main():
     p.add_argument("percentiles")
     p.add_argument("faults")
     p.add_argument("fleet")
+    p.add_argument("migrate")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=cmd_merge)
 

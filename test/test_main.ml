@@ -19,6 +19,7 @@ let () =
       ("runtime", Test_runtime.tests);
       ("fault", Test_fault.tests);
       ("sched", Test_sched.tests);
+      ("migrate", Test_migrate.tests);
       ("workloads", Test_workloads.tests);
       ("corpus-report", Test_corpus_report.tests);
       ("telemetry", Test_telemetry.tests);

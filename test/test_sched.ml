@@ -144,6 +144,11 @@ let test_stub_admit_transparent () =
               bw_scale = 1.0;
             });
       Session.sh_release = (fun ~now:_ ~server:_ ~slot:_ -> ());
+      Session.sh_volatile = false;
+      Session.sh_interrupt = (fun ~now:_ ~server:_ -> None);
+      Session.sh_migrate =
+        (fun ~now:_ ~target:_ ~from_server:_ ~reason:_ ->
+          Session.Rejected { server = 0; queue_depth = 0 });
     }
   in
   let plain = run_session () in
@@ -167,6 +172,11 @@ let test_stub_reject_runs_local () =
         (fun ~now:_ ~target:_ ->
           Session.Rejected { server = 0; queue_depth = 0 });
       Session.sh_release = (fun ~now:_ ~server:_ ~slot:_ -> ());
+      Session.sh_volatile = false;
+      Session.sh_interrupt = (fun ~now:_ ~server:_ -> None);
+      Session.sh_migrate =
+        (fun ~now:_ ~target:_ ~from_server:_ ~reason:_ ->
+          Session.Rejected { server = 0; queue_depth = 0 });
     }
   in
   let entry, compiled = Lazy.force gzip in

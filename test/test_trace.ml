@@ -304,6 +304,16 @@ let test_to_rows_covers_all_counters () =
           { target = "w"; reason = "server dead"; recovery_s = 0.6 } );
       (1.65, Trace.Offload_end { target = "w"; dirty_pages = 2; span_s = 1.65 });
       (1.65, Trace.Replay { target = "w"; replay_s = 1.35 });
+      ( 1.7,
+        Trace.Checkpoint
+          { target = "w"; pages = 2; image_bytes = 8704; io_cursor = 1;
+            ledger_bytes = 12 } );
+      ( 1.7,
+        Trace.Migrate_start
+          { target = "w"; from_server = 0; to_server = 1;
+            reason = "server crashed"; transfer_s = 0.08 } );
+      ( 1.9,
+        Trace.Migrate_done { target = "w"; server = 1; resumed_span_s = 0.4 } );
       (2.0, Trace.Queue { target = "w"; server = 0; wait_s = 0.2; depth = 1 });
       (2.2, Trace.Admit { target = "w"; server = 0; occupancy = 2; slot = 1 });
       (2.5, Trace.Reject { target = "w"; server = 0; queue_depth = 2 });
@@ -346,6 +356,13 @@ let test_to_rows_covers_all_counters () =
       ("server rejects", "1");
       ("queued offloads", "1");
       ("queue wait (s)", "0.2000");
+      ("checkpoints", "1");
+      ("checkpoint pages", "2");
+      ("checkpoint bytes", "8704");
+      ("migrations started", "1");
+      ("migrations completed", "1");
+      ("migrate transfer (s)", "0.0800");
+      ("migrate resume (s)", "0.4000");
       ("energy (mJ)", "3000.00");
       ("total time (s)", "3.0000");
     ]
