@@ -3,7 +3,13 @@
      dune exec bench/main.exe              regenerate every table and
                                            figure of the paper and print
                                            the headline numbers
-     dune exec bench/main.exe -- micro     Bechamel micro-benchmarks: one
+     dune exec bench/main.exe -- micro     self-profiled micro-bench lane:
+                                           events/sec, bytes-compressed/sec
+                                           and allocs/event headline numbers
+                                           plus the per-zone self-profile
+                                           (--trials, --json,
+                                           --selfprof-out)
+     dune exec bench/main.exe -- bechamel  Bechamel micro-benchmarks: one
                                            Test.make per table/figure
                                            (its core computational
                                            kernel) plus substrate micros
@@ -229,7 +235,7 @@ let micro_tests () =
     [ Test.make_grouped ~name:"tables" per_table;
       Test.make_grouped ~name:"substrate" substrate ]
 
-let run_micro () =
+let run_bechamel () =
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
@@ -717,8 +723,11 @@ let fleet_config ~servers ~slots ~queue ~policy ~record =
     Sim.s_policy = policy;
     Sim.s_record_events = record }
 
+(* The sweep saturates on purpose, so verdicts use
+   [Slo.fleet_default_spec] (an availability floor), not the serving
+   target — see the note on that spec. *)
 let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
-    ?(slo = Slo.default_spec) ?json () =
+    ?(slo = Slo.fleet_default_spec) ?json () =
   let stagger_s = 0.0005 in
   let objectives = slo_objectives_exn slo in
   (* Per-policy SLO verdicts come from a fleet-wide windowed series
@@ -775,7 +784,7 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
           Table.cell_f ~digits:4 (Sim.latency_percentile result ~p:95.0);
           (if Slo.pass verdicts then "pass" else "FAIL");
         ];
-      Printf.printf "SLO (%s): %s\n"
+      Printf.printf "SLO [%s] (%s): %s\n" slo
         (Pool.policy_to_string policy)
         (Slo.render verdicts);
       json_fields :=
@@ -827,6 +836,133 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
            ("slots", json_i slots);
            ("queue", json_i queue) ]
         @ !json_fields))
+    json
+
+(* {1 Self-profiled micro-bench lane}
+
+   The measurement substrate for ROADMAP item 3: what does the
+   simulator itself cost per unit of work?  Two legs:
+
+   - a fleet leg — a small saturated fleet run (300 clients, the fleet
+     mix, recording off) with the self-profiler on.  Simulated event
+     count and total allocated words are deterministic; wall time is
+     not, so events/sec is a host-dependent headline (guarded by a
+     floor) while allocs/event tracks the baseline within tolerance;
+   - a compressor leg — the 64 KiB structured page through
+     [Compress.compress], giving bytes-compressed/sec (host-dependent)
+     and the deterministic achieved ratio.
+
+   Timing-derived numbers run [trials] measured trials after one
+   discarded warmup trial (lazy registry/compiler state, cold caches)
+   and report the median; the CI lane uses --trials 3.  Deterministic
+   numbers are asserted identical across trials instead of averaged. *)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let run_micro ?(trials = 3) ?json ?selfprof_out () =
+  if trials < 1 then begin
+    prerr_endline "bench micro: --trials must be >= 1";
+    exit 1
+  end;
+  let wall_of t0 = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
+  (* Fleet leg. *)
+  let fleet_clients = 300 in
+  let fleet_trial () =
+    let cs =
+      Sim.make_clients ~stagger_s:0.0005 ~workloads:fleet_mix
+        ~count:fleet_clients ()
+    in
+    (* Global series sink on, like run_fleet: the per-event path then
+       exercises the sink-emit and hist zones, not just the
+       scheduler. *)
+    let series = Series.create () in
+    let config =
+      { (fleet_config ~servers:4 ~slots:2 ~queue:2 ~policy:Pool.Round_robin
+           ~record:false)
+        with Sim.s_global_sink = Some (Series.sink series) }
+    in
+    let w0 = Selfprof.allocated_words () in
+    let t0 = Monotonic_clock.now () in
+    let result = Sim.run ~config cs in
+    let wall_s = wall_of t0 in
+    let words = Selfprof.allocated_words () -. w0 in
+    (result.Sim.r_events, wall_s, words)
+  in
+  Selfprof.enable ();
+  Selfprof.reset ();
+  ignore (fleet_trial ());          (* warmup: forces lazy state *)
+  Selfprof.reset ();                (* zone table covers measured trials *)
+  let fleet_runs = List.init trials (fun _ -> fleet_trial ()) in
+  let events, _, _ = List.hd fleet_runs in
+  List.iter
+    (fun (e, _, _) ->
+      if e <> events then begin
+        prerr_endline "bench micro: event count varied across trials";
+        exit 1
+      end)
+    fleet_runs;
+  let fleet_wall_s = median (List.map (fun (_, w, _) -> w) fleet_runs) in
+  let words_per_event =
+    median (List.map (fun (_, _, w) -> w) fleet_runs) /. float_of_int events
+  in
+  let events_per_sec = float_of_int events /. fleet_wall_s in
+  (* Compressor leg. *)
+  let page = Lazy.force compressible_page in
+  let reps = 32 in
+  let compress_trial () =
+    let t0 = Monotonic_clock.now () in
+    for _ = 1 to reps do
+      ignore (Compress.compress page)
+    done;
+    wall_of t0
+  in
+  ignore (compress_trial ());
+  let compress_wall_s = median (List.init trials (fun _ -> compress_trial ())) in
+  let compress_bytes_per_sec =
+    float_of_int (reps * Bytes.length page) /. compress_wall_s
+  in
+  let compress_ratio = Compress.ratio page in
+  Selfprof.disable ();
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Micro-bench lane (%d trial(s) + 1 warmup, median; fleet leg: %d \
+            clients)"
+           trials fleet_clients)
+      [ "headline"; "value" ]
+  in
+  Table.add_row table
+    [ "sim events (deterministic)"; Table.cell_i events ];
+  Table.add_row table [ "events/sec"; Table.cell_f ~digits:0 events_per_sec ];
+  Table.add_row table
+    [ "allocs/event (words)"; Table.cell_f ~digits:1 words_per_event ];
+  Table.add_row table
+    [ "compress bytes/sec"; Table.cell_f ~digits:0 compress_bytes_per_sec ];
+  Table.add_row table
+    [ "compress ratio"; Table.cell_f ~digits:4 compress_ratio ];
+  Table.print table;
+  print_newline ();
+  print_string (Selfprof.report ());
+  Option.iter
+    (fun path ->
+      Openmetrics.write_selfprof path ~unwound:(Selfprof.unwound ())
+        (Selfprof.rows ());
+      Printf.printf "\nwrote %s\n" path)
+    selfprof_out;
+  Option.iter
+    (fun path ->
+      write_json path
+        [ ("mode", "\"micro\"");
+          ("trials", json_i trials);
+          ("micro_sim_events", json_i events);
+          ("micro_events_per_sec", json_f events_per_sec);
+          ("micro_allocs_per_event_w", json_f words_per_event);
+          ("micro_compress_bytes_per_sec", json_f compress_bytes_per_sec);
+          ("micro_compress_ratio", json_f compress_ratio) ])
     json
 
 (* {1 Migration recovery}
@@ -1171,7 +1307,10 @@ let () =
   in
   let opt_int name = Option.map int_of_string (opt name) in
   match argv with
-  | _ :: "micro" :: _ -> run_micro ()
+  | _ :: "micro" :: _ ->
+    run_micro ?trials:(opt_int "--trials") ?json:(opt "--json")
+      ?selfprof_out:(opt "--selfprof-out") ()
+  | _ :: "bechamel" :: _ -> run_bechamel ()
   | _ :: "ablations" :: _ -> run_ablations ()
   | _ :: "trace" :: _ -> run_trace_summaries ?json:(opt "--json") ()
   | _ :: "faults" :: _ ->

@@ -76,6 +76,46 @@ let fault_plan_of_string text =
       Fault_plan.grammar;
     exit 1
 
+(* --self-prof[=FILE], shared by run and serve: profile the
+   simulator's own hot paths (zone-based cost accounting) for the
+   duration of the command, print the zone table afterwards, and with
+   FILE also write the self-profile as OpenMetrics exposition. *)
+let self_prof_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "self-prof" ] ~docv:"FILE"
+        ~doc:
+          "Profile the simulator's own hot paths (event queue, page-fault \
+           service, compressor, trace sinks, histograms, pool routing, \
+           checkpoints) and print the per-zone cost table after the run; \
+           with $(docv), also write the self-profile as OpenMetrics text \
+           exposition there.  Profiling never changes simulated results.")
+
+let self_prof_begin = function
+  | None -> ()
+  | Some _ ->
+    Selfprof.enable ();
+    Selfprof.reset ()
+
+let self_prof_end = function
+  | None -> ()
+  | Some out ->
+    Selfprof.disable ();
+    print_newline ();
+    print_string (Selfprof.report ());
+    if not (String.equal out "") then begin
+      (match
+         Openmetrics.write_selfprof out ~unwound:(Selfprof.unwound ())
+           (Selfprof.rows ())
+       with
+      | exception Sys_error msg ->
+        Fmt.epr "cannot write self-profile: %s@." msg;
+        exit 1
+      | () -> ());
+      Fmt.pr "wrote %s (self-profile OpenMetrics)@." out
+    end
+
 (* Re-run a configuration with capture sinks attached (the simulator
    is deterministic, so this reproduces the corresponding sweep run
    exactly) and export/print what was asked for. *)
@@ -205,7 +245,8 @@ let run_cmd =
             "Write the run's metrics and windowed time series as \
              OpenMetrics/Prometheus text exposition to $(docv).")
   in
-  let run name trace_file trace_raw metrics metrics_out link faults seed =
+  let run name trace_file trace_raw metrics metrics_out link faults seed
+      self_prof =
     let entry = entry_of_name name in
     (* Validate the fault-run options before the (slow) sweep. *)
     let faulty_config =
@@ -231,6 +272,7 @@ let run_cmd =
             Session.faults = Some plan }
       end
     in
+    self_prof_begin self_prof;
     let res = Experiment.run_entry entry in
     let table =
       Table.create ~title:(name ^ ": local vs offloaded")
@@ -295,12 +337,13 @@ let run_cmd =
       in
       traced_run entry res.Experiment.pres_compiled ~config ~label ~trace_file
         ~trace_raw ~metrics ~metrics_out
-    end
+    end;
+    self_prof_end self_prof
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload in all configurations")
     Term.(
       const run $ name_arg $ trace_arg $ trace_raw_arg $ metrics_arg
-      $ metrics_out_arg $ link_arg $ faults_arg $ seed_arg)
+      $ metrics_out_arg $ link_arg $ faults_arg $ seed_arg $ self_prof_arg)
 
 let report_cmd =
   let what_arg =
@@ -802,7 +845,7 @@ let serve_cmd =
              $(b,avail>=0.99,p99(page-fault)<=50ms,burn(0.99)<=14).")
   in
   let run clients slots queue servers policy workloads stagger link faults
-      seed eval metrics_out migrate no_migrate slo =
+      seed eval metrics_out migrate no_migrate slo self_prof =
     if clients < 1 then begin
       Fmt.epr "need at least one client@.";
       exit 1
@@ -839,7 +882,8 @@ let serve_cmd =
         (Pool.policy_to_string policy)
         (if Slo.pass verdicts then "pass" else "FAIL")
     in
-    match migrate with
+    self_prof_begin self_prof;
+    (match migrate with
     | Some scenario_name ->
       let sc =
         match
@@ -903,7 +947,7 @@ let serve_cmd =
               clients servers slots queue (Pool.policy_to_string policy))
          result);
     print_slo result;
-    match metrics_out with
+    (match metrics_out with
     | None -> ()
     | Some file -> (
       let series = Series.of_events (Sim.global_events result) in
@@ -913,7 +957,8 @@ let serve_cmd =
         exit 1
       | () ->
         Fmt.pr "wrote %s (OpenMetrics text, %d clients merged)@." file
-          clients)
+          clients)));
+    self_prof_end self_prof
   in
   Cmd.v
     (Cmd.info "serve"
@@ -924,7 +969,7 @@ let serve_cmd =
       const run $ clients_arg $ slots_arg $ queue_arg $ servers_arg
       $ policy_arg $ workloads_arg $ stagger_arg $ link_arg $ faults_arg
       $ seed_arg $ eval_arg $ metrics_out_arg $ migrate_arg $ no_migrate_arg
-      $ slo_arg)
+      $ slo_arg $ self_prof_arg)
 
 (* Regression attribution between two raw traces (from `run
    --trace-raw`): align the span trees by path, attribute the

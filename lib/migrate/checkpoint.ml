@@ -54,9 +54,13 @@ type t = {
   ck_server_stack : Stack_alloc.mark;
 }
 
+module Selfprof = No_selfprof.Selfprof
+
 let capture ~target ~dirty_pages ~resident_pages ~io_cursor ~ledger_bytes ~mem
     ~uva ~console ~fs ~server_stack =
-  {
+  Selfprof.enter Checkpoint;
+  let image =
+    {
     ck_target = target;
     ck_dirty_pages = dirty_pages;
     ck_resident_pages = resident_pages;
@@ -65,9 +69,12 @@ let capture ~target ~dirty_pages ~resident_pages ~io_cursor ~ledger_bytes ~mem
     ck_mem = mem;
     ck_uva = uva;
     ck_console = console;
-    ck_fs = fs;
-    ck_server_stack = server_stack;
-  }
+      ck_fs = fs;
+      ck_server_stack = server_stack;
+    }
+  in
+  Selfprof.leave Checkpoint;
+  image
 
 let dirty_count t = List.length t.ck_dirty_pages
 

@@ -54,7 +54,10 @@ let match_length data pos cand limit =
   done;
   !n
 
+module Selfprof = No_selfprof.Selfprof
+
 let compress (data : Bytes.t) : Bytes.t =
+  Selfprof.enter Compress;
   let len = Bytes.length data in
   let out = Buffer.create (len / 2 + 16) in
   let head = Array.make (1 lsl hash_bits) (-1) in
@@ -110,11 +113,13 @@ let compress (data : Bytes.t) : Bytes.t =
     end
   done;
   flush_literals len;
-  Buffer.to_bytes out
+  let res = Buffer.to_bytes out in
+  Selfprof.leave Compress;
+  res
 
 exception Corrupt of string
 
-let decompress (data : Bytes.t) : Bytes.t =
+let decompress_unprofiled (data : Bytes.t) : Bytes.t =
   let len = Bytes.length data in
   let out = Buffer.create (len * 2) in
   let pos = ref 0 in
@@ -141,6 +146,18 @@ let decompress (data : Bytes.t) : Bytes.t =
     | c -> raise (Corrupt (Printf.sprintf "bad token %C" c))
   done;
   Buffer.to_bytes out
+
+(* [Corrupt] may unwind out of the loop; leave the zone on both edges
+   so a poisoned payload doesn't keep absorbing self-time. *)
+let decompress (data : Bytes.t) : Bytes.t =
+  Selfprof.enter Decompress;
+  match decompress_unprofiled data with
+  | res ->
+    Selfprof.leave Decompress;
+    res
+  | exception e ->
+    Selfprof.leave Decompress;
+    raise e
 
 (* Ratio achieved on [data]; 1.0 means incompressible. *)
 let ratio data =

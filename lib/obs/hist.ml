@@ -13,6 +13,8 @@
    the fleet-percentile bench mode relies on: per-run histograms are
    merged across the whole workload registry and quantiled once. *)
 
+module Selfprof = No_selfprof.Selfprof
+
 (* 8 sub-buckets per power of two. *)
 let sub_buckets = 8.0
 
@@ -39,18 +41,20 @@ let index_of v =
   else 1 + int_of_float (floor (Float.log2 (v /. v_min) *. sub_buckets))
 
 let add t v =
-  if not (Float.is_nan v) then begin
-    t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
-    if v < t.min_v then t.min_v <- v;
-    if v > t.max_v then t.max_v <- v;
-    let idx = index_of v in
-    match Hashtbl.find_opt t.buckets idx with
-    | Some b ->
-      b.b_count <- b.b_count + 1;
-      b.b_sum <- b.b_sum +. v
-    | None -> Hashtbl.replace t.buckets idx { b_count = 1; b_sum = v }
-  end
+  Selfprof.enter Hist_record;
+  (if not (Float.is_nan v) then begin
+     t.count <- t.count + 1;
+     t.sum <- t.sum +. v;
+     if v < t.min_v then t.min_v <- v;
+     if v > t.max_v then t.max_v <- v;
+     let idx = index_of v in
+     match Hashtbl.find_opt t.buckets idx with
+     | Some b ->
+       b.b_count <- b.b_count + 1;
+       b.b_sum <- b.b_sum +. v
+     | None -> Hashtbl.replace t.buckets idx { b_count = 1; b_sum = v }
+   end);
+  Selfprof.leave Hist_record
 
 let count t = t.count
 let sum t = t.sum
@@ -59,6 +63,7 @@ let max t = if t.count = 0 then Float.nan else t.max_v
 let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
 
 let merge_into ~into src =
+  Selfprof.enter Hist_merge;
   into.count <- into.count + src.count;
   into.sum <- into.sum +. src.sum;
   if src.min_v < into.min_v then into.min_v <- src.min_v;
@@ -72,7 +77,8 @@ let merge_into ~into src =
       | None ->
         Hashtbl.replace into.buckets idx
           { b_count = b.b_count; b_sum = b.b_sum })
-    src.buckets
+    src.buckets;
+  Selfprof.leave Hist_merge
 
 let merge hists =
   let t = create () in

@@ -209,3 +209,46 @@ let write path ?series m =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (of_run ?series m))
+
+(* {1 Self-profile exposition}
+
+   Takes the rows (not the profiler's global state) so fixed-row tests
+   can lock the format byte-for-byte. *)
+
+let of_selfprof ?(unwound = 0) (rows : No_selfprof.Selfprof.row list) : string
+    =
+  let b = Buffer.create 1024 in
+  let family name kind help =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  let per_zone name select =
+    List.iter
+      (fun (r : No_selfprof.Selfprof.row) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s{zone=\"%s\"} %s\n" name r.r_zone
+             (fm (select r))))
+      rows
+  in
+  family "selfprof_zone_calls" "counter"
+    "Simulator self-profile: zone entries";
+  per_zone "selfprof_zone_calls_total" (fun r -> float_of_int r.r_calls);
+  family "selfprof_zone_self_seconds" "counter"
+    "Simulator self-profile: CPU self-time per zone";
+  per_zone "selfprof_zone_self_seconds_total" (fun r -> r.r_self_s);
+  family "selfprof_zone_self_words" "counter"
+    "Simulator self-profile: minor-heap words allocated per zone";
+  per_zone "selfprof_zone_self_words_total" (fun r -> r.r_self_words);
+  family "selfprof_unwound_frames" "counter"
+    "Zone frames discarded by exceptional unwinds";
+  Buffer.add_string b
+    (Printf.sprintf "selfprof_unwound_frames_total %s\n"
+       (fm (float_of_int unwound)));
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let write_selfprof path ?unwound rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_selfprof ?unwound rows))

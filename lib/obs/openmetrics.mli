@@ -15,3 +15,14 @@ val of_run : ?series:Series.t -> No_trace.Trace.Metrics.t -> string
 
 val write : string -> ?series:Series.t -> No_trace.Trace.Metrics.t -> unit
 (** [write path ?series m] saves {!of_run} to [path]. *)
+
+val of_selfprof : ?unwound:int -> No_selfprof.Selfprof.row list -> string
+(** Exposition of the simulator self-profile
+    (`selfprof_zone_{calls,self_seconds,self_words}_total{zone=...}` +
+    `selfprof_unwound_frames_total`), `# EOF`-terminated.  Takes rows,
+    not global profiler state, so fixed rows expose fixed bytes. *)
+
+val write_selfprof :
+  string -> ?unwound:int -> No_selfprof.Selfprof.row list -> unit
+(** [write_selfprof path ?unwound rows] saves {!of_selfprof} to
+    [path]. *)

@@ -47,6 +47,15 @@ let grammar =
 
 let default_spec = "avail>=0.99,p99(page-fault)<=50ms,burn(0.99)<=14"
 
+(* The fleet bench saturates on purpose — 10^3 clients against 4x2
+   slots is the policy-flip demonstration — so a serving availability
+   target like 0.99 can never pass there and a perpetual FAIL guards
+   nothing.  This spec is a *floor under deliberate saturation*:
+   baseline availability is ~0.018-0.024 across policies, so 0.015
+   passes at baseline and flips to FAIL if routing or admission
+   regresses (and the page-fault tail bound still applies). *)
+let fleet_default_spec = "avail>=0.015,p99(page-fault)<=50ms"
+
 (* {1 Parsing} *)
 
 (* Case/punctuation-insensitive key: letters and digits only. *)

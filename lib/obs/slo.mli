@@ -34,6 +34,13 @@ val grammar : string
 val default_spec : string
 (** ["avail>=0.99,p99(page-fault)<=50ms,burn(0.99)<=14"]. *)
 
+val fleet_default_spec : string
+(** ["avail>=0.015,p99(page-fault)<=50ms"] — an availability *floor*
+    for the deliberately saturated fleet bench, where the serving
+    target of {!default_spec} can never pass and a perpetual FAIL
+    would guard nothing.  Passes at baseline scale; flips to FAIL if
+    routing/admission regresses. *)
+
 val parse : string -> (objective list, string) result
 
 val evaluate : objective list -> Series.t -> verdict list

@@ -61,6 +61,7 @@ module Series = No_obs.Series
 module Openmetrics = No_obs.Openmetrics
 module Slo = No_obs.Slo
 module Diff = No_obs.Diff
+module Selfprof = No_selfprof.Selfprof
 
 (* Checkpoint/migrate recovery *)
 module Checkpoint = No_migrate.Checkpoint

@@ -45,6 +45,7 @@ module Fault_plan = No_fault.Plan
 module Injector = No_fault.Injector
 module Checkpoint = No_migrate.Checkpoint
 module Migrator = No_migrate.Migrator
+module Selfprof = No_selfprof.Selfprof
 
 exception Offload_error of string
 
@@ -545,7 +546,7 @@ let mobile_owned_page page =
 
 (* Copy-on-demand fault service: bring one page from the mobile
    device, paying a round trip. *)
-let service_fault t (mem : Memory.t) page =
+let service_fault_unprofiled t (mem : Memory.t) page =
   if not (mobile_owned_page page) then
     (* Server-local page (its stack, a fresh heap page the mobile
        never materialized): materialize zeroes locally, no traffic. *)
@@ -566,6 +567,16 @@ let service_fault t (mem : Memory.t) page =
              { page; service_s = (if t.config.ideal then 0.0 else seconds) }));
     Memory.install_page mem page (Memory.page_copy t.mobile.Host.mem page)
   end
+
+(* The exchange inside may raise (fault plans); leave the zone on both
+   edges so a failed service doesn't keep absorbing self-time. *)
+let service_fault t (mem : Memory.t) page =
+  Selfprof.enter Page_fault;
+  match service_fault_unprofiled t mem page with
+  | () -> Selfprof.leave Page_fault
+  | exception e ->
+    Selfprof.leave Page_fault;
+    raise e
 
 (* Batch-ship a set of pages mobile -> server. *)
 let push_pages_to_server t (pages : int list) =

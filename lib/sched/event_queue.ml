@@ -93,7 +93,10 @@ let grow t dummy =
   t.seq <- copy t.seq (fun n -> Array.make n 0);
   t.payload <- copy t.payload (fun n -> Array.make n dummy)
 
+module Selfprof = No_selfprof.Selfprof
+
 let push t ~time ~id payload =
+  Selfprof.enter Eq_push;
   if t.size = Array.length t.time then grow t payload;
   let i = t.size in
   t.time.(i) <- time;
@@ -102,22 +105,28 @@ let push t ~time ~id payload =
   t.next_seq <- t.next_seq + 1;
   t.payload.(i) <- payload;
   t.size <- t.size + 1;
-  sift_up t i
+  sift_up t i;
+  Selfprof.leave Eq_push
 
 let pop t =
-  if t.size = 0 then None
-  else begin
-    let out = t.payload.(0) in
-    let last = t.size - 1 in
-    t.size <- last;
-    if last > 0 then begin
-      t.time.(0) <- t.time.(last);
-      t.id.(0) <- t.id.(last);
-      t.seq.(0) <- t.seq.(last);
-      t.payload.(0) <- t.payload.(last);
-      sift_down t 0
-    end;
-    Some out
-  end
+  Selfprof.enter Eq_pop;
+  let out =
+    if t.size = 0 then None
+    else begin
+      let out = t.payload.(0) in
+      let last = t.size - 1 in
+      t.size <- last;
+      if last > 0 then begin
+        t.time.(0) <- t.time.(last);
+        t.id.(0) <- t.id.(last);
+        t.seq.(0) <- t.seq.(last);
+        t.payload.(0) <- t.payload.(last);
+        sift_down t 0
+      end;
+      Some out
+    end
+  in
+  Selfprof.leave Eq_pop;
+  out
 
 let peek_time t = if t.size = 0 then None else Some t.time.(0)

@@ -22,6 +22,7 @@
    the simulator's byte-identical-rerun contract. *)
 
 module Session = No_runtime.Session
+module Selfprof = No_selfprof.Selfprof
 
 type policy = Round_robin | Least_loaded | Sticky
 
@@ -204,7 +205,10 @@ let peek t ~client ~now =
     | Sticky -> sticky_index t ~client)
 
 let load t ~client ~now =
-  Server_load.load t.servers.(peek t ~client ~now) ~now
+  Selfprof.enter Pool_route;
+  let l = Server_load.load t.servers.(peek t ~client ~now) ~now in
+  Selfprof.leave Pool_route;
+  l
 
 let granted t chosen ~now ~target =
   (match t.policy with
@@ -213,16 +217,26 @@ let granted t chosen ~now ~target =
   Server_load.request t.servers.(chosen) ~now ~target
 
 let request t ~client ~now ~target : Session.admission =
-  match route t ~client ~now ~exclude:(-1) with
-  | Some chosen -> granted t chosen ~now ~target
-  | None ->
-    (* Every member is dark: the task never leaves the mobile. *)
-    Session.Rejected { server = peek t ~client ~now; queue_depth = 0 }
+  Selfprof.enter Pool_route;
+  let a =
+    match route t ~client ~now ~exclude:(-1) with
+    | Some chosen -> granted t chosen ~now ~target
+    | None ->
+      (* Every member is dark: the task never leaves the mobile. *)
+      Session.Rejected { server = peek t ~client ~now; queue_depth = 0 }
+  in
+  Selfprof.leave Pool_route;
+  a
 
 let request_excluding t ~client ~now ~target ~exclude : Session.admission =
-  match route t ~client ~now ~exclude with
-  | Some chosen -> granted t chosen ~now ~target
-  | None -> Session.Rejected { server = exclude; queue_depth = 0 }
+  Selfprof.enter Pool_route;
+  let a =
+    match route t ~client ~now ~exclude with
+    | Some chosen -> granted t chosen ~now ~target
+    | None -> Session.Rejected { server = exclude; queue_depth = 0 }
+  in
+  Selfprof.leave Pool_route;
+  a
 
 let release t ~server ~now ~slot =
   if server < 0 || server >= Array.length t.servers then

@@ -10,9 +10,12 @@
    timeline, per-run metrics tables) are then derived from the stream.
 
    This library sits below every emitting layer, so it depends on
-   nothing but the standard library: directions and power states are
-   mirrored here as self-contained types/strings rather than imported
-   from netsim/power (which would invert the dependency). *)
+   nothing but the standard library (and the self-profiler, which sits
+   lower still): directions and power states are mirrored here as
+   self-contained types/strings rather than imported from netsim/power
+   (which would invert the dependency). *)
+
+module Selfprof = No_selfprof.Selfprof
 
 type direction = To_server | To_mobile
 
@@ -230,7 +233,8 @@ module Metrics = struct
     }
 
   let observe t ~ts ev =
-    match ev with
+    Selfprof.enter Sink_emit;
+    (match ev with
     | Flush { direction; raw_bytes; wire_bytes; transfer_s; codec_s } ->
       (match direction with
       | To_server ->
@@ -295,7 +299,8 @@ module Metrics = struct
       t.migrate_transfer_s <- t.migrate_transfer_s +. transfer_s
     | Migrate_done { resumed_span_s; _ } ->
       t.migrations_done <- t.migrations_done + 1;
-      t.migrate_resume_s <- t.migrate_resume_s +. resumed_span_s
+      t.migrate_resume_s <- t.migrate_resume_s +. resumed_span_s);
+    Selfprof.leave Sink_emit
 
   let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
 
@@ -461,10 +466,12 @@ module Ring = struct
       dropped = 0 }
 
   let record t ~ts ev =
+    Selfprof.enter Sink_emit;
     if t.stored = t.capacity then t.dropped <- t.dropped + 1
     else t.stored <- t.stored + 1;
     t.buf.(t.next) <- Some (ts, ev);
-    t.next <- (t.next + 1) mod t.capacity
+    t.next <- (t.next + 1) mod t.capacity;
+    Selfprof.leave Sink_emit
 
   let sink t = { emit = (fun ~ts ev -> record t ~ts ev) }
 

@@ -4,10 +4,12 @@ performance regressions.
 
 Subcommands:
 
-  merge P F FL M -o OUT combine the `bench percentiles --json`,
-                        `bench faults --json`, `bench fleet --json`
-                        and `bench migrate --json` outputs into one
-                        BENCH_pr.json (schema-versioned)
+  merge P F FL M MI -o OUT
+                        combine the `bench percentiles --json`,
+                        `bench faults --json`, `bench fleet --json`,
+                        `bench migrate --json` and `bench micro --json`
+                        outputs into one BENCH_pr.json
+                        (schema-versioned)
   check PR BASELINE     compare a PR's headline numbers against the
                         committed baseline; exit non-zero on a
                         regression (or an out-of-band improvement —
@@ -17,7 +19,9 @@ Subcommands:
                         names the top-3 span-tree nodes the trace
                         differ attributes the slowdown to.
   selftest BASELINE     verify the guard actually fails on an injected
-                        2x slowdown (and passes on an identical copy)
+                        2x slowdown — including a doubled allocs/event
+                        and a halved micro events/sec — and passes on
+                        an identical copy
 
 The simulator is deterministic, so at a fixed --sample size the
 headline numbers are stable across runs and machines; the tolerance
@@ -31,8 +35,9 @@ reduced scale and commit it with the change:
     dune exec bench/main.exe -- faults      --sample 4 --json /tmp/f.json
     dune exec bench/main.exe -- fleet       --json /tmp/fl.json
     dune exec bench/main.exe -- migrate     --json /tmp/m.json
+    dune exec bench/main.exe -- micro --trials 3 --json /tmp/mi.json
     python3 scripts/bench_guard.py merge /tmp/p.json /tmp/f.json \
-        /tmp/fl.json /tmp/m.json -o BENCH_baseline.json
+        /tmp/fl.json /tmp/m.json /tmp/mi.json -o BENCH_baseline.json
 
 Fleet guard: the per-policy geomean speedups and simulated clients/sec
 come from the deterministic simulator, so they are held to the same
@@ -45,6 +50,23 @@ migrations-completed is held *exactly* (a drop means tasks silently
 fell back to local replay) and the replay/migrate recovered-task
 wall-clock ratio tracks the baseline within the tolerance.  The ratio
 must also stay above 1.0 — the subsystem's reason to exist.
+
+Micro guard (schema 4): the self-profiled micro-bench lane (`bench
+micro --trials 3`, three measured trials after a discarded warmup,
+median taken).  Its deterministic numbers — simulated event count
+(exact), allocs/event and compression ratio (tolerance, with the
+allocs/event *ceiling* at baseline*(1+tolerance) being the number the
+lane exists for) — track the baseline.  Its wall-clock numbers
+(events/sec, compress bytes/sec) are machine-dependent, so they get
+two floors each: a relative floor at baseline * --micro-floor-frac
+(default 0.55, so an exact halving always fails the selftest) and an
+absolute backstop (--micro-events-floor / --micro-compress-floor).
+
+Fleet SLO column: the sweep saturates on purpose, so its verdicts use
+the availability-floor spec (Slo.fleet_default_spec), which passes at
+baseline scale; the guard holds each per-policy pass/fail *equal* to
+the baseline value, so a flip either way is a reportable change, not
+a perpetual FAIL.
 """
 
 import argparse
@@ -52,7 +74,7 @@ import copy
 import json
 import sys
 
-SCHEMA = 3
+SCHEMA = 4
 
 FLEET_POLICIES = ("rr", "ll", "sticky")
 
@@ -67,11 +89,13 @@ def cmd_merge(args):
     faults = load(args.faults)
     fleet = load(args.fleet)
     migrate = load(args.migrate)
+    micro = load(args.micro)
     for blob, want in (
         (percentiles, "percentiles"),
         (faults, "faults"),
         (fleet, "fleet"),
         (migrate, "migrate"),
+        (micro, "micro"),
     ):
         mode = blob.get("mode")
         if mode != want:
@@ -82,6 +106,7 @@ def cmd_merge(args):
         "faults": faults,
         "fleet": fleet,
         "migrate": migrate,
+        "micro": micro,
     }
     with open(args.output, "w") as fh:
         json.dump(merged, fh, indent=2, sort_keys=True)
@@ -89,7 +114,7 @@ def cmd_merge(args):
     print(f"wrote {args.output}")
 
 
-def compare(pr, baseline, tolerance):
+def compare(pr, baseline, tolerance, micro_floor_frac=0.55):
     """Return a list of failure messages (empty = within tolerance)."""
     failures = []
     for blob, name in ((pr, "PR"), (baseline, "baseline")):
@@ -183,6 +208,75 @@ def compare(pr, baseline, tolerance):
             f"{pr_ratio:.4f} vs baseline {base_ratio:.4f} — "
             "if intentional, re-baseline"
         )
+
+    # Fleet SLO column: held equal to the baseline so a flip either
+    # way is a reportable change (the saturated sweep is judged
+    # against the availability-floor spec, which passes at baseline).
+    for policy in FLEET_POLICIES:
+        key = f"fleet_{policy}_slo_pass"
+        base_pass = baseline["fleet"].get(key)
+        pr_pass = pr["fleet"].get(key)
+        if pr_pass != base_pass:
+            failures.append(
+                f"fleet SLO verdict ({policy}) flipped: {pr_pass} vs "
+                f"baseline {base_pass} (spec is an availability floor "
+                "under deliberate saturation — investigate, then "
+                "re-baseline if intentional)"
+            )
+
+    # Micro lane, deterministic numbers: the simulated event count is
+    # exact; allocs/event and compression ratio track the baseline,
+    # with the allocs/event *ceiling* being the per-event cost the
+    # lane exists to guard.
+    base_events = baseline["micro"]["micro_sim_events"]
+    pr_events = pr["micro"]["micro_sim_events"]
+    if pr_events != base_events:
+        failures.append(
+            f"micro-lane simulated event count changed: {pr_events} vs "
+            f"baseline {base_events} (the fleet leg is deterministic — "
+            "re-baseline if the model intentionally changed)"
+        )
+    base_words = baseline["micro"]["micro_allocs_per_event_w"]
+    pr_words = pr["micro"]["micro_allocs_per_event_w"]
+    rel = pr_words / base_words
+    if rel > 1.0 + tolerance:
+        failures.append(
+            f"allocs/event above ceiling: {pr_words:.1f} words vs "
+            f"baseline {base_words:.1f} ({(rel - 1.0) * 100:.1f}% above, "
+            f"tolerance {tolerance * 100:.0f}%)"
+        )
+    elif rel < 1.0 - tolerance:
+        failures.append(
+            f"allocs/event improved beyond tolerance: {pr_words:.1f} "
+            f"words vs baseline {base_words:.1f} — if intentional "
+            "(a zero-alloc optimization landed), re-baseline"
+        )
+    base_cr = baseline["micro"]["micro_compress_ratio"]
+    pr_cr = pr["micro"]["micro_compress_ratio"]
+    rel = pr_cr / base_cr
+    if rel > 1.0 + tolerance or rel < 1.0 - tolerance:
+        failures.append(
+            f"micro compression ratio moved: {pr_cr:.4f} vs baseline "
+            f"{base_cr:.4f} (deterministic — re-baseline if the codec "
+            "intentionally changed)"
+        )
+
+    # Micro lane, wall-clock numbers: machine-dependent, so they only
+    # have to clear a *relative floor* (baseline * micro_floor_frac;
+    # at the 0.55 default an exact halving always fails).  Absolute
+    # backstops live in check_wall_floors.
+    for key, label in (
+        ("micro_events_per_sec", "micro events/sec"),
+        ("micro_compress_bytes_per_sec", "micro compress bytes/sec"),
+    ):
+        base_value = baseline["micro"][key]
+        pr_value = pr["micro"][key]
+        if pr_value < base_value * micro_floor_frac:
+            failures.append(
+                f"{label} collapsed: {pr_value:.0f} vs baseline "
+                f"{base_value:.0f} (below {micro_floor_frac:.0%} of "
+                "baseline — wall-clock throughput regression)"
+            )
     return failures
 
 
@@ -197,6 +291,24 @@ def check_host_floor(pr, floor):
             failures.append(
                 f"fleet host throughput ({policy}) below floor: "
                 f"{value:.0f} clients/sec < {floor:.0f}"
+            )
+    return failures
+
+
+def check_micro_floors(pr, events_floor, compress_floor):
+    """Absolute backstops for the micro lane's wall-clock numbers, in
+    the spirit of the fleet host floor: even on a slow machine the
+    simulator must clear these outright."""
+    failures = []
+    for key, floor, unit in (
+        ("micro_events_per_sec", events_floor, "events/sec"),
+        ("micro_compress_bytes_per_sec", compress_floor, "bytes/sec"),
+    ):
+        value = pr.get("micro", {}).get(key)
+        if value is not None and value < floor:
+            failures.append(
+                f"micro lane below absolute floor: {key} {value:.0f} "
+                f"{unit} < {floor:.0f}"
             )
     return failures
 
@@ -233,8 +345,13 @@ def explain(path, top=3):
 def cmd_check(args):
     pr = load(args.pr)
     baseline = load(args.baseline)
-    failures = compare(pr, baseline, args.tolerance)
+    failures = compare(
+        pr, baseline, args.tolerance, micro_floor_frac=args.micro_floor_frac
+    )
     failures += check_host_floor(pr, args.fleet_host_floor)
+    failures += check_micro_floors(
+        pr, args.micro_events_floor, args.micro_compress_floor
+    )
     if failures:
         for message in failures:
             print(f"FAIL: {message}")
@@ -252,7 +369,9 @@ def cmd_check(args):
             f"{pr['fleet'][f'fleet_{p}_geomean']:.3f}" for p in FLEET_POLICIES
         )
         + f", {pr['migrate']['migrations_done']} migration(s) at "
-        f"recovery ratio {pr['migrate']['recovery_ratio']:.4f}"
+        f"recovery ratio {pr['migrate']['recovery_ratio']:.4f}, micro "
+        f"{pr['micro']['micro_events_per_sec']:.0f} events/sec at "
+        f"{pr['micro']['micro_allocs_per_event_w']:.0f} words/event"
     )
 
 
@@ -288,10 +407,29 @@ def cmd_selftest(args):
     if not compare(not_winning, baseline, args.tolerance):
         sys.exit("selftest: replay beating migration was not caught")
 
+    hungry = copy.deepcopy(baseline)
+    hungry["micro"]["micro_allocs_per_event_w"] *= 2.0
+    if not compare(hungry, baseline, args.tolerance):
+        sys.exit("selftest: a doubled allocs/event was not caught")
+
+    sluggish = copy.deepcopy(baseline)
+    sluggish["micro"]["micro_events_per_sec"] /= 2.0
+    if not compare(sluggish, baseline, args.tolerance):
+        sys.exit("selftest: a halved micro events/sec was not caught")
+
+    flipped = copy.deepcopy(baseline)
+    flipped["fleet"]["fleet_rr_slo_pass"] = not flipped["fleet"][
+        "fleet_rr_slo_pass"
+    ]
+    if not compare(flipped, baseline, args.tolerance):
+        sys.exit("selftest: a flipped fleet SLO verdict was not caught")
+
     print(
         "selftest OK: identical copy passes; 2x headline slowdown, "
         "2x fleet slowdown, sub-floor host throughput, a lost "
-        "migration and a sub-1.0 recovery ratio all fail"
+        "migration, a sub-1.0 recovery ratio, a doubled allocs/event, "
+        "a halved micro events/sec and a flipped fleet SLO verdict "
+        "all fail"
     )
 
 
@@ -304,6 +442,7 @@ def main():
     p.add_argument("faults")
     p.add_argument("fleet")
     p.add_argument("migrate")
+    p.add_argument("micro")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=cmd_merge)
 
@@ -318,6 +457,29 @@ def main():
         metavar="CPS",
         help="minimum acceptable wall-clock fleet clients/sec "
         "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--micro-floor-frac",
+        type=float,
+        default=0.55,
+        metavar="FRAC",
+        help="relative floor for micro wall-clock numbers: fail below "
+        "baseline*FRAC (default %(default)s, so a 2x slowdown fails)",
+    )
+    p.add_argument(
+        "--micro-events-floor",
+        type=float,
+        default=100.0,
+        metavar="EPS",
+        help="absolute floor for micro events/sec (default %(default)s)",
+    )
+    p.add_argument(
+        "--micro-compress-floor",
+        type=float,
+        default=1e6,
+        metavar="BPS",
+        help="absolute floor for micro compress bytes/sec "
+        "(default %(default)s)",
     )
     p.add_argument(
         "--explain",

@@ -23,4 +23,5 @@ let () =
       ("workloads", Test_workloads.tests);
       ("corpus-report", Test_corpus_report.tests);
       ("telemetry", Test_telemetry.tests);
+      ("selfprof", Test_selfprof.tests);
     ]
