@@ -53,7 +53,13 @@ type frame = {
   host : Host.t;
   regs : Value.t array;
   func : Host.compiled;
+  scratch : float array;
+      (* unboxed int64 bit patterns for fused chains (Host.chain);
+         per-frame so an effect suspension mid-chain cannot be
+         clobbered by another session's client *)
 }
+
+let no_scratch : float array = [||]
 
 let read_cstring host addr =
   let buf = Buffer.create 16 in
@@ -196,25 +202,78 @@ and eval_rvalue frame (rv : Ir.rvalue) : Value.t =
     | name -> call_by_name host name argv
     | exception Fn_table.Not_a_function _ ->
       trap "indirect call through foreign or invalid address 0x%x" addr)
-  | Ir.Bswap (ty, a) -> (
-    let nbytes = width_bits ty / 8 in
-    match ty with
-    | Ty.F32 | Ty.F64 ->
-      let v = eval_operand frame a in
-      let f32 = Ty.equal ty Ty.F32 in
-      let bits = Scalar.float_to_bits ~f32 (Value.to_float v) in
-      Value.VFloat (Scalar.float_of_bits ~f32 (Scalar.bswap bits nbytes))
-    | _ ->
-      let v = Value.to_int (eval_operand frame a) in
-      Value.VInt (canon ty (Scalar.bswap (mask_to_width ty v) nbytes)))
-  | Ir.Fn_map (dir, a) -> (
-    let v = eval_operand frame a in
-    (* A lone host maps identically (it has only its own table); the
-       offloading runtime installs the real mobile<->server
-       translation and charges its cost. *)
-    match host.Host.hooks.Host.fn_map with
-    | Some translate -> translate dir v
-    | None -> v)
+  | Ir.Bswap (ty, a) -> eval_bswap frame ty (eval_operand frame a)
+  | Ir.Fn_map (dir, a) -> eval_fn_map host dir (eval_operand frame a)
+
+and eval_bswap _frame (ty : Ty.t) v : Value.t =
+  let nbytes = width_bits ty / 8 in
+  match ty with
+  | Ty.F32 | Ty.F64 ->
+    let f32 = Ty.equal ty Ty.F32 in
+    let bits = Scalar.float_to_bits ~f32 (Value.to_float v) in
+    Value.VFloat (Scalar.float_of_bits ~f32 (Scalar.bswap bits nbytes))
+  | _ ->
+    let x = Value.to_int v in
+    Value.VInt (canon ty (Scalar.bswap (mask_to_width ty x) nbytes))
+
+and eval_fn_map host dir v : Value.t =
+  (* A lone host maps identically (it has only its own table); the
+     offloading runtime installs the real mobile<->server translation
+     and charges its cost. *)
+  match host.Host.hooks.Host.fn_map with
+  | Some translate -> translate dir v
+  | None -> v
+
+(* {1 Pre-decoded evaluation — the hot path}
+
+   Mirrors [eval_rvalue] over [Host.crv]; constants are pre-boxed, so
+   evaluating an operand is an array read or a pointer return. *)
+
+and eval_cop frame (op : Host.cop) : Value.t =
+  match op with
+  | Host.C_reg r -> frame.regs.(r)
+  | Host.C_val v -> v
+  | Host.C_slow_op op -> eval_operand frame op
+
+and eval_args frame (args : Host.cop array) i : Value.t list =
+  if i >= Array.length args then []
+  else
+    let v = eval_cop frame (Array.unsafe_get args i) in
+    v :: eval_args frame args (i + 1)
+
+and eval_crv frame (rv : Host.crv) : Value.t =
+  let host = frame.host in
+  match rv with
+  | Host.C_bin (op, a, b) ->
+    eval_binop op (eval_cop frame a) (eval_cop frame b)
+  | Host.C_cmp (op, a, b) ->
+    eval_cmp op (eval_cop frame a) (eval_cop frame b)
+  | Host.C_cast (op, src, a, dst) -> eval_cast op src (eval_cop frame a) dst
+  | Host.C_select (c, a, b) ->
+    if Value.to_bool (eval_cop frame c) then eval_cop frame a
+    else eval_cop frame b
+  | Host.C_load (ty, a) ->
+    Host.load_scalar host ty (Value.to_addr (eval_cop frame a))
+  | Host.C_alloca (size, align) ->
+    Value.VInt (Int64.of_int (Stack_alloc.alloc host.Host.stack size align))
+  | Host.C_gep (base, const, dyn) ->
+    let a = ref (Value.to_addr (eval_cop frame base) + const) in
+    for i = 0 to Array.length dyn - 1 do
+      let op, size = Array.unsafe_get dyn i in
+      a := !a + (Int64.to_int (Value.to_int (eval_cop frame op)) * size)
+    done;
+    Value.VInt (Int64.of_int !a)
+  | Host.C_call (name, args) -> call_by_name host name (eval_args frame args 0)
+  | Host.C_call_ind (fp, args) -> (
+    let addr = Value.to_addr (eval_cop frame fp) in
+    let argv = eval_args frame args 0 in
+    match Fn_table.name_of host.Host.fn_table addr with
+    | name -> call_by_name host name argv
+    | exception Fn_table.Not_a_function _ ->
+      trap "indirect call through foreign or invalid address 0x%x" addr)
+  | Host.C_bswap (ty, a) -> eval_bswap frame ty (eval_cop frame a)
+  | Host.C_fn_map (dir, a) -> eval_fn_map host dir (eval_cop frame a)
+  | Host.C_slow_rv rv -> eval_rvalue frame rv
 
 (* {1 Builtins} *)
 
@@ -340,62 +399,277 @@ and run_function (host : Host.t) (compiled : Host.compiled) argv : Value.t =
       (List.length argv) (List.length f.Ir.f_params);
   let regs = Array.make (max f.Ir.f_nregs 1) Value.zero in
   List.iteri (fun i v -> regs.(i) <- v) argv;
-  let frame = { host; regs; func = compiled } in
+  let scratch =
+    if compiled.Host.c_scratch = 0 then no_scratch
+    else Array.make compiled.Host.c_scratch 0.0
+  in
+  let frame = { host; regs; func = compiled; scratch } in
   let mark = Stack_alloc.frame_mark host.Host.stack in
   let result = run_blocks frame compiled.Host.c_entry in
   Stack_alloc.release host.Host.stack mark;
   host.Host.hooks.Host.on_exit f.Ir.f_name;
   result
 
-and run_blocks frame label : Value.t =
+and run_blocks frame idx : Value.t =
   let host = frame.host in
   let fname = frame.func.Host.c_func.Ir.f_name in
   (* Fuel is also consumed per block so an instruction-free loop
      cannot spin forever under a fuel limit. *)
   if host.Host.fuel = 0 then raise Out_of_fuel;
   if host.Host.fuel > 0 then host.Host.fuel <- host.Host.fuel - 1;
-  host.Host.hooks.Host.on_block fname label;
-  let instrs, term =
-    match Hashtbl.find_opt frame.func.Host.c_blocks label with
-    | Some entry -> entry
+  let b = frame.func.Host.c_blocks.(idx) in
+  host.Host.hooks.Host.on_block fname b.Host.cb_label;
+  let instrs = b.Host.cb_instrs in
+  let costs = b.Host.cb_costs in
+  for i = 0 to Array.length instrs - 1 do
+    match Array.unsafe_get instrs i with
+    | Host.C_chain ch ->
+      (* Does its own per-micro-op fuel/count/charge bookkeeping. *)
+      exec_chain frame ch
+    | instr ->
+      (* Same per-instruction sequence as the un-decoded interpreter:
+         fuel, count, charge (precomputed seconds x slowdown — the
+         very floats the old [Host.charge] added, so the clock is
+         bit-identical), then execute. *)
+      if host.Host.fuel = 0 then raise Out_of_fuel;
+      if host.Host.fuel > 0 then host.Host.fuel <- host.Host.fuel - 1;
+      host.Host.instr_count <- host.Host.instr_count + 1;
+      host.Host.clock.Host.now <-
+        host.Host.clock.Host.now
+        +. (Array.unsafe_get costs i *. host.Host.slowdown);
+      (match instr with
+      | Host.C_assign (r, rv) -> frame.regs.(r) <- eval_crv frame rv
+      | Host.C_effect rv -> ignore (eval_crv frame rv)
+      | Host.C_store (ty, v, a) ->
+        Host.store_scalar host ty
+          (Value.to_addr (eval_cop frame a))
+          (eval_cop frame v)
+      | Host.C_asm ->
+        (* Inline assembly runs only on its own machine; the filter
+           keeps it off the server.  Behaviour: an opaque no-op. *)
+        ()
+      | Host.C_chain _ -> assert false)
+  done;
+  host.Host.clock.Host.now <-
+    host.Host.clock.Host.now +. (b.Host.cb_term_cost *. host.Host.slowdown);
+  host.Host.instr_count <- host.Host.instr_count + 1;
+  match b.Host.cb_term with
+  | Host.Ct_br next -> run_blocks frame next
+  | Host.Ct_cbr (c, t, e) ->
+    if Value.to_bool (eval_cop frame c) then run_blocks frame t
+    else run_blocks frame e
+  | Host.Ct_switch (v, cases, default) ->
+    let scrutinee = Value.to_int (eval_cop frame v) in
+    let n = Array.length cases in
+    let target = ref default in
+    let k = ref 0 in
+    let searching = ref true in
+    while !searching && !k < n do
+      let value, i = Array.unsafe_get cases !k in
+      if Int64.equal value scrutinee then begin
+        target := i;
+        searching := false
+      end;
+      incr k
+    done;
+    run_blocks frame !target
+  | Host.Ct_ret_void -> Value.zero
+  | Host.Ct_ret op -> eval_cop frame op
+  | Host.Ct_unreachable -> trap "%s: reached unreachable" fname
+  | Host.Ct_slow term -> exec_slow_term frame term
+
+(* Fused integer chain (see Host.chain): preload the boxed inputs
+   into the frame's float-array scratch, run the micro-ops with the
+   same per-instruction fuel/count/clock sequence the unfused
+   instructions performed, then box the live-outs back into the
+   register file.  All intermediate arithmetic stays unboxed: int64
+   bit patterns live in the flat float array via
+   [Int64.float_of_bits], and the compiler keeps values consumed
+   directly by int64 primitives out of the heap. *)
+and exec_chain frame (ch : Host.chain) : unit =
+  let host = frame.host in
+  let scratch = frame.scratch in
+  let regs = frame.regs in
+  let pre = ch.Host.ch_pre in
+  let npre = Array.length pre in
+  let p = ref 0 in
+  while !p < npre do
+    Array.unsafe_set scratch
+      (Array.unsafe_get pre !p)
+      (Int64.float_of_bits
+         (Value.to_int (Array.unsafe_get regs (Array.unsafe_get pre (!p + 1)))));
+    p := !p + 2
+  done;
+  let islots = ch.Host.ch_imm_slots and ivals = ch.Host.ch_imm_vals in
+  for j = 0 to Array.length islots - 1 do
+    Array.unsafe_set scratch (Array.unsafe_get islots j)
+      (Array.unsafe_get ivals j)
+  done;
+  let ops = ch.Host.ch_ops and costs = ch.Host.ch_costs in
+  for j = 0 to Array.length ops - 1 do
+    if host.Host.fuel = 0 then raise Out_of_fuel;
+    if host.Host.fuel > 0 then host.Host.fuel <- host.Host.fuel - 1;
+    host.Host.instr_count <- host.Host.instr_count + 1;
+    host.Host.clock.Host.now <-
+      host.Host.clock.Host.now
+      +. (Array.unsafe_get costs j *. host.Host.slowdown);
+    let m = Array.unsafe_get ops j in
+    let opc = m.Host.mo_op in
+    if opc <= 16 then begin
+      (* Binops and ordered compares: two slot operands. *)
+      let x = Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_a) in
+      let y = Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_b) in
+      if opc <= 8 then
+        Array.unsafe_set scratch m.Host.mo_dst
+          (Int64.float_of_bits
+             (match opc with
+             | 0 -> Int64.add x y
+             | 1 -> Int64.sub x y
+             | 2 -> Int64.mul x y
+             | 3 -> Int64.logand x y
+             | 4 -> Int64.logor x y
+             | 5 -> Int64.logxor x y
+             | 6 -> Int64.shift_left x (Int64.to_int y land 63)
+             | 7 -> Int64.shift_right_logical x (Int64.to_int y land 63)
+             | _ -> Int64.shift_right x (Int64.to_int y land 63)))
+      else
+        Array.unsafe_set scratch m.Host.mo_dst
+          (Int64.float_of_bits
+             (if
+                match opc with
+                | 9 -> Int64.compare x y < 0
+                | 10 -> Int64.compare x y <= 0
+                | 11 -> Int64.compare x y > 0
+                | 12 -> Int64.compare x y >= 0
+                | 13 -> Int64.unsigned_compare x y < 0
+                | 14 -> Int64.unsigned_compare x y <= 0
+                | 15 -> Int64.unsigned_compare x y > 0
+                | _ -> Int64.unsigned_compare x y >= 0
+              then 1L
+              else 0L))
+    end
+    else if opc = 17 (* load *) then begin
+      let a64 = Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_a) in
+      if Int64.compare a64 0L < 0 then
+        raise (Value.Type_trap "negative address");
+      let addr = Int64.to_int a64 in
+      let nbytes = m.Host.mo_n in
+      (* Only little-endian hosts fuse memory ops, so the slab's word
+         order is the wire order; [load_base] performs the same
+         checks, translation and fault service as [Memory.load_le]
+         but hands back an offset instead of a boxed word. *)
+      let mem = host.Host.mem in
+      let base = Memory.load_base mem addr nbytes in
+      let bits =
+        if base >= 0 then
+          match nbytes with
+          | 8 -> Bytes.get_int64_le mem.Memory.slab base
+          | 4 ->
+            Int64.of_int
+              (Bytes.get_uint16_le mem.Memory.slab base
+              lor (Bytes.get_uint16_le mem.Memory.slab (base + 2) lsl 16))
+          | 2 -> Int64.of_int (Bytes.get_uint16_le mem.Memory.slab base)
+          | _ -> Int64.of_int (Bytes.get_uint8 mem.Memory.slab base)
+        else Host.load_bits host addr nbytes
+      in
+      let s = m.Host.mo_k in
+      Array.unsafe_set scratch m.Host.mo_dst
+        (Int64.float_of_bits (Int64.shift_right (Int64.shift_left bits s) s))
+    end
+    else if opc = 18 (* store *) then begin
+      let v = Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_a) in
+      let a64 = Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_b) in
+      if Int64.compare a64 0L < 0 then
+        raise (Value.Type_trap "negative address");
+      let addr = Int64.to_int a64 in
+      let nbytes = m.Host.mo_n in
+      let mem = host.Host.mem in
+      let base = Memory.store_base mem addr nbytes in
+      if base >= 0 then
+        match nbytes with
+        | 8 -> Bytes.set_int64_le mem.Memory.slab base v
+        | 4 ->
+          let x = Int64.to_int v in
+          Bytes.set_uint16_le mem.Memory.slab base (x land 0xffff);
+          Bytes.set_uint16_le mem.Memory.slab (base + 2)
+            ((x lsr 16) land 0xffff)
+        | 2 ->
+          Bytes.set_uint16_le mem.Memory.slab base (Int64.to_int v land 0xffff)
+        | _ -> Bytes.set_uint8 mem.Memory.slab base (Int64.to_int v land 0xff)
+      else Host.store_bits host addr nbytes v
+    end
+    else if opc = 19 (* gep *) then begin
+      let base = Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_a) in
+      if Int64.compare base 0L < 0 then
+        raise (Value.Type_trap "negative address");
+      let withc = Int64.add base (Int64.of_int m.Host.mo_k) in
+      let sum =
+        if m.Host.mo_b >= 0 then
+          Int64.add withc
+            (Int64.mul
+               (Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_b))
+               (Int64.of_int m.Host.mo_n))
+        else withc
+      in
+      (* Address arithmetic wraps at the native-int width, exactly as
+         the interpreted walk's [int] accumulator did. *)
+      Array.unsafe_set scratch m.Host.mo_dst
+        (Int64.float_of_bits (Int64.of_int (Int64.to_int sum)))
+    end
+    else if opc = 20 (* move *) then
+      Array.unsafe_set scratch m.Host.mo_dst
+        (Array.unsafe_get scratch m.Host.mo_a)
+    else begin
+      (* canon (21) / zext-canon (22) *)
+      let x = Int64.bits_of_float (Array.unsafe_get scratch m.Host.mo_a) in
+      let x =
+        if opc = 22 then
+          Int64.shift_right_logical (Int64.shift_left x m.Host.mo_n)
+            m.Host.mo_n
+        else x
+      in
+      let s = if opc = 22 then m.Host.mo_k else m.Host.mo_n in
+      Array.unsafe_set scratch m.Host.mo_dst
+        (Int64.float_of_bits (Int64.shift_right (Int64.shift_left x s) s))
+    end
+  done;
+  let post = ch.Host.ch_post in
+  let npost = Array.length post in
+  let q = ref 0 in
+  while !q < npost do
+    let r = Array.unsafe_get post !q in
+    let s = Array.unsafe_get post (!q + 1) in
+    let bits = Int64.bits_of_float (Array.unsafe_get scratch s) in
+    Array.unsafe_set regs r
+      (if Array.unsafe_get post (!q + 2) = 1 then
+         if Int64.equal bits 0L then Value.vfalse else Value.vtrue
+       else Value.VInt bits);
+    q := !q + 3
+  done
+
+(* Terminator naming a block the compile pass could not resolve: jump
+   by label so only the taken edge traps, as before. *)
+and exec_slow_term frame (term : Ir.terminator) : Value.t =
+  let fname = frame.func.Host.c_func.Ir.f_name in
+  let jump label =
+    match Hashtbl.find_opt frame.func.Host.c_index label with
+    | Some i -> run_blocks frame i
     | None -> trap "%s: jump to unknown block %s" fname label
   in
-  Array.iter (exec_instr frame) instrs;
-  Host.charge host (Cost.class_of_terminator term);
-  host.Host.instr_count <- host.Host.instr_count + 1;
   match term with
-  | Ir.Br next -> run_blocks frame next
+  | Ir.Br next -> jump next
   | Ir.Cbr (c, t, e) ->
-    if Value.to_bool (eval_operand frame c) then run_blocks frame t
-    else run_blocks frame e
+    if Value.to_bool (eval_operand frame c) then jump t else jump e
   | Ir.Switch (v, cases, default) -> (
     let scrutinee = Value.to_int (eval_operand frame v) in
     match
       List.find_opt (fun (value, _) -> Int64.equal value scrutinee) cases
     with
-    | Some (_, target) -> run_blocks frame target
-    | None -> run_blocks frame default)
-  | Ir.Ret None -> Value.zero
-  | Ir.Ret (Some op) -> eval_operand frame op
-  | Ir.Unreachable -> trap "%s: reached unreachable" fname
-
-and exec_instr frame (instr : Ir.instr) : unit =
-  let host = frame.host in
-  if host.Host.fuel = 0 then raise Out_of_fuel;
-  if host.Host.fuel > 0 then host.Host.fuel <- host.Host.fuel - 1;
-  host.Host.instr_count <- host.Host.instr_count + 1;
-  Host.charge host (Cost.class_of_instr instr);
-  match instr with
-  | Ir.Assign (r, rv) -> frame.regs.(r) <- eval_rvalue frame rv
-  | Ir.Effect rv -> ignore (eval_rvalue frame rv)
-  | Ir.Store (ty, v, a) ->
-    Host.store_scalar host ty
-      (Value.to_addr (eval_operand frame a))
-      (eval_operand frame v)
-  | Ir.Asm _ ->
-    (* Inline assembly runs only on its own machine; the filter keeps
-       it off the server.  Behaviour: an opaque no-op. *)
-    ()
+    | Some (_, target) -> jump target
+    | None -> jump default)
+  | Ir.Ret _ | Ir.Unreachable ->
+    (* Always compiled to their [cterm] forms. *)
+    assert false
 
 (* {1 Entry points} *)
 

@@ -19,7 +19,12 @@ let to_float = function
   | VInt _ -> raise (Type_trap "expected float, got integer")
 
 let to_bool v = not (Int64.equal (to_int v) 0L)
-let of_bool b = VInt (if b then 1L else 0L)
+
+(* Shared so comparisons on the interpreter hot path allocate
+   nothing; values are immutable, so sharing is unobservable. *)
+let vtrue = VInt 1L
+let vfalse = VInt 0L
+let of_bool b = if b then vtrue else vfalse
 
 let to_addr v =
   let a = to_int v in

@@ -15,6 +15,10 @@ val to_float : t -> float
 val to_bool : t -> bool
 val of_bool : bool -> t
 
+val vtrue : t
+val vfalse : t
+(** The shared values [of_bool] returns. *)
+
 val to_addr : t -> int
 (** Integer value as a non-negative address.  @raise Type_trap. *)
 

@@ -6,7 +6,15 @@
    not resident raises a page fault, which the offloading runtime hooks
    to implement copy-on-demand (paper Section 4, Figure 5).  Writes on
    the server mark pages dirty so finalization can send only dirty
-   pages back. *)
+   pages back.
+
+   Pages live in one flat [Bytes.t] slab of page-sized frames (grown by
+   doubling, freed frames recycled through a free list) instead of one
+   heap block per page: page-fault service, block transfer and snapshot
+   capture are single blits over the slab, and scalar access goes
+   through a one-entry TLB plus the stdlib's unaligned word primitives
+   ([Bytes.get_int64_le] and friends) so the per-byte Hashtbl lookups
+   disappear from the interpreter's hot path. *)
 
 exception Page_fault of int            (* page number, unhandled *)
 exception Bad_access of int * string   (* address, reason *)
@@ -15,8 +23,14 @@ type role = Home | Remote
 
 type t = {
   role : role;
-  pages : (int, Bytes.t) Hashtbl.t;
+  mutable slab : Bytes.t;            (* frame store, [frames_used] frames *)
+  mutable frames_used : int;
+  mutable free_frames : int list;    (* recycled frame indices *)
+  table : (int, int) Hashtbl.t;      (* page number -> frame index *)
   dirty : (int, unit) Hashtbl.t;
+  mutable tlb_page : int;            (* last-translated page, -1 = none *)
+  mutable tlb_off : int;             (* its frame's byte offset in [slab] *)
+  mutable dirty_cached : int;        (* page already marked dirty, -1 = none *)
   mutable on_fault : (t -> int -> unit) option;
       (* must install the page (see [install_page]) or raise *)
   mutable track_dirty : bool;
@@ -25,50 +39,117 @@ type t = {
   mutable fault_count : int;
 }
 
+(* Fleet runs create two memories per client, most touching a handful
+   of pages — start tiny and double on demand (amortized ≤2x the
+   resident bytes in total allocation). *)
+let initial_frames = 4
+
 let create role =
   {
     role;
-    pages = Hashtbl.create 1024;
+    slab = Bytes.create (initial_frames * Region.page_size);
+    frames_used = 0;
+    free_frames = [];
+    table = Hashtbl.create 1024;
     dirty = Hashtbl.create 64;
+    tlb_page = -1;
+    tlb_off = 0;
+    dirty_cached = -1;
     track_dirty = false;
     on_fault = None;
     on_touch = None;
     fault_count = 0;
   }
 
+(* Frame offsets are stable across growth: the old prefix is blitted
+   into the larger slab, so a cached [tlb_off] stays valid. *)
+let ensure_capacity t frames =
+  let need = frames * Region.page_size in
+  if Bytes.length t.slab < need then begin
+    let cap = ref (Bytes.length t.slab) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let slab = Bytes.create !cap in
+    Bytes.blit t.slab 0 slab 0 (t.frames_used * Region.page_size);
+    t.slab <- slab
+  end
+
+let alloc_frame t =
+  match t.free_frames with
+  | f :: rest ->
+    t.free_frames <- rest;
+    f
+  | [] ->
+    ensure_capacity t (t.frames_used + 1);
+    let f = t.frames_used in
+    t.frames_used <- f + 1;
+    f
+
 let install_page t page bytes =
   if Bytes.length bytes <> Region.page_size then
     invalid_arg "Memory.install_page: wrong page size";
-  Hashtbl.replace t.pages page bytes
+  let frame =
+    match Hashtbl.find_opt t.table page with
+    | Some f -> f
+    | None ->
+      let f = alloc_frame t in
+      Hashtbl.replace t.table page f;
+      f
+  in
+  Bytes.blit bytes 0 t.slab (frame * Region.page_size) Region.page_size
 
-let has_page t page = Hashtbl.mem t.pages page
+let has_page t page = Hashtbl.mem t.table page
 
 let drop_page t page =
-  Hashtbl.remove t.pages page;
-  Hashtbl.remove t.dirty page
+  (match Hashtbl.find_opt t.table page with
+  | Some f ->
+    Hashtbl.remove t.table page;
+    t.free_frames <- f :: t.free_frames
+  | None -> ());
+  Hashtbl.remove t.dirty page;
+  t.tlb_page <- -1;
+  t.dirty_cached <- -1
 
 let drop_all_pages t =
-  Hashtbl.reset t.pages;
-  Hashtbl.reset t.dirty
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.dirty;
+  t.frames_used <- 0;
+  t.free_frames <- [];
+  t.tlb_page <- -1;
+  t.dirty_cached <- -1
 
-let page_bytes t page =
-  match Hashtbl.find_opt t.pages page with
-  | Some bytes -> bytes
+(* Byte offset in [slab] of [page]'s frame, materializing (Home) or
+   faulting (Remote) exactly as the per-page store did. *)
+let frame_off t page =
+  match Hashtbl.find_opt t.table page with
+  | Some f -> f lsl Region.page_bits
   | None -> (
     match t.role with
     | Home ->
-      let bytes = Bytes.make Region.page_size '\000' in
-      Hashtbl.replace t.pages page bytes;
-      bytes
+      let f = alloc_frame t in
+      let off = f lsl Region.page_bits in
+      Bytes.fill t.slab off Region.page_size '\000';
+      Hashtbl.replace t.table page f;
+      off
     | Remote -> (
       t.fault_count <- t.fault_count + 1;
       match t.on_fault with
       | Some handler -> (
         handler t page;
-        match Hashtbl.find_opt t.pages page with
-        | Some bytes -> bytes
+        match Hashtbl.find_opt t.table page with
+        | Some f -> f lsl Region.page_bits
         | None -> raise (Page_fault page))
       | None -> raise (Page_fault page)))
+
+let page_off t page =
+  if page = t.tlb_page then t.tlb_off
+  else begin
+    let off = frame_off t page in
+    t.tlb_page <- page;
+    t.tlb_off <- off;
+    off
+  end
 
 let check_mapped addr =
   match Region.region_of_addr addr with
@@ -83,77 +164,224 @@ let note_touched t addr =
   | Some callback -> callback (Region.page_of_addr addr)
   | None -> ()
 
+let mark_dirty t page =
+  if t.track_dirty && page <> t.dirty_cached then begin
+    Hashtbl.replace t.dirty page ();
+    t.dirty_cached <- page
+  end
+
 let read_byte t addr =
   check_mapped addr;
   note_touched t addr;
   let page = Region.page_of_addr addr in
-  Char.code (Bytes.get (page_bytes t page) (Region.offset_in_page addr))
+  let off = page_off t page lor Region.offset_in_page addr in
+  Char.code (Bytes.get t.slab off)
 
 let write_byte t addr v =
   check_mapped addr;
   note_touched t addr;
   let page = Region.page_of_addr addr in
-  Bytes.set (page_bytes t page) (Region.offset_in_page addr)
-    (Char.chr (v land 0xff));
-  if t.track_dirty then Hashtbl.replace t.dirty page ()
+  let off = page_off t page lor Region.offset_in_page addr in
+  Bytes.set t.slab off (Char.chr (v land 0xff));
+  if t.track_dirty then mark_dirty t page
+
+(* Word-width scalar access, the interpreter's hot path.
+
+   The fast path applies when the access stays inside one page and no
+   per-byte touch profiler is installed: one region check (regions are
+   page-aligned, so every byte of a same-page word shares the first
+   byte's region), one TLB translation, one unaligned word read or
+   write on the slab, and at most one dirty mark.  Otherwise we fall
+   back to [Scalar]'s byte loop over [read_byte]/[write_byte], which
+   preserves the exact per-byte touch-callback and fault order.
+
+   The byte order is always little-endian (the unified order);
+   big-endian hosts go through the [Scalar] path in [Host]. *)
+
+let page_limit = Region.page_size
+
+let[@inline] no_touch t =
+  match t.on_touch with
+  | None -> true
+  | Some _ -> false
+
+let load_le t addr nbytes =
+  let in_page = Region.offset_in_page addr in
+  if no_touch t && in_page + nbytes <= page_limit then begin
+    check_mapped addr;
+    let base = page_off t (Region.page_of_addr addr) lor in_page in
+    match nbytes with
+    | 8 -> Bytes.get_int64_le t.slab base
+    | 4 ->
+      Int64.of_int
+        (Bytes.get_uint16_le t.slab base
+        lor (Bytes.get_uint16_le t.slab (base + 2) lsl 16))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le t.slab base)
+    | 1 -> Int64.of_int (Bytes.get_uint8 t.slab base)
+    | _ ->
+      Scalar.load_int No_arch.Arch.Little
+        ~read_byte:(fun a -> read_byte t a)
+        addr nbytes
+  end
+  else
+    Scalar.load_int No_arch.Arch.Little
+      ~read_byte:(fun a -> read_byte t a)
+      addr nbytes
+
+let store_le t addr nbytes value =
+  let in_page = Region.offset_in_page addr in
+  if no_touch t && in_page + nbytes <= page_limit then begin
+    check_mapped addr;
+    let page = Region.page_of_addr addr in
+    let base = page_off t page lor in_page in
+    (match nbytes with
+    | 8 -> Bytes.set_int64_le t.slab base value
+    | 4 ->
+      let v = Int64.to_int value in
+      Bytes.set_uint16_le t.slab base (v land 0xffff);
+      Bytes.set_uint16_le t.slab (base + 2) ((v lsr 16) land 0xffff)
+    | 2 -> Bytes.set_uint16_le t.slab base (Int64.to_int value land 0xffff)
+    | 1 -> Bytes.set_uint8 t.slab base (Int64.to_int value land 0xff)
+    | _ ->
+      Scalar.store_int No_arch.Arch.Little
+        ~write_byte:(fun a b -> write_byte t a b)
+        addr nbytes value);
+    if t.track_dirty then mark_dirty t page
+  end
+  else
+    Scalar.store_int No_arch.Arch.Little
+      ~write_byte:(fun a b -> write_byte t a b)
+      addr nbytes value
+
+(* Fast-path admission for callers that access the slab directly (the
+   interpreter's fused chains, which must not box an int64 across a
+   function return): the byte offset of [addr]'s word in [slab] when
+   the [nbytes] access stays inside one page and no touch profiler is
+   installed — performing the same region check, TLB translation and
+   fault service as [load_le]/[store_le] — or -1 when the caller must
+   take the [load_le]/[store_le] slow path.  [store_base] also marks
+   the page dirty (bookkeeping only; the order relative to the write
+   is unobservable). *)
+
+let load_base t addr nbytes =
+  let in_page = Region.offset_in_page addr in
+  if no_touch t && in_page + nbytes <= page_limit then begin
+    check_mapped addr;
+    page_off t (Region.page_of_addr addr) lor in_page
+  end
+  else -1
+
+let store_base t addr nbytes =
+  let in_page = Region.offset_in_page addr in
+  if no_touch t && in_page + nbytes <= page_limit then begin
+    check_mapped addr;
+    let page = Region.page_of_addr addr in
+    let base = page_off t page lor in_page in
+    if t.track_dirty then mark_dirty t page;
+    base
+  end
+  else -1
 
 (* Bulk transfer helpers used by memcpy/memset builtins and by the
-   communication manager. *)
+   communication manager.  With no touch profiler installed these run
+   as one blit per page segment; segments are visited in ascending
+   address order, matching the per-byte loop's fault order. *)
+
 let read_block t addr len =
   let out = Bytes.create len in
-  for i = 0 to len - 1 do
-    Bytes.set out i (Char.chr (read_byte t (addr + i)))
-  done;
+  if no_touch t then begin
+    let pos = ref 0 in
+    while !pos < len do
+      let a = addr + !pos in
+      let in_page = Region.offset_in_page a in
+      let seg = min (len - !pos) (page_limit - in_page) in
+      check_mapped a;
+      let base = page_off t (Region.page_of_addr a) lor in_page in
+      Bytes.blit t.slab base out !pos seg;
+      pos := !pos + seg
+    done
+  end
+  else
+    for i = 0 to len - 1 do
+      Bytes.set out i (Char.chr (read_byte t (addr + i)))
+    done;
   out
 
 let write_block t addr data =
-  Bytes.iteri (fun i c -> write_byte t (addr + i) (Char.code c)) data
+  let len = Bytes.length data in
+  if no_touch t then begin
+    let pos = ref 0 in
+    while !pos < len do
+      let a = addr + !pos in
+      let in_page = Region.offset_in_page a in
+      let seg = min (len - !pos) (page_limit - in_page) in
+      check_mapped a;
+      let page = Region.page_of_addr a in
+      let base = page_off t page lor in_page in
+      Bytes.blit data !pos t.slab base seg;
+      if t.track_dirty then mark_dirty t page;
+      pos := !pos + seg
+    done
+  end
+  else
+    Bytes.iteri (fun i c -> write_byte t (addr + i) (Char.code c)) data
 
 (* Page-table style queries for the runtime. *)
 let resident_pages t =
-  Hashtbl.fold (fun page _ acc -> page :: acc) t.pages []
+  Hashtbl.fold (fun page _ acc -> page :: acc) t.table []
   |> List.sort compare
 
 let dirty_pages t =
   Hashtbl.fold (fun page _ acc -> page :: acc) t.dirty []
   |> List.sort compare
 
-let clear_dirty t = Hashtbl.reset t.dirty
+let clear_dirty t =
+  Hashtbl.reset t.dirty;
+  t.dirty_cached <- -1
 
-let resident_count t = Hashtbl.length t.pages
-let resident_bytes t = Hashtbl.length t.pages * Region.page_size
+let resident_count t = Hashtbl.length t.table
+let resident_bytes t = Hashtbl.length t.table * Region.page_size
 
 (* Copy of a page's current contents (for transmission). *)
-let page_copy t page = Bytes.copy (page_bytes t page)
+let page_copy t page =
+  let off = page_off t page in
+  Bytes.sub t.slab off Region.page_size
 
 (* Deep snapshot of resident pages and dirty/tracking state, for
-   offload recovery.  Pages are copied both ways: the snapshot must
-   not alias frames the failed offload may still scribble on, and
-   restore must not hand the live table bytes the next offload
-   attempt could mutate. *)
+   offload recovery.  The snapshot copies the used slab prefix in one
+   blit (plus the page table) rather than one copy per page; restore
+   blits it back, so neither side aliases live frames. *)
 
 type snapshot = {
-  s_pages : (int * Bytes.t) list;
+  s_slab : Bytes.t;                  (* used prefix of the slab *)
+  s_table : (int * int) list;        (* page, frame *)
+  s_frames_used : int;
+  s_free_frames : int list;
   s_dirty : int list;
   s_track_dirty : bool;
 }
 
 let snapshot t =
   {
-    s_pages =
-      Hashtbl.fold (fun page bytes acc -> (page, Bytes.copy bytes) :: acc)
-        t.pages [];
+    s_slab = Bytes.sub t.slab 0 (t.frames_used * Region.page_size);
+    s_table = Hashtbl.fold (fun page f acc -> (page, f) :: acc) t.table [];
+    s_frames_used = t.frames_used;
+    s_free_frames = t.free_frames;
     s_dirty = Hashtbl.fold (fun page () acc -> page :: acc) t.dirty [];
     s_track_dirty = t.track_dirty;
   }
 
 let restore t s =
-  Hashtbl.reset t.pages;
+  ensure_capacity t s.s_frames_used;
+  Bytes.blit s.s_slab 0 t.slab 0 (Bytes.length s.s_slab);
+  Hashtbl.reset t.table;
   Hashtbl.reset t.dirty;
-  List.iter
-    (fun (page, bytes) -> Hashtbl.replace t.pages page (Bytes.copy bytes))
-    s.s_pages;
+  List.iter (fun (page, f) -> Hashtbl.replace t.table page f) s.s_table;
   List.iter (fun page -> Hashtbl.replace t.dirty page ()) s.s_dirty;
+  t.frames_used <- s.s_frames_used;
+  t.free_frames <- s.s_free_frames;
+  t.tlb_page <- -1;
+  t.dirty_cached <- -1;
   t.track_dirty <- s.s_track_dirty
 
 (* Profiler hook installation. *)

@@ -6,7 +6,11 @@
     The server is {e remote}: touching a non-resident page invokes the
     fault hook, which the offloading runtime uses to implement
     copy-on-demand (paper §4, Figure 5).  Server writes mark pages
-    dirty so finalization sends only dirty pages back. *)
+    dirty so finalization sends only dirty pages back.
+
+    Pages are frames in one flat [Bytes.t] slab (see the implementation
+    header): fault service, block transfer and snapshots are blits, and
+    scalar access uses a one-entry TLB plus unaligned word reads. *)
 
 (** Unhandled fault, with the page number. *)
 exception Page_fault of int
@@ -18,8 +22,14 @@ type role = Home | Remote
 
 type t = {
   role : role;
-  pages : (int, Bytes.t) Hashtbl.t;
+  mutable slab : Bytes.t;  (** frame store — internal, do not poke *)
+  mutable frames_used : int;
+  mutable free_frames : int list;
+  table : (int, int) Hashtbl.t;  (** page number -> frame index *)
   dirty : (int, unit) Hashtbl.t;
+  mutable tlb_page : int;
+  mutable tlb_off : int;
+  mutable dirty_cached : int;
   mutable on_fault : (t -> int -> unit) option;
       (** must install the missing page or raise *)
   mutable track_dirty : bool;
@@ -40,6 +50,31 @@ val drop_all_pages : t -> unit
 
 val read_byte : t -> int -> int
 val write_byte : t -> int -> int -> unit
+
+val load_le : t -> int -> int -> int64
+(** [load_le t addr nbytes] reads an [nbytes]-wide little-endian
+    scalar ([nbytes] ≤ 8; the result's high bits are zero).
+    Equivalent to [Scalar.load_int Little] over [read_byte] — same
+    faults, same touch callbacks — but a single word access on the
+    slab when the word stays inside one page and no touch profiler is
+    installed. *)
+
+val store_le : t -> int -> int -> int64 -> unit
+(** [store_le t addr nbytes v] writes the low [nbytes] bytes of [v]
+    little-endian; the word-access twin of
+    [Scalar.store_int Little]. *)
+
+val load_base : t -> int -> int -> int
+(** [load_base t addr nbytes] admits a direct slab access: the byte
+    offset of the word in [slab] (after the same region check, TLB
+    translation and fault service [load_le] performs), or [-1] when
+    the access crosses a page or a touch profiler is installed and
+    the caller must use [load_le].  Lets the interpreter read words
+    without boxing an int64 across a function boundary. *)
+
+val store_base : t -> int -> int -> int
+(** Store twin of [load_base]; also marks the page dirty. *)
+
 val read_block : t -> int -> int -> Bytes.t
 val write_block : t -> int -> Bytes.t -> unit
 

@@ -39,6 +39,7 @@ type t = {
   mutable pending : Buffer.t;
   stats : stats;
   sink : No_trace.Trace.sink;     (* receives one Flush per transfer *)
+  row : No_trace.Trace.Row.t;     (* scratch for zero-alloc emission *)
   clock : unit -> float;          (* timestamps for emitted events *)
   bw_factor : unit -> float;      (* usable-bandwidth scale at flush time *)
 }
@@ -64,6 +65,7 @@ let create ?(compress = false)
     pending = Buffer.create 4096;
     stats = empty_stats ();
     sink;
+    row = No_trace.Trace.Row.create ();
     clock;
     bw_factor;
   }
@@ -108,19 +110,16 @@ let flush t : float =
     t.stats.wire_bytes <- t.stats.wire_bytes + wire;
     t.stats.transfer_time <- t.stats.transfer_time +. transfer;
     t.stats.codec_time <- t.stats.codec_time +. codec_time;
-    if not (No_trace.Trace.is_null t.sink) then
-      t.sink.No_trace.Trace.emit ~ts:(t.clock ())
-        (No_trace.Trace.Flush
-           {
-             direction =
-               (match t.direction with
-               | To_server -> No_trace.Trace.To_server
-               | To_mobile -> No_trace.Trace.To_mobile);
-             raw_bytes = raw;
-             wire_bytes = wire;
-             transfer_s = transfer;
-             codec_s = codec_time;
-           });
+    if not (No_trace.Trace.is_null t.sink) then begin
+      No_trace.Trace.Row.set_flush t.row
+        ~direction:
+          (match t.direction with
+          | To_server -> No_trace.Trace.To_server
+          | To_mobile -> No_trace.Trace.To_mobile)
+        ~raw_bytes:raw ~wire_bytes:wire ~transfer_s:transfer
+        ~codec_s:codec_time;
+      t.sink.No_trace.Trace.emit_row ~ts:(t.clock ()) t.row
+    end;
     transfer +. codec_time
   end
 

@@ -19,9 +19,15 @@ let window_size = 1 lsl 16
 let hash_bits = 15
 let max_chain = 16
 
+(* No inner helper here: a [let b k = ...] closure would be allocated
+   on every call, and this runs for every input position. *)
 let hash4 data i =
-  let b k = Char.code (Bytes.unsafe_get data (i + k)) in
-  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  let v =
+    Char.code (Bytes.unsafe_get data i)
+    lor (Char.code (Bytes.unsafe_get data (i + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get data (i + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get data (i + 3)) lsl 24)
+  in
   (v * 2654435761) lsr (32 - hash_bits) land ((1 lsl hash_bits) - 1)
 
 let put_varint buf v =
@@ -56,12 +62,31 @@ let match_length data pos cand limit =
 
 module Selfprof = No_selfprof.Selfprof
 
+(* Dictionary scratch, reused across calls (the simulator is
+   single-threaded).  Zeroing 32k+64k words of hash state per page
+   dominated the compress zone's cost, so instead of clearing, [head]
+   entries are valid only when their epoch stamp matches the current
+   call; a stale slot reads as "no chain".  [prev] needs no stamping:
+   its entries are only reachable through a head written this call,
+   and every chain link walked was therefore also written this call.
+   The emitted stream is byte-identical to a fresh-scratch run. *)
+let scr_head = Array.make (1 lsl hash_bits) (-1)
+let scr_head_epoch = Array.make (1 lsl hash_bits) (-1)
+let scr_epoch = ref (-1)
+let scr_prev = ref (Array.make 1 (-1))
+let scr_out = Buffer.create 65536
+
 let compress (data : Bytes.t) : Bytes.t =
   Selfprof.enter Compress;
   let len = Bytes.length data in
-  let out = Buffer.create (len / 2 + 16) in
-  let head = Array.make (1 lsl hash_bits) (-1) in
-  let prev = Array.make (max len 1) (-1) in
+  incr scr_epoch;
+  let epoch = !scr_epoch in
+  let out = scr_out in
+  Buffer.clear out;
+  let head = scr_head and head_epoch = scr_head_epoch in
+  if Array.length !scr_prev < max len 1 then
+    scr_prev := Array.make (max len 1) (-1);
+  let prev = !scr_prev in
   let lit_start = ref 0 in
   let flush_literals upto =
     if upto > !lit_start then begin
@@ -73,8 +98,9 @@ let compress (data : Bytes.t) : Bytes.t =
   let insert i =
     if i + min_match <= len then begin
       let h = hash4 data i in
-      prev.(i) <- head.(h);
-      head.(h) <- i
+      prev.(i) <- (if head_epoch.(h) = epoch then head.(h) else -1);
+      head.(h) <- i;
+      head_epoch.(h) <- epoch
     end
   in
   let i = ref 0 in
@@ -82,7 +108,8 @@ let compress (data : Bytes.t) : Bytes.t =
     let best_len = ref 0 and best_dist = ref 0 in
     if !i + min_match <= len then begin
       let limit = min max_match (len - !i) in
-      let cand = ref head.(hash4 data !i) in
+      let h0 = hash4 data !i in
+      let cand = ref (if head_epoch.(h0) = epoch then head.(h0) else -1) in
       let chain = ref 0 in
       while !cand >= 0 && !chain < max_chain do
         if !i - !cand <= window_size then begin

@@ -11,7 +11,16 @@
 
    Histograms merge losslessly (bucket-wise addition), which is what
    the fleet-percentile bench mode relies on: per-run histograms are
-   merged across the whole workload registry and quantiled once. *)
+   merged across the whole workload registry and quantiled once.
+
+   Buckets live in dense [int array] / [float array] pairs indexed by
+   bucket number (grown by doubling), and the scalar state (sum, min,
+   max) in a flat [float array]: [add] touches no boxed value, so the
+   hot record path — every event's latency in the windowed series —
+   allocates nothing after the arrays reach their working size.  The
+   per-bucket sums accumulate in arrival order, exactly like the
+   hashtable representation this replaces, so quantiles are
+   bit-identical. *)
 
 module Selfprof = No_selfprof.Selfprof
 
@@ -22,62 +31,91 @@ let sub_buckets = 8.0
    well above it. *)
 let v_min = 1e-12
 
-type bucket = { mutable b_count : int; mutable b_sum : float }
+(* Scalar-state slots in [st]. *)
+let s_sum = 0
+let s_min = 1
+let s_max = 2
+
+(* Dense-index ceiling: finite doubles reach bucket
+   1 + 8*log2(max_float/1e-12) ≈ 8300, far below this; anything larger
+   (ties to +inf via int_of_float) is clamped into the top bucket. *)
+let max_index = 16_383
 
 type t = {
   mutable count : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
-  buckets : (int, bucket) Hashtbl.t;
+  st : float array;              (* sum / min / max, unboxed *)
+  mutable counts : int array;    (* per-bucket counts, dense by index *)
+  mutable sums : float array;    (* per-bucket sums, same indexing *)
+  mutable hi : int;              (* 1 + highest occupied bucket; 0 = empty *)
 }
 
+let initial_buckets = 64
+
 let create () =
-  { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity;
-    buckets = Hashtbl.create 32 }
+  {
+    count = 0;
+    st = [| 0.0; infinity; neg_infinity |];
+    counts = Array.make initial_buckets 0;
+    sums = Array.make initial_buckets 0.0;
+    hi = 0;
+  }
 
 let index_of v =
   if v <= v_min then 0
-  else 1 + int_of_float (floor (Float.log2 (v /. v_min) *. sub_buckets))
+  else
+    let idx = 1 + int_of_float (floor (Float.log2 (v /. v_min) *. sub_buckets)) in
+    if idx < 0 then 0 else if idx > max_index then max_index else idx
+
+let grow t want =
+  let cap = ref (Array.length t.counts) in
+  while !cap <= want do
+    cap := !cap * 2
+  done;
+  let counts = Array.make !cap 0 in
+  let sums = Array.make !cap 0.0 in
+  Array.blit t.counts 0 counts 0 t.hi;
+  Array.blit t.sums 0 sums 0 t.hi;
+  t.counts <- counts;
+  t.sums <- sums
 
 let add t v =
   Selfprof.enter Hist_record;
   (if not (Float.is_nan v) then begin
      t.count <- t.count + 1;
-     t.sum <- t.sum +. v;
-     if v < t.min_v then t.min_v <- v;
-     if v > t.max_v then t.max_v <- v;
+     t.st.(s_sum) <- t.st.(s_sum) +. v;
+     if v < t.st.(s_min) then t.st.(s_min) <- v;
+     if v > t.st.(s_max) then t.st.(s_max) <- v;
      let idx = index_of v in
-     match Hashtbl.find_opt t.buckets idx with
-     | Some b ->
-       b.b_count <- b.b_count + 1;
-       b.b_sum <- b.b_sum +. v
-     | None -> Hashtbl.replace t.buckets idx { b_count = 1; b_sum = v }
+     if idx >= Array.length t.counts then grow t idx;
+     t.counts.(idx) <- t.counts.(idx) + 1;
+     t.sums.(idx) <- t.sums.(idx) +. v;
+     if idx >= t.hi then t.hi <- idx + 1
    end);
   Selfprof.leave Hist_record
 
 let count t = t.count
-let sum t = t.sum
-let min t = if t.count = 0 then Float.nan else t.min_v
-let max t = if t.count = 0 then Float.nan else t.max_v
-let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+let sum t = t.st.(s_sum)
+let min t = if t.count = 0 then Float.nan else t.st.(s_min)
+let max t = if t.count = 0 then Float.nan else t.st.(s_max)
+let mean t = if t.count = 0 then Float.nan else t.st.(s_sum) /. float_of_int t.count
 
 let merge_into ~into src =
   Selfprof.enter Hist_merge;
   into.count <- into.count + src.count;
-  into.sum <- into.sum +. src.sum;
-  if src.min_v < into.min_v then into.min_v <- src.min_v;
-  if src.max_v > into.max_v then into.max_v <- src.max_v;
-  Hashtbl.iter
-    (fun idx (b : bucket) ->
-      match Hashtbl.find_opt into.buckets idx with
-      | Some dst ->
-        dst.b_count <- dst.b_count + b.b_count;
-        dst.b_sum <- dst.b_sum +. b.b_sum
-      | None ->
-        Hashtbl.replace into.buckets idx
-          { b_count = b.b_count; b_sum = b.b_sum })
-    src.buckets;
+  into.st.(s_sum) <- into.st.(s_sum) +. src.st.(s_sum);
+  if src.st.(s_min) < into.st.(s_min) then into.st.(s_min) <- src.st.(s_min);
+  if src.st.(s_max) > into.st.(s_max) then into.st.(s_max) <- src.st.(s_max);
+  if src.hi > 0 then begin
+    if src.hi - 1 >= Array.length into.counts then grow into (src.hi - 1);
+    for idx = 0 to src.hi - 1 do
+      let c = src.counts.(idx) in
+      if c > 0 then begin
+        into.counts.(idx) <- into.counts.(idx) + c;
+        into.sums.(idx) <- into.sums.(idx) +. src.sums.(idx)
+      end
+    done;
+    if src.hi > into.hi then into.hi <- src.hi
+  end;
   Selfprof.leave Hist_merge
 
 let merge hists =
@@ -94,16 +132,15 @@ let quantile t q =
     let rank =
       Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.count)))
     in
-    let sorted =
-      List.sort compare
-        (Hashtbl.fold (fun idx b acc -> (idx, b) :: acc) t.buckets [])
+    let rec walk idx cum =
+      if idx >= t.hi then t.st.(s_max) (* q = 1 rounding *)
+      else
+        let c = t.counts.(idx) in
+        if c = 0 then walk (idx + 1) cum
+        else
+          let cum = cum + c in
+          if rank <= cum then t.sums.(idx) /. float_of_int c
+          else walk (idx + 1) cum
     in
-    let rec walk cum = function
-      | [] -> t.max_v (* q = 1 rounding; the last bucket was consumed *)
-      | (_, b) :: rest ->
-        let cum = cum + b.b_count in
-        if rank <= cum then b.b_sum /. float_of_int b.b_count
-        else walk cum rest
-    in
-    walk 0 sorted
+    walk 0 0
   end

@@ -66,87 +66,178 @@ type window = {
   mutable w_bw_bps : float;              (* last sampled belief; NaN = none *)
 }
 
+(* A window plus its hot-path machinery: the batched metrics
+   accumulator (float sums unboxed until [settle]) and the latency
+   histograms as an array, indexed in [latency_kinds] order so the
+   per-event charge is one array read instead of an assoc walk.  The
+   array aliases the same [Hist.t] values as the public [w_hists]
+   list. *)
+type slot = {
+  sw : window;
+  s_acc : Trace.Metrics.acc;
+  s_sink : Trace.sink;                   (* acc_sink of s_acc *)
+  s_harr : Hist.t array;
+}
+
 type t = {
   window_s : float;
-  by_index : (int, window) Hashtbl.t;
+  by_index : (int, slot) Hashtbl.t;
   mutable max_index : int;               (* highest window touched; -1 = none *)
   mutable end_s : float;                 (* latest instant any event reaches *)
+  srow : Trace.Row.t;                    (* scratch for the boxed door *)
+  mutable last_index : int;              (* cached slot; -1 = none *)
+  mutable last_slot : slot option;
 }
 
 let create ?(window_s = default_window_s) () =
   if not (window_s > 0.0) then invalid_arg "Series.create: window_s";
-  { window_s; by_index = Hashtbl.create 64; max_index = -1; end_s = 0.0 }
+  {
+    window_s;
+    by_index = Hashtbl.create 64;
+    max_index = -1;
+    end_s = 0.0;
+    srow = Trace.Row.create ();
+    last_index = -1;
+    last_slot = None;
+  }
 
 let window_s t = t.window_s
 let duration_s t = t.end_s
 
-let fresh_window t index =
+let fresh_slot t index =
+  let metrics = Trace.Metrics.create () in
+  let acc = Trace.Metrics.acc metrics in
+  let hists =
+    List.map (fun (name, _) -> (name, Hist.create ())) latency_kinds
+  in
   {
-    w_index = index;
-    w_start_s = float_of_int index *. t.window_s;
-    w_metrics = Trace.Metrics.create ();
-    w_hists = List.map (fun (name, _) -> (name, Hist.create ())) latency_kinds;
-    w_peak_queue_depth = 0;
-    w_peak_occupancy = 0;
-    w_server_peaks = [];
-    w_bw_bps = Float.nan;
+    sw =
+      {
+        w_index = index;
+        w_start_s = float_of_int index *. t.window_s;
+        w_metrics = metrics;
+        w_hists = hists;
+        w_peak_queue_depth = 0;
+        w_peak_occupancy = 0;
+        w_server_peaks = [];
+        w_bw_bps = Float.nan;
+      };
+    s_acc = acc;
+    s_sink = Trace.Metrics.acc_sink acc;
+    s_harr = Array.of_list (List.map snd hists);
   }
 
-let window_at t index =
-  match Hashtbl.find_opt t.by_index index with
-  | Some w -> w
-  | None ->
-    let w = fresh_window t index in
-    Hashtbl.replace t.by_index index w;
-    if index > t.max_index then t.max_index <- index;
-    w
+let slot_at t index =
+  if index = t.last_index then
+    match t.last_slot with Some s -> s | None -> assert false
+  else begin
+    let s =
+      match Hashtbl.find_opt t.by_index index with
+      | Some s -> s
+      | None ->
+        let s = fresh_slot t index in
+        Hashtbl.replace t.by_index index s;
+        if index > t.max_index then t.max_index <- index;
+        s
+    in
+    t.last_index <- index;
+    t.last_slot <- Some s;
+    s
+  end
+
+let window_at t index = (slot_at t index).sw
+
+(* Fold every window's batched float sums into its metrics record —
+   the read boundary.  Cheap and idempotent, so every accessor below
+   just calls it. *)
+let settle t =
+  Hashtbl.iter (fun _ s -> Trace.Metrics.flush_acc s.s_acc) t.by_index
+
+(* Row kind -> slot in [latency_kinds] order, -1 for kinds that carry
+   no latency.  Must mirror the selector list above. *)
+let lat_slot =
+  let a = Array.make 24 (-1) in
+  a.(Trace.Row.k_offload_end) <- 0;
+  a.(Trace.Row.k_page_fault) <- 1;
+  a.(Trace.Row.k_flush) <- 2;
+  a.(Trace.Row.k_remote_io) <- 3;
+  a.(Trace.Row.k_fnptr_translate) <- 4;
+  a.(Trace.Row.k_rpc_timeout) <- 5;
+  a.(Trace.Row.k_retry) <- 6;
+  a.(Trace.Row.k_replay) <- 7;
+  a.(Trace.Row.k_queue) <- 8;
+  a.(Trace.Row.k_migrate_start) <- 9;
+  a
 
 (* The instant an event's span closes — mirrors Span.run_end_s, so a
-   series over a session trace covers exactly the run's wall clock. *)
-let close_of_event ts ev =
-  match ev with
-  | Trace.Power_state { duration_s; _ } -> ts +. duration_s
-  | Trace.Flush { transfer_s; codec_s; _ } -> ts +. transfer_s +. codec_s
-  | Trace.Page_fault { service_s; _ } -> ts +. service_s
-  | Trace.Fnptr_translate { cost_s } -> ts +. cost_s
-  | Trace.Remote_io { cost_s; _ } -> ts +. cost_s
-  | Trace.Rpc_timeout { waited_s; _ } -> ts +. waited_s
-  | Trace.Retry { backoff_s; _ } -> ts +. backoff_s
-  | Trace.Replay { replay_s; _ } -> ts +. replay_s
-  | Trace.Queue { wait_s; _ } -> ts +. wait_s
-  | Trace.Migrate_start { transfer_s; _ } -> ts +. transfer_s
-  | _ -> ts
+   series over a session trace covers exactly the run's wall clock.
+   Every spanning kind keeps its span in f.(0) (plus f.(1) for a
+   flush's codec leg; a power segment's duration is f.(1)). *)
+let close_of_row ts (r : Trace.Row.t) =
+  let k = r.Trace.Row.kind in
+  if k = Trace.Row.k_power_state then ts +. r.Trace.Row.f.(1)
+  else if k = Trace.Row.k_flush then
+    ts +. r.Trace.Row.f.(0) +. r.Trace.Row.f.(1)
+  else if
+    k = Trace.Row.k_page_fault
+    || k = Trace.Row.k_fnptr_translate
+    || k = Trace.Row.k_remote_io
+    || k = Trace.Row.k_rpc_timeout
+    || k = Trace.Row.k_retry
+    || k = Trace.Row.k_replay
+    || k = Trace.Row.k_queue
+    || k = Trace.Row.k_migrate_start
+  then ts +. r.Trace.Row.f.(0)
+  else ts
 
-let observe t ~ts ev =
+(* The hot door: metrics flow into the window's batched accumulator,
+   the (at most one) latency sample into the window's histogram, and
+   the gauges read the row in place — nothing here boxes an event. *)
+let observe_row t ~ts (r : Trace.Row.t) =
   let index =
     if ts <= 0.0 then 0 else int_of_float (Float.floor (ts /. t.window_s))
   in
-  let w = window_at t index in
-  (Trace.Metrics.sink w.w_metrics).Trace.emit ~ts ev;
-  List.iter2
-    (fun (_, select) (_, hist) -> Option.iter (Hist.add hist) (select ev))
-    latency_kinds w.w_hists;
-  (match ev with
-  | Trace.Queue { depth; _ } ->
-    (* [depth] requests already waiting, plus this one. *)
-    w.w_peak_queue_depth <- max w.w_peak_queue_depth (depth + 1)
-  | Trace.Reject { queue_depth; _ } ->
-    w.w_peak_queue_depth <- max w.w_peak_queue_depth queue_depth
-  | Trace.Admit { server; occupancy; _ } ->
-    w.w_peak_occupancy <- max w.w_peak_occupancy occupancy;
-    let rec bump = function
-      | [] -> [ (server, occupancy) ]
-      | (s, peak) :: rest when s = server -> (s, max peak occupancy) :: rest
-      | (s, _) as hd :: rest when s < server -> hd :: bump rest
-      | rest -> (server, occupancy) :: rest
+  let s = slot_at t index in
+  let w = s.sw in
+  s.s_sink.Trace.emit_row ~ts r;
+  let k = r.Trace.Row.kind in
+  let li = lat_slot.(k) in
+  if li >= 0 then begin
+    let v =
+      if k = Trace.Row.k_flush then r.Trace.Row.f.(0) +. r.Trace.Row.f.(1)
+      else r.Trace.Row.f.(0)
     in
-    w.w_server_peaks <- bump w.w_server_peaks
-  | Trace.Bw_sample { bps } -> w.w_bw_bps <- bps
-  | _ -> ());
-  let close = close_of_event ts ev in
+    Hist.add s.s_harr.(li) v
+  end;
+  (if k = Trace.Row.k_queue then
+     (* i2 requests already waiting, plus this one. *)
+     w.w_peak_queue_depth <- max w.w_peak_queue_depth (r.Trace.Row.i2 + 1)
+   else if k = Trace.Row.k_reject then
+     w.w_peak_queue_depth <- max w.w_peak_queue_depth r.Trace.Row.i2
+   else if k = Trace.Row.k_admit then begin
+     let server = r.Trace.Row.i1 and occupancy = r.Trace.Row.i2 in
+     w.w_peak_occupancy <- max w.w_peak_occupancy occupancy;
+     let rec bump = function
+       | [] -> [ (server, occupancy) ]
+       | (s, peak) :: rest when s = server -> (s, max peak occupancy) :: rest
+       | (s, _) as hd :: rest when s < server -> hd :: bump rest
+       | rest -> (server, occupancy) :: rest
+     in
+     w.w_server_peaks <- bump w.w_server_peaks
+   end
+   else if k = Trace.Row.k_bw_sample then w.w_bw_bps <- r.Trace.Row.f.(0));
+  let close = close_of_row ts r in
   if close > t.end_s then t.end_s <- close
 
-let sink t = { Trace.emit = (fun ~ts ev -> observe t ~ts ev) }
+let observe t ~ts ev =
+  Trace.Row.of_event t.srow ev;
+  observe_row t ~ts t.srow
+
+let sink t =
+  {
+    Trace.emit = (fun ~ts ev -> observe t ~ts ev);
+    Trace.emit_row = (fun ~ts r -> observe_row t ~ts r);
+  }
 
 let of_events ?window_s events =
   let t = create ?window_s () in
@@ -157,6 +248,7 @@ let of_events ?window_s events =
    last touched window and the last covered instant, gaps filled with
    (cached) empty windows so rates read as zero rather than missing. *)
 let windows t =
+  settle t;
   let last_covered =
     if t.end_s <= 0.0 then 0
     else int_of_float (Float.ceil (t.end_s /. t.window_s)) - 1

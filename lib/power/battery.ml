@@ -13,10 +13,12 @@ type t = {
   mutable segments : segment list;   (* reversed *)
   mutable energy_mj : float;         (* millijoules = mW * s *)
   sink : No_trace.Trace.sink;        (* one Power_state per segment *)
+  row : No_trace.Trace.Row.t;        (* scratch for zero-alloc emission *)
 }
 
 let create ?(sink = No_trace.Trace.null) model =
-  { model; segments = []; energy_mj = 0.0; sink }
+  { model; segments = []; energy_mj = 0.0; sink;
+    row = No_trace.Trace.Row.create () }
 
 (* Record that the device was in [state] from [t0] to [t1].
    Zero-length segments are dropped and emit no event. *)
@@ -28,14 +30,12 @@ let spend t ~from_s ~to_s state =
       { seg_start = from_s; seg_end = to_s; seg_state = state; seg_mw = mw }
       :: t.segments;
     t.energy_mj <- t.energy_mj +. (mw *. (to_s -. from_s));
-    if not (No_trace.Trace.is_null t.sink) then
-      t.sink.No_trace.Trace.emit ~ts:from_s
-        (No_trace.Trace.Power_state
-           {
-             state = Power_model.state_to_string state;
-             mw;
-             duration_s = to_s -. from_s;
-           })
+    if not (No_trace.Trace.is_null t.sink) then begin
+      No_trace.Trace.Row.set_power_state t.row
+        ~state:(Power_model.state_to_string state)
+        ~mw ~duration_s:(to_s -. from_s);
+      t.sink.No_trace.Trace.emit_row ~ts:from_s t.row
+    end
   end
 
 let energy_mj t = t.energy_mj

@@ -223,6 +223,8 @@ type t = {
   contention : float ref;                  (* shared-link bandwidth scale
                                               while admitted to a contended
                                               server; 1.0 otherwise *)
+  row : Trace.Row.t;                       (* scratch for zero-alloc
+                                              emission on the hot path *)
 }
 
 (* {1 Power bookkeeping} *)
@@ -255,9 +257,62 @@ let emit_at t ~ts ev =
 
 let emit t ev = emit_at t ~ts:t.clock.Host.now ev
 
+(* Hot-path variants: the caller fills [t.row] with a [Trace.Row.set_*]
+   and emits it in place — no event is boxed unless a capture sink
+   (ring, jsonl) sits behind the trace.  The row is only valid for the
+   duration of the call. *)
+let emit_row_at t ~ts =
+  if not (Trace.is_null t.config.trace) then
+    t.config.trace.Trace.emit_row ~ts t.row
+
+let emit_row t = emit_row_at t ~ts:t.clock.Host.now
+
 (* {1 Construction} *)
 
 let server_globals_base = Host.globals_base_of_role Host.Server
+
+(* Pre-decoded code tables, shared across every session created from
+   the same pipeline output on the same architectures.  Lowering
+   (including the instruction-fusion pass) depends only on the module,
+   the unified layout — itself a function of the mobile arch and the
+   module's structs — and the role's deterministic global/function
+   address assignment, so a fleet of hundreds of clients pays for it
+   once per workload instead of twice per session.  Keys compare
+   physically: the fleet driver caches its compiled outputs, and arch
+   descriptors are the shared [Arch] constants; a miss merely
+   recompiles. *)
+let code_memo :
+    (Pipeline.output
+    * Arch.t
+    * Arch.t
+    * ((string, Host.compiled) Hashtbl.t * (string, Host.compiled) Hashtbl.t))
+    list
+    ref =
+  ref []
+
+let code_memo_max = 8
+
+let session_code ~(output : Pipeline.output) ~mobile_arch ~server_arch ~layout
+    ~mobile_table ~server_table =
+  match
+    List.find_opt
+      (fun (o, ma, sa, _) -> o == output && ma == mobile_arch && sa == server_arch)
+      !code_memo
+  with
+  | Some (_, _, _, codes) -> codes
+  | None ->
+    let codes =
+      ( Host.compile_module ~arch:mobile_arch ~role:Host.Mobile
+          ~modul:output.Pipeline.o_mobile ~layout ~fn_table:mobile_table (),
+        Host.compile_module ~arch:server_arch ~role:Host.Server
+          ~modul:output.Pipeline.o_server ~layout ~fn_table:server_table () )
+    in
+    code_memo :=
+      (output, mobile_arch, server_arch, codes)
+      :: (if List.length !code_memo >= code_memo_max then
+            List.filteri (fun i _ -> i < code_memo_max - 1) !code_memo
+          else !code_memo);
+    codes
 
 let create ?(config = default_config ()) ?(script = []) ?(files = [])
     (output : Pipeline.output) ~(seeds : target_seed list) : t =
@@ -280,17 +335,23 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
   in
   let mobile_table = Fn_table.mobile mobile_fn_names in
   let server_table = Fn_table.server server_fn_names in
+  let mobile_code, server_code =
+    session_code ~output ~mobile_arch:config.mobile_arch
+      ~server_arch:config.server_arch ~layout:unified_layout
+      ~mobile_table ~server_table
+  in
   let mobile =
     Host.create ~arch:config.mobile_arch ~role:Host.Mobile
       ~modul:output.Pipeline.o_mobile ~layout:unified_layout
-      ~fn_table:mobile_table ~uva ~console ~fs ~clock ~sink:config.trace ()
+      ~fn_table:mobile_table ~uva ~console ~fs ~clock ~sink:config.trace
+      ~code:mobile_code ()
   in
   let server =
     Host.create ~arch:config.server_arch ~role:Host.Server
       ~modul:output.Pipeline.o_server ~layout:unified_layout
       ~fn_table:server_table
       ~fn_addr_standard:(Fn_table.addr_of mobile_table)
-      ~uva ~console ~fs ~clock ~sink:config.trace ()
+      ~uva ~console ~fs ~clock ~sink:config.trace ~code:server_code ()
   in
   let r =
     Arch.performance_ratio ~mobile:config.mobile_arch
@@ -319,7 +380,11 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
     if Trace.is_null config.trace then Trace.null
     else if config.ideal then
       { Trace.emit =
-          (fun ~ts ev -> config.trace.Trace.emit ~ts (Trace.zero_cost ev)) }
+          (fun ~ts ev -> config.trace.Trace.emit ~ts (Trace.zero_cost ev));
+        Trace.emit_row =
+          (fun ~ts row ->
+            Trace.zero_cost_row row;
+            config.trace.Trace.emit_row ~ts row) }
     else config.trace
   in
   let channel_clock () = clock.Host.now in
@@ -387,6 +452,7 @@ let create ?(config = default_config ()) ?(script = []) ?(files = [])
       server_dead = false;
       current_server = None;
       contention;
+      row = Trace.Row.create ();
     }
   in
   t
@@ -409,7 +475,8 @@ let observe_transfer t ~bytes ~seconds =
     Dynamic_estimate.set_bandwidth t.estimator belief;
     (* Sampling hook for the telemetry layer: the refreshed belief as
        a gauge, so windowed series can chart what the estimator saw. *)
-    emit t (Trace.Bw_sample { bps = belief })
+    Trace.Row.set_bw_sample t.row ~bps:belief;
+    emit_row t
   end
 
 let send_to_server t (payload : Bytes.t) =
@@ -562,9 +629,9 @@ let service_fault_unprofiled t (mem : Memory.t) page =
             ~resp:(Region.page_size + 48) ~bw_factor:(bw_factor t)
         in
         charge_comm t seconds;
-        emit_at t ~ts
-          (Trace.Page_fault
-             { page; service_s = (if t.config.ideal then 0.0 else seconds) }));
+        Trace.Row.set_page_fault t.row ~page
+          ~service_s:(if t.config.ideal then 0.0 else seconds);
+        emit_row_at t ~ts);
     Memory.install_page mem page (Memory.page_copy t.mobile.Host.mem page)
   end
 
@@ -598,12 +665,9 @@ let push_pages_to_server t (pages : int list) =
           pages;
         flush_to_server t;
         t.ov.prefetched_pages <- t.ov.prefetched_pages + List.length pages;
-        emit_at t ~ts
-          (Trace.Prefetch
-             {
-               pages = List.length pages;
-               bytes = List.length pages * Region.page_size;
-             }))
+        Trace.Row.set_prefetch t.row ~pages:(List.length pages)
+          ~bytes:(List.length pages * Region.page_size);
+        emit_row_at t ~ts)
 
 (* {1 Initialization / finalization} *)
 
@@ -715,10 +779,9 @@ let remote_io_cost t ~(io_name : string) ~(request : int) ~(response : int)
         in
         advance t seconds;
         t.ov.remote_io_s <- t.ov.remote_io_s +. seconds;
-        emit_at t ~ts
-          (Trace.Remote_io
-             { io_name; request_bytes = request; response_bytes = response;
-               cost_s = seconds }))
+        Trace.Row.set_remote_io t.row ~io_name ~request_bytes:request
+          ~response_bytes:response ~cost_s:seconds;
+        emit_row_at t ~ts)
 
 (* Intercept the server's remote I/O builtins: add the network cost of
    the request; the functional work then runs against the *shared*
@@ -792,8 +855,9 @@ let install_server_hooks t =
           let ts = t.clock.Host.now in
           advance t t.config.fnptr_translation_s;
           t.ov.fnptr_s <- t.ov.fnptr_s +. t.config.fnptr_translation_s;
-          emit_at t ~ts
-            (Trace.Fnptr_translate { cost_s = t.config.fnptr_translation_s })
+          Trace.Row.set_fnptr_translate t.row
+            ~cost_s:t.config.fnptr_translation_s;
+          emit_row_at t ~ts
         end;
         let addr = Value.to_addr v in
         match dir with
@@ -887,14 +951,14 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
   match admission with
   | Some (_, Rejected { server; queue_depth }) ->
     t.ov.rejects <- t.ov.rejects + 1;
-    emit t
-      (Trace.Reject { target = target.Partition.t_name; server; queue_depth });
+    Trace.Row.set_reject t.row ~target:target.Partition.t_name ~server
+      ~queue_depth;
+    emit_row t;
     let replay_t0 = t.clock.Host.now in
     let result = Interp.call t.mobile target.Partition.t_name args in
-    emit_at t ~ts:replay_t0
-      (Trace.Replay
-         { target = target.Partition.t_name;
-           replay_s = t.clock.Host.now -. replay_t0 });
+    Trace.Row.set_replay t.row ~target:target.Partition.t_name
+      ~replay_s:(t.clock.Host.now -. replay_t0);
+    emit_row_at t ~ts:replay_t0;
     result
   | None | Some (_, Admitted _) ->
   (* A snapshot is needed whenever [Server_lost] can reach us: from
@@ -912,7 +976,8 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
   t.in_offload <- true;
   let t0 = t.clock.Host.now in
   let io0 = t.ov.remote_io_count in
-  emit_at t ~ts:t0 (Trace.Offload_begin { target = target.Partition.t_name });
+  Trace.Row.set_offload_begin t.row ~target:target.Partition.t_name;
+  emit_row_at t ~ts:t0;
   (* Occupy a granted slot: wait out the FIFO queue (the mobile radio
      idles in Waiting), then price the contention — the server's slice
      of the machine slows down and the shared link serves a fraction
@@ -924,15 +989,14 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
     if wait_s > 0.0 then begin
       t.ov.queued <- t.ov.queued + 1;
       t.ov.queue_wait_s <- t.ov.queue_wait_s +. wait_s;
-      emit t
-        (Trace.Queue
-           { target = target.Partition.t_name; server; wait_s;
-             depth = queue_depth });
+      Trace.Row.set_queue t.row ~target:target.Partition.t_name ~server
+        ~wait_s ~depth:queue_depth;
+      emit_row t;
       with_state t Power_model.Waiting (fun () -> advance t wait_s)
     end;
-    emit t
-      (Trace.Admit
-         { target = target.Partition.t_name; server; occupancy; slot });
+    Trace.Row.set_admit t.row ~target:target.Partition.t_name ~server
+      ~occupancy ~slot;
+    emit_row t;
     t.server.Host.slowdown <- 1.0 /. r_scale;
     t.contention := bw_scale;
     t.current_server <- Some server;
@@ -1074,9 +1138,9 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
                                 resumed_span_s });
         let span_s = t.clock.Host.now -. t0 in
         t.server_exec_s <- t.server_exec_s +. span_s;
-        emit t
-          (Trace.Offload_end
-             { target = tname; dirty_pages = dirty_count; span_s });
+        Trace.Row.set_offload_end t.row ~target:tname
+          ~dirty_pages:dirty_count ~span_s;
+        emit_row t;
         release ();
         Some t.pending_ret
       | exception Server_lost reason2 ->
@@ -1094,10 +1158,9 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
     t.in_offload <- false;
     let span_s = t.clock.Host.now -. t0 in
     t.server_exec_s <- t.server_exec_s +. span_s;
-    emit t
-      (Trace.Offload_end
-         { target = target.Partition.t_name; dirty_pages = dirty_count;
-           span_s });
+    Trace.Row.set_offload_end t.row ~target:target.Partition.t_name
+      ~dirty_pages:dirty_count ~span_s;
+    emit_row t;
     release_slot ();
     t.pending_ret
   | exception Server_lost reason ->
@@ -1127,18 +1190,17 @@ let offload_invoke t (target : Partition.target) (args : Value.t list) :
          { target = target.Partition.t_name; reason; recovery_s });
     let span_s = t.clock.Host.now -. t0 in
     t.server_exec_s <- t.server_exec_s +. span_s;
-    emit t
-      (Trace.Offload_end
-         { target = target.Partition.t_name; dirty_pages = 0; span_s });
+    Trace.Row.set_offload_end t.row ~target:target.Partition.t_name
+      ~dirty_pages:0 ~span_s;
+    emit_row t;
     (* Transparent local re-execution: the mobile partition retains
        every target body for the refuse path; replay it with the same
        arguments against the rolled-back state. *)
     let replay_t0 = t.clock.Host.now in
     let result = Interp.call t.mobile target.Partition.t_name args in
-    emit_at t ~ts:replay_t0
-      (Trace.Replay
-         { target = target.Partition.t_name;
-           replay_s = t.clock.Host.now -. replay_t0 });
+    Trace.Row.set_replay t.row ~target:target.Partition.t_name
+      ~replay_s:(t.clock.Host.now -. replay_t0);
+    emit_row_at t ~ts:replay_t0;
     result
   end
 
@@ -1182,17 +1244,15 @@ let mobile_extern t name (argv : Value.t list) : Value.t option =
       Dynamic_estimate.should_offload ~r_factor ~bw_factor t.estimator
         ~name:target ~mem_bytes
     in
-    if not (Trace.is_null t.config.trace) then
-      emit t
-        (Trace.Estimate
-           {
-             target;
-             predicted_gain_s =
-               Dynamic_estimate.predicted_gain_s ~r_factor ~bw_factor
-                 t.estimator ~name:target ~mem_bytes;
-             local_s = Dynamic_estimate.predicted_local_s t.estimator ~name:target;
-             decision;
-           });
+    if not (Trace.is_null t.config.trace) then begin
+      Trace.Row.set_estimate t.row ~target
+        ~predicted_gain_s:
+          (Dynamic_estimate.predicted_gain_s ~r_factor ~bw_factor t.estimator
+             ~name:target ~mem_bytes)
+        ~local_s:(Dynamic_estimate.predicted_local_s t.estimator ~name:target)
+        ~decision;
+      emit_row t
+    end;
     if not decision then begin
       t.ov.refusals <- t.ov.refusals + 1;
       emit t (Trace.Refusal { target })

@@ -280,6 +280,11 @@ let run ?(config = default_config) (clients : client list) : result =
           match ev with
           | Trace.Offload_end { span_s; _ } -> Hist.add latency span_s
           | _ -> ());
+      Trace.emit_row =
+        (fun ~ts:_ row ->
+          incr event_count;
+          if row.Trace.Row.kind = Trace.Row.k_offload_end then
+            Hist.add latency row.Trace.Row.f.(0));
     }
   in
   let results = Array.make n None in
@@ -297,10 +302,14 @@ let run ?(config = default_config) (clients : client list) : result =
       | Some global ->
         (* Re-stamp onto the global clock as events stream, so the
            fleet-wide consumer (SLO series, telemetry) never needs the
-           per-client rings. *)
+           per-client rings.  Rows are forwarded as rows — the wrapper
+           only rewrites the timestamp. *)
         [ {
             Trace.emit =
               (fun ~ts ev -> global.Trace.emit ~ts:(cl.cl_start_s +. ts) ev);
+            Trace.emit_row =
+              (fun ~ts row ->
+                global.Trace.emit_row ~ts:(cl.cl_start_s +. ts) row);
           } ]
     in
     let sink =

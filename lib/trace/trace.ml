@@ -83,20 +83,349 @@ type event =
       resumed_span_s : float;     (* remote span on the new member *)
     }
 
+(* {1 The scratch row}
+
+   The two-tier event representation: hot emitters fill a preallocated
+   mutable row (ints, a flat float array, shared strings — nothing the
+   write allocates) and hand it to [sink.emit_row]; the boxed [event]
+   variant above is materialized only at capture boundaries (ring
+   buffers, jsonl files) via [Row.to_event].  Aggregating sinks
+   (metrics, windowed series, the simulator's latency stream) read the
+   row's fields in place, so a fleet bench with no ring attached moves
+   every event from emitter to accumulator without allocating it.
+
+   A row is only valid for the duration of the [emit_row] call: sinks
+   must copy (or box) anything they keep. *)
+
+module Row = struct
+  (* Kind codes, one per [event] constructor. *)
+  let k_flush = 0
+  let k_page_fault = 1
+  let k_prefetch = 2
+  let k_fnptr_translate = 3
+  let k_remote_io = 4
+  let k_offload_begin = 5
+  let k_offload_end = 6
+  let k_refusal = 7
+  let k_power_state = 8
+  let k_estimate = 9
+  let k_module_load = 10
+  let k_fault_injected = 11
+  let k_rpc_timeout = 12
+  let k_retry = 13
+  let k_fallback_local = 14
+  let k_rollback = 15
+  let k_replay = 16
+  let k_queue = 17
+  let k_admit = 18
+  let k_reject = 19
+  let k_bw_sample = 20
+  let k_checkpoint = 21
+  let k_migrate_start = 22
+  let k_migrate_done = 23
+
+  (* Generic slots; the [set_*]/[to_event] pair below is the field
+     mapping's single source of truth.  Floats live in a flat array so
+     filling a row never boxes (mutable float fields of a mixed record
+     would). *)
+  type t = {
+    mutable kind : int;
+    mutable i1 : int;
+    mutable i2 : int;
+    mutable i3 : int;
+    mutable i4 : int;
+    f : float array;                  (* 2 slots *)
+    mutable s1 : string;
+    mutable s2 : string;
+  }
+
+  let create () =
+    { kind = -1; i1 = 0; i2 = 0; i3 = 0; i4 = 0; f = Array.make 2 0.0;
+      s1 = ""; s2 = "" }
+
+  (* Setters are small on purpose: the non-flambda inliner folds them
+     into the emitter, so the float arguments land in [f] unboxed. *)
+  let set_flush r ~direction ~raw_bytes ~wire_bytes ~transfer_s ~codec_s =
+    r.kind <- k_flush;
+    r.i1 <- (match direction with To_server -> 0 | To_mobile -> 1);
+    r.i2 <- raw_bytes;
+    r.i3 <- wire_bytes;
+    r.f.(0) <- transfer_s;
+    r.f.(1) <- codec_s
+
+  let set_page_fault r ~page ~service_s =
+    r.kind <- k_page_fault;
+    r.i1 <- page;
+    r.f.(0) <- service_s
+
+  let set_prefetch r ~pages ~bytes =
+    r.kind <- k_prefetch;
+    r.i1 <- pages;
+    r.i2 <- bytes
+
+  let set_fnptr_translate r ~cost_s =
+    r.kind <- k_fnptr_translate;
+    r.f.(0) <- cost_s
+
+  let set_remote_io r ~io_name ~request_bytes ~response_bytes ~cost_s =
+    r.kind <- k_remote_io;
+    r.s1 <- io_name;
+    r.i1 <- request_bytes;
+    r.i2 <- response_bytes;
+    r.f.(0) <- cost_s
+
+  let set_offload_begin r ~target =
+    r.kind <- k_offload_begin;
+    r.s1 <- target
+
+  let set_offload_end r ~target ~dirty_pages ~span_s =
+    r.kind <- k_offload_end;
+    r.s1 <- target;
+    r.i1 <- dirty_pages;
+    r.f.(0) <- span_s
+
+  let set_refusal r ~target =
+    r.kind <- k_refusal;
+    r.s1 <- target
+
+  let set_power_state r ~state ~mw ~duration_s =
+    r.kind <- k_power_state;
+    r.s1 <- state;
+    r.f.(0) <- mw;
+    r.f.(1) <- duration_s
+
+  let set_estimate r ~target ~predicted_gain_s ~local_s ~decision =
+    r.kind <- k_estimate;
+    r.s1 <- target;
+    r.f.(0) <- predicted_gain_s;
+    r.f.(1) <- local_s;
+    r.i1 <- (if decision then 1 else 0)
+
+  let set_module_load r ~role ~functions ~globals =
+    r.kind <- k_module_load;
+    r.s1 <- role;
+    r.i1 <- functions;
+    r.i2 <- globals
+
+  let set_fault_injected r ~kind ~op =
+    r.kind <- k_fault_injected;
+    r.s1 <- kind;
+    r.s2 <- op
+
+  let set_rpc_timeout r ~op ~attempt ~waited_s =
+    r.kind <- k_rpc_timeout;
+    r.s1 <- op;
+    r.i1 <- attempt;
+    r.f.(0) <- waited_s
+
+  let set_retry r ~op ~attempt ~backoff_s =
+    r.kind <- k_retry;
+    r.s1 <- op;
+    r.i1 <- attempt;
+    r.f.(0) <- backoff_s
+
+  let set_fallback_local r ~target ~reason ~recovery_s =
+    r.kind <- k_fallback_local;
+    r.s1 <- target;
+    r.s2 <- reason;
+    r.f.(0) <- recovery_s
+
+  let set_rollback r ~target ~pages_restored ~bytes_discarded =
+    r.kind <- k_rollback;
+    r.s1 <- target;
+    r.i1 <- pages_restored;
+    r.i2 <- bytes_discarded
+
+  let set_replay r ~target ~replay_s =
+    r.kind <- k_replay;
+    r.s1 <- target;
+    r.f.(0) <- replay_s
+
+  let set_queue r ~target ~server ~wait_s ~depth =
+    r.kind <- k_queue;
+    r.s1 <- target;
+    r.i1 <- server;
+    r.i2 <- depth;
+    r.f.(0) <- wait_s
+
+  let set_admit r ~target ~server ~occupancy ~slot =
+    r.kind <- k_admit;
+    r.s1 <- target;
+    r.i1 <- server;
+    r.i2 <- occupancy;
+    r.i3 <- slot
+
+  let set_reject r ~target ~server ~queue_depth =
+    r.kind <- k_reject;
+    r.s1 <- target;
+    r.i1 <- server;
+    r.i2 <- queue_depth
+
+  let set_bw_sample r ~bps =
+    r.kind <- k_bw_sample;
+    r.f.(0) <- bps
+
+  let set_checkpoint r ~target ~pages ~image_bytes ~io_cursor ~ledger_bytes =
+    r.kind <- k_checkpoint;
+    r.s1 <- target;
+    r.i1 <- pages;
+    r.i2 <- image_bytes;
+    r.i3 <- io_cursor;
+    r.i4 <- ledger_bytes
+
+  let set_migrate_start r ~target ~from_server ~to_server ~reason ~transfer_s =
+    r.kind <- k_migrate_start;
+    r.s1 <- target;
+    r.s2 <- reason;
+    r.i1 <- from_server;
+    r.i2 <- to_server;
+    r.f.(0) <- transfer_s
+
+  let set_migrate_done r ~target ~server ~resumed_span_s =
+    r.kind <- k_migrate_done;
+    r.s1 <- target;
+    r.i1 <- server;
+    r.f.(0) <- resumed_span_s
+
+  (* Boxing boundary: exact inverse of the setters, so a captured
+     stream is indistinguishable from one emitted boxed. *)
+  let to_event (r : t) : event =
+    if r.kind = k_flush then
+      Flush
+        {
+          direction = (if r.i1 = 0 then To_server else To_mobile);
+          raw_bytes = r.i2;
+          wire_bytes = r.i3;
+          transfer_s = r.f.(0);
+          codec_s = r.f.(1);
+        }
+    else if r.kind = k_page_fault then
+      Page_fault { page = r.i1; service_s = r.f.(0) }
+    else if r.kind = k_prefetch then Prefetch { pages = r.i1; bytes = r.i2 }
+    else if r.kind = k_fnptr_translate then
+      Fnptr_translate { cost_s = r.f.(0) }
+    else if r.kind = k_remote_io then
+      Remote_io
+        { io_name = r.s1; request_bytes = r.i1; response_bytes = r.i2;
+          cost_s = r.f.(0) }
+    else if r.kind = k_offload_begin then Offload_begin { target = r.s1 }
+    else if r.kind = k_offload_end then
+      Offload_end { target = r.s1; dirty_pages = r.i1; span_s = r.f.(0) }
+    else if r.kind = k_refusal then Refusal { target = r.s1 }
+    else if r.kind = k_power_state then
+      Power_state { state = r.s1; mw = r.f.(0); duration_s = r.f.(1) }
+    else if r.kind = k_estimate then
+      Estimate
+        { target = r.s1; predicted_gain_s = r.f.(0); local_s = r.f.(1);
+          decision = r.i1 <> 0 }
+    else if r.kind = k_module_load then
+      Module_load { role = r.s1; functions = r.i1; globals = r.i2 }
+    else if r.kind = k_fault_injected then
+      Fault_injected { kind = r.s1; op = r.s2 }
+    else if r.kind = k_rpc_timeout then
+      Rpc_timeout { op = r.s1; attempt = r.i1; waited_s = r.f.(0) }
+    else if r.kind = k_retry then
+      Retry { op = r.s1; attempt = r.i1; backoff_s = r.f.(0) }
+    else if r.kind = k_fallback_local then
+      Fallback_local { target = r.s1; reason = r.s2; recovery_s = r.f.(0) }
+    else if r.kind = k_rollback then
+      Rollback { target = r.s1; pages_restored = r.i1; bytes_discarded = r.i2 }
+    else if r.kind = k_replay then
+      Replay { target = r.s1; replay_s = r.f.(0) }
+    else if r.kind = k_queue then
+      Queue { target = r.s1; server = r.i1; wait_s = r.f.(0); depth = r.i2 }
+    else if r.kind = k_admit then
+      Admit { target = r.s1; server = r.i1; occupancy = r.i2; slot = r.i3 }
+    else if r.kind = k_reject then
+      Reject { target = r.s1; server = r.i1; queue_depth = r.i2 }
+    else if r.kind = k_bw_sample then Bw_sample { bps = r.f.(0) }
+    else if r.kind = k_checkpoint then
+      Checkpoint
+        { target = r.s1; pages = r.i1; image_bytes = r.i2; io_cursor = r.i3;
+          ledger_bytes = r.i4 }
+    else if r.kind = k_migrate_start then
+      Migrate_start
+        { target = r.s1; from_server = r.i1; to_server = r.i2; reason = r.s2;
+          transfer_s = r.f.(0) }
+    else if r.kind = k_migrate_done then
+      Migrate_done { target = r.s1; server = r.i1; resumed_span_s = r.f.(0) }
+    else invalid_arg "Trace.Row.to_event: uninitialized row"
+
+  (* Unboxing boundary: lets a row-native sink accept a boxed event
+     through its [emit] field with one shared scratch row. *)
+  let of_event (r : t) (ev : event) : unit =
+    match ev with
+    | Flush { direction; raw_bytes; wire_bytes; transfer_s; codec_s } ->
+      set_flush r ~direction ~raw_bytes ~wire_bytes ~transfer_s ~codec_s
+    | Page_fault { page; service_s } -> set_page_fault r ~page ~service_s
+    | Prefetch { pages; bytes } -> set_prefetch r ~pages ~bytes
+    | Fnptr_translate { cost_s } -> set_fnptr_translate r ~cost_s
+    | Remote_io { io_name; request_bytes; response_bytes; cost_s } ->
+      set_remote_io r ~io_name ~request_bytes ~response_bytes ~cost_s
+    | Offload_begin { target } -> set_offload_begin r ~target
+    | Offload_end { target; dirty_pages; span_s } ->
+      set_offload_end r ~target ~dirty_pages ~span_s
+    | Refusal { target } -> set_refusal r ~target
+    | Power_state { state; mw; duration_s } ->
+      set_power_state r ~state ~mw ~duration_s
+    | Estimate { target; predicted_gain_s; local_s; decision } ->
+      set_estimate r ~target ~predicted_gain_s ~local_s ~decision
+    | Module_load { role; functions; globals } ->
+      set_module_load r ~role ~functions ~globals
+    | Fault_injected { kind; op } -> set_fault_injected r ~kind ~op
+    | Rpc_timeout { op; attempt; waited_s } ->
+      set_rpc_timeout r ~op ~attempt ~waited_s
+    | Retry { op; attempt; backoff_s } -> set_retry r ~op ~attempt ~backoff_s
+    | Fallback_local { target; reason; recovery_s } ->
+      set_fallback_local r ~target ~reason ~recovery_s
+    | Rollback { target; pages_restored; bytes_discarded } ->
+      set_rollback r ~target ~pages_restored ~bytes_discarded
+    | Replay { target; replay_s } -> set_replay r ~target ~replay_s
+    | Queue { target; server; wait_s; depth } ->
+      set_queue r ~target ~server ~wait_s ~depth
+    | Admit { target; server; occupancy; slot } ->
+      set_admit r ~target ~server ~occupancy ~slot
+    | Reject { target; server; queue_depth } ->
+      set_reject r ~target ~server ~queue_depth
+    | Bw_sample { bps } -> set_bw_sample r ~bps
+    | Checkpoint { target; pages; image_bytes; io_cursor; ledger_bytes } ->
+      set_checkpoint r ~target ~pages ~image_bytes ~io_cursor ~ledger_bytes
+    | Migrate_start { target; from_server; to_server; reason; transfer_s } ->
+      set_migrate_start r ~target ~from_server ~to_server ~reason ~transfer_s
+    | Migrate_done { target; server; resumed_span_s } ->
+      set_migrate_done r ~target ~server ~resumed_span_s
+end
+
 (* Events that carry a time-span are stamped with the *start* of the
-   span; the clock value is simulated seconds. *)
-type sink = { emit : ts:float -> event -> unit }
+   span; the clock value is simulated seconds.  Every sink accepts the
+   stream through either door — a boxed [event] or a scratch [Row.t] —
+   and an emitter picks exactly one per event, so fan-outs and
+   re-stamping wrappers forward whichever arrived without converting. *)
+type sink = {
+  emit : ts:float -> event -> unit;
+  emit_row : ts:float -> Row.t -> unit;
+}
 
-let null = { emit = (fun ~ts:_ _ -> ()) }
+(* Wrap a boxed-event consumer: rows are materialized at this boundary
+   (the capture sinks — rings, jsonl writers — are built this way). *)
+let of_emit emit =
+  { emit; emit_row = (fun ~ts row -> emit ~ts (Row.to_event row)) }
 
-(* Physical equality against the unique [null] closure lets hot
+let null =
+  { emit = (fun ~ts:_ _ -> ()); emit_row = (fun ~ts:_ _ -> ()) }
+
+(* Physical equality against the unique [null] closure pair lets hot
    emitters skip event construction entirely. *)
 let is_null sink = sink == null
 
 let fan_out = function
   | [] -> null
   | [ sink ] -> sink
-  | sinks -> { emit = (fun ~ts ev -> List.iter (fun s -> s.emit ~ts ev) sinks) }
+  | sinks ->
+    {
+      emit = (fun ~ts ev -> List.iter (fun s -> s.emit ~ts ev) sinks);
+      emit_row = (fun ~ts row -> List.iter (fun s -> s.emit_row ~ts row) sinks);
+    }
 
 (* An ideal (zero-communication-cost) run still moves bytes logically;
    only the charged times vanish.  Sessions wrap their channel sink
@@ -104,6 +433,15 @@ let fan_out = function
 let zero_cost = function
   | Flush f -> Flush { f with transfer_s = 0.0; codec_s = 0.0 }
   | ev -> ev
+
+(* In-place twin of [zero_cost] for the row path.  Mutating the row is
+   fine: it belongs to the emitter, which is done with the charged
+   values once it hands the row over. *)
+let zero_cost_row (r : Row.t) =
+  if r.Row.kind = Row.k_flush then begin
+    r.Row.f.(0) <- 0.0;
+    r.Row.f.(1) <- 0.0
+  end
 
 let event_name = function
   | Flush { direction; _ } -> "flush:" ^ direction_to_string direction
@@ -302,7 +640,174 @@ module Metrics = struct
       t.migrate_resume_s <- t.migrate_resume_s +. resumed_span_s);
     Selfprof.leave Sink_emit
 
-  let sink t = { emit = (fun ~ts ev -> observe t ~ts ev) }
+  let sink t = of_emit (fun ~ts ev -> observe t ~ts ev)
+
+  (* {2 Batched accumulation}
+
+     The float sums above are mutable fields of a mixed record, so
+     every per-event [t.transfer_s <- t.transfer_s +. x] boxes a
+     float.  An [acc] keeps those thirteen sums in a flat float array
+     — the authoritative store while the accumulator is attached — and
+     [flush_acc] materializes them into the record at window/run
+     boundaries.  The addition sequence per field is exactly the
+     per-event sequence, so a flushed record is bit-identical to one
+     fed through [observe]; only the boxing moves to the boundary.
+     Int counters and the (rare) power-residency structures update the
+     record directly.
+
+     While an [acc] is attached, read the record only after
+     [flush_acc] — the float fields lag the array between flushes. *)
+
+  (* Slots in [af], one per float field of [t]. *)
+  let a_transfer = 0
+  let a_codec = 1
+  let a_fault = 2
+  let a_fnptr = 3
+  let a_remote_io = 4
+  let a_offload_span = 5
+  let a_retry_wait = 6
+  let a_recovery = 7
+  let a_replay = 8
+  let a_queue_wait = 9
+  let a_migrate_transfer = 10
+  let a_migrate_resume = 11
+  let a_energy = 12
+  let a_slots = 13
+
+  type acc = { am : t; af : float array; arow : Row.t }
+
+  let acc m =
+    let af = Array.make a_slots 0.0 in
+    af.(a_transfer) <- m.transfer_s;
+    af.(a_codec) <- m.codec_s;
+    af.(a_fault) <- m.fault_s;
+    af.(a_fnptr) <- m.fnptr_s;
+    af.(a_remote_io) <- m.remote_io_s;
+    af.(a_offload_span) <- m.offload_span_s;
+    af.(a_retry_wait) <- m.retry_wait_s;
+    af.(a_recovery) <- m.recovery_s;
+    af.(a_replay) <- m.replay_s;
+    af.(a_queue_wait) <- m.queue_wait_s;
+    af.(a_migrate_transfer) <- m.migrate_transfer_s;
+    af.(a_migrate_resume) <- m.migrate_resume_s;
+    af.(a_energy) <- m.energy_mj;
+    { am = m; af; arow = Row.create () }
+
+  let flush_acc a =
+    let m = a.am and af = a.af in
+    m.transfer_s <- af.(a_transfer);
+    m.codec_s <- af.(a_codec);
+    m.fault_s <- af.(a_fault);
+    m.fnptr_s <- af.(a_fnptr);
+    m.remote_io_s <- af.(a_remote_io);
+    m.offload_span_s <- af.(a_offload_span);
+    m.retry_wait_s <- af.(a_retry_wait);
+    m.recovery_s <- af.(a_recovery);
+    m.replay_s <- af.(a_replay);
+    m.queue_wait_s <- af.(a_queue_wait);
+    m.migrate_transfer_s <- af.(a_migrate_transfer);
+    m.migrate_resume_s <- af.(a_migrate_resume);
+    m.energy_mj <- af.(a_energy)
+
+  let observe_row a ~ts (r : Row.t) =
+    Selfprof.enter Sink_emit;
+    let m = a.am and af = a.af in
+    let k = r.Row.kind in
+    (if k = Row.k_flush then begin
+       (if r.Row.i1 = 0 then begin
+          m.flushes_to_server <- m.flushes_to_server + 1;
+          m.raw_to_server <- m.raw_to_server + r.Row.i2;
+          m.wire_to_server <- m.wire_to_server + r.Row.i3
+        end
+        else begin
+          m.flushes_to_mobile <- m.flushes_to_mobile + 1;
+          m.raw_to_mobile <- m.raw_to_mobile + r.Row.i2;
+          m.wire_to_mobile <- m.wire_to_mobile + r.Row.i3
+        end);
+       af.(a_transfer) <- af.(a_transfer) +. r.Row.f.(0);
+       af.(a_codec) <- af.(a_codec) +. r.Row.f.(1)
+     end
+     else if k = Row.k_page_fault then begin
+       m.fault_count <- m.fault_count + 1;
+       af.(a_fault) <- af.(a_fault) +. r.Row.f.(0)
+     end
+     else if k = Row.k_prefetch then begin
+       m.prefetched_pages <- m.prefetched_pages + r.Row.i1;
+       m.prefetched_bytes <- m.prefetched_bytes + r.Row.i2
+     end
+     else if k = Row.k_fnptr_translate then begin
+       m.fnptr_count <- m.fnptr_count + 1;
+       af.(a_fnptr) <- af.(a_fnptr) +. r.Row.f.(0)
+     end
+     else if k = Row.k_remote_io then begin
+       m.remote_io_count <- m.remote_io_count + 1;
+       af.(a_remote_io) <- af.(a_remote_io) +. r.Row.f.(0)
+     end
+     else if k = Row.k_offload_begin then m.offloads <- m.offloads + 1
+     else if k = Row.k_offload_end then
+       af.(a_offload_span) <- af.(a_offload_span) +. r.Row.f.(0)
+     else if k = Row.k_refusal then m.refusals <- m.refusals + 1
+     else if k = Row.k_power_state then begin
+       let mw = r.Row.f.(0) and duration_s = r.Row.f.(1) in
+       af.(a_energy) <- af.(a_energy) +. (mw *. duration_s);
+       let state = r.Row.s1 in
+       let prev =
+         Option.value ~default:0.0 (Hashtbl.find_opt m.power_s state)
+       in
+       Hashtbl.replace m.power_s state (prev +. duration_s);
+       m.power_rev <- (ts, mw, duration_s, state) :: m.power_rev
+     end
+     else if k = Row.k_estimate then m.estimates <- m.estimates + 1
+     else if k = Row.k_module_load then ()
+     else if k = Row.k_fault_injected then
+       m.faults_injected <- m.faults_injected + 1
+     else if k = Row.k_rpc_timeout then begin
+       m.rpc_timeouts <- m.rpc_timeouts + 1;
+       af.(a_retry_wait) <- af.(a_retry_wait) +. r.Row.f.(0)
+     end
+     else if k = Row.k_retry then begin
+       m.retries <- m.retries + 1;
+       af.(a_retry_wait) <- af.(a_retry_wait) +. r.Row.f.(0)
+     end
+     else if k = Row.k_fallback_local then begin
+       m.fallbacks <- m.fallbacks + 1;
+       af.(a_recovery) <- af.(a_recovery) +. r.Row.f.(0)
+     end
+     else if k = Row.k_rollback then m.rollbacks <- m.rollbacks + 1
+     else if k = Row.k_replay then begin
+       m.replays <- m.replays + 1;
+       af.(a_replay) <- af.(a_replay) +. r.Row.f.(0)
+     end
+     else if k = Row.k_queue then begin
+       m.queued <- m.queued + 1;
+       af.(a_queue_wait) <- af.(a_queue_wait) +. r.Row.f.(0)
+     end
+     else if k = Row.k_admit then m.admits <- m.admits + 1
+     else if k = Row.k_reject then m.rejects <- m.rejects + 1
+     else if k = Row.k_bw_sample then ()
+     else if k = Row.k_checkpoint then begin
+       m.checkpoints <- m.checkpoints + 1;
+       m.checkpoint_pages <- m.checkpoint_pages + r.Row.i1;
+       m.checkpoint_bytes <- m.checkpoint_bytes + r.Row.i2
+     end
+     else if k = Row.k_migrate_start then begin
+       m.migrations <- m.migrations + 1;
+       af.(a_migrate_transfer) <- af.(a_migrate_transfer) +. r.Row.f.(0)
+     end
+     else if k = Row.k_migrate_done then begin
+       m.migrations_done <- m.migrations_done + 1;
+       af.(a_migrate_resume) <- af.(a_migrate_resume) +. r.Row.f.(0)
+     end);
+    Selfprof.leave Sink_emit
+
+  let acc_sink a =
+    {
+      emit =
+        (fun ~ts ev ->
+          Row.of_event a.arow ev;
+          observe_row a ~ts a.arow);
+      emit_row = (fun ~ts r -> observe_row a ~ts r);
+    }
 
   (* Field-wise addition, used to reconstitute run totals from
      windowed per-interval metrics (Obs.Series).  Power segments are
@@ -473,7 +978,8 @@ module Ring = struct
     t.next <- (t.next + 1) mod t.capacity;
     Selfprof.leave Sink_emit
 
-  let sink t = { emit = (fun ~ts ev -> record t ~ts ev) }
+  (* Rows are boxed here — the ring is a capture boundary. *)
+  let sink t = of_emit (fun ~ts ev -> record t ~ts ev)
 
   let length t = t.stored
   let dropped t = t.dropped

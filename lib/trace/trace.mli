@@ -100,9 +100,136 @@ type event =
       (** the migrated task resumed and completed on member [server];
           [resumed_span_s] is the remote span after resumption *)
 
-type sink = { emit : ts:float -> event -> unit }
+(** The scratch-row tier of the two-tier event representation: hot
+    emitters fill a preallocated mutable row (ints, a flat float
+    array, shared strings — nothing a fill allocates) and hand it to
+    {!sink.emit_row}; the boxed {!event} is materialized only at
+    capture boundaries via {!Row.to_event}.  A row is valid only for
+    the duration of the [emit_row] call — sinks must copy what they
+    keep. *)
+module Row : sig
+  type t = {
+    mutable kind : int;  (** one of the [k_*] codes *)
+    mutable i1 : int;
+    mutable i2 : int;
+    mutable i3 : int;
+    mutable i4 : int;
+    f : float array;  (** 2 slots, unboxed *)
+    mutable s1 : string;
+    mutable s2 : string;
+  }
+
+  (** Kind codes, one per {!event} constructor. *)
+
+  val k_flush : int
+  val k_page_fault : int
+  val k_prefetch : int
+  val k_fnptr_translate : int
+  val k_remote_io : int
+  val k_offload_begin : int
+  val k_offload_end : int
+  val k_refusal : int
+  val k_power_state : int
+  val k_estimate : int
+  val k_module_load : int
+  val k_fault_injected : int
+  val k_rpc_timeout : int
+  val k_retry : int
+  val k_fallback_local : int
+  val k_rollback : int
+  val k_replay : int
+  val k_queue : int
+  val k_admit : int
+  val k_reject : int
+  val k_bw_sample : int
+  val k_checkpoint : int
+  val k_migrate_start : int
+  val k_migrate_done : int
+
+  val create : unit -> t
+
+  (** Setters, the slot mapping's single source of truth (inverted
+      exactly by {!to_event}).  Small on purpose so the inliner keeps
+      the float arguments unboxed. *)
+
+  val set_flush :
+    t -> direction:direction -> raw_bytes:int -> wire_bytes:int ->
+    transfer_s:float -> codec_s:float -> unit
+
+  val set_page_fault : t -> page:int -> service_s:float -> unit
+  val set_prefetch : t -> pages:int -> bytes:int -> unit
+  val set_fnptr_translate : t -> cost_s:float -> unit
+
+  val set_remote_io :
+    t -> io_name:string -> request_bytes:int -> response_bytes:int ->
+    cost_s:float -> unit
+
+  val set_offload_begin : t -> target:string -> unit
+
+  val set_offload_end :
+    t -> target:string -> dirty_pages:int -> span_s:float -> unit
+
+  val set_refusal : t -> target:string -> unit
+  val set_power_state : t -> state:string -> mw:float -> duration_s:float -> unit
+
+  val set_estimate :
+    t -> target:string -> predicted_gain_s:float -> local_s:float ->
+    decision:bool -> unit
+
+  val set_module_load : t -> role:string -> functions:int -> globals:int -> unit
+  val set_fault_injected : t -> kind:string -> op:string -> unit
+  val set_rpc_timeout : t -> op:string -> attempt:int -> waited_s:float -> unit
+  val set_retry : t -> op:string -> attempt:int -> backoff_s:float -> unit
+
+  val set_fallback_local :
+    t -> target:string -> reason:string -> recovery_s:float -> unit
+
+  val set_rollback :
+    t -> target:string -> pages_restored:int -> bytes_discarded:int -> unit
+
+  val set_replay : t -> target:string -> replay_s:float -> unit
+
+  val set_queue :
+    t -> target:string -> server:int -> wait_s:float -> depth:int -> unit
+
+  val set_admit :
+    t -> target:string -> server:int -> occupancy:int -> slot:int -> unit
+
+  val set_reject : t -> target:string -> server:int -> queue_depth:int -> unit
+  val set_bw_sample : t -> bps:float -> unit
+
+  val set_checkpoint :
+    t -> target:string -> pages:int -> image_bytes:int -> io_cursor:int ->
+    ledger_bytes:int -> unit
+
+  val set_migrate_start :
+    t -> target:string -> from_server:int -> to_server:int -> reason:string ->
+    transfer_s:float -> unit
+
+  val set_migrate_done :
+    t -> target:string -> server:int -> resumed_span_s:float -> unit
+
+  val to_event : t -> event
+  (** Boxing boundary, the exact inverse of the setters.  Raises
+      [Invalid_argument] on an uninitialized row. *)
+
+  val of_event : t -> event -> unit
+  (** Fill the row from a boxed event — how a row-native sink accepts
+      the boxed door with one shared scratch row. *)
+end
+
+type sink = {
+  emit : ts:float -> event -> unit;
+  emit_row : ts:float -> Row.t -> unit;
+}
 (** [ts] is simulated seconds; events that span time are stamped with
-    the {e start} of their span. *)
+    the {e start} of their span.  An emitter delivers each event
+    through exactly one of the two doors; every sink accepts both. *)
+
+val of_emit : (ts:float -> event -> unit) -> sink
+(** Wrap a boxed-event consumer: rows are boxed ({!Row.to_event}) at
+    this boundary.  How capture sinks (rings, jsonl writers) are
+    built. *)
 
 val null : sink
 (** Discards everything. *)
@@ -112,11 +239,14 @@ val is_null : sink -> bool
     construction. *)
 
 val fan_out : sink list -> sink
-(** Emit to every sink in order. *)
+(** Emit to every sink in order (rows are forwarded as rows). *)
 
 val zero_cost : event -> event
 (** Zero the charged-time fields of a {!Flush} (ideal-mode wrapper);
     other events pass through. *)
+
+val zero_cost_row : Row.t -> unit
+(** In-place twin of {!zero_cost} for the row door. *)
 
 val event_name : event -> string
 (** Short display name, e.g. ["flush:to-server"]. *)
@@ -173,6 +303,22 @@ module Metrics : sig
 
   val create : unit -> t
   val sink : t -> sink
+
+  type acc
+  (** Batched accumulator over a {!t}: the thirteen float sums live in
+      a flat array (no per-event boxing) and materialize into the
+      record at {!flush_acc}.  The per-field addition sequence is
+      exactly {!sink}'s, so a flushed record is bit-identical to one
+      fed per-event.  While attached, read the record only after
+      {!flush_acc}. *)
+
+  val acc : t -> acc
+  val acc_sink : acc -> sink
+
+  val flush_acc : acc -> unit
+  (** Fold the accumulated float sums into the underlying record
+      (idempotent; int counters and power structures are always
+      current). *)
 
   val merge_into : into:t -> t -> unit
   (** Field-wise addition (power-state residencies included), so that

@@ -21,7 +21,16 @@ Subcommands:
   selftest BASELINE     verify the guard actually fails on an injected
                         2x slowdown — including a doubled allocs/event
                         and a halved micro events/sec — and passes on
-                        an identical copy
+                        an identical copy; also proves a missing,
+                        empty or truncated artifact yields the named
+                        error below, not a traceback
+
+Artifact errors: every JSON argument is read through one loader that
+turns a missing, empty or syntactically truncated file into a named
+"bench_guard: ..." message naming the path and the fix (re-run the
+bench step that writes it) — the usual cause is a bench step that
+crashed or was cancelled mid-write, and a Python traceback pointing
+at json.load buries that.
 
 The simulator is deterministic, so at a fixed --sample size the
 headline numbers are stable across runs and machines; the tolerance
@@ -72,7 +81,10 @@ a perpetual FAIL.
 import argparse
 import copy
 import json
+import os
+import shutil
 import sys
+import tempfile
 
 SCHEMA = 4
 
@@ -80,8 +92,36 @@ FLEET_POLICIES = ("rr", "ll", "sticky")
 
 
 def load(path):
-    with open(path) as fh:
-        return json.load(fh)
+    """Read one headline JSON artifact.
+
+    A missing, unreadable, empty or truncated file exits with a named
+    actionable message instead of a traceback: on CI these mean the
+    bench step that writes the artifact crashed or was cancelled, and
+    the fix is to re-run that step, not to debug this script.
+    """
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        sys.exit(
+            f"bench_guard: cannot read {path}: "
+            f"{exc.strerror or exc}; re-run the bench step that "
+            "writes this artifact"
+        )
+    if not text.strip():
+        sys.exit(
+            f"bench_guard: {path} is empty; the bench step that "
+            "writes it was interrupted before producing output — "
+            "re-run it"
+        )
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        sys.exit(
+            f"bench_guard: {path} is not valid JSON ({exc}); the "
+            "artifact is likely truncated — re-run the bench step "
+            "that writes it"
+        )
 
 
 def cmd_merge(args):
@@ -375,8 +415,56 @@ def cmd_check(args):
     )
 
 
+def selftest_loader():
+    """Prove load() turns broken artifacts into the named error."""
+    tmpdir = tempfile.mkdtemp(prefix="bench_guard_selftest.")
+    try:
+        missing = os.path.join(tmpdir, "missing.json")
+        try:
+            load(missing)
+        except SystemExit as exc:
+            if "bench_guard: cannot read" not in str(exc):
+                sys.exit(
+                    "selftest: missing artifact produced "
+                    f"{str(exc)!r}, not the named error"
+                )
+        else:
+            sys.exit("selftest: a missing artifact was not caught")
+
+        empty = os.path.join(tmpdir, "empty.json")
+        with open(empty, "w"):
+            pass
+        try:
+            load(empty)
+        except SystemExit as exc:
+            if "is empty" not in str(exc):
+                sys.exit(
+                    "selftest: empty artifact produced "
+                    f"{str(exc)!r}, not the named error"
+                )
+        else:
+            sys.exit("selftest: an empty artifact was not caught")
+
+        truncated = os.path.join(tmpdir, "truncated.json")
+        with open(truncated, "w") as fh:
+            fh.write('{"percentiles": {"geomean_speedup": 1.')
+        try:
+            load(truncated)
+        except SystemExit as exc:
+            if "is not valid JSON" not in str(exc):
+                sys.exit(
+                    "selftest: truncated artifact produced "
+                    f"{str(exc)!r}, not the named error"
+                )
+        else:
+            sys.exit("selftest: a truncated artifact was not caught")
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def cmd_selftest(args):
     baseline = load(args.baseline)
+    selftest_loader()
 
     identical = copy.deepcopy(baseline)
     if compare(identical, baseline, args.tolerance):
@@ -429,7 +517,8 @@ def cmd_selftest(args):
         "2x fleet slowdown, sub-floor host throughput, a lost "
         "migration, a sub-1.0 recovery ratio, a doubled allocs/event, "
         "a halved micro events/sec and a flipped fleet SLO verdict "
-        "all fail"
+        "all fail; missing/empty/truncated artifacts yield the named "
+        "bench_guard error"
     )
 
 

@@ -7,6 +7,7 @@ let () =
       ("mem", Test_mem.tests);
       ("netsim", Test_netsim.tests);
       ("trace", Test_trace.tests);
+      ("trace-equiv", Test_trace_equiv.tests);
       ("obs", Test_obs.tests);
       ("analysis", Test_analysis.tests);
       ("estimator", Test_estimator.tests);

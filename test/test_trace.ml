@@ -18,7 +18,7 @@ module Experiment = Native_offloader.Experiment
 
 let recording () =
   let log = ref [] in
-  let sink = { Trace.emit = (fun ~ts ev -> log := (ts, ev) :: !log) } in
+  let sink = Trace.of_emit (fun ~ts ev -> log := (ts, ev) :: !log) in
   (sink, fun () -> List.rev !log)
 
 let some_flush =
