@@ -723,11 +723,37 @@ let fleet_config ~servers ~slots ~queue ~policy ~record =
     Sim.s_policy = policy;
     Sim.s_record_events = record }
 
+(* The sampler's SLO keep-leg threshold: the tightest offload-span
+   quantile limit in the spec, or none — a sampler keeps whole tasks,
+   and a task's latency is its offload span. *)
+let slo_span_limit objectives =
+  List.fold_left
+    (fun acc o ->
+      match o with
+      | Slo.Quantile { kind = "offload-span"; limit_s; _ } ->
+        Float.min acc limit_s
+      | _ -> acc)
+    infinity objectives
+
+(* FNV-1a over the kept-trace id list — the determinism fingerprint
+   the bench guard compares exactly: any change to the kept set (one
+   id added, dropped or reordered) changes the hash. *)
+let kept_hash sampler =
+  let h = ref 0xcbf29ce484222325L in
+  let byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int b)) 0x100000001b3L in
+  List.iter
+    (fun id ->
+      String.iter (fun c -> byte (Char.code c)) id;
+      byte 0x0a)
+    (Trace.Sampler.kept_ids sampler);
+  Printf.sprintf "%016Lx" !h
+
 (* The sweep saturates on purpose, so verdicts use
    [Slo.fleet_default_spec] (an availability floor), not the serving
    target — see the note on that spec. *)
 let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
-    ?(slo = Slo.fleet_default_spec) ?json () =
+    ?(slo = Slo.fleet_default_spec) ?sample ?(sample_seed = 42) ?json
+    ?incidents_out ?metrics_out () =
   let stagger_s = 0.0005 in
   let objectives = slo_objectives_exn slo in
   (* Per-policy SLO verdicts come from a fleet-wide windowed series
@@ -745,7 +771,33 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
     let wall_s =
       Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
     in
-    (result, wall_s, Slo.evaluate objectives series)
+    (result, wall_s, Slo.evaluate objectives series, series)
+  in
+  (* One sampled rerun of the same policy/fleet: a fresh series
+     receives the stream plus the sampler's exemplars, and the
+     sampler's keep decisions come from the seeded stateless RNG. *)
+  let run_sampled policy count budget =
+    let series = Series.create () in
+    let sampler =
+      Trace.Sampler.create ~slo_limit_s:(slo_span_limit objectives)
+        ~exemplar:(fun ~ts ~kind ~value ~trace_id ->
+          Series.add_exemplar series ~ts ~kind ~value ~trace_id)
+        ~keep:(fun ~client ~task ->
+          Rng.task_keep ~seed:(Int64.of_int sample_seed) ~client ~task ~budget)
+        ()
+    in
+    let cs = Sim.make_clients ~stagger_s ~workloads:fleet_mix ~count () in
+    let config =
+      { (fleet_config ~servers ~slots ~queue ~policy ~record:false) with
+        Sim.s_global_sink = Some (Series.sink series);
+        Sim.s_sampler = Some sampler }
+    in
+    let t0 = Monotonic_clock.now () in
+    let result = Sim.run ~config cs in
+    let wall_s =
+      Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+    in
+    (result, wall_s, sampler, series)
   in
   let table =
     Table.create
@@ -760,9 +812,13 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
         "SLO" ]
   in
   let json_fields = ref [] in
+  let sampled_incidents = ref [] in     (* (short, incident list), policy order *)
+  let metrics_series = ref None in      (* first policy's sampled series *)
+  let full_ev = ref 0.0 and full_wall = ref 0.0 in
+  let samp_ev = ref 0.0 and samp_wall = ref 0.0 in
   List.iter
     (fun policy ->
-      let result, wall_s, verdicts = run_policy policy clients in
+      let result, wall_s, verdicts, _series = run_policy policy clients in
       let st = result.Sim.r_stats in
       let short =
         match policy with
@@ -798,7 +854,48 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
               json_f (float_of_int clients /. wall_s) );
             ( Printf.sprintf "fleet_%s_slo_pass" short,
               if Slo.pass verdicts then "true" else "false" );
-          ])
+          ];
+      match sample with
+      | None -> ()
+      | Some budget ->
+        (* Sampled leg of the same policy: overhead headline (events/s
+           vs. the full-capture run above), kept-set count + hash for
+           the determinism guard, incident timeline and exemplars. *)
+        let sresult, swall_s, sampler, sseries =
+          run_sampled policy clients budget
+        in
+        full_ev := !full_ev +. float_of_int result.Sim.r_events;
+        full_wall := !full_wall +. wall_s;
+        samp_ev := !samp_ev +. float_of_int sresult.Sim.r_events;
+        samp_wall := !samp_wall +. swall_s;
+        let incidents = Incident.detect objectives sseries in
+        sampled_incidents := !sampled_incidents @ [ (short, incidents) ];
+        if !metrics_series = None then metrics_series := Some sseries;
+        Printf.printf
+          "sampling [%s] budget %g: kept %d/%d tasks (%s), rows %d/%d, \
+           peak buffered rows %d\n"
+          (Pool.policy_to_string policy)
+          budget
+          (Trace.Sampler.kept sampler)
+          (Trace.Sampler.tasks sampler)
+          (String.concat ", "
+             (List.map
+                (fun (r, n) -> Printf.sprintf "%s %d" r n)
+                (Trace.Sampler.reasons sampler)))
+          (Trace.Sampler.rows_kept sampler)
+          (Trace.Sampler.rows_seen sampler)
+          (Trace.Sampler.buffered_rows_peak sampler);
+        Printf.printf "incidents [%s]:\n%s\n"
+          (Pool.policy_to_string policy)
+          (Incident.render incidents);
+        json_fields :=
+          !json_fields
+          @ [
+              ( Printf.sprintf "fleet_%s_sampled_kept" short,
+                json_i (Trace.Sampler.kept sampler) );
+              ( Printf.sprintf "fleet_%s_kept_hash" short,
+                Printf.sprintf "\"%s\"" (kept_hash sampler) );
+            ])
     Pool.all_policies;
   Table.print table;
   print_newline ();
@@ -812,8 +909,8 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
   in
   List.iter
     (fun count ->
-      let rr, _, _ = run_policy Pool.Round_robin count in
-      let ll, _, _ = run_policy Pool.Least_loaded count in
+      let rr, _, _, _ = run_policy Pool.Round_robin count in
+      let ll, _, _, _ = run_policy Pool.Least_loaded count in
       let g_rr = Sim.geomean_speedup rr
       and g_ll = Sim.geomean_speedup ll in
       Table.add_row flip
@@ -827,6 +924,46 @@ let run_fleet ?(clients = 1000) ?(servers = 4) ?(slots = 2) ?(queue = 2)
         ])
     [ servers; clients ];
   Table.print flip;
+  (match sample with
+  | None -> ()
+  | Some budget ->
+    let ratio =
+      if !full_ev > 0.0 && !samp_wall > 0.0 && !full_wall > 0.0 then
+        !samp_ev /. !samp_wall /. (!full_ev /. !full_wall)
+      else 1.0
+    in
+    Printf.printf "\nsampling overhead: %.0f events/s sampled vs %.0f full \
+                   (ratio %.3f)\n"
+      (!samp_ev /. !samp_wall) (!full_ev /. !full_wall) ratio;
+    json_fields :=
+      !json_fields
+      @ [
+          ("fleet_sample_budget", json_f budget);
+          ("fleet_sample_seed", json_i sample_seed);
+          ("fleet_sample_vs_full_ratio", json_f ratio);
+        ];
+    Option.iter
+      (fun path ->
+        (* One jsonl stream across policies: each incident's label is
+           prefixed with its policy key so lines stay self-describing. *)
+        let all =
+          List.concat_map
+            (fun (short, incidents) ->
+              List.map
+                (fun (i : Incident.incident) ->
+                  { i with Incident.i_label = short ^ "/" ^ i.Incident.i_label })
+                incidents)
+            !sampled_incidents
+        in
+        Incident.save path all)
+      incidents_out;
+    Option.iter
+      (fun path ->
+        match !metrics_series with
+        | Some series ->
+          Openmetrics.write path ~series (Series.totals series)
+        | None -> ())
+      metrics_out);
   Option.iter
     (fun path ->
       write_json path
@@ -1323,7 +1460,10 @@ let () =
   | _ :: "fleet" :: _ ->
     run_fleet ?clients:(opt_int "--clients") ?servers:(opt_int "--servers")
       ?slots:(opt_int "--slots") ?queue:(opt_int "--queue")
-      ?json:(opt "--json") ()
+      ?sample:(Option.map float_of_string (opt "--sample"))
+      ?sample_seed:(opt_int "--sample-seed") ?json:(opt "--json")
+      ?incidents_out:(opt "--incidents-out") ?metrics_out:(opt "--metrics-out")
+      ()
   | _ :: "migrate" :: _ ->
     let policy =
       Option.bind (opt "--policy") Pool.policy_of_string

@@ -533,7 +533,7 @@ let analyze_cmd =
   (* Machine-readable twin of the printed tables: per-kind histogram
      quantiles plus the estimator audit, one JSON document.  Pure
      function of the trace, so re-analyzing is byte-identical. *)
-  let analysis_json ~hist_specs events =
+  let analysis_json ~hist_specs ~sampled ~exemplars events =
     let b = Buffer.create 2048 in
     let jf = Printf.sprintf "%.9g" in
     let esc s =
@@ -570,6 +570,17 @@ let analyze_cmd =
                (jf (Hist.max h)))
         end)
       hist_specs;
+    Buffer.add_string b "\n  ],";
+    Buffer.add_string b
+      (Printf.sprintf "\n  \"sampled\": %b,\n  \"exemplars\": [" sampled);
+    List.iteri
+      (fun i (name, _digits, id, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n    {\"kind\": \"%s\", \"trace\": \"%s\", \"value\": %s}"
+             (esc name) (esc id) (jf v)))
+      exemplars;
     Buffer.add_string b "\n  ],\n  \"audit\": [";
     let rows = Audit.of_events events in
     List.iteri
@@ -609,13 +620,38 @@ let analyze_cmd =
     Buffer.contents b
   in
   let run file flame json =
-    match Trace_file.load file with
+    match Trace_file.load_traces file with
     | Error msg ->
       Fmt.epr "%s: %s@." file msg;
       exit 1
-    | Ok events ->
-      let root = Span.of_events events in
-      Fmt.pr "span tree (%d events):@.@.%s@." (List.length events)
+    | Ok (tagged, sampled) ->
+      let events = List.map (fun (ts, ev, _) -> (ts, ev)) tagged in
+      let kept_ids =
+        List.sort_uniq compare (List.filter_map (fun (_, _, id) -> id) tagged)
+      in
+      (* Per kind, the worst-valued event that carries a kept-trace
+         tag: the file-level twin of the histogram exemplars the live
+         series exposes through OpenMetrics. *)
+      let exemplars =
+        List.filter_map
+          (fun (name, digits, select) ->
+            List.fold_left
+              (fun acc (_ts, ev, id) ->
+                match (id, select ev) with
+                | Some id, Some v -> (
+                  match acc with
+                  | Some (_, _, _, best) when best >= v -> acc
+                  | _ -> Some (name, digits, id, v))
+                | _ -> acc)
+              None tagged)
+          hist_specs
+      in
+      let root = Span.of_events ~sampled events in
+      Fmt.pr "span tree (%d events%s):@.@.%s@." (List.length events)
+        (if sampled then
+           Printf.sprintf ", sampled: %d kept traces, gaps not attributed"
+             (List.length kept_ids)
+         else "")
         (Flame.to_text root);
       let table =
         Table.create ~title:"Cost distributions (log-bucketed histograms)"
@@ -642,6 +678,18 @@ let analyze_cmd =
               ])
         hist_specs;
       Table.print table;
+      if exemplars <> [] then begin
+        print_newline ();
+        let table =
+          Table.create ~title:"Exemplars (worst kept trace per kind)"
+            [ "kind"; "trace"; "value" ]
+        in
+        List.iter
+          (fun (name, digits, id, v) ->
+            Table.add_row table [ name; id; Table.cell_f ~digits v ])
+          exemplars;
+        Table.print table
+      end;
       let rows = Audit.of_events events in
       if rows <> [] then begin
         let table =
@@ -702,7 +750,7 @@ let analyze_cmd =
           Fmt.epr "cannot write analysis JSON: %s@." msg;
           exit 1
         | oc ->
-          output_string oc (analysis_json ~hist_specs events);
+          output_string oc (analysis_json ~hist_specs ~sampled ~exemplars events);
           close_out oc;
           Fmt.pr "@.wrote %s (histogram quantiles + estimator audit)@." out))
   in
@@ -844,8 +892,49 @@ let serve_cmd =
              windowed series, e.g. \
              $(b,avail>=0.99,p99(page-fault)<=50ms,burn(0.99)<=14).")
   in
+  let sample_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample" ] ~docv:"BUDGET"
+          ~doc:
+            "Tail-based trace sampling: keep every faulted, migrated and \
+             SLO-violating task plus a seeded $(docv) fraction (0..1) of \
+             the routine rest, and report the kept set, per-reason \
+             counts and the SLO incident timeline.  Ignored with \
+             $(b,--migrate).")
+  in
+  let sample_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "sample-seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the budget leg of the sampling decision; reruns \
+             with the same seed keep a byte-identical set.")
+  in
+  let incidents_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "incidents-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the SLO incident timeline (one JSON object per \
+             incident) to $(docv).  Requires $(b,--sample).")
+  in
+  let sample_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sample-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the kept traces as a sampled raw-trace file (header \
+             flagged $(b,\"sampled\":true), every event line tagged with \
+             its kept-trace id) readable by $(b,offload-cli analyze).  \
+             Requires $(b,--sample).")
+  in
   let run clients slots queue servers policy workloads stagger link faults
-      seed eval metrics_out migrate no_migrate slo self_prof =
+      seed eval metrics_out migrate no_migrate slo sample sample_seed
+      incidents_out sample_out self_prof =
     if clients < 1 then begin
       Fmt.epr "need at least one client@.";
       exit 1
@@ -874,6 +963,14 @@ let serve_cmd =
         Fmt.epr "bad --slo spec: %s@.(grammar: %s)@." msg Slo.grammar;
         exit 1
     in
+    (match sample with
+    | None when incidents_out <> None || sample_out <> None ->
+      Fmt.epr "--incidents-out and --sample-out require --sample@.";
+      exit 1
+    | Some b when not (b >= 0.0 && b <= 1.0) ->
+      Fmt.epr "--sample budget must be within [0,1]@.";
+      exit 1
+    | _ -> ());
     let print_slo result =
       let series = Series.of_events (Sim.global_events result) in
       let verdicts = Slo.evaluate objectives series in
@@ -920,6 +1017,35 @@ let serve_cmd =
           | Some s -> Fault_plan.with_seed p s
           | None -> p)
     in
+    (* With --sample, a live windowed series rides the streaming global
+       sink so the sampler's exemplar hook can attach kept-trace ids to
+       the same windows the SLO incident timeline is detected over. *)
+    let sampling =
+      match sample with
+      | None -> None
+      | Some budget ->
+        let live = Series.create () in
+        let slo_limit_s =
+          List.fold_left
+            (fun acc o ->
+              match o with
+              | Slo.Quantile { kind = "offload-span"; limit_s; _ } ->
+                Float.min acc limit_s
+              | _ -> acc)
+            infinity objectives
+        in
+        let sampler =
+          Trace.Sampler.create ~slo_limit_s
+            ~exemplar:(fun ~ts ~kind ~value ~trace_id ->
+              Series.add_exemplar live ~ts ~kind ~value ~trace_id)
+            ~keep:(fun ~client ~task ->
+              Rng.task_keep
+                ~seed:(Int64.of_int sample_seed)
+                ~client ~task ~budget)
+            ()
+        in
+        Some (budget, sampler, live)
+    in
     let config =
       { Sim.default_config with
         Sim.s_load =
@@ -933,7 +1059,12 @@ let serve_cmd =
           | None -> Link.fast_wifi);
         Sim.s_scale = (if eval then Sim.Eval else Sim.Profile);
         Sim.s_migrate = not no_migrate;
-        Sim.s_record_events = true }
+        Sim.s_record_events = true;
+        Sim.s_global_sink =
+          (match sampling with
+          | Some (_, _, live) -> Some (Series.sink live)
+          | None -> Sim.default_config.Sim.s_global_sink);
+        Sim.s_sampler = Option.map (fun (_, s, _) -> s) sampling }
     in
     let cs =
       Sim.make_clients ~stagger_s:stagger ?faults:plan ~workloads
@@ -947,10 +1078,54 @@ let serve_cmd =
               clients servers slots queue (Pool.policy_to_string policy))
          result);
     print_slo result;
+    (match sampling with
+    | None -> ()
+    | Some (budget, sampler, live) ->
+      Fmt.pr
+        "sampling budget %g (seed %d): kept %d/%d tasks (%s), rows %d/%d, \
+         peak buffered rows %d@."
+        budget sample_seed
+        (Trace.Sampler.kept sampler)
+        (Trace.Sampler.tasks sampler)
+        (String.concat ", "
+           (List.map
+              (fun (r, n) -> Printf.sprintf "%s %d" r n)
+              (Trace.Sampler.reasons sampler)))
+        (Trace.Sampler.rows_kept sampler)
+        (Trace.Sampler.rows_seen sampler)
+        (Trace.Sampler.buffered_rows_peak sampler);
+      let incidents = Incident.detect objectives live in
+      Fmt.pr "incident timeline:@.%s@." (Incident.render incidents);
+      Option.iter
+        (fun path ->
+          match Incident.save path incidents with
+          | exception Sys_error msg ->
+            Fmt.epr "cannot write incidents: %s@." msg;
+            exit 1
+          | () ->
+            Fmt.pr "wrote %s (incident timeline jsonl, %d incidents)@." path
+              (List.length incidents))
+        incidents_out;
+      Option.iter
+        (fun path ->
+          match Trace_file.save_traces path (Trace.Sampler.kept_traces sampler)
+          with
+          | exception Sys_error msg ->
+            Fmt.epr "cannot write sampled trace: %s@." msg;
+            exit 1
+          | () ->
+            Fmt.pr "wrote %s (sampled raw trace, %d kept tasks)@." path
+              (Trace.Sampler.kept sampler))
+        sample_out);
     (match metrics_out with
     | None -> ()
     | Some file -> (
-      let series = Series.of_events (Sim.global_events result) in
+      let series =
+        (* The live sampled series is the same stream plus exemplars. *)
+        match sampling with
+        | Some (_, _, live) -> live
+        | None -> Series.of_events (Sim.global_events result)
+      in
       match Openmetrics.write file ~series (Series.totals series) with
       | exception Sys_error msg ->
         Fmt.epr "cannot write metrics: %s@." msg;
@@ -969,7 +1144,8 @@ let serve_cmd =
       const run $ clients_arg $ slots_arg $ queue_arg $ servers_arg
       $ policy_arg $ workloads_arg $ stagger_arg $ link_arg $ faults_arg
       $ seed_arg $ eval_arg $ metrics_out_arg $ migrate_arg $ no_migrate_arg
-      $ slo_arg $ self_prof_arg)
+      $ slo_arg $ sample_arg $ sample_seed_arg $ incidents_out_arg
+      $ sample_out_arg $ self_prof_arg)
 
 (* Regression attribution between two raw traces (from `run
    --trace-raw`): align the span trees by path, attribute the

@@ -31,3 +31,20 @@ let float t =
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
   Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int bound))
+
+(* Per-task sampling decision: fold (client, task) into the seed with
+   distinct odd multipliers (golden-ratio siblings, so client 1/task 0
+   and client 0/task 1 land far apart), then draw one SplitMix64
+   float.  Stateless on purpose — the keep set must not depend on how
+   clients interleave in the global stream. *)
+let task_keep ~seed ~client ~task ~budget =
+  if budget >= 1.0 then true
+  else if budget <= 0.0 then false
+  else
+    let mix =
+      Int64.logxor
+        (Int64.mul (Int64.of_int (client + 1)) 0xC2B2AE3D27D4EB4FL)
+        (Int64.mul (Int64.of_int (task + 1)) 0x9E3779B97F4A7C15L)
+    in
+    let t = create (Int64.logxor seed mix) in
+    float t < budget

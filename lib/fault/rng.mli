@@ -19,3 +19,11 @@ val float : t -> float
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound).
     @raise Invalid_argument if [bound <= 0]. *)
+
+val task_keep : seed:int64 -> client:int -> task:int -> budget:float -> bool
+(** Stateless per-task sampling decision for the trace sampler: a
+    SplitMix64 generator seeded from [(seed, client, task)] draws one
+    uniform float, and the task is kept when it falls under [budget].
+    Pure — the same triple always decides the same way, regardless of
+    how tasks from different clients interleave — so a seeded fleet
+    rerun keeps the identical task set. *)

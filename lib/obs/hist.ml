@@ -47,9 +47,18 @@ type t = {
   mutable counts : int array;    (* per-bucket counts, dense by index *)
   mutable sums : float array;    (* per-bucket sums, same indexing *)
   mutable hi : int;              (* 1 + highest occupied bucket; 0 = empty *)
+  mutable exm : (int * string * float) list;
+      (* exemplars: (bucket, trace id, value), ascending bucket, at
+         most one per bucket (largest value wins), capped — attached
+         out of band by the sampler, never by [add], so the hot record
+         path stays allocation-free *)
 }
 
 let initial_buckets = 64
+
+(* Exemplar ceiling per histogram; when exceeded, the lowest buckets
+   are shed first — the tail is what an exemplar is for. *)
+let exemplar_cap = 16
 
 let create () =
   {
@@ -58,6 +67,7 @@ let create () =
     counts = Array.make initial_buckets 0;
     sums = Array.make initial_buckets 0.0;
     hi = 0;
+    exm = [];
   }
 
 let index_of v =
@@ -99,6 +109,33 @@ let min t = if t.count = 0 then Float.nan else t.st.(s_min)
 let max t = if t.count = 0 then Float.nan else t.st.(s_max)
 let mean t = if t.count = 0 then Float.nan else t.st.(s_sum) /. float_of_int t.count
 
+let note_exemplar t ~trace_id v =
+  if not (Float.is_nan v) then begin
+    let idx = index_of v in
+    let rec place = function
+      | [] -> [ (idx, trace_id, v) ]
+      | ((i, _, ev) as e) :: rest ->
+        if i = idx then (if v > ev then (idx, trace_id, v) else e) :: rest
+        else if i > idx then (idx, trace_id, v) :: e :: rest
+        else e :: place rest
+    in
+    let l = place t.exm in
+    let n = List.length l in
+    t.exm <-
+      (if n > exemplar_cap then List.filteri (fun i _ -> i >= n - exemplar_cap) l
+       else l)
+  end
+
+let exemplars t = List.map (fun (_, id, v) -> (id, v)) t.exm
+
+let count_le t le =
+  let top = index_of le in
+  let n = ref 0 in
+  for idx = 0 to Stdlib.min (t.hi - 1) top do
+    n := !n + t.counts.(idx)
+  done;
+  !n
+
 let merge_into ~into src =
   Selfprof.enter Hist_merge;
   into.count <- into.count + src.count;
@@ -116,6 +153,7 @@ let merge_into ~into src =
     done;
     if src.hi > into.hi then into.hi <- src.hi
   end;
+  List.iter (fun (_, id, v) -> note_exemplar into ~trace_id:id v) src.exm;
   Selfprof.leave Hist_merge
 
 let merge hists =

@@ -33,8 +33,24 @@ val quantile : t -> float -> float
     [ceil (q*n)], 1-based), reported as the containing bucket's mean.
     NaN when empty; raises [Invalid_argument] outside [0,1]. *)
 
+val note_exemplar : t -> trace_id:string -> float -> unit
+(** Attach a bounded reservoir exemplar: at most one per bucket (the
+    largest value wins), at most 16 per histogram (lowest buckets shed
+    first).  Out-of-band — exemplars never affect counts or quantiles,
+    and {!add} never creates them, so the hot path stays
+    allocation-free.  NaN values are ignored. *)
+
+val exemplars : t -> (string * float) list
+(** (trace id, value) pairs in ascending bucket order. *)
+
+val count_le : t -> float -> int
+(** Samples in buckets whose index is at most [le]'s — the cumulative
+    count an OpenMetrics [le] bucket reports, exact to the ≈9% bucket
+    width. *)
+
 val merge_into : into:t -> t -> unit
-(** Bucket-wise addition of the second histogram into [into]. *)
+(** Bucket-wise addition of the second histogram into [into];
+    exemplars fold through the same reservoir policy. *)
 
 val merge : t list -> t
 (** Fresh histogram holding the bucket-wise sum of all inputs. *)

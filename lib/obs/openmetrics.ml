@@ -162,6 +162,61 @@ let of_run ?series (m : Trace.Metrics.t) : string =
             (float_of_int (Hist.count h))
         end)
       Series.latency_kinds;
+    (* Exemplar-bearing histogram family: only emitted when the trace
+       sampler attached exemplars, so an unsampled run's exposition is
+       byte-identical to what it was before exemplars existed.  Fixed
+       decade bounds; each bucket line carries the largest exemplar
+       whose value falls in that bucket, in OpenMetrics exemplar
+       syntax (`# {trace_id="..."} value`). *)
+    let bounds = [ 1e-4; 1e-3; 1e-2; 1e-1; 1.0 ] in
+    let exm_in lo hi exs =
+      List.fold_left
+        (fun best (id, v) ->
+          if v > lo && v <= hi then
+            match best with
+            | Some (_, bv) when bv >= v -> best
+            | _ -> Some (id, v)
+          else best)
+        None exs
+    in
+    let kinds_with_exemplars =
+      List.filter_map
+        (fun (kind, _) ->
+          let h = Series.kind_hist series kind in
+          match Hist.exemplars h with [] -> None | exs -> Some (kind, h, exs))
+        Series.latency_kinds
+    in
+    if kinds_with_exemplars <> [] then begin
+      family "offload_latency_seconds_hist" "histogram"
+        "Per-event-kind latency histogram with sampled-trace exemplars";
+      List.iter
+        (fun (kind, h, exs) ->
+          let bucket le_label cnt exm =
+            Buffer.add_string b
+              (Printf.sprintf
+                 "offload_latency_seconds_hist_bucket{kind=\"%s\",le=\"%s\"} %d"
+                 kind le_label cnt);
+            (match exm with
+            | Some (id, v) ->
+              Buffer.add_string b
+                (Printf.sprintf " # {trace_id=\"%s\"} %s" id (fm v))
+            | None -> ());
+            Buffer.add_char b '\n'
+          in
+          let prev = ref neg_infinity in
+          List.iter
+            (fun le ->
+              bucket (fm le) (Hist.count_le h le) (exm_in !prev le exs);
+              prev := le)
+            bounds;
+          bucket "+Inf" (Hist.count h) (exm_in !prev infinity exs);
+          sample ~labels:[ ("kind", kind) ]
+            "offload_latency_seconds_hist_count"
+            (float_of_int (Hist.count h));
+          sample ~labels:[ ("kind", kind) ] "offload_latency_seconds_hist_sum"
+            (Hist.sum h))
+        kinds_with_exemplars
+    end;
     (* Per-interval samples, stamped with the window start. *)
     let windowed name help select =
       family name "gauge" help;

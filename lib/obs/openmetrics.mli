@@ -11,7 +11,11 @@
 val of_run : ?series:Series.t -> No_trace.Trace.Metrics.t -> string
 (** Ends with the OpenMetrics "# EOF" terminator.  With [series], the
     whole-run latency summaries (merged windowed histograms) and the
-    per-interval `offload_window_*` samples are appended. *)
+    per-interval `offload_window_*` samples are appended; when the
+    series carries sampler-attached exemplars, an
+    `offload_latency_seconds_hist` histogram family is emitted whose
+    bucket lines carry `# {trace_id="..."} value` exemplars — absent
+    entirely on unsampled runs, so their exposition is unchanged. *)
 
 val write : string -> ?series:Series.t -> No_trace.Trace.Metrics.t -> unit
 (** [write path ?series m] saves {!of_run} to [path]. *)

@@ -233,6 +233,21 @@ let observe t ~ts ev =
   Trace.Row.of_event t.srow ev;
   observe_row t ~ts t.srow
 
+(* Exemplar attachment: route a kept trace's latency sample to the
+   same per-kind window histogram [observe_row] charged it to, as an
+   out-of-band annotation.  Kinds that carry no latency are ignored. *)
+let add_exemplar t ~ts ~kind ~value ~trace_id =
+  if kind >= 0 && kind < Array.length lat_slot then begin
+    let li = lat_slot.(kind) in
+    if li >= 0 then begin
+      let index =
+        if ts <= 0.0 then 0 else int_of_float (Float.floor (ts /. t.window_s))
+      in
+      let s = slot_at t index in
+      Hist.note_exemplar s.s_harr.(li) ~trace_id value
+    end
+  end
+
 let sink t =
   {
     Trace.emit = (fun ~ts ev -> observe t ~ts ev);

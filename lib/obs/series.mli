@@ -52,6 +52,14 @@ val sink : t -> No_trace.Trace.sink
 
 val observe : t -> ts:float -> No_trace.Trace.event -> unit
 
+val add_exemplar :
+  t -> ts:float -> kind:int -> value:float -> trace_id:string -> unit
+(** Attach a sampled-trace exemplar to the window and latency-kind
+    histogram the event at ([ts], row [kind]) was charged to — the
+    shape of {!No_trace.Trace.Sampler}'s exemplar hook.  Out of band:
+    never affects counts, quantiles or conservation.  Kinds that carry
+    no latency are ignored. *)
+
 val of_events :
   ?window_s:float -> (float * No_trace.Trace.event) list -> t
 (** Post-hoc construction from a captured (or reloaded) stream. *)

@@ -284,6 +284,9 @@ let label_of = function
   | Burn { target; max_rate; fast; slow } ->
     Printf.sprintf "burn(%g,fast=%d,slow=%d)<=%g" target fast slow max_rate
 
+let counter_value name m =
+  match List.assoc_opt name counters with Some f -> f m | None -> 0
+
 let mean = function
   | [] -> 0.0
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)

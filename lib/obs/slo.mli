@@ -43,6 +43,20 @@ val fleet_default_spec : string
 
 val parse : string -> (objective list, string) result
 
+val label_of : objective -> string
+(** The clause in normalized form, e.g. ["p99(page-fault)<=0.05s"] —
+    the label incidents and verdicts share. *)
+
+val avail_of : No_trace.Trace.Metrics.t -> float
+(** Offload availability of one metrics aggregate:
+    [1 - (fallbacks + rejects) / (offloads + rejects)]; 1.0 when there
+    were no attempts.  Exposed for the per-window incident engine,
+    which needs the same definition the [avail] clause uses. *)
+
+val counter_value : string -> No_trace.Trace.Metrics.t -> int
+(** Value of a [rate(...)] counter by its grammar name; 0 for unknown
+    names. *)
+
 val evaluate : objective list -> Series.t -> verdict list
 (** Verdicts in spec order. *)
 

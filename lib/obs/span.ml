@@ -155,7 +155,7 @@ let node_of_attempts name (attempts : attempt list) : node =
   { name; count = List.length attempts; total_s = total;
     self_s = total -. children_total children; children }
 
-let of_events (events : (float * Trace.event) list) : node =
+let of_events ?(sampled = false) (events : (float * Trace.event) list) : node =
   let root_items = ref [] in        (* reversed *)
   let closed = ref [] in            (* attempts, newest first *)
   let current = ref None in
@@ -232,6 +232,15 @@ let of_events (events : (float * Trace.event) list) : node =
   let children =
     sort_children (attempt_nodes @ leaves_of_items (List.rev !root_items))
   in
-  let total = run_end_s events in
-  { name = "run"; count = 1; total_s = total;
-    self_s = total -. children_total children; children }
+  (* On a complete capture the root's self time is real mobile compute:
+     wall clock minus everything attributed below.  A sampled trace is
+     full of holes — whole dropped tasks — so that residue would be
+     mostly missing tasks masquerading as compute; charge the root only
+     what its surviving children account for and report no self time. *)
+  if sampled then
+    { name = "run"; count = 1; total_s = children_total children;
+      self_s = 0.0; children }
+  else
+    let total = run_end_s events in
+    { name = "run"; count = 1; total_s = total;
+      self_s = total -. children_total children; children }

@@ -24,9 +24,15 @@ type node = {
   children : node list;  (** descending total, ties broken by name *)
 }
 
-val of_events : (float * No_trace.Trace.event) list -> node
+val of_events : ?sampled:bool -> (float * No_trace.Trace.event) list -> node
 (** Fold a timestamp-ordered stream (as captured by a ring sink or
-    reloaded from a raw trace file) into the tree rooted at ["run"]. *)
+    reloaded from a raw trace file) into the tree rooted at ["run"].
+
+    With [~sampled:true] (a tail-sampled trace, gaps where dropped
+    tasks were) the root's total is the sum of its children and its
+    self time is 0 — the wall-clock residue of a gap-containing
+    stream is missing tasks, not mobile compute, and must not be
+    attributed as such. *)
 
 val iter : ?depth:int -> (depth:int -> node -> unit) -> node -> unit
 (** Preorder walk, children in display order. *)

@@ -22,8 +22,15 @@ module Trace = No_trace.Trace
    Version 3: the migration subsystem added checkpoint /
    migrate-start / migrate-done kinds.  A version-2 trace is a valid
    version-3 trace that happens to contain none of them, so the
-   loader still reads the old header; version 1 stays refused. *)
-let version = 3
+   loader still reads the old header; version 1 stays refused.
+
+   Version 4: the header gained an optional "sampled":true flag,
+   written by the tail-based sampler.  A sampled trace contains gaps —
+   whole tasks are missing — so consumers that attribute time between
+   events (the span tree's root self-time) must not treat it as a
+   complete run.  Absent means false, so every version-2/3 trace is a
+   valid version-4 trace; versions 2-3 stay readable. *)
+let version = 4
 
 let min_read_version = 2
 
@@ -147,17 +154,50 @@ let line_of_event ts (ev : Trace.event) : string =
       (Printf.sprintf ",\"target\":%s,\"server\":%d,\"resumed_span_s\":%s"
          (quote target) server (fl resumed_span_s))
 
-let to_string (events : (float * Trace.event) list) : string =
+let to_string ?(sampled = false) (events : (float * Trace.event) list) :
+    string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"format\":\"no-trace-raw\",\"version\":%d,\"events\":%d}\n" version
-       (List.length events));
+       "{\"format\":\"no-trace-raw\",\"version\":%d,\"events\":%d%s}\n" version
+       (List.length events)
+       (if sampled then ",\"sampled\":true" else ""));
   List.iter
     (fun (ts, ev) ->
       Buffer.add_string buf (line_of_event ts ev);
       Buffer.add_char buf '\n')
     events;
+  Buffer.contents buf
+
+(* A sampled file additionally tags every event line with the kept
+   trace it belongs to ("trace":"c3-t7") — the id is what exemplars
+   and the incident timeline reference, so `analyze` can link an
+   aggregate back to a concrete kept task.  Old readers that ignore
+   unknown fields still load the stream. *)
+let to_string_traces (traces : (string * (float * Trace.event) list) list) :
+    string =
+  let tagged =
+    List.concat_map
+      (fun (id, evs) -> List.map (fun (ts, ev) -> (ts, ev, id)) evs)
+      traces
+  in
+  let tagged =
+    List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b) tagged
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"format\":\"no-trace-raw\",\"version\":%d,\"events\":%d,\
+        \"sampled\":true}\n"
+       version (List.length tagged));
+  List.iter
+    (fun (ts, ev, id) ->
+      let line = line_of_event ts ev in
+      Buffer.add_string buf (String.sub line 0 (String.length line - 1));
+      Buffer.add_string buf ",\"trace\":";
+      Buffer.add_string buf (quote id);
+      Buffer.add_string buf "}\n")
+    tagged;
   Buffer.contents buf
 
 (* {1 Parsing} *)
@@ -421,7 +461,8 @@ let split_lines s =
   in
   List.filter (fun l -> l <> "") (List.map strip raw)
 
-let of_string (s : string) : ((float * Trace.event) list, string) result =
+let of_string_traces (s : string) :
+    ((float * Trace.event * string option) list * bool, string) result =
   match split_lines s with
   | [] -> Error "empty file: expected a no-trace-raw header line"
   | header :: body -> (
@@ -447,10 +488,26 @@ let of_string (s : string) : ((float * Trace.event) list, string) result =
                  %d-%d); re-record the trace"
                 got_version min_read_version version));
       let declared = int_ fields "events" in
+      (* Absent in version 2-3 headers, so those read as unsampled. *)
+      let sampled =
+        match List.assoc_opt "sampled" fields with
+        | Some (B v) -> v
+        | Some _ -> raise (Bad "line 1: field \"sampled\": expected a boolean")
+        | None -> false
+      in
       let events =
         List.mapi
           (fun i line ->
-            try event_of_fields (parse_object line)
+            try
+              let fields = parse_object line in
+              let ts, ev = event_of_fields fields in
+              let id =
+                match List.assoc_opt "trace" fields with
+                | Some (S id) -> Some id
+                | Some _ -> raise (Bad "field \"trace\": expected a string")
+                | None -> None
+              in
+              (ts, ev, id)
             with Bad msg -> raise (Bad (Printf.sprintf "line %d: %s" (i + 2) msg)))
           body
       in
@@ -462,21 +519,50 @@ let of_string (s : string) : ((float * Trace.event) list, string) result =
                 "truncated trace: header declares %d events but the file \
                  holds %d"
                 declared found));
-      Ok events
+      Ok (events, sampled)
     with Bad msg -> Error msg)
 
-let save (path : string) (events : (float * Trace.event) list) : unit =
+let of_string_ex (s : string) :
+    ((float * Trace.event) list * bool, string) result =
+  Result.map
+    (fun (tagged, sampled) ->
+      (List.map (fun (ts, ev, _) -> (ts, ev)) tagged, sampled))
+    (of_string_traces s)
+
+let of_string (s : string) : ((float * Trace.event) list, string) result =
+  Result.map fst (of_string_ex s)
+
+let save ?sampled (path : string) (events : (float * Trace.event) list) : unit
+    =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string events))
+    (fun () -> output_string oc (to_string ?sampled events))
 
-let load (path : string) : ((float * Trace.event) list, string) result =
+let save_traces (path : string)
+    (traces : (string * (float * Trace.event) list) list) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_traces traces))
+
+let read_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | contents -> of_string contents
+  | contents -> Ok contents
   | exception Sys_error msg -> Error msg
+
+let load_ex (path : string) :
+    ((float * Trace.event) list * bool, string) result =
+  Result.bind (read_file path) of_string_ex
+
+let load_traces (path : string) :
+    ((float * Trace.event * string option) list * bool, string) result =
+  Result.bind (read_file path) of_string_traces
+
+let load (path : string) : ((float * Trace.event) list, string) result =
+  Result.map fst (load_ex path)

@@ -19,13 +19,55 @@ val min_read_version : int
     versions only add event kinds, so older traces load as streams
     that simply contain none of them. *)
 
-val to_string : (float * No_trace.Trace.event) list -> string
+val to_string :
+  ?sampled:bool -> (float * No_trace.Trace.event) list -> string
+(** With [~sampled:true] (default false) the header carries
+    ["sampled":true] — the version-4 marker for tail-sampled traces,
+    whose missing tasks mean inter-event gaps are not attributable
+    time. *)
+
+val to_string_traces :
+  (string * (float * No_trace.Trace.event) list) list -> string
+(** Serialise kept sampled traces — [(trace_id, events)] pairs as
+    produced by {!No_trace.Trace.Sampler.kept_traces} — as a sampled
+    version-4 file whose event lines each carry a ["trace"] field
+    naming the kept task they belong to.  Events are merged into one
+    globally time-ordered stream. *)
 
 val of_string :
   string -> ((float * No_trace.Trace.event) list, string) result
 
-val save : string -> (float * No_trace.Trace.event) list -> unit
+val of_string_ex :
+  string -> ((float * No_trace.Trace.event) list * bool, string) result
+(** Like {!of_string} but also returns the header's [sampled] flag
+    (false for version-2/3 headers, which predate it). *)
+
+val of_string_traces :
+  string ->
+  ( (float * No_trace.Trace.event * string option) list * bool,
+    string )
+  result
+(** Like {!of_string_ex} but keeps each line's optional ["trace"] tag
+    ([None] for untagged lines, i.e. every full-capture trace). *)
+
+val save :
+  ?sampled:bool -> string -> (float * No_trace.Trace.event) list -> unit
+
+val save_traces :
+  string -> (string * (float * No_trace.Trace.event) list) list -> unit
+(** {!to_string_traces} written to a file. *)
 
 val load : string -> ((float * No_trace.Trace.event) list, string) result
 (** [of_string] on the file's contents; an unreadable file is also an
     [Error _]. *)
+
+val load_ex :
+  string -> ((float * No_trace.Trace.event) list * bool, string) result
+(** {!of_string_ex} on the file's contents. *)
+
+val load_traces :
+  string ->
+  ( (float * No_trace.Trace.event * string option) list * bool,
+    string )
+  result
+(** {!of_string_traces} on the file's contents. *)

@@ -50,6 +50,7 @@ module Local_run = No_runtime.Local_run
 module Trace = No_trace.Trace
 module Fault_plan = No_fault.Plan
 module Injector = No_fault.Injector
+module Rng = No_fault.Rng
 
 (* Observability *)
 module Span = No_obs.Span
@@ -60,6 +61,7 @@ module Trace_file = No_obs.Trace_file
 module Series = No_obs.Series
 module Openmetrics = No_obs.Openmetrics
 module Slo = No_obs.Slo
+module Incident = No_obs.Incident
 module Diff = No_obs.Diff
 module Selfprof = No_selfprof.Selfprof
 

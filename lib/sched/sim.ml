@@ -84,6 +84,11 @@ type config = {
                                       client's events on the *global*
                                       clock (cl_start_s added) as they
                                       stream — telemetry without rings *)
+  s_sampler : Trace.Sampler.t option;
+                                   (* tail-based sampler: each client
+                                      streams into its own per-client
+                                      view; [run] flushes trailing
+                                      tasks before returning *)
 }
 
 let default_config =
@@ -98,6 +103,7 @@ let default_config =
     s_scale = Profile;
     s_record_events = true;
     s_global_sink = None;
+    s_sampler = None;
   }
 
 let make_clients ?(stagger_s = 0.05) ?faults ~workloads ~count () =
@@ -296,21 +302,28 @@ let run ?(config = default_config) (clients : client list) : result =
     let sinks =
       (match ring with None -> [] | Some r -> [ Trace.Ring.sink r ])
       @ [ stream_sink ]
+      @ (match config.s_global_sink with
+        | None -> []
+        | Some global ->
+          (* Re-stamp onto the global clock as events stream, so the
+             fleet-wide consumer (SLO series, telemetry) never needs the
+             per-client rings.  Rows are forwarded as rows — the wrapper
+             only rewrites the timestamp. *)
+          [ {
+              Trace.emit =
+                (fun ~ts ev -> global.Trace.emit ~ts:(cl.cl_start_s +. ts) ev);
+              Trace.emit_row =
+                (fun ~ts row ->
+                  global.Trace.emit_row ~ts:(cl.cl_start_s +. ts) row);
+            } ])
       @
-      match config.s_global_sink with
+      match config.s_sampler with
       | None -> []
-      | Some global ->
-        (* Re-stamp onto the global clock as events stream, so the
-           fleet-wide consumer (SLO series, telemetry) never needs the
-           per-client rings.  Rows are forwarded as rows — the wrapper
-           only rewrites the timestamp. *)
-        [ {
-            Trace.emit =
-              (fun ~ts ev -> global.Trace.emit ~ts:(cl.cl_start_s +. ts) ev);
-            Trace.emit_row =
-              (fun ~ts row ->
-                global.Trace.emit_row ~ts:(cl.cl_start_s +. ts) row);
-          } ]
+      | Some sampler ->
+        (* The sampler's per-client view does its own global-clock
+           re-stamping from start_s. *)
+        [ Trace.Sampler.client_sink sampler ~client:cl.cl_id
+            ~start_s:cl.cl_start_s ]
     in
     let sink =
       match sinks with [ one ] -> one | many -> Trace.fan_out many
@@ -328,6 +341,10 @@ let run ?(config = default_config) (clients : client list) : result =
         ~seeds:compiled.Compiler.c_seeds
     in
     let report = Session.run session in
+    (* Free this client's sampler buffer while the fleet still runs. *)
+    (match config.s_sampler with
+    | Some sampler -> Trace.Sampler.close_client sampler ~client:cl.cl_id
+    | None -> ());
     results.(idx) <- Some (report, ring)
   in
   (* The flat driver.  The effect handler never resumes anyone: it
@@ -359,6 +376,9 @@ let run ?(config = default_config) (clients : client list) : result =
       drive ()
   in
   drive ();
+  (* Decide the fate of every client's trailing in-flight task before
+     anyone reads kept counts. *)
+  Option.iter Trace.Sampler.flush config.s_sampler;
   let client_results =
     Array.to_list
       (Array.mapi

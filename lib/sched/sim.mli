@@ -47,6 +47,11 @@ type config = {
       (** extra fleet-wide sink fed every client's events re-stamped
           onto the global clock as they stream — SLO series and
           telemetry at any fleet size, without rings *)
+  s_sampler : No_trace.Trace.Sampler.t option;
+      (** tail-based trace sampler: every client streams into its own
+          {!No_trace.Trace.Sampler.client_sink} view (global clock),
+          and {!run} flushes trailing in-flight tasks before
+          returning, so kept counts are final when it does *)
 }
 
 val default_config : config

@@ -998,6 +998,317 @@ module Ring = struct
     !acc
 end
 
+(* {1 Tail-based trace sampler}
+
+   Capture-everything observability (rings, raw jsonl) is exactly the
+   cost the self-profiler shows dominating fleet runs, so at 10^4+
+   clients the spine needs a sampling layer: keep every trace that
+   *matters* (faulted, migrated, SLO-violating, top-of-the-latency
+   tail) plus a seeded budget of the rest, and pay the boxing cost
+   only for kept tasks.
+
+   Mechanics: each client sink buffers incoming rows — copied into
+   preallocated scratch rows, never boxed — for the task currently in
+   flight.  A task runs from its first row to its terminal row
+   (offload-end, refusal or reject) plus the epilogue that follows it
+   (rollback/replay, power segments, mobile flushes); the keep/drop
+   decision falls when the *next* task starts (estimate or
+   offload-begin) or at {!flush}.  Kept tasks box their buffered rows
+   into events under a stable trace id ("c<client>-t<task>"); dropped
+   tasks just rewind the buffer — no allocation beyond the buffer's
+   own growth to its working size.
+
+   Every decision is a pure function of (stream content, seed), never
+   of arrival interleaving: the probabilistic leg is a stateless
+   per-(client, task) draw supplied as the [keep] closure, and the
+   deterministic legs (fault/migrate flags, SLO threshold, the
+   fleet-wide top-latency reservoir) read only the simulated stream,
+   which is itself deterministic.  Same seed, same kept set, byte for
+   byte. *)
+
+module Sampler = struct
+  type reason = Faulted | Migrated | Slo | Reservoir | Budget
+
+  (* Growable buffer of copied rows + their (already re-stamped)
+     global timestamps.  Slots are reused across tasks, so a client's
+     steady-state cost is its longest task, not its task count. *)
+  type buf = {
+    mutable bts : float array;
+    mutable brows : Row.t array;
+    mutable blen : int;
+  }
+
+  type cstate = {
+    c_id : int;
+    c_start : float;
+    c_buf : buf;
+    c_srow : Row.t;               (* scratch for the boxed door *)
+    mutable c_task : int;         (* next task ordinal for this client *)
+    mutable c_pending : bool;     (* terminal row seen; close on task start *)
+    mutable c_faulted : bool;
+    mutable c_migrated : bool;
+    mutable c_latency : float;    (* max offload span inside the task *)
+  }
+
+  type t = {
+    sp_slo_limit : float;
+    sp_reservoir : int;
+    sp_keep : client:int -> task:int -> bool;
+    sp_exemplar :
+      (ts:float -> kind:int -> value:float -> trace_id:string -> unit) option;
+    sp_clients : (int, cstate) Hashtbl.t;
+    mutable sp_res : float list;  (* reservoir latencies, ascending *)
+    mutable sp_res_n : int;
+    mutable sp_tasks : int;
+    mutable sp_kept : (string * (float * event) list) list;  (* newest first *)
+    mutable sp_kept_n : int;
+    mutable sp_rows_seen : int;
+    mutable sp_rows_kept : int;
+    mutable sp_live_rows : int;   (* buffered right now, fleet-wide *)
+    mutable sp_peak_rows : int;
+    mutable sp_r_faulted : int;
+    mutable sp_r_migrated : int;
+    mutable sp_r_slo : int;
+    mutable sp_r_reservoir : int;
+    mutable sp_r_budget : int;
+  }
+
+  let create ?(reservoir = 8) ?(slo_limit_s = infinity) ?exemplar ~keep () =
+    if reservoir < 0 then invalid_arg "Trace.Sampler.create: reservoir";
+    {
+      sp_slo_limit = slo_limit_s;
+      sp_reservoir = reservoir;
+      sp_keep = keep;
+      sp_exemplar = exemplar;
+      sp_clients = Hashtbl.create 64;
+      sp_res = [];
+      sp_res_n = 0;
+      sp_tasks = 0;
+      sp_kept = [];
+      sp_kept_n = 0;
+      sp_rows_seen = 0;
+      sp_rows_kept = 0;
+      sp_live_rows = 0;
+      sp_peak_rows = 0;
+      sp_r_faulted = 0;
+      sp_r_migrated = 0;
+      sp_r_slo = 0;
+      sp_r_reservoir = 0;
+      sp_r_budget = 0;
+    }
+
+  let copy_row (dst : Row.t) (src : Row.t) =
+    dst.Row.kind <- src.Row.kind;
+    dst.Row.i1 <- src.Row.i1;
+    dst.Row.i2 <- src.Row.i2;
+    dst.Row.i3 <- src.Row.i3;
+    dst.Row.i4 <- src.Row.i4;
+    dst.Row.f.(0) <- src.Row.f.(0);
+    dst.Row.f.(1) <- src.Row.f.(1);
+    dst.Row.s1 <- src.Row.s1;
+    dst.Row.s2 <- src.Row.s2
+
+  (* The latency a row contributes to the tail decision and to
+     exemplars — mirrors the windowed series' latency kinds. *)
+  let latency_of_row (r : Row.t) =
+    let k = r.Row.kind in
+    if k = Row.k_flush then r.Row.f.(0) +. r.Row.f.(1)
+    else if
+      k = Row.k_offload_end || k = Row.k_page_fault
+      || k = Row.k_remote_io || k = Row.k_fnptr_translate
+      || k = Row.k_rpc_timeout || k = Row.k_retry || k = Row.k_replay
+      || k = Row.k_queue || k = Row.k_migrate_start
+    then r.Row.f.(0)
+    else Float.nan
+
+  (* Online fleet-wide top-K reservoir: admit a completed task's peak
+     latency when the reservoir has room or the latency beats its
+     current minimum.  Stream order is deterministic, so the admitted
+     set is too. *)
+  let reservoir_admit t v =
+    if t.sp_reservoir = 0 || not (v > 0.0) then false
+    else if t.sp_res_n < t.sp_reservoir then begin
+      t.sp_res <- List.sort Float.compare (v :: t.sp_res);
+      t.sp_res_n <- t.sp_res_n + 1;
+      true
+    end
+    else
+      match t.sp_res with
+      | smallest :: rest when v > smallest ->
+        t.sp_res <- List.sort Float.compare (v :: rest);
+        true
+      | _ -> false
+
+  let grow_buf b want =
+    let cap = ref (Stdlib.max 1 (Array.length b.brows)) in
+    while !cap <= want do
+      cap := !cap * 2
+    done;
+    let bts = Array.make !cap 0.0 in
+    let brows = Array.init !cap (fun _ -> Row.create ()) in
+    Array.blit b.bts 0 bts 0 b.blen;
+    Array.blit b.brows 0 brows 0 b.blen;
+    b.bts <- bts;
+    b.brows <- brows
+
+  (* Close the in-flight task of [c] and decide its fate.  Kept tasks
+     box here — the only place the sampler allocates per event — and
+     feed the exemplar hook so aggregate views can point back at a
+     trace id that is actually retained. *)
+  let close_task t (c : cstate) =
+    if c.c_buf.blen > 0 then begin
+      t.sp_tasks <- t.sp_tasks + 1;
+      let reason =
+        if c.c_faulted then Some Faulted
+        else if c.c_migrated then Some Migrated
+        else if c.c_latency >= t.sp_slo_limit then Some Slo
+        else if reservoir_admit t c.c_latency then Some Reservoir
+        else if t.sp_keep ~client:c.c_id ~task:c.c_task then Some Budget
+        else None
+      in
+      (match reason with
+      | None -> ()
+      | Some reason ->
+        (match reason with
+        | Faulted -> t.sp_r_faulted <- t.sp_r_faulted + 1
+        | Migrated -> t.sp_r_migrated <- t.sp_r_migrated + 1
+        | Slo -> t.sp_r_slo <- t.sp_r_slo + 1
+        | Reservoir -> t.sp_r_reservoir <- t.sp_r_reservoir + 1
+        | Budget -> t.sp_r_budget <- t.sp_r_budget + 1);
+        let trace_id = Printf.sprintf "c%d-t%d" c.c_id c.c_task in
+        let events = ref [] in
+        for i = c.c_buf.blen - 1 downto 0 do
+          let ts = c.c_buf.bts.(i) and row = c.c_buf.brows.(i) in
+          events := (ts, Row.to_event row) :: !events;
+          match t.sp_exemplar with
+          | None -> ()
+          | Some hook ->
+            let v = latency_of_row row in
+            if not (Float.is_nan v) then
+              hook ~ts ~kind:row.Row.kind ~value:v ~trace_id
+        done;
+        t.sp_kept <- (trace_id, !events) :: t.sp_kept;
+        t.sp_kept_n <- t.sp_kept_n + 1;
+        t.sp_rows_kept <- t.sp_rows_kept + c.c_buf.blen);
+      t.sp_live_rows <- t.sp_live_rows - c.c_buf.blen;
+      c.c_buf.blen <- 0;
+      c.c_task <- c.c_task + 1;
+      c.c_pending <- false;
+      c.c_faulted <- false;
+      c.c_migrated <- false;
+      c.c_latency <- 0.0
+    end
+
+  let observe_row t (c : cstate) ~ts (row : Row.t) =
+    Selfprof.enter Sink_emit;
+    t.sp_rows_seen <- t.sp_rows_seen + 1;
+    let k = row.Row.kind in
+    (* A task-starting row first closes the pending task. *)
+    if c.c_pending && (k = Row.k_estimate || k = Row.k_offload_begin) then
+      close_task t c;
+    let b = c.c_buf in
+    if b.blen >= Array.length b.brows then grow_buf b b.blen;
+    b.bts.(b.blen) <- ts;
+    copy_row b.brows.(b.blen) row;
+    b.blen <- b.blen + 1;
+    t.sp_live_rows <- t.sp_live_rows + 1;
+    if t.sp_live_rows > t.sp_peak_rows then t.sp_peak_rows <- t.sp_live_rows;
+    (* The fault-recovery machinery marks a task as faulted; a bare
+       Replay (the admission-reject path's forced local run) does not —
+       rejection under saturation is routine, and a replay that follows
+       a real failure always rides with a rollback/fallback marker. *)
+    if
+      k = Row.k_fault_injected || k = Row.k_rpc_timeout || k = Row.k_retry
+      || k = Row.k_fallback_local || k = Row.k_rollback
+    then c.c_faulted <- true
+    else if
+      k = Row.k_checkpoint || k = Row.k_migrate_start
+      || k = Row.k_migrate_done
+    then c.c_migrated <- true;
+    if k = Row.k_offload_end && row.Row.f.(0) > c.c_latency then
+      c.c_latency <- row.Row.f.(0);
+    if k = Row.k_offload_end || k = Row.k_refusal || k = Row.k_reject then
+      c.c_pending <- true;
+    Selfprof.leave Sink_emit
+
+  let cstate_of t ~client ~start_s =
+    match Hashtbl.find_opt t.sp_clients client with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          c_id = client;
+          c_start = start_s;
+          c_buf = { bts = Array.make 32 0.0;
+                    brows = Array.init 32 (fun _ -> Row.create ());
+                    blen = 0 };
+          c_srow = Row.create ();
+          c_task = 0;
+          c_pending = false;
+          c_faulted = false;
+          c_migrated = false;
+          c_latency = 0.0;
+        }
+      in
+      Hashtbl.replace t.sp_clients client c;
+      c
+
+  (* The per-client door.  Timestamps are re-stamped onto the global
+     clock here ([start_s] added), so kept traces from different
+     clients interleave on one timeline. *)
+  let client_sink t ~client ~start_s =
+    let c = cstate_of t ~client ~start_s in
+    {
+      emit =
+        (fun ~ts ev ->
+          Row.of_event c.c_srow ev;
+          observe_row t c ~ts:(c.c_start +. ts) c.c_srow);
+      emit_row = (fun ~ts row -> observe_row t c ~ts:(c.c_start +. ts) row);
+    }
+
+  (* A client's session ended: decide its trailing task now, so its
+     buffer frees while the fleet is still running — peak resident
+     rows track *concurrent* sessions, not total clients. *)
+  let close_client t ~client =
+    match Hashtbl.find_opt t.sp_clients client with
+    | Some c -> close_task t c
+    | None -> ()
+
+  (* Close every client's in-flight task, ascending client id — the
+     end-of-run decision order must not depend on hashtable layout. *)
+  let flush t =
+    let ids =
+      List.sort compare
+        (Hashtbl.fold (fun id _ acc -> id :: acc) t.sp_clients [])
+    in
+    List.iter (fun id -> close_task t (Hashtbl.find t.sp_clients id)) ids
+
+  let tasks t = t.sp_tasks
+  let kept t = t.sp_kept_n
+  let rows_seen t = t.sp_rows_seen
+  let rows_kept t = t.sp_rows_kept
+  let buffered_rows_peak t = t.sp_peak_rows
+  let kept_traces t = List.rev t.sp_kept
+  let kept_ids t = List.rev_map fst t.sp_kept
+
+  let reasons t =
+    [
+      ("faulted", t.sp_r_faulted);
+      ("migrated", t.sp_r_migrated);
+      ("slo", t.sp_r_slo);
+      ("reservoir", t.sp_r_reservoir);
+      ("budget", t.sp_r_budget);
+    ]
+
+  (* All kept events on the global clock, stably sorted — what a
+     sampled raw-trace file holds.  Ties keep decision order, so
+     seeded reruns serialize byte-identically. *)
+  let kept_events t =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (List.concat_map snd (List.rev t.sp_kept))
+end
+
 (* {1 Chrome-trace JSON exporter}
 
    Produces the Trace Event Format consumed by chrome://tracing and

@@ -366,6 +366,78 @@ module Ring : sig
       evicted before the call. *)
 end
 
+(** Tail-based per-task sampler over the two-door spine.
+
+    One shared sampler receives each client's stream through a
+    {!Sampler.client_sink} view, buffers rows per in-flight task
+    (copied into reusable scratch rows — dropped tasks never box), and
+    decides keep/drop at task completion: always keep faulted,
+    migrated, SLO-violating and top-latency-reservoir tasks, plus a
+    seeded budget of the rest via the caller's [keep] closure.  Every
+    decision is a pure function of stream content and seed — same
+    seed, same kept set — and kept traces are complete (every row of
+    the task, including its recovery/power epilogue). *)
+module Sampler : sig
+  type t
+
+  val create :
+    ?reservoir:int ->
+    ?slo_limit_s:float ->
+    ?exemplar:(ts:float -> kind:int -> value:float -> trace_id:string -> unit) ->
+    keep:(client:int -> task:int -> bool) ->
+    unit ->
+    t
+  (** [reservoir] (default 8) bounds the fleet-wide top-latency set
+      that is always kept; [slo_limit_s] (default [infinity]) keeps
+      any task whose offload span reaches it; [keep] is the seeded
+      probabilistic leg — it must be stateless in (client, task), e.g.
+      [Rng.task_keep].  [exemplar] fires once per latency-bearing row
+      of each {e kept} task, so exemplars always reference retained
+      trace ids. *)
+
+  val client_sink : t -> client:int -> start_s:float -> sink
+  (** The per-client door.  [start_s] re-stamps the client's local
+      timestamps onto the global clock at buffer time. *)
+
+  val close_client : t -> client:int -> unit
+  (** Decide [client]'s trailing in-flight task now — call when its
+      session completes, so peak resident rows track concurrent
+      sessions rather than total clients. *)
+
+  val flush : t -> unit
+  (** Close every remaining client's trailing in-flight task
+      (deterministic ascending-client order).  Call once at end of
+      run; idempotent after {!close_client}. *)
+
+  val tasks : t -> int
+  (** Tasks decided so far (kept + dropped). *)
+
+  val kept : t -> int
+
+  val kept_ids : t -> string list
+  (** Trace ids ("c<client>-t<task>") of kept tasks, in decision
+      order. *)
+
+  val kept_traces : t -> (string * (float * event) list) list
+  (** Kept tasks in decision order, each with its complete boxed
+      trace on the global clock. *)
+
+  val kept_events : t -> (float * event) list
+  (** All kept events merged onto one timeline (stable sort by
+      timestamp) — the content of a sampled raw-trace file. *)
+
+  val reasons : t -> (string * int) list
+  (** Kept-task counts by decision reason, fixed order:
+      faulted, migrated, slo, reservoir, budget. *)
+
+  val rows_seen : t -> int
+  val rows_kept : t -> int
+
+  val buffered_rows_peak : t -> int
+  (** High-water mark of rows resident in task buffers fleet-wide —
+      the bounded-memory claim, measured. *)
+end
+
 (** Chrome Trace Event Format exporter (chrome://tracing, Perfetto). *)
 module Chrome : sig
   val export : ?process:string -> (float * event) list -> string

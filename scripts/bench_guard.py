@@ -42,7 +42,7 @@ reduced scale and commit it with the change:
 
     dune exec bench/main.exe -- percentiles --sample 4 --json /tmp/p.json
     dune exec bench/main.exe -- faults      --sample 4 --json /tmp/f.json
-    dune exec bench/main.exe -- fleet       --json /tmp/fl.json
+    dune exec bench/main.exe -- fleet --sample 0.01 --json /tmp/fl.json
     dune exec bench/main.exe -- migrate     --json /tmp/m.json
     dune exec bench/main.exe -- micro --trials 3 --json /tmp/mi.json
     python3 scripts/bench_guard.py merge /tmp/p.json /tmp/f.json \
@@ -76,6 +76,17 @@ the availability-floor spec (Slo.fleet_default_spec), which passes at
 baseline scale; the guard holds each per-policy pass/fail *equal* to
 the baseline value, so a flip either way is a reportable change, not
 a perpetual FAIL.
+
+Sampling guard (schema 5): the tail-based trace sampler is seeded and
+the fleet is deterministic, so per policy both the kept-task count
+(fleet_<p>_sampled_kept, which must also stay > 0 — an empty kept set
+means the sampler dropped faulted tasks) and the FNV-1a hash over the
+kept-trace id list (fleet_<p>_kept_hash) are held *exactly*: any
+drift is a nondeterministic keep decision or a changed keep policy.
+The sampled run's events/sec relative to the full-capture run
+(fleet_sample_vs_full_ratio) is wall-clock, so like the host floor it
+only has to clear an absolute floor (--sample-ratio-floor, default
+0.9): sampling must stay within 10% of free.
 """
 
 import argparse
@@ -86,7 +97,7 @@ import shutil
 import sys
 import tempfile
 
-SCHEMA = 4
+SCHEMA = 5
 
 FLEET_POLICIES = ("rr", "ll", "sticky")
 
@@ -301,6 +312,46 @@ def compare(pr, baseline, tolerance, micro_floor_frac=0.55):
             "intentionally changed)"
         )
 
+    # Sampling determinism: the keep decision is a pure function of
+    # (seed, client, task) plus deterministic tail triggers, so the
+    # kept count and the hash over the kept-trace id list are exact.
+    # A kept count of zero fails outright — the tail legs alone must
+    # keep every faulted task, and the fleet always has some.
+    for policy in FLEET_POLICIES:
+        kept_key = f"fleet_{policy}_sampled_kept"
+        hash_key = f"fleet_{policy}_kept_hash"
+        pr_kept = pr["fleet"].get(kept_key)
+        base_kept = baseline["fleet"].get(kept_key)
+        if pr_kept is None or base_kept is None:
+            failures.append(
+                f"{kept_key} missing from "
+                f"{'PR' if pr_kept is None else 'baseline'} — run "
+                "`bench fleet --sample 0.01 --json` (schema 5 requires "
+                "the sampling leg)"
+            )
+            continue
+        if pr_kept <= 0:
+            failures.append(
+                f"sampler kept set empty ({policy}): {kept_key} = "
+                f"{pr_kept} (tail-based keep must retain every faulted "
+                "task — the sampler is broken)"
+            )
+        elif pr_kept != base_kept:
+            failures.append(
+                f"sampler kept-task count changed ({policy}): {pr_kept} "
+                f"vs baseline {base_kept} (keep decisions are seeded "
+                "and exact — re-baseline only with an intentional "
+                "sampler change)"
+            )
+        pr_hash = pr["fleet"].get(hash_key)
+        base_hash = baseline["fleet"].get(hash_key)
+        if pr_hash != base_hash:
+            failures.append(
+                f"sampler kept set drifted ({policy}): kept-id hash "
+                f"{pr_hash} vs baseline {base_hash} (same count, "
+                "different tasks = nondeterministic keep decision)"
+            )
+
     # Micro lane, wall-clock numbers: machine-dependent, so they only
     # have to clear a *relative floor* (baseline * micro_floor_frac;
     # at the 0.55 default an exact halving always fails).  Absolute
@@ -353,6 +404,26 @@ def check_micro_floors(pr, events_floor, compress_floor):
     return failures
 
 
+def check_sample_ratio_floor(pr, floor):
+    """Sampling overhead: the sampled fleet run's events/sec relative
+    to the full-capture run.  Wall-clock, so an absolute floor — the
+    sampler's buffering must stay within (1 - floor) of free."""
+    failures = []
+    value = pr["fleet"].get("fleet_sample_vs_full_ratio")
+    if value is None:
+        failures.append(
+            "fleet_sample_vs_full_ratio missing from PR — run "
+            "`bench fleet --sample 0.01 --json` (schema 5 requires "
+            "the sampling leg)"
+        )
+    elif value < floor:
+        failures.append(
+            f"sampling overhead too high: sampled/full events/sec "
+            f"ratio {value:.3f} < floor {floor:.2f}"
+        )
+    return failures
+
+
 def explain(path, top=3):
     """Summarise a trace-diff JSON (`offload-cli diff OLD NEW --json`)
     as attribution lines: where did the extra time go?"""
@@ -392,6 +463,7 @@ def cmd_check(args):
     failures += check_micro_floors(
         pr, args.micro_events_floor, args.micro_compress_floor
     )
+    failures += check_sample_ratio_floor(pr, args.sample_ratio_floor)
     if failures:
         for message in failures:
             print(f"FAIL: {message}")
@@ -411,7 +483,14 @@ def cmd_check(args):
         + f", {pr['migrate']['migrations_done']} migration(s) at "
         f"recovery ratio {pr['migrate']['recovery_ratio']:.4f}, micro "
         f"{pr['micro']['micro_events_per_sec']:.0f} events/sec at "
-        f"{pr['micro']['micro_allocs_per_event_w']:.0f} words/event"
+        f"{pr['micro']['micro_allocs_per_event_w']:.0f} words/event, "
+        "sampled kept "
+        + "/".join(
+            str(pr["fleet"][f"fleet_{p}_sampled_kept"])
+            for p in FLEET_POLICIES
+        )
+        + " tasks at overhead ratio "
+        f"{pr['fleet']['fleet_sample_vs_full_ratio']:.3f}"
     )
 
 
@@ -512,13 +591,29 @@ def cmd_selftest(args):
     if not compare(flipped, baseline, args.tolerance):
         sys.exit("selftest: a flipped fleet SLO verdict was not caught")
 
+    starved = copy.deepcopy(baseline)
+    starved["fleet"]["fleet_rr_sampled_kept"] = 0
+    if not compare(starved, baseline, args.tolerance):
+        sys.exit("selftest: an empty sampler kept set was not caught")
+
+    drifted = copy.deepcopy(baseline)
+    drifted["fleet"]["fleet_ll_kept_hash"] = "0" * 16
+    if not compare(drifted, baseline, args.tolerance):
+        sys.exit("selftest: a drifted kept-id hash was not caught")
+
+    heavy = copy.deepcopy(baseline)
+    heavy["fleet"]["fleet_sample_vs_full_ratio"] = 0.5
+    if not check_sample_ratio_floor(heavy, 0.9):
+        sys.exit("selftest: a collapsed sampling ratio was not caught")
+
     print(
         "selftest OK: identical copy passes; 2x headline slowdown, "
         "2x fleet slowdown, sub-floor host throughput, a lost "
         "migration, a sub-1.0 recovery ratio, a doubled allocs/event, "
-        "a halved micro events/sec and a flipped fleet SLO verdict "
-        "all fail; missing/empty/truncated artifacts yield the named "
-        "bench_guard error"
+        "a halved micro events/sec, a flipped fleet SLO verdict, an "
+        "empty sampler kept set, a drifted kept-id hash and a "
+        "collapsed sampling ratio all fail; missing/empty/truncated "
+        "artifacts yield the named bench_guard error"
     )
 
 
@@ -569,6 +664,14 @@ def main():
         metavar="BPS",
         help="absolute floor for micro compress bytes/sec "
         "(default %(default)s)",
+    )
+    p.add_argument(
+        "--sample-ratio-floor",
+        type=float,
+        default=0.9,
+        metavar="FRAC",
+        help="minimum sampled/full fleet events/sec ratio "
+        "(default %(default)s: sampling must cost under 10%%)",
     )
     p.add_argument(
         "--explain",

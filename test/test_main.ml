@@ -24,5 +24,6 @@ let () =
       ("workloads", Test_workloads.tests);
       ("corpus-report", Test_corpus_report.tests);
       ("telemetry", Test_telemetry.tests);
+      ("sampler", Test_sampler.tests);
       ("selfprof", Test_selfprof.tests);
     ]

@@ -430,7 +430,7 @@ let expect_error label needle text =
 let test_trace_file_diagnostics () =
   (* Version from the future: a clear refusal, not a parse attempt. *)
   expect_error "future version" "version"
-    "{\"format\":\"no-trace-raw\",\"version\":4,\"events\":0}\n";
+    "{\"format\":\"no-trace-raw\",\"version\":5,\"events\":0}\n";
   (* Version 1 predates server ids on scheduler events: refused too. *)
   expect_error "pre-pool version" "version"
     "{\"format\":\"no-trace-raw\",\"version\":1,\"events\":0}\n";
